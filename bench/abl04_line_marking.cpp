@@ -1,0 +1,61 @@
+//===- bench/abl04_line_marking.cpp - Conservative vs exact marking -------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Design-choice ablation from DESIGN.md: Immix's conservative line
+// marking (small objects mark one line; the sweep implicitly keeps the
+// next) trades a little space for much cheaper marking. Exact marking
+// marks every covered line. This compares both, with and without
+// failures, to show the trade-off survives failure awareness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureHarness.h"
+
+using namespace wearmem;
+
+namespace {
+
+std::string pointName(bool Conservative, double Rate, const Profile &P) {
+  char Buf[112];
+  std::snprintf(Buf, sizeof(Buf), "abl4/%s/f%02d/%s",
+                Conservative ? "conservative" : "exact",
+                static_cast<int>(Rate * 100), P.Name);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<const Profile *> Profiles = selectedProfiles();
+  const std::vector<double> Rates = {0.0, 0.25};
+  for (const Profile *P : Profiles) {
+    for (bool Conservative : {true, false}) {
+      for (double Rate : Rates) {
+        RuntimeConfig Config = paperBaseConfig();
+        Config.HeapBytes = heapBytesFor(*P, 2.0);
+        Config.ConservativeLineMarking = Conservative;
+        Config.FailureRate = Rate;
+        Config.ClusteringRegionPages = Rate > 0.0 ? 2 : 0;
+        registerPoint(pointName(Conservative, Rate, *P), *P, Config);
+      }
+    }
+  }
+  runBenchmarks(argc, argv);
+
+  Table Fig("Ablation: conservative vs exact line marking (exact "
+            "normalized to conservative)");
+  Fig.setHeader({"failure rate", "exact / conservative"});
+  for (double Rate : Rates) {
+    double Norm = geomeanOverProfiles(
+        Profiles,
+        [&](const Profile &P) { return pointName(false, Rate, P); },
+        [&](const Profile &P) { return pointName(true, Rate, P); });
+    Fig.addRow({Table::num(Rate * 100, 0) + "%", Table::num(Norm, 3)});
+  }
+  Fig.print();
+  return 0;
+}

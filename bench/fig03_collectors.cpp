@@ -1,0 +1,88 @@
+//===- bench/fig03_collectors.cpp - Figure 3: collector comparison --------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 3: geometric-mean total time of the workloads under full-heap
+// mark-sweep (MS), Immix (IX), and the sticky generational variants
+// (S-MS, S-IX), across heap sizes, with no failures. The paper uses this
+// to motivate Sticky Immix as the high-performance baseline; the expected
+// shape is S-IX fastest (especially in small heaps), MS slowest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureHarness.h"
+
+using namespace wearmem;
+
+namespace {
+
+const std::vector<std::pair<const char *, CollectorKind>> Collectors = {
+    {"MS", CollectorKind::MarkSweep},
+    {"IX", CollectorKind::Immix},
+    {"S-MS", CollectorKind::StickyMarkSweep},
+    {"S-IX", CollectorKind::StickyImmix},
+};
+
+std::string pointName(const char *Collector, double Factor,
+                      const Profile &P) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "fig3/%s/h%.2f/%s", Collector, Factor,
+                P.Name);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<const Profile *> Profiles = selectedProfiles();
+  for (const auto &[Name, Kind] : Collectors) {
+    for (double Factor : heapFactors()) {
+      for (const Profile *P : Profiles) {
+        RuntimeConfig Config = paperBaseConfig();
+        Config.Collector = Kind;
+        Config.HeapBytes = heapBytesFor(*P, Factor);
+        registerPoint(pointName(Name, Factor, *P), *P, Config);
+      }
+    }
+  }
+  runBenchmarks(argc, argv);
+
+  // Normalize everything to S-IX at the largest heap (the fastest
+  // configuration in the paper's plot).
+  Table Fig("Figure 3: DaCapo-style geomean time by collector and heap "
+            "size (normalized to S-IX at the largest heap; '-' = some "
+            "workload did not complete)");
+  Fig.setHeader(
+      {"heap(xmin)", "MS", "IX", "S-MS", "S-IX", "S-IX geomean ms"});
+  auto BaseName = [&](const Profile &P) {
+    return pointName("S-IX", heapFactors().back(), P);
+  };
+  for (double Factor : heapFactors()) {
+    std::vector<std::string> Row;
+    Row.push_back(Table::num(Factor, 2));
+    double SixMs = 0.0;
+    for (const auto &[Name, Kind] : Collectors) {
+      double Norm = geomeanOverProfiles(
+          Profiles,
+          [&](const Profile &P) { return pointName(Name, Factor, P); },
+          BaseName);
+      Row.push_back(Table::num(Norm, 3));
+      if (std::string(Name) == "S-IX") {
+        std::vector<double> Times;
+        for (const Profile *P : Profiles) {
+          double Ms = storedMs(pointName(Name, Factor, *P));
+          if (!std::isnan(Ms))
+            Times.push_back(Ms);
+        }
+        SixMs = Times.empty() ? std::nan("") : geomean(Times);
+      }
+    }
+    Row.push_back(Table::num(SixMs, 1));
+    Fig.addRow(Row);
+  }
+  Fig.print();
+  return 0;
+}

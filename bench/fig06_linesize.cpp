@@ -1,0 +1,81 @@
+//===- bench/fig06_linesize.cpp - Figure 6: Immix line size ---------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 6(a): without failures, larger Immix lines perform better
+// (fewer slow paths, less metadata), especially in small heaps.
+// Figure 6(b): at 10% uniform failures (no clustering), false failures
+// punish the larger lines - one dead 64 B PCM line wastes a whole 256 B
+// Immix line - reversing the preference in constrained heaps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureHarness.h"
+
+using namespace wearmem;
+
+namespace {
+
+const std::vector<size_t> LineSizes = {64, 128, 256};
+
+std::string pointName(bool Failing, size_t Line, double Factor,
+                      const Profile &P) {
+  char Buf[112];
+  std::snprintf(Buf, sizeof(Buf), "fig6%s/L%zu/h%.2f/%s",
+                Failing ? "b" : "a", Line, Factor, P.Name);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<const Profile *> Profiles = selectedProfiles();
+  for (bool Failing : {false, true}) {
+    for (size_t Line : LineSizes) {
+      for (double Factor : heapFactors()) {
+        for (const Profile *P : Profiles) {
+          RuntimeConfig Config = paperBaseConfig();
+          Config.LineSize = Line;
+          Config.HeapBytes = heapBytesFor(*P, Factor);
+          Config.FailureRate = Failing ? 0.10 : 0.0;
+          registerPoint(pointName(Failing, Line, Factor, *P), *P,
+                        Config);
+        }
+      }
+    }
+  }
+  runBenchmarks(argc, argv);
+
+  auto FloorName = [&](const Profile &P) {
+    return pointName(false, 256, heapFactors().back(), P);
+  };
+  for (bool Failing : {false, true}) {
+    Table Fig(Failing
+                  ? "Figure 6(b): line size at 10% failures, no "
+                    "clustering (normalized to L256 f=0 at max heap)"
+                  : "Figure 6(a): line size without failures "
+                    "(normalized to L256 f=0 at max heap)");
+    Fig.setHeader({"heap(xmin)", "L64", "L128", "L256"});
+    for (double Factor : heapFactors()) {
+      std::vector<std::string> Row = {Table::num(Factor, 2)};
+      for (size_t Line : LineSizes) {
+        double Norm = geomeanOverProfiles(
+            Profiles,
+            [&](const Profile &P) {
+              return pointName(Failing, Line, Factor, P);
+            },
+            FloorName);
+        Row.push_back(Table::num(Norm, 3));
+      }
+      Fig.addRow(Row);
+    }
+    Fig.print();
+  }
+  std::printf("paper: larger lines win without failures; at 10%% "
+              "failures false failures erode the L256 advantage in "
+              "small heaps\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/fig10_per_benchmark.cpp - Figure 10: per-benchmark CL --------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 10: per-benchmark normalized time with one- and two-page
+// clustering hardware at 10/25/50% failures. Expected: two-page
+// clustering is consistently better until rates approach the 50%-of-
+// region threshold, where pmd and jython (medium-object heavy) are
+// most sensitive; xalan benefits enormously from the perfect pages
+// two-page clustering manufactures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureHarness.h"
+
+using namespace wearmem;
+
+namespace {
+
+const std::vector<double> Rates = {0.10, 0.25, 0.50};
+
+std::string baseName(const Profile &P) {
+  return std::string("fig10/base/") + P.Name;
+}
+
+std::string pointName(unsigned Cl, double Rate, const Profile &P) {
+  char Buf[112];
+  std::snprintf(Buf, sizeof(Buf), "fig10/%uCL/f%02d/%s", Cl,
+                static_cast<int>(Rate * 100), P.Name);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<const Profile *> Profiles = selectedProfiles();
+  for (const Profile *P : Profiles) {
+    RuntimeConfig Base = paperBaseConfig();
+    Base.FailureAware = false;
+    Base.HeapBytes = heapBytesFor(*P, 2.0);
+    registerPoint(baseName(*P), *P, Base);
+    for (unsigned Cl : {1u, 2u}) {
+      for (double Rate : Rates) {
+        RuntimeConfig Config = paperBaseConfig();
+        Config.HeapBytes = heapBytesFor(*P, 2.0);
+        Config.FailureRate = Rate;
+        Config.ClusteringRegionPages = Cl;
+        registerPoint(pointName(Cl, Rate, *P), *P, Config);
+      }
+    }
+  }
+  runBenchmarks(argc, argv);
+
+  Table Fig("Figure 10: per-benchmark normalized time with clustering "
+            "hardware (vs unmodified S-IX)");
+  Fig.setHeader({"benchmark", "1CL f=10%", "1CL f=25%", "1CL f=50%",
+                 "2CL f=10%", "2CL f=25%", "2CL f=50%"});
+  for (const Profile *P : Profiles) {
+    std::vector<std::string> Row = {P->Name};
+    for (unsigned Cl : {1u, 2u})
+      for (double Rate : Rates)
+        Row.push_back(
+            Table::num(storedNorm(pointName(Cl, Rate, *P), baseName(*P)),
+                       3));
+    Fig.addRow(Row);
+  }
+  std::vector<std::string> Geo = {"geomean"};
+  for (unsigned Cl : {1u, 2u}) {
+    for (double Rate : Rates) {
+      std::vector<double> Norms;
+      size_t Dnf = 0;
+      for (const Profile *P : Profiles) {
+        double Norm = storedNorm(pointName(Cl, Rate, *P), baseName(*P));
+        if (std::isnan(Norm))
+          ++Dnf;
+        else
+          Norms.push_back(Norm);
+      }
+      double G = Norms.empty() ? std::nan("") : geomean(Norms);
+      Geo.push_back(Table::num(G, 3) +
+                    (Dnf ? " (" + std::to_string(Dnf) + " dnf)" : ""));
+    }
+  }
+  Fig.addRow(Geo);
+  Fig.print();
+  std::printf("paper: 2CL beats 1CL except at very high failure rates; "
+              "pmd/jython most sensitive near the two-page 50%% "
+              "threshold\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- examples/lifetime_extension.cpp - Memory lifetime study ------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// How much longer does failure-aware software keep a wearing memory
+// useful? The legacy DRAM policy discards a whole 4 KB page when its
+// first 64 B line fails, so a memory with uniformly scattered failures
+// dies almost immediately: at just 2% failed lines, ~73% of pages are
+// lost; the paper opens with the observation that 2% of lines failing
+// can waste 98% of memory. The failure-aware runtime keeps using every
+// working line, and clustering hardware keeps the losses nearly
+// proportional to the wear itself.
+//
+// This example ages a memory in steps and reports, for each policy, how
+// much usable capacity remains and whether a fixed workload still runs
+// in a fixed physical footprint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "support/Table.h"
+#include "workload/Mutator.h"
+#include "workload/Runner.h"
+
+#include <cstdio>
+
+using namespace wearmem;
+
+namespace {
+
+/// Usable fraction under the legacy policy: a page with any failed line
+/// is discarded entirely.
+double pageRetirementUsable(const FailureMap &Map) {
+  return static_cast<double>(Map.perfectPageCount()) /
+         static_cast<double>(Map.numPages());
+}
+
+/// Usable fraction for line-granular tolerance.
+double lineTolerantUsable(const FailureMap &Map) {
+  return 1.0 - Map.failedFraction();
+}
+
+/// Does the reference workload still complete in a *fixed* physical
+/// footprint (no compensation: the memory is what it is)?
+bool workloadRuns(double Rate, unsigned ClusterPages) {
+  const Profile *P = findProfile("avrora");
+  RuntimeConfig Config;
+  Config.HeapBytes = heapBytesFor(*P, 3.0);
+  Config.CompensateForFailures = false; // Fixed physical footprint.
+  Config.FailureRate = Rate;
+  Config.ClusteringRegionPages = ClusterPages;
+  Config.FailureAware = true;
+  return runOnce(*P, Config).Completed;
+}
+
+} // namespace
+
+int main() {
+  Table Fig("Lifetime extension: usable capacity and workload viability "
+            "as lines wear out (fixed physical footprint)");
+  Fig.setHeader({"failed lines", "page-retire usable", "line usable",
+                 "page-retire runs", "S-IX^PCM runs", "S-IX^PCM 2CL runs"});
+
+  for (double Rate : {0.005, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50}) {
+    Rng Rand(2013);
+    FailureMap Map =
+        FailureMap::uniform(4096 * PcmLinesPerPage, Rate, Rand);
+
+    // Page retirement "runs" iff the surviving perfect pages alone cover
+    // the workload's needs; with uniform wear they evaporate fast.
+    const Profile *P = findProfile("avrora");
+    double NeedBytes = static_cast<double>(heapBytesFor(*P, 3.0));
+    double HaveBytes = pageRetirementUsable(Map) * 4096 * PcmPageSize;
+    bool LegacyRuns = HaveBytes >= NeedBytes;
+    (void)NeedBytes;
+
+    Fig.addRow({Table::num(Rate * 100, 1) + "%",
+                Table::num(pageRetirementUsable(Map) * 100, 1) + "%",
+                Table::num(lineTolerantUsable(Map) * 100, 1) + "%",
+                LegacyRuns ? "yes" : "no",
+                workloadRuns(Rate, 0) ? "yes" : "no",
+                workloadRuns(Rate, 2) ? "yes" : "no"});
+  }
+  Fig.print();
+  std::printf("The legacy page-retirement policy loses most of the\n"
+              "memory before 2%% of lines have failed; the failure-aware\n"
+              "runtime keeps running to far higher wear, and clustering\n"
+              "extends that further. This is the paper's lifetime\n"
+              "extension argument in one table.\n");
+  return 0;
+}

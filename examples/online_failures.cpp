@@ -1,0 +1,147 @@
+//===- examples/online_failures.cpp - A server surviving live wear-out ----===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// A long-running "key-value server" whose memory wears out while it
+// serves requests. A simulated PCM device ages in the background; every
+// wear-out raises a failure interrupt, the OS kernel up-calls the
+// registered handler, and the handler drives the runtime's recovery
+// (retire the line, evacuate the affected objects with a defragmenting
+// collection). The store's contents are verified continuously, so any
+// lost or corrupted object aborts the run.
+//
+// The device models wear for a *window* of the heap (full device-backing
+// of every store would only rescale time); each device line is mapped to
+// a live heap line when its failure fires.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "os/OsKernel.h"
+#include "pcm/PcmDevice.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace wearmem;
+
+namespace {
+
+constexpr unsigned NumKeys = 4096;
+
+uint64_t valueFor(unsigned Key, unsigned Version) {
+  return (static_cast<uint64_t>(Key) << 32) | Version;
+}
+
+} // namespace
+
+int main() {
+  // The runtime: a quarter of the memory is already dead at boot, and
+  // more will fail while we run.
+  RuntimeConfig Cfg;
+  Cfg.HeapBytes = 16 * MiB;
+  Cfg.FailureRate = 0.25;
+  Cfg.ClusteringRegionPages = 2;
+  Runtime Rt(Cfg);
+  std::printf("server boot: %s\n", Cfg.describe().c_str());
+
+  // The aging device: short line lifetimes so failures happen during the
+  // demo. Its OS kernel forwards each wear-out to the runtime's recovery
+  // path, exactly the up-call contract of Section 3.2.2.
+  PcmDeviceConfig DevCfg;
+  DevCfg.NumPages = 16;
+  DevCfg.MeanLineLifetime = 350;
+  DevCfg.ClusteringEnabled = true;
+  PcmDevice Device(DevCfg);
+  OsKernel Kernel(Device);
+  Rng FailRand(99);
+  unsigned DynamicFailures = 0;
+  Kernel.registerHandler(
+      [&](const std::vector<FailureRecord> &Pending) {
+        // Each failed device line corresponds to a line of heap memory;
+        // relocate whatever lives there.
+        for (size_t I = 0; I != Pending.size(); ++I)
+          if (Rt.injectRandomDynamicFailure(FailRand))
+            ++DynamicFailures;
+      });
+
+  // The store: a rooted table of (key -> versioned value object).
+  Handle Table = Rt.allocateRooted(0, NumKeys);
+  if (!Table.get()) {
+    std::printf("error: boot allocation failed\n");
+    return 1;
+  }
+  std::vector<unsigned> Versions(NumKeys, 0);
+
+  Rng Rand(7);
+  uint8_t DeviceLine[PcmLineSize];
+  std::memset(DeviceLine, 0x5C, sizeof(DeviceLine));
+  constexpr unsigned Requests = 300000;
+  for (unsigned Req = 0; Req != Requests; ++Req) {
+    unsigned Key = static_cast<unsigned>(Rand.nextBelow(NumKeys));
+    if (Rand.nextBool(0.7)) {
+      // PUT: a new value object replaces the old (which becomes garbage).
+      ObjRef Value = Rt.allocate(/*PayloadBytes=*/
+                                 static_cast<uint32_t>(
+                                     8 + Rand.nextBelow(120)),
+                                 /*NumRefs=*/0);
+      if (!Value) {
+        std::printf("error: out of memory at request %u\n", Req);
+        return 1;
+      }
+      ++Versions[Key];
+      *reinterpret_cast<uint64_t *>(objectPayload(Value)) =
+          valueFor(Key, Versions[Key]);
+      Rt.writeRef(Table.get(), Key, Value);
+    } else {
+      // GET with verification.
+      ObjRef Value = Runtime::readRef(Table.get(), Key);
+      if (Value) {
+        uint64_t Got =
+            *reinterpret_cast<uint64_t *>(objectPayload(Value));
+        if (Got != valueFor(Key, Versions[Key])) {
+          std::printf("error: key %u corrupted at request %u\n", Key,
+                      Req);
+          return 1;
+        }
+      }
+    }
+    // Background wear: the device absorbs write traffic; wear-outs
+    // interrupt and recover synchronously.
+    LineIndex Line = Rand.nextBelow(Device.numLines());
+    if (!Device.softwareFailureMap().isFailed(Line))
+      Device.writeLine(Line, DeviceLine);
+  }
+
+  // Final audit of the whole store.
+  for (unsigned Key = 0; Key != NumKeys; ++Key) {
+    ObjRef Value = Runtime::readRef(Table.get(), Key);
+    if (!Value)
+      continue;
+    uint64_t Got = *reinterpret_cast<uint64_t *>(objectPayload(Value));
+    if (Got != valueFor(Key, Versions[Key])) {
+      std::printf("error: key %u corrupted in final audit\n", Key);
+      return 1;
+    }
+  }
+
+  const HeapStats &S = Rt.stats();
+  std::printf("served %u requests; device wear-outs handled: %u "
+              "(device reports %llu, kernel up-calls %llu)\n",
+              Requests, DynamicFailures,
+              static_cast<unsigned long long>(
+                  Device.stats().WearFailures),
+              static_cast<unsigned long long>(Kernel.stats().UpCalls));
+  std::printf("collections: %llu (%llu full); objects evacuated: %llu; "
+              "dynamic failures recovered: %llu\n",
+              static_cast<unsigned long long>(S.GcCount),
+              static_cast<unsigned long long>(S.FullGcCount),
+              static_cast<unsigned long long>(S.ObjectsEvacuated),
+              static_cast<unsigned long long>(S.DynamicFailuresHandled));
+  std::printf("store intact: online failures were transparent to the "
+              "application\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+//===- examples/quickstart.cpp - First steps with wearmem -----------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Allocates a linked structure on a heap in which 25% of all 64 B PCM
+// lines have already failed, runs collections, injects a dynamic line
+// failure, and shows that the program never notices: the failure-aware
+// Immix collector allocates around the holes and relocates objects hit at
+// run time.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "workload/Mutator.h"
+#include "workload/Profile.h"
+
+#include <cstdio>
+
+using namespace wearmem;
+
+int main() {
+  // A 24 MiB heap on memory where a quarter of the lines are dead, with
+  // the paper's two-page failure-clustering hardware.
+  RuntimeConfig Cfg;
+  Cfg.Collector = CollectorKind::StickyImmix;
+  Cfg.HeapBytes = 24 * MiB;
+  Cfg.FailureRate = 0.25;
+  Cfg.ClusteringRegionPages = 2;
+  Cfg.Seed = 42;
+  Runtime Rt(Cfg);
+  std::printf("configured: %s\n", Cfg.describe().c_str());
+
+  // Build a rooted linked list; every node's payload carries a value we
+  // can verify after collections and failures.
+  constexpr unsigned NumNodes = 50000;
+  Handle Head = Rt.allocateRooted(/*PayloadBytes=*/8, /*NumRefs=*/1);
+  if (!Head.get()) {
+    std::printf("error: allocation failed\n");
+    return 1;
+  }
+  *reinterpret_cast<uint64_t *>(objectPayload(Head.get())) = 0;
+  for (unsigned I = 1; I != NumNodes; ++I) {
+    ObjRef Node = Rt.allocate(/*PayloadBytes=*/8, /*NumRefs=*/1);
+    if (!Node) {
+      std::printf("error: out of memory at node %u\n", I);
+      return 1;
+    }
+    *reinterpret_cast<uint64_t *>(objectPayload(Node)) = I;
+    // New node becomes the head: node -> old head.
+    Rt.writeRef(Node, 0, Head.get());
+    Head.set(Node);
+  }
+
+  // Force a full collection (moves objects, skips failed lines), then
+  // simulate a line failing *while the program runs*.
+  Rt.collect(/*Full=*/true);
+  Rng Rand(7);
+  bool Injected = Rt.injectRandomDynamicFailure(Rand);
+  std::printf("dynamic line failure injected: %s\n",
+              Injected ? "yes" : "no (no live line found)");
+
+  // Walk the list and verify every payload survived the chaos.
+  uint64_t Expect = NumNodes - 1;
+  unsigned Count = 0;
+  for (ObjRef Node = Head.get(); Node;
+       Node = Runtime::readRef(Node, 0), --Expect) {
+    uint64_t Value = *reinterpret_cast<uint64_t *>(objectPayload(Node));
+    if (Value != Expect) {
+      std::printf("error: node %u holds %llu, expected %llu\n", Count,
+                  static_cast<unsigned long long>(Value),
+                  static_cast<unsigned long long>(Expect));
+      return 1;
+    }
+    ++Count;
+  }
+  if (Count != NumNodes) {
+    std::printf("error: list has %u nodes, expected %u\n", Count, NumNodes);
+    return 1;
+  }
+
+  const HeapStats &S = Rt.stats();
+  std::printf("list of %u nodes intact after %llu collections "
+              "(%llu full), %llu objects evacuated\n",
+              Count, static_cast<unsigned long long>(S.GcCount),
+              static_cast<unsigned long long>(S.FullGcCount),
+              static_cast<unsigned long long>(S.ObjectsEvacuated));
+  std::printf("failed lines skipped at block intake: %llu\n",
+              static_cast<unsigned long long>(S.LinesSkippedFailed));
+  std::printf("quickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- core/DiscontiguousArray.h - Arraylet-based large arrays --*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discontiguous arrays (Section 3.3.3): the purely-software alternative
+/// to clustering hardware for large objects. A large array is split into
+/// a *spine* - an ordinary object whose reference slots point to
+/// fixed-size *arraylets* - so nothing needs contiguous perfect pages:
+/// every piece is a small/medium object the failure-aware Immix
+/// allocator can place around holes, and the collector can move. The
+/// technique comes from real-time collectors (Metronome) and Z-rays
+/// (Sartor et al., PLDI 2010), which the paper cites with average
+/// overheads below 13% even at 256 B arraylets.
+///
+/// Layout:
+///   Spine: NumArraylets reference slots; 16-byte payload holding the
+///          total array length and the arraylet payload size.
+///   Arraylet: payload-only object (no references).
+///
+/// The spine is kept under the large-object threshold, so a
+/// discontiguous array never touches the fussy page-grained path - that
+/// is the point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_CORE_DISCONTIGUOUSARRAY_H
+#define WEARMEM_CORE_DISCONTIGUOUSARRAY_H
+
+#include "core/Runtime.h"
+
+#include <cstdint>
+
+namespace wearmem {
+
+/// Default arraylet payload size: 240 bytes, so a whole arraylet object
+/// (16-byte header + payload) is exactly one default 256 B Immix line.
+/// That makes arraylets *small* objects that fit any single-line hole -
+/// essential at high failure rates, where no multi-line hole survives
+/// (the paper's Z-rays reference works with 256 B arraylets for the same
+/// reason). Larger arraylets lower the ~10% space overhead but flow
+/// through overflow allocation and need multi-line holes.
+constexpr size_t DefaultArrayletBytes = 240;
+
+/// Largest array a single spine can address (the spine must stay below
+/// the large-object threshold).
+size_t maxDiscontiguousArrayBytes(const Runtime &Rt,
+                                  size_t ArrayletBytes =
+                                      DefaultArrayletBytes);
+
+/// Allocates a discontiguous array of \p TotalBytes data bytes. Returns
+/// the spine object, or nullptr on heap exhaustion. May collect.
+ObjRef allocateDiscontiguousArray(Runtime &Rt, size_t TotalBytes,
+                                  size_t ArrayletBytes =
+                                      DefaultArrayletBytes);
+
+/// True if \p Spine has the discontiguous-array shape written by
+/// allocateDiscontiguousArray.
+bool isDiscontiguousArray(ObjRef Spine);
+
+/// The array's data length in bytes.
+size_t discontiguousArrayBytes(ObjRef Spine);
+
+/// The arraylet payload size this array was built with.
+size_t discontiguousArrayletBytes(ObjRef Spine);
+
+/// Byte access. \p Offset must be within the array. These re-navigate
+/// through the spine on every call, so they remain correct across moving
+/// collections (never cache the returned data pointer across an
+/// allocation).
+uint8_t readDiscontiguousByte(ObjRef Spine, size_t Offset);
+void writeDiscontiguousByte(ObjRef Spine, size_t Offset, uint8_t Value);
+
+/// Bulk copies between the array and native memory.
+void copyToDiscontiguous(ObjRef Spine, size_t Offset, const uint8_t *Src,
+                         size_t Size);
+void copyFromDiscontiguous(ObjRef Spine, size_t Offset, uint8_t *Dst,
+                           size_t Size);
+
+} // namespace wearmem
+
+#endif // WEARMEM_CORE_DISCONTIGUOUSARRAY_H

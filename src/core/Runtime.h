@@ -1,0 +1,187 @@
+//===- core/Runtime.h - Public failure-tolerant runtime API -----*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door: a failure-aware managed runtime. Configure a
+/// collector, a heap size, and a failure environment; allocate objects and
+/// mutate references through the runtime; the collector transparently
+/// works around failed 64 B PCM lines, both those present at startup and
+/// those that fail while the program runs.
+///
+/// \code
+///   RuntimeConfig Cfg;
+///   Cfg.HeapBytes = 64 * MiB;
+///   Cfg.FailureRate = 0.25;                 // a quarter of all lines dead
+///   Cfg.ClusteringRegionPages = 2;          // two-page clustering hardware
+///   Runtime Rt(Cfg);
+///   Handle Root = Rt.allocateRooted(/*PayloadBytes=*/64, /*NumRefs=*/2);
+///   ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_CORE_RUNTIME_H
+#define WEARMEM_CORE_RUNTIME_H
+
+#include "gc/Heap.h"
+#include "support/Random.h"
+
+#include <memory>
+#include <string>
+
+namespace wearmem {
+
+/// User-facing configuration; expands to a HeapConfig.
+struct RuntimeConfig {
+  CollectorKind Collector = CollectorKind::StickyImmix;
+
+  /// Immix geometry.
+  size_t LineSize = 256;
+  size_t BlockSize = 32 * KiB;
+  bool ConservativeLineMarking = true;
+
+  /// Usable heap target, in bytes. With compensation on, the page budget
+  /// becomes HeapBytes / (1 - FailureRate) so the *working* memory is
+  /// held constant across failure rates (Section 6.2).
+  size_t HeapBytes = 16 * MiB;
+  bool CompensateForFailures = true;
+
+  /// Fraction of 64 B PCM lines that have already failed.
+  double FailureRate = 0.0;
+  /// How those failures are distributed.
+  FailurePattern Pattern = FailurePattern::Uniform;
+  /// ClusterLimit pattern: cluster granularity in lines (Fig 8).
+  size_t ClusterLines = 1;
+  /// Custom pattern: map to tile over the budget (e.g. a wear-simulation
+  /// outcome). FailureRate should be set to the map's failed fraction so
+  /// compensation stays meaningful.
+  std::shared_ptr<const FailureMap> CustomFailureMap;
+  /// Failure-clustering hardware region size in pages; 0 disables
+  /// clustering, 1 and 2 are the paper's proposals.
+  unsigned ClusteringRegionPages = 0;
+
+  /// Skip failed lines in the allocators. Must stay true when
+  /// FailureRate > 0; exposed so the zero-failure baseline can prove the
+  /// failure-aware code adds no overhead (Figure 4's green bars).
+  bool FailureAware = true;
+
+  /// Free-list failure awareness (Section 3.3.1 exploration).
+  bool FreeListFailureAware = false;
+
+  /// Workload hint: route large array allocations through discontiguous
+  /// arrays (core/DiscontiguousArray.h) instead of the page-grained LOS.
+  /// The Section 3.3.3 software-only alternative to clustering hardware;
+  /// honored by the synthetic workloads and the abl05 bench.
+  bool UseDiscontiguousArrays = false;
+
+  uint64_t Seed = 0x5EEDF00DULL;
+
+  /// Pass-through GC policy knobs.
+  double NurseryYieldThreshold = 0.10;
+  unsigned FullGcEvery = 16;
+  double DefragFreeFraction = 0.25;
+
+  /// Derives the internal heap configuration (compensated budget,
+  /// injector setup).
+  HeapConfig toHeapConfig() const;
+
+  /// Short configuration tag, e.g. "S-IX^PCM L256 2CL f=25%".
+  std::string describe() const;
+};
+
+class Runtime;
+
+/// An RAII GC root. The referenced object (and everything reachable from
+/// it) stays live and the handle stays valid across moving collections.
+class Handle {
+public:
+  Handle() = default;
+  Handle(Runtime &Rt, ObjRef Obj);
+  Handle(Handle &&Other) noexcept;
+  Handle &operator=(Handle &&Other) noexcept;
+  Handle(const Handle &) = delete;
+  Handle &operator=(const Handle &) = delete;
+  ~Handle();
+
+  ObjRef get() const;
+  void set(ObjRef Obj);
+  bool valid() const { return Rt != nullptr; }
+  void release();
+
+private:
+  Runtime *Rt = nullptr;
+  unsigned Idx = 0;
+};
+
+/// The failure-tolerant managed runtime.
+class Runtime {
+public:
+  explicit Runtime(const RuntimeConfig &Config);
+
+  //===--------------------------------------------------------------===//
+  // Allocation and access
+  //===--------------------------------------------------------------===//
+
+  /// Allocates an object; nullptr on heap exhaustion.
+  ObjRef allocate(uint32_t PayloadBytes, uint16_t NumRefs,
+                  bool Pinned = false) {
+    return Heap_.allocate(PayloadBytes, NumRefs, Pinned);
+  }
+
+  /// Allocates and immediately roots an object.
+  Handle allocateRooted(uint32_t PayloadBytes, uint16_t NumRefs,
+                        bool Pinned = false);
+
+  void writeRef(ObjRef Src, unsigned Slot, ObjRef Dst) {
+    Heap_.writeRef(Src, Slot, Dst);
+  }
+  static ObjRef readRef(ObjRef Src, unsigned Slot) {
+    return Heap::readRef(Src, Slot);
+  }
+
+  /// Forces a collection.
+  void collect(bool Full = true) {
+    Heap_.collect(Full ? CollectionKind::Full : CollectionKind::Nursery);
+  }
+
+  bool outOfMemory() const { return Heap_.outOfMemory(); }
+
+  //===--------------------------------------------------------------===//
+  // Dynamic failures
+  //===--------------------------------------------------------------===//
+
+  /// Simulates a PCM line failing during execution at a random in-use
+  /// heap location (writes cause wear, so failures strike live lines).
+  /// Runs the full recovery path. Returns false if no candidate line was
+  /// found.
+  bool injectRandomDynamicFailure(Rng &Rand);
+
+  /// Fails the specific line containing \p Addr.
+  void injectDynamicFailureAt(uint8_t *Addr) {
+    Heap_.injectDynamicFailureAt(Addr);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  Heap &heap() { return Heap_; }
+  const Heap &heap() const { return Heap_; }
+  const HeapStats &stats() const { return Heap_.stats(); }
+  const OsStats &osStats() const { return Heap_.osStats(); }
+  const RuntimeConfig &config() const { return Config; }
+
+private:
+  friend class Handle;
+
+  RuntimeConfig Config;
+  Heap Heap_;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_CORE_RUNTIME_H

@@ -1,0 +1,528 @@
+//===- gc/Heap.cpp - Collectors over the failure-aware heap ---------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+using namespace wearmem;
+
+Heap::Heap(const HeapConfig &Config)
+    : Config(Config), Os_(Config.BudgetPages, Config.Failures,
+                          std::max<size_t>(32 * KiB, Config.BlockSize)),
+      Los(Os_, this->Config, Stats,
+          [this](size_t Pages) {
+            return pagesHeld() + Pages <= this->Config.BudgetPages;
+          }) {
+  assert((Config.FailureAware || Config.Failures.Rate == 0.0) &&
+         "failures require a failure-aware heap");
+  auto Gate = [this](size_t Pages) {
+    return pagesHeld() + Pages <= this->Config.BudgetPages;
+  };
+  if (isImmix(Config.Collector)) {
+    Immix = std::make_unique<ImmixSpace>(Os_, this->Config, Stats, Gate);
+    Allocator =
+        std::make_unique<ImmixAllocator>(*Immix, this->Config, Stats);
+    EvacAllocator =
+        std::make_unique<ImmixAllocator>(*Immix, this->Config, Stats);
+    EvacAllocator->setAllowPerfectFallback(false);
+    Allocator->setHoleEpochs(Epoch, Epoch);
+  } else {
+    FreeList =
+        std::make_unique<FreeListSpace>(Os_, this->Config, Stats, Gate);
+  }
+}
+
+size_t Heap::pagesHeld() const {
+  size_t Pages = Los.pagesHeld();
+  if (Immix)
+    Pages += Immix->pagesHeld();
+  if (FreeList)
+    Pages += FreeList->pagesHeld();
+  return Pages;
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
+template <typename AllocFn> uint8_t *Heap::allocWithGcRetry(AllocFn Fn) {
+  if (OutOfMemory)
+    return nullptr;
+  if (uint8_t *Mem = Fn())
+    return Mem;
+  // First line of defense for sticky collectors: a nursery collection,
+  // unless it is time for a periodic full collection.
+  if (isSticky(Config.Collector) &&
+      NurseryGcsSinceFull < Config.FullGcEvery) {
+    collect(CollectionKind::Nursery);
+    if (uint8_t *Mem = Fn())
+      return Mem;
+  }
+  collect(CollectionKind::Full);
+  if (uint8_t *Mem = Fn())
+    return Mem;
+  OutOfMemory = true;
+  return nullptr;
+}
+
+ObjRef Heap::allocate(uint32_t PayloadBytes, uint16_t NumRefs,
+                      bool Pinned) {
+  uint32_t Size = objectBytesFor(PayloadBytes, NumRefs);
+  uint8_t Flags = Pinned ? FlagPinned : 0;
+  uint8_t *Mem = nullptr;
+  if (Size >= Config.LargeObjectThreshold) {
+    uint64_t GcsBefore = Stats.GcCount;
+    Mem = allocWithGcRetry([&] { return Los.alloc(Size); });
+    Stats.GcTriggerLarge += Stats.GcCount - GcsBefore;
+    Flags |= FlagLarge;
+  } else if (Immix) {
+    uint64_t GcsBefore = Stats.GcCount;
+    Mem = allocWithGcRetry([&] { return Allocator->alloc(Size); });
+    Stats.GcTriggerSmallMedium += Stats.GcCount - GcsBefore;
+  } else {
+    assert(Size <= FreeListSpace::maxCellSize() &&
+           "non-large object exceeds the largest size class");
+    Mem = allocWithGcRetry([&] { return FreeList->alloc(Size); });
+  }
+  if (!Mem)
+    return nullptr;
+  initObject(Mem, Size, NumRefs, Flags);
+  ++Stats.ObjectsAllocated;
+  Stats.BytesAllocated += Size;
+  return Mem;
+}
+
+void Heap::writeRef(ObjRef Src, unsigned Slot, ObjRef Dst) {
+  // Object-remembering barrier: the first mutation of an *old* object
+  // logs it, so nursery collections can find old-to-new references.
+  if (isSticky(Config.Collector) && objectMark(Src) == Epoch &&
+      !objectHasFlag(Src, FlagLogged)) {
+    setObjectFlag(Src, FlagLogged);
+    ModBuf.push_back(Src);
+    ++Stats.WriteBarrierLogs;
+  }
+  *refSlot(Src, Slot) = Dst;
+}
+
+//===----------------------------------------------------------------------===//
+// Roots
+//===----------------------------------------------------------------------===//
+
+unsigned Heap::createRoot(ObjRef Initial) {
+  if (!FreeRootSlots.empty()) {
+    unsigned Idx = FreeRootSlots.back();
+    FreeRootSlots.pop_back();
+    Roots[Idx] = Initial;
+    return Idx;
+  }
+  Roots.push_back(Initial);
+  return static_cast<unsigned>(Roots.size() - 1);
+}
+
+void Heap::releaseRoot(unsigned Idx) {
+  assert(Idx < Roots.size() && "root index out of range");
+  Roots[Idx] = nullptr;
+  FreeRootSlots.push_back(Idx);
+}
+
+//===----------------------------------------------------------------------===//
+// Collection
+//===----------------------------------------------------------------------===//
+
+double Heap::collect(CollectionKind Kind) {
+  assert(!InCollection && "re-entrant collection");
+  if (Kind == CollectionKind::Nursery &&
+      !isSticky(Config.Collector))
+    Kind = CollectionKind::Full; // Non-generational: everything is full.
+
+  runCollection(Kind);
+  // A nursery collection that freed too little escalates immediately:
+  // repeated fruitless nursery collections are worse than one full one.
+  if (Kind == CollectionKind::Nursery &&
+      LastYield < Config.NurseryYieldThreshold)
+    runCollection(CollectionKind::Full);
+  return LastYield;
+}
+
+void Heap::runCollection(CollectionKind Kind) {
+  InCollection = true;
+  auto Start = std::chrono::steady_clock::now();
+  bool Full = Kind == CollectionKind::Full;
+  ++Stats.GcCount;
+
+  if (Allocator)
+    Allocator->retire();
+
+  if (Full) {
+    ++Stats.FullGcCount;
+    NurseryGcsSinceFull = 0;
+    uint8_t Prev = Epoch;
+    Epoch = nextEpoch(Epoch);
+    if (Epoch == 1)
+      remapMarksOnWrap(Prev);
+    if (Immix) {
+      // Defragmentation candidates are chosen from the previous sweep's
+      // statistics; evacuation holes are found at the *previous* epoch so
+      // not-yet-marked live lines cannot be mistaken for free space.
+      Immix->selectDefragCandidates();
+      EvacAllocator->setHoleEpochs(Prev, Epoch);
+    }
+    // The mutation log is superseded by the full trace.
+    for (ObjRef Logged : ModBuf)
+      clearObjectFlag(Logged, FlagLogged);
+    ModBuf.clear();
+  } else {
+    ++Stats.NurseryGcCount;
+    ++NurseryGcsSinceFull;
+    if (Immix)
+      EvacAllocator->setHoleEpochs(Epoch, Epoch);
+  }
+
+  // Trace. Roots first, then (nursery only) the fields of logged old
+  // objects, then the transitive closure.
+  assert(MarkStack.empty() && "mark stack must start empty");
+  for (ObjRef &Root : Roots)
+    if (Root)
+      Root = visitEdge(Root, Kind);
+  if (!Full) {
+    for (ObjRef Logged : ModBuf) {
+      assert(!isForwarded(Logged) &&
+             "old objects do not move in nursery collections");
+      scanObject(Logged, Kind);
+      clearObjectFlag(Logged, FlagLogged);
+    }
+    ModBuf.clear();
+  }
+  while (!MarkStack.empty()) {
+    ObjRef Obj = MarkStack.back();
+    MarkStack.pop_back();
+    scanObject(Obj, Kind);
+  }
+
+  // Sweep.
+  if (Immix) {
+    ImmixSweepTotals Totals = Immix->sweep(Epoch);
+    Immix->clearDefragCandidates();
+    // Return excess empty blocks to the OS pool so page-grained
+    // allocators can compete for them (the paper's global block pool).
+    Immix->releaseExcessFreeBlocks(
+        std::max<size_t>(4, Immix->blockCount() / 16));
+    LastYield =
+        Totals.TotalLines == 0
+            ? 1.0
+            : static_cast<double>(Totals.FreeLines) /
+                  static_cast<double>(Totals.TotalLines);
+    EvacAllocator->retire();
+  } else {
+    FreeListSpace::SweepTotals Totals = FreeList->sweep(Epoch);
+    LastYield = Totals.TotalBytes == 0
+                    ? 1.0
+                    : static_cast<double>(Totals.FreeBytes) /
+                          static_cast<double>(Totals.TotalBytes);
+  }
+  Los.sweep(Epoch);
+
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+  // Evacuation targets within one collection must never overlap. This
+  // caught the sweep-epoch/mark-epoch hole aliasing bug once; keep it
+  // available for -DWEARMEM_EXPENSIVE_CHECKS builds.
+  if (!DebugCopies.empty()) {
+    std::sort(DebugCopies.begin(), DebugCopies.end());
+    for (size_t I = 1; I < DebugCopies.size(); ++I) {
+      if (DebugCopies[I - 1].first + DebugCopies[I - 1].second >
+          DebugCopies[I].first) {
+        std::fprintf(stderr, "evac overlap: [%lx +%zu] vs [%lx +%zu]\n",
+                     DebugCopies[I - 1].first, DebugCopies[I - 1].second,
+                     DebugCopies[I].first, DebugCopies[I].second);
+        std::abort();
+      }
+    }
+    DebugCopies.clear();
+  }
+#endif
+
+  // The mutator allocator resumes under the (possibly bumped) epoch.
+  if (Allocator)
+    Allocator->setHoleEpochs(Epoch, Epoch);
+
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  if (Full)
+    FullPausesMs.push_back(Ms);
+  else
+    NurseryPausesMs.push_back(Ms);
+  InCollection = false;
+}
+
+void Heap::scanObject(ObjRef Obj, CollectionKind Kind) {
+  Stats.BytesTraced += objectSize(Obj);
+  unsigned NumRefs = objectNumRefs(Obj);
+  for (unsigned Slot = 0; Slot != NumRefs; ++Slot) {
+    ObjRef *SlotPtr = refSlot(Obj, Slot);
+    ObjRef Target = *SlotPtr;
+    if (!Target)
+      continue;
+#ifdef WEARMEM_DEBUG_TRACE
+    uintptr_t TBase =
+        reinterpret_cast<uintptr_t>(Target) & ~(Config.BlockSize - 1);
+    bool InReleased = Immix && Immix->DebugReleased.count(TBase) != 0;
+    bool Plausible =
+        reinterpret_cast<uintptr_t>(Target) % ObjectAlignment == 0 &&
+        ((Immix && Immix->blockOf(Target) != nullptr) ||
+         Los.contains(Target));
+    if (!Plausible) {
+      Block *SrcBlock = Immix ? Immix->blockOf(Obj) : nullptr;
+      std::fprintf(
+          stderr,
+          "wild ref: src=%p size=%u refs=%u flags=%02x mark=%u slot=%u "
+          "target=%p released=%d srcInImmix=%d srcLarge=%d epoch=%u "
+          "kind=%s\n",
+          (void *)Obj, objectSize(Obj), NumRefs, objectFlags(Obj),
+          objectMark(Obj), Slot, (void *)Target, (int)InReleased,
+          SrcBlock != nullptr, (int)objectHasFlag(Obj, FlagLarge), Epoch,
+          Kind == CollectionKind::Full ? "full" : "nursery");
+      if (SrcBlock)
+        std::fprintf(stderr,
+                     "  src block base=%p state=%d evac=%d lineMark=%u\n",
+                     (void *)SrcBlock->base(), (int)SrcBlock->state(),
+                     (int)SrcBlock->evacuating(),
+                     SrcBlock->lineMark(SrcBlock->lineOf(Obj)));
+      std::abort();
+    }
+#endif
+    ObjRef NewTarget = visitEdge(Target, Kind);
+    if (NewTarget != Target)
+      *SlotPtr = NewTarget;
+  }
+}
+
+ObjRef Heap::visitEdge(ObjRef Target, CollectionKind Kind) {
+#ifdef WEARMEM_DEBUG_TRACE
+  while (isForwarded(Target)) {
+    ObjRef F = forwardee(Target);
+    uintptr_t FBase =
+        reinterpret_cast<uintptr_t>(F) & ~(Config.BlockSize - 1);
+    bool FReleased = Immix && Immix->DebugReleased.count(FBase) != 0;
+    bool FPlausible =
+        reinterpret_cast<uintptr_t>(F) % ObjectAlignment == 0 &&
+        ((Immix && Immix->blockOf(F) != nullptr) || Los.contains(F));
+    if (!FPlausible) {
+      uintptr_t TBase =
+          reinterpret_cast<uintptr_t>(Target) & ~(Config.BlockSize - 1);
+      std::fprintf(stderr,
+                   "wild forwardee: obj=%p (released=%d, size=%u, "
+                   "flags=%02x, mark=%u) -> fwd=%p (released=%d) "
+                   "epoch=%u kind=%s\n",
+                   (void *)Target,
+                   (int)(Immix && Immix->DebugReleased.count(TBase)),
+                   objectSize(Target), objectFlags(Target),
+                   objectMark(Target), (void *)F, (int)FReleased, Epoch,
+                   Kind == CollectionKind::Full ? "full" : "nursery");
+      std::abort();
+    }
+    Target = F;
+  }
+#else
+  while (isForwarded(Target))
+    Target = forwardee(Target);
+#endif
+  if (objectMark(Target) == Epoch)
+    return Target;
+
+  bool Large = objectHasFlag(Target, FlagLarge);
+  if (Immix && !Large) {
+    Block *B = Immix->blockOf(Target);
+    assert(B && "unmanaged address reached the tracer");
+    bool Pinned = objectHasFlag(Target, FlagPinned);
+    bool WantCopy =
+        Kind == CollectionKind::Full
+            ? B->evacuating()
+            : CopyNurserySurvivors; // Every nursery survivor is a copy
+                                    // candidate (Sticky Immix).
+    if (WantCopy && !Pinned) {
+      size_t Size = objectSize(Target);
+      if (uint8_t *NewMem = EvacAllocator->alloc(Size)) {
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+        DebugCopies.push_back(
+            {reinterpret_cast<uintptr_t>(NewMem), Size});
+#endif
+        std::memcpy(NewMem, Target, Size);
+        forwardObject(Target, NewMem);
+        Target = NewMem;
+        ++Stats.ObjectsEvacuated;
+        Stats.BytesEvacuated += Size;
+        B = Immix->blockOf(Target);
+      } else if (B->hasFreshFailure() &&
+                 overlapsFailedLine(B, Target)) {
+        // Could not evacuate an object sitting on a dynamically failed
+        // line: fall back to the OS remapping the whole page.
+        emergencyPageRemap(B, Target);
+      }
+    } else if (Pinned && B->hasFreshFailure() &&
+               overlapsFailedLine(B, Target)) {
+      // A pinned object on a failed line cannot move; the OS remaps the
+      // affected page to a perfect physical page (Section 3.3.3).
+      ++Stats.PinnedFailurePageRemaps;
+      emergencyPageRemap(B, Target);
+    }
+    setObjectMark(Target, Epoch);
+    markObjectLines(Target);
+  } else {
+    setObjectMark(Target, Epoch);
+  }
+  ++Stats.ObjectsMarked;
+  MarkStack.push_back(Target);
+  return Target;
+}
+
+void Heap::markObjectLines(ObjRef Obj) {
+  Block *B = Immix->blockOf(Obj);
+  size_t Size = objectSize(Obj);
+  unsigned First = B->lineOf(Obj);
+  if (Config.ConservativeLineMarking && Size <= Config.LineSize) {
+    // Small objects mark only their first line; the sweep conservatively
+    // keeps the following line.
+    B->markLine(First, Epoch);
+    return;
+  }
+  unsigned Last = B->lineOf(Obj + Size - 1);
+  for (unsigned Line = First; Line <= Last; ++Line)
+    B->markLine(Line, Epoch);
+}
+
+bool Heap::overlapsFailedLine(Block *B, const uint8_t *Obj) const {
+  size_t Size = objectSize(Obj);
+  unsigned First = B->lineOf(Obj);
+  unsigned Last = B->lineOf(Obj + Size - 1);
+  for (unsigned Line = First; Line <= Last; ++Line)
+    if (B->lineIsFailed(Line))
+      return true;
+  return false;
+}
+
+void Heap::emergencyPageRemap(Block *B, const uint8_t *Obj) {
+  size_t Size = objectSize(Obj);
+  size_t FirstPage =
+      static_cast<size_t>(Obj - B->base()) / PcmPageSize;
+  size_t LastPage =
+      static_cast<size_t>(Obj + Size - 1 - B->base()) / PcmPageSize;
+  for (size_t Page = FirstPage; Page <= LastPage; ++Page)
+    B->unfailPage(static_cast<unsigned>(Page));
+}
+
+void Heap::remapMarksOnWrap(uint8_t Prev) {
+  // The epoch wrapped: stale line marks from old cycles could alias the
+  // new epoch values, so zero them - but marks equal to \p Prev (the
+  // epoch of the last sweep) must survive, because this collection's
+  // evacuation finds holes against exactly that state. Zeroing them too
+  // once made the evacuation allocator copy over live objects. Stale
+  // Prev-valued marks re-alias only after another full wrap, where the
+  // next remap clears them first; until then they merely float a line.
+  // (Object marks need no sweep: only dead, unreachable objects carry
+  // stale marks, and floating them for one cycle is benign.)
+  if (!Immix)
+    return;
+  Immix->forEachBlock([Prev](Block &B) {
+    for (unsigned Line = 0; Line != B.lineCount(); ++Line) {
+      uint8_t Mark = B.lineMark(Line);
+      if (Mark != LineFailed && Mark != Prev && Mark != 0)
+        B.markLine(Line, 0);
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic failures
+//===----------------------------------------------------------------------===//
+
+void Heap::injectDynamicFailureAt(uint8_t *Addr) {
+  ++Stats.DynamicFailuresHandled;
+  if (Immix) {
+    Block *B = Immix->blockOf(Addr);
+    assert(B && "dynamic failure outside the Immix space");
+    B->failPcmLineAt(static_cast<size_t>(Addr - B->base()));
+    B->setFreshFailure(true);
+    Allocator->invalidateCache();
+    // The paper's recovery: mark the affected block for evacuation and
+    // invoke a (full, defragmenting) copying collection.
+    collect(CollectionKind::Full);
+    return;
+  }
+  // Free-list heaps cannot move objects: model the failure-unaware OS
+  // handling (copy the affected page to a perfect page).
+  ++Stats.DynamicFailurePageCopies;
+}
+
+void Heap::injectDynamicFailureOnLarge(ObjRef Obj) {
+  ++Stats.DynamicFailuresHandled;
+  assert(objectHasFlag(Obj, FlagLarge) && "not a large object");
+  if (objectHasFlag(Obj, FlagPinned)) {
+    ++Stats.PinnedFailurePageRemaps;
+    return;
+  }
+  ObjRef NewObj = Los.relocate(Obj);
+  if (!NewObj) {
+    collect(CollectionKind::Full);
+    NewObj = Los.relocate(Obj);
+    if (!NewObj) {
+      OutOfMemory = true;
+      return;
+    }
+  }
+  // Fix every reference to the relocated object; the zombie pages return
+  // at this collection's sweep.
+  collect(CollectionKind::Full);
+}
+
+//===----------------------------------------------------------------------===//
+// Integrity checking
+//===----------------------------------------------------------------------===//
+
+void Heap::verifyIntegrity() const {
+  std::unordered_set<const uint8_t *> Seen;
+  std::vector<const uint8_t *> Work;
+  for (ObjRef Root : Roots)
+    if (Root)
+      Work.push_back(Root);
+  while (!Work.empty()) {
+    const uint8_t *Obj = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Obj).second)
+      continue;
+    assert(!isForwarded(Obj) &&
+           "reachable object holds a stale forwarding pointer");
+    uint32_t Size = objectSize(Obj);
+    assert(Size >= MinObjectBytes && Size % ObjectAlignment == 0 &&
+           "corrupt object header");
+    if (Immix && !objectHasFlag(Obj, FlagLarge)) {
+      Block *B = Immix->blockOf(Obj);
+      assert(B && "reachable object outside the heap");
+      unsigned First = B->lineOf(Obj);
+      unsigned Last = B->lineOf(Obj + Size - 1);
+      for (unsigned Line = First; Line <= Last; ++Line)
+        assert(!B->lineIsFailed(Line) &&
+               "live object occupies a failed line");
+      (void)B;
+      (void)Last;
+    }
+    unsigned NumRefs = objectNumRefs(Obj);
+    for (unsigned Slot = 0; Slot != NumRefs; ++Slot) {
+      const uint8_t *Child =
+          *reinterpret_cast<const uint8_t *const *>(
+              Obj + ObjectHeaderBytes + Slot * RefSlotBytes);
+      if (Child)
+        Work.push_back(Child);
+    }
+  }
+}

@@ -1,0 +1,173 @@
+//===- gc/Heap.h - Collectors over the failure-aware heap -------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The garbage-collected heap engine. One class implements the four
+/// collectors of Figure 3 over the spaces in src/heap:
+///
+///  * MarkSweep / StickyMarkSweep - segregated free-list space;
+///  * Immix / StickyImmix - mark-region space with opportunistic copying.
+///
+/// Failure awareness (Section 4) threads through all of it: static
+/// failure maps arrive with each OS page grant and become Failed lines;
+/// the allocators skip them; dynamic failures retire lines at run time,
+/// force the containing block into the next defragmenting collection, and
+/// the affected objects are evacuated with the same machinery Immix uses
+/// to defragment.
+///
+/// The two Immix invariants the paper relies on are preserved verbatim:
+/// the allocator only ever allocates into free lines, and only unpinned
+/// objects move.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_GC_HEAP_H
+#define WEARMEM_GC_HEAP_H
+
+#include "heap/FreeListSpace.h"
+#include "heap/HeapConfig.h"
+#include "heap/ImmixSpace.h"
+#include "heap/LargeObjectSpace.h"
+#include "heap/Object.h"
+#include "os/Os.h"
+
+#include <memory>
+#include <vector>
+
+namespace wearmem {
+
+/// Which collection to run.
+enum class CollectionKind { Nursery, Full };
+
+/// The collected heap.
+class Heap {
+public:
+  explicit Heap(const HeapConfig &Config);
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Mutator interface
+  //===--------------------------------------------------------------===//
+
+  /// Allocates an object with \p NumRefs reference slots and
+  /// \p PayloadBytes of raw payload. Runs collections as needed; returns
+  /// nullptr only when the heap is exhausted (the run should be treated
+  /// as did-not-finish, like the truncated curves in the paper).
+  ObjRef allocate(uint32_t PayloadBytes, uint16_t NumRefs,
+                  bool Pinned = false);
+
+  /// Reference store with the sticky collectors' object-remembering write
+  /// barrier.
+  void writeRef(ObjRef Src, unsigned Slot, ObjRef Dst);
+
+  static ObjRef readRef(ObjRef Src, unsigned Slot) {
+    return *refSlot(Src, Slot);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Roots
+  //===--------------------------------------------------------------===//
+
+  /// Registers a root slot; the collector updates it when objects move.
+  unsigned createRoot(ObjRef Initial);
+  void releaseRoot(unsigned Idx);
+  ObjRef root(unsigned Idx) const { return Roots[Idx]; }
+  void setRoot(unsigned Idx, ObjRef Obj) { Roots[Idx] = Obj; }
+
+  //===--------------------------------------------------------------===//
+  // Collection
+  //===--------------------------------------------------------------===//
+
+  /// Runs a collection explicitly. Returns the freed fraction estimate.
+  double collect(CollectionKind Kind);
+
+  //===--------------------------------------------------------------===//
+  // Dynamic failures (Sections 3.2.2, 4.2)
+  //===--------------------------------------------------------------===//
+
+  /// Retires the Immix line containing \p Addr as a dynamic failure and
+  /// runs the paper's recovery: mark the block for evacuation and invoke
+  /// a full defragmenting collection. For a free-list heap this instead
+  /// models the failure-unaware OS page copy.
+  void injectDynamicFailureAt(uint8_t *Addr);
+
+  /// Relocates a large object hit by a dynamic failure, then fixes
+  /// references with a full collection.
+  void injectDynamicFailureOnLarge(ObjRef Obj);
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  bool outOfMemory() const { return OutOfMemory; }
+  const HeapConfig &config() const { return Config; }
+  const HeapStats &stats() const { return Stats; }
+  const OsStats &osStats() const { return Os_.stats(); }
+  const FailureAwareOs &os() const { return Os_; }
+  size_t pagesHeld() const;
+  uint8_t epoch() const { return Epoch; }
+
+  const std::vector<double> &fullGcPausesMs() const {
+    return FullPausesMs;
+  }
+  const std::vector<double> &nurseryGcPausesMs() const {
+    return NurseryPausesMs;
+  }
+
+  ImmixSpace *immixSpace() { return Immix.get(); }
+  LargeObjectSpace &largeObjectSpace() { return Los; }
+
+  /// Verifies heap invariants by walking the graph from the roots
+  /// (test-only; O(live set)).
+  void verifyIntegrity() const;
+
+private:
+  template <typename AllocFn> uint8_t *allocWithGcRetry(AllocFn Fn);
+  void runCollection(CollectionKind Kind);
+  ObjRef visitEdge(ObjRef Target, CollectionKind Kind);
+  void scanObject(ObjRef Obj, CollectionKind Kind);
+  void markObjectLines(ObjRef Obj);
+  bool overlapsFailedLine(Block *B, const uint8_t *Obj) const;
+  void emergencyPageRemap(Block *B, const uint8_t *Obj);
+  void remapMarksOnWrap(uint8_t Prev);
+
+  HeapConfig Config;
+  HeapStats Stats;
+  FailureAwareOs Os_;
+
+  std::unique_ptr<ImmixSpace> Immix;
+  std::unique_ptr<ImmixAllocator> Allocator;
+  std::unique_ptr<ImmixAllocator> EvacAllocator;
+  std::unique_ptr<FreeListSpace> FreeList;
+  LargeObjectSpace Los;
+
+  std::vector<ObjRef> Roots;
+  std::vector<unsigned> FreeRootSlots;
+
+  /// Sticky write-barrier log: old objects whose fields were mutated.
+  std::vector<ObjRef> ModBuf;
+
+  std::vector<ObjRef> MarkStack;
+
+  uint8_t Epoch = 1;
+  unsigned NurseryGcsSinceFull = 0;
+  bool OutOfMemory = false;
+  bool InCollection = false;
+  /// Nursery survivors are opportunistically copied (Sticky Immix).
+  bool CopyNurserySurvivors = true;
+  double LastYield = 1.0;
+
+  std::vector<double> FullPausesMs;
+  std::vector<double> NurseryPausesMs;
+  std::vector<std::pair<uintptr_t, size_t>> DebugCopies;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_GC_HEAP_H

@@ -1,0 +1,118 @@
+//===- heap/Block.cpp - Immix block and line-mark table -------------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Block.h"
+
+#include <cassert>
+
+using namespace wearmem;
+
+Block::Block(uint8_t *Mem, const HeapConfig &Config)
+    : Mem(Mem), BlockBytes(Config.BlockSize), LineBytes(Config.LineSize),
+      LineMarks(Config.linesPerBlock(), 0),
+      FreeLineCount(static_cast<unsigned>(Config.linesPerBlock())) {
+  assert(isPowerOfTwo(LineBytes) && LineBytes >= PcmLineSize &&
+         "Immix lines must be at least one PCM line");
+  assert(BlockBytes % LineBytes == 0 && "lines must tile the block");
+}
+
+void Block::applyFailureWords(const uint64_t *FailWords, size_t NumPages) {
+  assert(NumPages * PcmPageSize == BlockBytes &&
+         "failure words must cover the block exactly");
+  PageFailWords.assign(FailWords, FailWords + NumPages);
+  size_t PcmLinesPerImmixLine = LineBytes / PcmLineSize;
+  for (size_t Page = 0; Page != NumPages; ++Page) {
+    uint64_t Word = FailWords[Page];
+    if (Word == 0)
+      continue;
+    for (size_t Bit = 0; Bit != PcmLinesPerPage; ++Bit) {
+      if (!(Word & (uint64_t(1) << Bit)))
+        continue;
+      size_t PcmLine = Page * PcmLinesPerPage + Bit;
+      failLine(static_cast<unsigned>(PcmLine / PcmLinesPerImmixLine));
+    }
+  }
+  FreeLineCount = lineCount() - FailedLineCount;
+}
+
+unsigned Block::unfailPage(unsigned PageWithinBlock) {
+  assert(PageWithinBlock < BlockBytes / PcmPageSize && "page out of range");
+  unsigned LinesPerPage =
+      static_cast<unsigned>(PcmPageSize / LineBytes);
+  unsigned First = PageWithinBlock * LinesPerPage;
+  unsigned Restored = 0;
+  for (unsigned Line = First; Line != First + LinesPerPage; ++Line) {
+    if (LineMarks[Line] == LineFailed) {
+      LineMarks[Line] = 0;
+      --FailedLineCount;
+      ++Restored;
+    }
+  }
+  if (!PageFailWords.empty())
+    PageFailWords[PageWithinBlock] = 0;
+  return Restored;
+}
+
+bool Block::findHole(unsigned FromLine, uint8_t SweepEpoch,
+                     uint8_t MarkEpoch, bool Conservative,
+                     Hole &Out) const {
+  unsigned NumLines = lineCount();
+  unsigned Line = FromLine;
+  auto PrevLive = [&](unsigned L) {
+    uint8_t Mark = LineMarks[L - 1];
+    return Mark == SweepEpoch || Mark == MarkEpoch;
+  };
+  while (Line < NumLines) {
+    // Skip unavailable lines.
+    if (!lineAvailable(Line, SweepEpoch, MarkEpoch)) {
+      ++Line;
+      continue;
+    }
+    // Conservative marking: a line right after a live line may hold the
+    // tail of a small object; it is implicitly live.
+    if (Conservative && Line > 0 && PrevLive(Line)) {
+      ++Line;
+      continue;
+    }
+    // Found the start of a hole; extend it.
+    unsigned Start = Line;
+    while (Line < NumLines && lineAvailable(Line, SweepEpoch, MarkEpoch))
+      ++Line;
+    Out.StartLine = Start;
+    Out.EndLine = Line;
+    return true;
+  }
+  return false;
+}
+
+Block::SweepResult Block::sweep(uint8_t Epoch, bool Conservative) {
+  SweepResult Result;
+  unsigned NumLines = lineCount();
+  bool AnyLive = false;
+  bool InHole = false;
+  for (unsigned Line = 0; Line != NumLines; ++Line) {
+    uint8_t Mark = LineMarks[Line];
+    if (Mark == Epoch)
+      AnyLive = true;
+    bool Available = Mark != LineFailed && Mark != Epoch;
+    if (Available && Conservative && Line > 0 &&
+        LineMarks[Line - 1] == Epoch)
+      Available = false; // Implicitly live.
+    if (Available) {
+      ++Result.FreeLines;
+      if (!InHole) {
+        ++Result.Holes;
+        InHole = true;
+      }
+    } else {
+      InHole = false;
+    }
+  }
+  Result.Empty = !AnyLive;
+  FreeLineCount = Result.FreeLines;
+  return Result;
+}

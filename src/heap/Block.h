@@ -1,0 +1,183 @@
+//===- heap/Block.h - Immix block and line-mark table -----------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One Immix block: a 32 KB (by default) chunk of heap divided into
+/// logical lines, with a byte-per-line mark table. Line-mark values:
+///
+///   0            free (never marked)
+///   1..MaxEpoch  live at the given epoch (stale epochs read as free)
+///   LineFailed   the paper's added fourth state: the line overlaps a
+///                failed PCM line and must never be allocated into.
+///
+/// When the Immix line size exceeds the 64 B PCM line size, a single PCM
+/// failure poisons the whole covering Immix line - the "false failure"
+/// effect Section 6.2/6.3 quantifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_HEAP_BLOCK_H
+#define WEARMEM_HEAP_BLOCK_H
+
+#include "heap/HeapConfig.h"
+#include "pcm/Geometry.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace wearmem {
+
+/// Allocation/recycling state of a block.
+enum class BlockState : uint8_t {
+  /// Completely empty (may still carry failed lines).
+  Free,
+  /// Partially occupied with at least one reusable hole.
+  Recyclable,
+  /// Owned by an allocator since the last collection.
+  InUse,
+  /// No reusable holes.
+  Full,
+};
+
+/// A contiguous run of available lines: [StartLine, EndLine).
+struct Hole {
+  unsigned StartLine;
+  unsigned EndLine;
+  unsigned lines() const { return EndLine - StartLine; }
+};
+
+class Block {
+public:
+  /// \p Mem must be BlockSize bytes, block-aligned.
+  Block(uint8_t *Mem, const HeapConfig &Config);
+
+  uint8_t *base() const { return Mem; }
+  size_t sizeBytes() const { return BlockBytes; }
+  size_t lineSize() const { return LineBytes; }
+  unsigned lineCount() const {
+    return static_cast<unsigned>(LineMarks.size());
+  }
+
+  uint8_t *lineAddr(unsigned Line) const { return Mem + Line * LineBytes; }
+
+  /// The line index containing heap address \p Addr (must be in-block).
+  unsigned lineOf(const uint8_t *Addr) const {
+    return static_cast<unsigned>(static_cast<size_t>(Addr - Mem) /
+                                 LineBytes);
+  }
+
+  uint8_t lineMark(unsigned Line) const { return LineMarks[Line]; }
+
+  void markLine(unsigned Line, uint8_t Epoch) {
+    if (LineMarks[Line] != LineFailed)
+      LineMarks[Line] = Epoch;
+  }
+
+  bool lineIsFailed(unsigned Line) const {
+    return LineMarks[Line] == LineFailed;
+  }
+
+  /// Permanently retires a line (static intake or dynamic failure).
+  void failLine(unsigned Line) {
+    if (LineMarks[Line] != LineFailed) {
+      LineMarks[Line] = LineFailed;
+      ++FailedLineCount;
+    }
+  }
+
+  /// Records a *dynamic* failure of the 64 B PCM line at byte offset
+  /// \p ByteOffset: updates the page failure word and retires the
+  /// covering Immix line.
+  void failPcmLineAt(size_t ByteOffset) {
+    assert(ByteOffset < BlockBytes && "offset out of range");
+    size_t Page = ByteOffset / PcmPageSize;
+    size_t Bit = (ByteOffset % PcmPageSize) / PcmLineSize;
+    if (!PageFailWords.empty())
+      PageFailWords[Page] |= uint64_t(1) << Bit;
+    failLine(static_cast<unsigned>(ByteOffset / LineBytes));
+  }
+
+  /// Models the OS remapping one of the block's pages onto a perfect
+  /// physical page (the pinned-object escape hatch of Section 3.3.3):
+  /// every failed line within that page becomes usable again. Returns the
+  /// number of lines restored.
+  unsigned unfailPage(unsigned PageWithinBlock);
+
+  /// Imports the OS page failure words covering this block: any Immix
+  /// line overlapping a failed 64 B PCM line is retired (false failures
+  /// included, by construction). The words are retained so the block can
+  /// be returned to the OS pool losslessly.
+  void applyFailureWords(const uint64_t *FailWords, size_t NumPages);
+
+  /// The retained per-page failure words (one per page).
+  const std::vector<uint64_t> &pageFailureWords() const {
+    return PageFailWords;
+  }
+
+  unsigned failedLines() const { return FailedLineCount; }
+  bool isPerfect() const { return FailedLineCount == 0; }
+
+  /// True if the line is available for allocation: not failed and not
+  /// live at either epoch. Two epochs are needed during a full
+  /// collection's evacuation: \p SweepEpoch is the state of the last
+  /// sweep, and \p MarkEpoch catches lines that the in-progress trace has
+  /// already re-marked in place (treating those as free would let the
+  /// evacuation allocator copy over live objects). Outside collection the
+  /// two epochs coincide.
+  bool lineAvailable(unsigned Line, uint8_t SweepEpoch,
+                     uint8_t MarkEpoch) const {
+    uint8_t Mark = LineMarks[Line];
+    return Mark != LineFailed && Mark != SweepEpoch && Mark != MarkEpoch;
+  }
+
+  /// Finds the next hole at or after \p FromLine. With conservative
+  /// marking, the line immediately after a live line is implicitly live
+  /// (a small object may spill into it) and is not part of any hole.
+  /// Returns false if the block has no further holes.
+  bool findHole(unsigned FromLine, uint8_t SweepEpoch, uint8_t MarkEpoch,
+                bool Conservative, Hole &Out) const;
+
+  /// Post-trace accounting: recounts available lines and holes and
+  /// returns the block's new state.
+  struct SweepResult {
+    unsigned FreeLines = 0;
+    unsigned Holes = 0;
+    bool Empty = false;
+  };
+  SweepResult sweep(uint8_t Epoch, bool Conservative);
+
+  BlockState state() const { return State; }
+  void setState(BlockState S) { State = S; }
+
+  unsigned freeLines() const { return FreeLineCount; }
+
+  /// Defragmentation: live objects here are evacuated during the next
+  /// full trace.
+  bool evacuating() const { return Evacuating; }
+  void setEvacuating(bool V) { Evacuating = V; }
+
+  /// Set when a dynamic failure hit this block; forces candidacy.
+  bool hasFreshFailure() const { return FreshFailure; }
+  void setFreshFailure(bool V) { FreshFailure = V; }
+
+private:
+  uint8_t *Mem;
+  size_t BlockBytes;
+  size_t LineBytes;
+  std::vector<uint8_t> LineMarks;
+  std::vector<uint64_t> PageFailWords;
+  unsigned FailedLineCount = 0;
+  unsigned FreeLineCount;
+  BlockState State = BlockState::Free;
+  bool Evacuating = false;
+  bool FreshFailure = false;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_HEAP_BLOCK_H

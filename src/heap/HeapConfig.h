@@ -1,0 +1,144 @@
+//===- heap/HeapConfig.h - Heap configuration and statistics ----*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration shared by the heap spaces and collectors: which collector
+/// runs (the paper's Figure 3 compares MS, IX, S-MS and S-IX), the Immix
+/// line/block geometry (Figures 6-7 sweep the line size), the fixed page
+/// budget (heap size), and the failure-injection setup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_HEAP_HEAPCONFIG_H
+#define WEARMEM_HEAP_HEAPCONFIG_H
+
+#include "os/Os.h"
+#include "pcm/Geometry.h"
+#include "support/Units.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace wearmem {
+
+/// The memory-management algorithms of Figure 3.
+enum class CollectorKind {
+  /// Full-heap free-list mark-sweep.
+  MarkSweep,
+  /// Full-heap Immix mark-region.
+  Immix,
+  /// Sticky-mark-bits generational mark-sweep.
+  StickyMarkSweep,
+  /// Sticky-mark-bits generational Immix (the paper's base collector).
+  StickyImmix,
+};
+
+inline bool isSticky(CollectorKind Kind) {
+  return Kind == CollectorKind::StickyMarkSweep ||
+         Kind == CollectorKind::StickyImmix;
+}
+
+inline bool isImmix(CollectorKind Kind) {
+  return Kind == CollectorKind::Immix || Kind == CollectorKind::StickyImmix;
+}
+
+/// Line-mark byte values. Values 1..MaxEpoch are liveness epochs; full
+/// collections advance the epoch so stale marks read as free. LineFailed
+/// is the fourth line state the paper adds to Immix (Section 4).
+constexpr uint8_t MaxEpoch = 250;
+constexpr uint8_t LineFailed = 0xFF;
+
+/// Advances a mark epoch, skipping 0 (unmarked) and the failed sentinel.
+inline uint8_t nextEpoch(uint8_t Epoch) {
+  return Epoch == MaxEpoch ? 1 : static_cast<uint8_t>(Epoch + 1);
+}
+
+/// Static heap configuration.
+struct HeapConfig {
+  CollectorKind Collector = CollectorKind::StickyImmix;
+
+  /// Immix block size (the paper uses 32 KB).
+  size_t BlockSize = 32 * KiB;
+  /// Immix logical line size; 256 B default, swept in Figures 6-7.
+  size_t LineSize = 256;
+  /// Conservative line marking: small objects mark only their first line
+  /// and the sweep treats the following line as implicitly live.
+  bool ConservativeLineMarking = true;
+
+  /// Heap size, in 4 KB pages. This is the *total* page budget; callers
+  /// apply failure compensation (h / (1 - f)) before setting it.
+  size_t BudgetPages = 2048;
+
+  /// Objects at least this large go to the page-grained large object
+  /// space. Never larger than a block.
+  size_t LargeObjectThreshold = 8 * KiB;
+
+  /// Failure injection between the OS and VM allocators (Section 5).
+  FailureConfig Failures;
+  /// Failure-aware allocation: consume the OS failure maps and skip holes.
+  /// Must be true whenever Failures.Rate > 0.
+  bool FailureAware = true;
+
+  /// Make the free-list space failure-aware too (the Section 3.3.1
+  /// discussion of native runtimes; off by default).
+  bool FreeListFailureAware = false;
+
+  /// Escalate a nursery collection to a full collection when it frees
+  /// less than this fraction of the heap.
+  double NurseryYieldThreshold = 0.10;
+  /// Force a full collection after this many consecutive nursery GCs.
+  unsigned FullGcEvery = 16;
+  /// Blocks whose free-line fraction is at least this are defragmentation
+  /// candidates during a full collection.
+  double DefragFreeFraction = 0.25;
+  /// Cap on outstanding DRAM-borrow debt, in pages. 0 (the default)
+  /// means uncapped: borrowed pages still count against the heap budget
+  /// and each borrow carries the debit-credit space penalty, which is the
+  /// paper's cost model. A finite cap is only used by ablations.
+  size_t MaxDebtPages = 0;
+
+  size_t linesPerBlock() const { return BlockSize / LineSize; }
+  size_t pagesPerBlock() const { return BlockSize / PcmPageSize; }
+  size_t maxDebtPages() const {
+    return MaxDebtPages != 0 ? MaxDebtPages : BudgetPages;
+  }
+};
+
+/// Monotonic activity counters. Wall time is the headline metric (as in
+/// the paper); these deterministic counters explain *why* a configuration
+/// is slower and are reported alongside.
+struct HeapStats {
+  uint64_t ObjectsAllocated = 0;
+  uint64_t BytesAllocated = 0;
+  uint64_t AllocSlowPaths = 0;
+  uint64_t HoleSearches = 0;
+  uint64_t LinesSkippedFailed = 0;
+  uint64_t OverflowAllocs = 0;
+  uint64_t OverflowSearches = 0;
+  uint64_t PerfectBlockRequests = 0;
+  uint64_t LargeObjectAllocs = 0;
+
+  uint64_t GcCount = 0;
+  uint64_t FullGcCount = 0;
+  uint64_t NurseryGcCount = 0;
+  uint64_t GcTriggerSmallMedium = 0;
+  uint64_t GcTriggerLarge = 0;
+  uint64_t ObjectsMarked = 0;
+  uint64_t BytesTraced = 0;
+  uint64_t ObjectsEvacuated = 0;
+  uint64_t BytesEvacuated = 0;
+  uint64_t LinesSwept = 0;
+
+  uint64_t DynamicFailuresHandled = 0;
+  uint64_t DynamicFailurePageCopies = 0;
+  uint64_t PinnedFailurePageRemaps = 0;
+  uint64_t WriteBarrierLogs = 0;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_HEAP_HEAPCONFIG_H

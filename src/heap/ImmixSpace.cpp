@@ -1,0 +1,434 @@
+//===- heap/ImmixSpace.cpp - Mark-region space and allocator --------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/ImmixSpace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace wearmem;
+
+//===----------------------------------------------------------------------===//
+// ImmixAllocator
+//===----------------------------------------------------------------------===//
+
+uint8_t *ImmixAllocator::allocFast(size_t Size) {
+  if (Cursor && Cursor + Size <= Limit) {
+    uint8_t *Result = Cursor;
+    Cursor += Size;
+    return Result;
+  }
+  return nullptr;
+}
+
+bool ImmixAllocator::installHole(Block *B, const Hole &H, uint8_t *&OutCur,
+                                 uint8_t *&OutLim) {
+  OutCur = B->lineAddr(H.StartLine);
+  OutLim = B->lineAddr(H.EndLine);
+  // Recycled holes contain dead objects; zero on acquisition (fresh OS
+  // memory arrives zeroed, re-zeroing it is harmless and uniform).
+  std::memset(OutCur, 0, static_cast<size_t>(OutLim - OutCur));
+  return true;
+}
+
+uint8_t *ImmixAllocator::alloc(size_t Size) {
+  assert(Size >= MinObjectBytes && Size % ObjectAlignment == 0 &&
+         "allocation size must be aligned");
+  assert(Size <= Config.BlockSize && "large objects belong in the LOS");
+  // Small and medium objects first try the bump cursor; a medium object
+  // that does not fit goes to the overflow block instead of skipping the
+  // remaining hole space (Immix's heuristic for limiting waste).
+  if (uint8_t *Fast = allocFast(Size))
+    return Fast;
+  ++Stats.AllocSlowPaths;
+  if (Size > Config.LineSize)
+    return allocOverflow(Size);
+  return allocSmallSlow(Size);
+}
+
+uint8_t *ImmixAllocator::allocSmallSlow(size_t Size) {
+  while (true) {
+    if (Cur) {
+      Hole H;
+      ++Stats.HoleSearches;
+      if (Cur->findHole(CurSearchLine, SweepEpoch, MarkEpoch,
+                        Config.ConservativeLineMarking, H)) {
+        CurSearchLine = H.EndLine;
+        installHole(Cur, H, Cursor, Limit);
+        if (uint8_t *Fast = allocFast(Size))
+          return Fast;
+        continue; // Hole smaller than the object; keep searching.
+      }
+      Cur = nullptr;
+    }
+    // Steady state prefers recycled blocks; completely free blocks are a
+    // shared resource of last resort.
+    Block *Next = Space.takeRecyclable();
+    if (!Next)
+      Next = Space.takeFree();
+    if (!Next)
+      return nullptr; // Collection required.
+    Next->setState(BlockState::InUse);
+    Cur = Next;
+    CurSearchLine = 0;
+    Cursor = Limit = nullptr;
+  }
+}
+
+uint8_t *ImmixAllocator::allocOverflow(size_t Size) {
+  ++Stats.OverflowAllocs;
+  // Bump into the current overflow hole.
+  if (OvfCursor && OvfCursor + Size <= OvfLimit) {
+    uint8_t *Result = OvfCursor;
+    OvfCursor += Size;
+    return Result;
+  }
+  // Failure-aware extension: the overflow block is not guaranteed to be
+  // perfect, so search the remainder of the block for a hole that fits
+  // before giving up on it.
+  if (Ovf) {
+    ++Stats.OverflowSearches;
+    Hole H;
+    unsigned From = OvfSearchLine;
+    while (Ovf->findHole(From, SweepEpoch, MarkEpoch, Config.ConservativeLineMarking,
+                         H)) {
+      From = H.EndLine;
+      if (H.lines() * Config.LineSize >= Size) {
+        OvfSearchLine = H.EndLine;
+        installHole(Ovf, H, OvfCursor, OvfLimit);
+        uint8_t *Result = OvfCursor;
+        OvfCursor += Size;
+        return Result;
+      }
+    }
+    Ovf = nullptr;
+  }
+  // A fresh (possibly imperfect) free block.
+  if (Block *Next = Space.takeFree()) {
+    Next->setState(BlockState::InUse);
+    Ovf = Next;
+    OvfSearchLine = 0;
+    OvfCursor = OvfLimit = nullptr;
+    Hole H;
+    unsigned From = 0;
+    while (Ovf->findHole(From, SweepEpoch, MarkEpoch, Config.ConservativeLineMarking,
+                         H)) {
+      From = H.EndLine;
+      if (H.lines() * Config.LineSize >= Size) {
+        OvfSearchLine = H.EndLine;
+        installHole(Ovf, H, OvfCursor, OvfLimit);
+        uint8_t *Result = OvfCursor;
+        OvfCursor += Size;
+        return Result;
+      }
+    }
+  }
+  // No free block (or it could not fit the object): drain recycled holes
+  // under memory pressure before resorting to perfect memory. The block
+  // becomes the new overflow block so subsequent mediums reuse its
+  // remaining space.
+  {
+    unsigned NeedLines = static_cast<unsigned>(
+        divCeil(Size, Config.LineSize));
+    Hole H;
+    if (Block *Recycled =
+            Space.takeRecyclableFitting(NeedLines, SweepEpoch, MarkEpoch,
+                                        H)) {
+      Recycled->setState(BlockState::InUse);
+      Ovf = Recycled;
+      OvfSearchLine = H.EndLine;
+      installHole(Ovf, H, OvfCursor, OvfLimit);
+      uint8_t *Result = OvfCursor;
+      OvfCursor += Size;
+      return Result;
+    }
+  }
+  // Last resort: a perfect free block (fussy; only meaningful when
+  // failure-aware, but harmless otherwise since without failures every
+  // free block is perfect).
+  if (!AllowPerfectFallback)
+    return nullptr;
+  ++Stats.PerfectBlockRequests;
+  Block *Perfect = Space.takePerfectFree();
+  if (!Perfect)
+    return nullptr; // Collection required.
+  Perfect->setState(BlockState::InUse);
+  Ovf = Perfect;
+  Hole H;
+  bool Found = Ovf->findHole(0, SweepEpoch, MarkEpoch, Config.ConservativeLineMarking,
+                             H);
+  assert(Found && H.lines() * Config.LineSize >= Size &&
+         "a perfect free block must fit any non-large object");
+  (void)Found;
+  OvfSearchLine = H.EndLine;
+  installHole(Ovf, H, OvfCursor, OvfLimit);
+  uint8_t *Result = OvfCursor;
+  OvfCursor += Size;
+  return Result;
+}
+
+void ImmixAllocator::retire() {
+  // Ownership lapses; the sweep will reclassify the blocks.
+  Cur = Ovf = nullptr;
+  Cursor = Limit = OvfCursor = OvfLimit = nullptr;
+  CurSearchLine = OvfSearchLine = 0;
+}
+
+void ImmixAllocator::invalidateCache() {
+  // Dynamic failures may have retired lines inside the cached bump
+  // regions; drop the regions (the blocks remain owned and are re-swept
+  // at the next collection). Hole searches restart from the cursor line.
+  if (Cur && Cursor)
+    CurSearchLine = Cur->lineOf(Cursor);
+  if (Ovf && OvfCursor)
+    OvfSearchLine = Ovf->lineOf(OvfCursor);
+  Cursor = Limit = nullptr;
+  OvfCursor = OvfLimit = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// ImmixSpace
+//===----------------------------------------------------------------------===//
+
+ImmixSpace::ImmixSpace(FailureAwareOs &Os, const HeapConfig &Config,
+                       HeapStats &Stats, BudgetGate Gate)
+    : Os(Os), Config(Config), Stats(Stats), Gate(std::move(Gate)) {
+  assert(isPowerOfTwo(Config.BlockSize) && "block size must be 2^n");
+}
+
+Block *ImmixSpace::createBlock(PageGrant &&Grant) {
+  assert(Grant.NumPages == Config.pagesPerBlock() &&
+         "grant must cover one block");
+  assert((reinterpret_cast<uintptr_t>(Grant.Mem) &
+          (Config.BlockSize - 1)) == 0 &&
+         "blocks must be block-aligned");
+  auto NewBlock = std::make_unique<Block>(Grant.Mem, Config);
+  NewBlock->applyFailureWords(Grant.FailWords.data(), Grant.NumPages);
+  Block *Raw = NewBlock.get();
+#ifdef WEARMEM_DEBUG_TRACE
+  DebugReleased.erase(reinterpret_cast<uintptr_t>(Grant.Mem));
+#endif
+  ByBase.emplace(reinterpret_cast<uintptr_t>(Grant.Mem), Raw);
+  Blocks.push_back(std::move(NewBlock));
+  Stats.LinesSkippedFailed += Raw->failedLines();
+  return Raw;
+}
+
+Block *ImmixSpace::takeRecyclable() {
+  while (!RecycleList.empty()) {
+    Block *B = RecycleList.back();
+    RecycleList.pop_back();
+    if (B->evacuating())
+      continue;
+    assert(B->state() == BlockState::Recyclable && "stale recycle list");
+    return B;
+  }
+  return nullptr;
+}
+
+Block *ImmixSpace::takeRecyclableFitting(unsigned NeedLines,
+                                         uint8_t SweepEpoch,
+                                         uint8_t MarkEpoch, Hole &Out) {
+  // Bounded scan: a long fruitless walk would make every medium
+  // allocation O(heap) under heavy fragmentation.
+  constexpr size_t MaxProbes = 16;
+  std::vector<Block *> Unsuitable;
+  Block *Found = nullptr;
+  for (size_t Probe = 0; Probe != MaxProbes && !RecycleList.empty();
+       ++Probe) {
+    Block *B = RecycleList.back();
+    RecycleList.pop_back();
+    if (B->evacuating())
+      continue;
+    // Fast reject on the sweep's total; then search real holes.
+    if (B->freeLines() >= NeedLines) {
+      Hole H;
+      unsigned From = 0;
+      while (B->findHole(From, SweepEpoch, MarkEpoch,
+                         Config.ConservativeLineMarking, H)) {
+        From = H.EndLine;
+        if (H.lines() >= NeedLines) {
+          Out = H;
+          Found = B;
+          break;
+        }
+      }
+      if (Found)
+        break;
+    }
+    Unsuitable.push_back(B);
+  }
+  // Reinsert unsuitable blocks at the front so the next probe sequence
+  // sees fresh candidates first.
+  RecycleList.insert(RecycleList.begin(), Unsuitable.begin(),
+                     Unsuitable.end());
+  return Found;
+}
+
+Block *ImmixSpace::takeFree() {
+  while (!FreeList.empty()) {
+    Block *B = FreeList.back();
+    FreeList.pop_back();
+    if (B->evacuating())
+      continue;
+    return B;
+  }
+  // Grow the space, budget permitting.
+  size_t Pages = Config.pagesPerBlock();
+  if (!Gate(Pages))
+    return nullptr;
+  std::optional<PageGrant> Grant = Os.allocRelaxed(Pages);
+  if (!Grant)
+    return nullptr;
+  return createBlock(std::move(*Grant));
+}
+
+size_t ImmixSpace::releaseExcessFreeBlocks(size_t KeepFree) {
+  if (FreeList.size() <= KeepFree)
+    return 0;
+  std::unordered_map<uintptr_t, Block *> Victims;
+  while (FreeList.size() > KeepFree) {
+    Block *B = FreeList.back();
+    if (B->evacuating() || B->hasFreshFailure())
+      break; // Rare; retry next sweep.
+    FreeList.pop_back();
+    PageGrant Grant;
+    Grant.Mem = B->base();
+    Grant.NumPages = Config.pagesPerBlock();
+    Grant.FailWords = B->pageFailureWords();
+    uintptr_t Base = reinterpret_cast<uintptr_t>(B->base());
+    ByBase.erase(Base);
+    Victims.emplace(Base, B);
+#ifdef WEARMEM_DEBUG_TRACE
+    DebugReleased[Base] = ++DebugReleaseTick;
+#endif
+    Os.freeRelaxed(std::move(Grant));
+  }
+  if (Victims.empty())
+    return 0;
+  size_t Released = Victims.size();
+  std::erase_if(Blocks, [&](const std::unique_ptr<Block> &B) {
+    return Victims.count(reinterpret_cast<uintptr_t>(B->base())) != 0;
+  });
+  return Released;
+}
+
+Block *ImmixSpace::takePerfectFree() {
+  // Prefer a perfect block already in the local free list.
+  for (size_t I = FreeList.size(); I != 0;) {
+    --I;
+    Block *B = FreeList[I];
+    if (B->evacuating() || !B->isPerfect())
+      continue;
+    FreeList.erase(FreeList.begin() + static_cast<ptrdiff_t>(I));
+    return B;
+  }
+  size_t Pages = Config.pagesPerBlock();
+  if (!Gate(Pages))
+    return nullptr;
+  if (Os.outstandingDebt() >= Config.maxDebtPages())
+    return nullptr;
+  std::optional<PageGrant> Grant =
+      Os.allocPerfect(Pages, /*BlockAligned=*/true);
+  if (!Grant)
+    return nullptr;
+  return createBlock(std::move(*Grant));
+}
+
+Block *ImmixSpace::blockOf(const uint8_t *Addr) const {
+  uintptr_t Base =
+      reinterpret_cast<uintptr_t>(Addr) & ~(Config.BlockSize - 1);
+  auto It = ByBase.find(Base);
+  return It == ByBase.end() ? nullptr : It->second;
+}
+
+void ImmixSpace::selectDefragCandidates() {
+  // Copy headroom: the free lines of every block still on the free and
+  // recycle lists. Evacuation may target recyclable holes (hole lookup
+  // during collection uses the previous sweep's epoch, so this is safe),
+  // which is what lets a fully-recyclable heap still defragment.
+  size_t AvailableLines = 0;
+  for (Block *B : FreeList)
+    AvailableLines += B->freeLines();
+  for (Block *B : RecycleList)
+    AvailableLines += B->freeLines();
+
+  auto LiveEstimate = [](const Block *B) {
+    return B->lineCount() - B->freeLines() - B->failedLines();
+  };
+
+  // Blocks with fresh dynamic failures are unconditional candidates (the
+  // affected objects *must* move).
+  std::vector<Block *> Fragmented;
+  for (auto &B : Blocks) {
+    if (B->hasFreshFailure()) {
+      B->setEvacuating(true);
+      size_t Need = LiveEstimate(B.get()) + B->freeLines();
+      AvailableLines -= std::min(AvailableLines, Need);
+      continue;
+    }
+    if (B->state() == BlockState::Recyclable &&
+        B->freeLines() >=
+            static_cast<unsigned>(Config.DefragFreeFraction *
+                                  static_cast<double>(B->lineCount())))
+      Fragmented.push_back(B.get());
+  }
+  // Most fragmented first. Choosing block B costs its live lines (the
+  // copies) and removes its own free lines from the target pool.
+  std::sort(Fragmented.begin(), Fragmented.end(),
+            [](const Block *A, const Block *B) {
+              return A->freeLines() > B->freeLines();
+            });
+  for (Block *B : Fragmented) {
+    size_t Need = LiveEstimate(B) + B->freeLines();
+    if (Need + Need / 2 > AvailableLines)
+      break; // Keep a 1.5x safety margin of target space.
+    AvailableLines -= Need;
+    B->setEvacuating(true);
+  }
+}
+
+void ImmixSpace::clearDefragCandidates() {
+  for (auto &B : Blocks) {
+    B->setEvacuating(false);
+    B->setFreshFailure(false);
+  }
+}
+
+ImmixSweepTotals ImmixSpace::sweep(uint8_t Epoch) {
+  FreeList.clear();
+  RecycleList.clear();
+  ImmixSweepTotals Totals;
+  for (auto &B : Blocks) {
+    Block::SweepResult R =
+        B->sweep(Epoch, Config.ConservativeLineMarking);
+    Stats.LinesSwept += B->lineCount();
+    Totals.TotalLines += B->lineCount();
+    Totals.FreeLines += R.FreeLines;
+    Totals.FailedLines += B->failedLines();
+    if (R.Empty && R.FreeLines > 0) {
+      B->setState(BlockState::Free);
+      FreeList.push_back(B.get());
+      ++Totals.FreeBlocks;
+    } else if (R.Holes > 0) {
+      B->setState(BlockState::Recyclable);
+      RecycleList.push_back(B.get());
+      ++Totals.RecyclableBlocks;
+    } else {
+      B->setState(BlockState::Full);
+      ++Totals.FullBlocks;
+    }
+  }
+  // Recycle the fullest blocks first so sparse ones stay whole for
+  // medium objects and future defragmentation.
+  std::sort(RecycleList.begin(), RecycleList.end(),
+            [](const Block *A, const Block *B) {
+              return A->freeLines() > B->freeLines();
+            });
+  return Totals;
+}

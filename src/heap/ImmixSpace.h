@@ -1,0 +1,203 @@
+//===- heap/ImmixSpace.h - Mark-region space and allocator ------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Immix mark-region heap space (Blackburn & McKinley, PLDI 2008) with
+/// the paper's failure-aware extensions (Section 4):
+///
+///  * blocks acquired from the OS carry per-page failure maps; overlapped
+///    lines enter the Failed line state and are never allocated into;
+///  * the bump allocator skips failed lines exactly as it skips live ones;
+///  * overflow (medium-object) allocation searches the remainder of the
+///    overflow block for a fitting hole before falling back to requesting
+///    a *perfect* free block from the OS (a fussy request);
+///  * defragmentation candidacy is extended to blocks hit by dynamic
+///    failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_HEAP_IMMIXSPACE_H
+#define WEARMEM_HEAP_IMMIXSPACE_H
+
+#include "heap/Block.h"
+#include "heap/HeapConfig.h"
+#include "heap/Object.h"
+#include "os/Os.h"
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace wearmem {
+
+class ImmixSpace;
+
+/// A thread-local bump allocator over Immix blocks, with a separate
+/// overflow cursor for medium objects. Also used (with a distinct hole
+/// epoch) as the evacuation allocator during collections.
+class ImmixAllocator {
+public:
+  ImmixAllocator(ImmixSpace &Space, const HeapConfig &Config,
+                 HeapStats &Stats)
+      : Space(Space), Config(Config), Stats(Stats) {}
+
+  /// Epochs used to *find holes*. For mutator allocation both equal the
+  /// current mark epoch. During a full-collection evacuation,
+  /// \p SweepEpoch is the previous epoch (the state of the last sweep, so
+  /// not-yet-marked live lines are not treated as free) and \p MarkEpoch
+  /// is the current one (so lines the trace already re-marked in place
+  /// are not treated as free either).
+  void setHoleEpochs(uint8_t SweepEpoch, uint8_t MarkEpoch) {
+    this->SweepEpoch = SweepEpoch;
+    this->MarkEpoch = MarkEpoch;
+  }
+
+  /// Evacuation is opportunistic: it must not borrow perfect pages just
+  /// to copy a medium object, so the evacuation allocator disables the
+  /// fussy overflow fallback and simply fails (the object stays put).
+  void setAllowPerfectFallback(bool Allow) {
+    AllowPerfectFallback = Allow;
+  }
+
+  /// Returns \p Size bytes of zeroed, line-hole-respecting memory, or
+  /// nullptr if the space cannot supply a block (collection required).
+  uint8_t *alloc(size_t Size);
+
+  /// Drops block ownership (called at collection start); the blocks'
+  /// remaining holes are rediscovered by the next sweep.
+  void retire();
+
+  /// Invalidates cached bump regions after lines failed dynamically.
+  void invalidateCache();
+
+private:
+  uint8_t *allocFast(size_t Size);
+  uint8_t *allocSmallSlow(size_t Size);
+  uint8_t *allocOverflow(size_t Size);
+  bool installHole(Block *B, const Hole &H, uint8_t *&Cursor,
+                   uint8_t *&Limit);
+
+  ImmixSpace &Space;
+  const HeapConfig &Config;
+  HeapStats &Stats;
+  uint8_t SweepEpoch = 1;
+  uint8_t MarkEpoch = 1;
+  bool AllowPerfectFallback = true;
+
+  Block *Cur = nullptr;
+  unsigned CurSearchLine = 0;
+  uint8_t *Cursor = nullptr;
+  uint8_t *Limit = nullptr;
+
+  Block *Ovf = nullptr;
+  unsigned OvfSearchLine = 0;
+  uint8_t *OvfCursor = nullptr;
+  uint8_t *OvfLimit = nullptr;
+};
+
+/// Sweep summary across the space.
+struct ImmixSweepTotals {
+  size_t FreeBlocks = 0;
+  size_t RecyclableBlocks = 0;
+  size_t FullBlocks = 0;
+  size_t FreeLines = 0;
+  size_t TotalLines = 0;
+  size_t FailedLines = 0;
+};
+
+/// The block-structured space itself.
+class ImmixSpace {
+public:
+  /// \p Gate is consulted (with a page count) before growing the space;
+  /// it implements the heap budget.
+  using BudgetGate = std::function<bool(size_t)>;
+
+  ImmixSpace(FailureAwareOs &Os, const HeapConfig &Config, HeapStats &Stats,
+             BudgetGate Gate);
+
+  /// A block with reusable holes, or nullptr. Skips blocks that are being
+  /// evacuated.
+  Block *takeRecyclable();
+
+  /// A recyclable block containing a hole of at least \p NeedLines lines
+  /// (found at the given epochs; \p Out receives it). Scans a bounded
+  /// number of list entries, reinserting unsuitable blocks. This is the
+  /// overflow allocator's pressure-relief: when no completely free block
+  /// remains, medium objects can still drain recycled holes instead of
+  /// demanding perfect memory or collection.
+  Block *takeRecyclableFitting(unsigned NeedLines, uint8_t SweepEpoch,
+                               uint8_t MarkEpoch, Hole &Out);
+
+  /// A completely empty block (possibly imperfect), from the local free
+  /// list or the OS; nullptr when the budget is exhausted.
+  Block *takeFree();
+
+  /// A completely empty *perfect* block, from the local free list or a
+  /// fussy OS request; nullptr when the debt cap is hit. Used by the
+  /// failure-aware overflow fallback.
+  Block *takePerfectFree();
+
+  /// The block containing \p Addr, or nullptr if the address is not in
+  /// this space. Blocks are block-size aligned, so this is a mask and a
+  /// hash lookup.
+  Block *blockOf(const uint8_t *Addr) const;
+
+  /// Chooses defragmentation candidates for a full collection: blocks
+  /// with fresh dynamic failures always; otherwise the most fragmented
+  /// recyclable blocks, bounded by available copy headroom.
+  void selectDefragCandidates();
+
+  /// Clears candidate flags (at sweep).
+  void clearDefragCandidates();
+
+  /// Rebuilds the free/recyclable lists from the line marks at \p Epoch.
+  ImmixSweepTotals sweep(uint8_t Epoch);
+
+  /// Returns completely empty blocks beyond \p KeepFree to the OS pool
+  /// (the paper's "global pool of pages for use by the whole runtime"),
+  /// so page-grained allocators can compete for them. Blocks that
+  /// suffered a dynamic failure are retained until their candidate flag
+  /// clears. Returns the number of blocks released.
+  size_t releaseExcessFreeBlocks(size_t KeepFree);
+
+  size_t pagesHeld() const {
+    return Blocks.size() * Config.pagesPerBlock();
+  }
+  size_t blockCount() const { return Blocks.size(); }
+
+  /// Iterates all blocks (diagnostics and candidate selection).
+  template <typename Fn> void forEachBlock(Fn F) {
+    for (auto &B : Blocks)
+      F(*B);
+  }
+
+private:
+  Block *createBlock(PageGrant &&Grant);
+
+  FailureAwareOs &Os;
+  const HeapConfig &Config;
+  HeapStats &Stats;
+  BudgetGate Gate;
+
+  std::vector<std::unique_ptr<Block>> Blocks;
+  std::vector<Block *> FreeList;
+  std::vector<Block *> RecycleList;
+  std::unordered_map<uintptr_t, Block *> ByBase;
+
+#ifdef WEARMEM_DEBUG_TRACE
+public:
+  /// Debug registry of released block base addresses (cleared when the
+  /// address is re-granted as a block).
+  std::unordered_map<uintptr_t, uint64_t> DebugReleased;
+  uint64_t DebugReleaseTick = 0;
+#endif
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_HEAP_IMMIXSPACE_H

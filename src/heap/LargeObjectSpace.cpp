@@ -1,0 +1,69 @@
+//===- heap/LargeObjectSpace.cpp - Page-grained large objects -------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/LargeObjectSpace.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace wearmem;
+
+uint8_t *LargeObjectSpace::alloc(size_t Size) {
+  assert(Size >= Config.LargeObjectThreshold &&
+         "undersized object for the LOS");
+  size_t Pages = divCeil(Size, PcmPageSize);
+  if (!Gate(Pages))
+    return nullptr;
+  if (Os.outstandingDebt() >= Config.maxDebtPages())
+    return nullptr;
+  std::optional<PageGrant> Grant = Os.allocPerfect(Pages);
+  if (!Grant)
+    return nullptr;
+  ++Stats.LargeObjectAllocs;
+  uint8_t *Mem = Grant->Mem;
+  std::memset(Mem, 0, Pages * PcmPageSize);
+  PagesHeld += Pages;
+  Nodes.emplace(reinterpret_cast<uintptr_t>(Mem),
+                LosNode{std::move(*Grant), false});
+  return Mem;
+}
+
+void LargeObjectSpace::sweep(uint8_t Epoch) {
+  for (auto It = Nodes.begin(); It != Nodes.end();) {
+    ObjRef Obj = reinterpret_cast<ObjRef>(It->first);
+    bool Live = !It->second.Zombie && objectMark(Obj) == Epoch;
+    if (Live) {
+      ++It;
+      continue;
+    }
+    PagesHeld -= It->second.Grant.NumPages;
+    Os.freePerfect(std::move(It->second.Grant));
+    It = Nodes.erase(It);
+  }
+}
+
+ObjRef LargeObjectSpace::relocate(ObjRef Obj) {
+  assert(Nodes.count(reinterpret_cast<uintptr_t>(Obj)) != 0 &&
+         "relocating a non-LOS object");
+  assert(!objectHasFlag(Obj, FlagPinned) && "cannot relocate pinned object");
+  size_t Size = objectSize(Obj);
+  size_t Pages = divCeil(Size, PcmPageSize);
+  if (!Gate(Pages))
+    return nullptr;
+  std::optional<PageGrant> Grant = Os.allocPerfect(Pages);
+  if (!Grant)
+    return nullptr;
+  uint8_t *NewMem = Grant->Mem;
+  std::memcpy(NewMem, Obj, Size);
+  PagesHeld += Pages;
+  Nodes.emplace(reinterpret_cast<uintptr_t>(NewMem),
+                LosNode{std::move(*Grant), false});
+  forwardObject(Obj, NewMem);
+  // Re-find after the emplace: insertion may rehash the table.
+  Nodes.find(reinterpret_cast<uintptr_t>(Obj))->second.Zombie = true;
+  return NewMem;
+}

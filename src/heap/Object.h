@@ -1,0 +1,155 @@
+//===- heap/Object.h - Managed object model ---------------------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The managed heap's object model. Objects are precisely typed: a 16-byte
+/// header, then NumRefs reference slots (8 bytes each), then raw payload.
+/// Because every reference slot's location is known, the collector can
+/// trace exactly and relocate objects freely (unless pinned), which is the
+/// property the paper leverages to tolerate memory holes transparently.
+///
+/// Header layout (two 64-bit words):
+///   Word0:  [ Size:32 | NumRefs:16 | Flags:8 | Mark:8 ]
+///   Word1:  forwarding pointer while the Forwarded flag is set, else 0.
+///
+/// The Mark byte is an epoch: a full collection bumps the heap's epoch so
+/// all objects become implicitly unmarked, which is what makes sticky
+/// (generational) collection cheap - between full collections, an object
+/// whose mark equals the current epoch is "old".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_HEAP_OBJECT_H
+#define WEARMEM_HEAP_OBJECT_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace wearmem {
+
+/// A reference to a managed object (address of its header).
+using ObjRef = uint8_t *;
+
+/// Header flag bits.
+enum ObjectFlag : uint8_t {
+  /// The application pinned this object; the collector must not move it.
+  FlagPinned = 1u << 0,
+  /// The object has been evacuated; Word1 holds the forwarding pointer.
+  FlagForwarded = 1u << 1,
+  /// The object is in the mutation log (sticky write barrier).
+  FlagLogged = 1u << 2,
+  /// The object lives in the large object space (page-grained, fussy).
+  FlagLarge = 1u << 3,
+};
+
+constexpr size_t ObjectHeaderBytes = 16;
+constexpr size_t ObjectAlignment = 8;
+constexpr size_t RefSlotBytes = 8;
+/// Smallest allocatable object (a bare header).
+constexpr size_t MinObjectBytes = ObjectHeaderBytes;
+
+/// Total object footprint for a payload/ref-count pair.
+constexpr uint32_t objectBytesFor(uint32_t PayloadBytes, uint16_t NumRefs) {
+  uint32_t Raw = static_cast<uint32_t>(ObjectHeaderBytes) +
+                 NumRefs * static_cast<uint32_t>(RefSlotBytes) +
+                 PayloadBytes;
+  return static_cast<uint32_t>((Raw + (ObjectAlignment - 1)) &
+                               ~(ObjectAlignment - 1));
+}
+
+namespace detail {
+inline uint64_t &word0(ObjRef Obj) {
+  return *reinterpret_cast<uint64_t *>(Obj);
+}
+inline uint64_t &word1(ObjRef Obj) {
+  return *reinterpret_cast<uint64_t *>(Obj + 8);
+}
+inline const uint64_t &word0(const uint8_t *Obj) {
+  return *reinterpret_cast<const uint64_t *>(Obj);
+}
+} // namespace detail
+
+/// Writes a fresh header. The caller provides the *total* size in bytes.
+inline void initObject(ObjRef Obj, uint32_t TotalBytes, uint16_t NumRefs,
+                       uint8_t Flags) {
+  assert(TotalBytes >= MinObjectBytes && TotalBytes % ObjectAlignment == 0 &&
+         "malformed object size");
+  detail::word0(Obj) = (static_cast<uint64_t>(TotalBytes) << 32) |
+                       (static_cast<uint64_t>(NumRefs) << 16) |
+                       (static_cast<uint64_t>(Flags) << 8);
+  detail::word1(Obj) = 0;
+  // Reference slots start out null.
+  std::memset(Obj + ObjectHeaderBytes, 0, NumRefs * RefSlotBytes);
+}
+
+inline uint32_t objectSize(const uint8_t *Obj) {
+  return static_cast<uint32_t>(detail::word0(Obj) >> 32);
+}
+
+inline uint16_t objectNumRefs(const uint8_t *Obj) {
+  return static_cast<uint16_t>(detail::word0(Obj) >> 16);
+}
+
+inline uint8_t objectFlags(const uint8_t *Obj) {
+  return static_cast<uint8_t>(detail::word0(Obj) >> 8);
+}
+
+inline void setObjectFlag(ObjRef Obj, ObjectFlag Flag) {
+  detail::word0(Obj) |= static_cast<uint64_t>(Flag) << 8;
+}
+
+inline void clearObjectFlag(ObjRef Obj, ObjectFlag Flag) {
+  detail::word0(Obj) &= ~(static_cast<uint64_t>(Flag) << 8);
+}
+
+inline bool objectHasFlag(const uint8_t *Obj, ObjectFlag Flag) {
+  return (objectFlags(Obj) & Flag) != 0;
+}
+
+inline uint8_t objectMark(const uint8_t *Obj) {
+  return static_cast<uint8_t>(detail::word0(Obj));
+}
+
+inline void setObjectMark(ObjRef Obj, uint8_t Mark) {
+  detail::word0(Obj) = (detail::word0(Obj) & ~uint64_t(0xFF)) | Mark;
+}
+
+/// The object's \p Slot-th reference field.
+inline ObjRef *refSlot(ObjRef Obj, unsigned Slot) {
+  assert(Slot < objectNumRefs(Obj) && "reference slot out of range");
+  return reinterpret_cast<ObjRef *>(Obj + ObjectHeaderBytes) + Slot;
+}
+
+/// Start of the raw payload area.
+inline uint8_t *objectPayload(ObjRef Obj) {
+  return Obj + ObjectHeaderBytes + objectNumRefs(Obj) * RefSlotBytes;
+}
+
+inline size_t objectPayloadSize(const uint8_t *Obj) {
+  return objectSize(Obj) - ObjectHeaderBytes -
+         objectNumRefs(Obj) * RefSlotBytes;
+}
+
+/// Installs a forwarding pointer in an evacuated object's old copy.
+inline void forwardObject(ObjRef Old, ObjRef New) {
+  setObjectFlag(Old, FlagForwarded);
+  detail::word1(Old) = reinterpret_cast<uint64_t>(New);
+}
+
+inline bool isForwarded(const uint8_t *Obj) {
+  return objectHasFlag(Obj, FlagForwarded);
+}
+
+inline ObjRef forwardee(const uint8_t *Obj) {
+  assert(isForwarded(Obj) && "object is not forwarded");
+  return reinterpret_cast<ObjRef>(detail::word1(const_cast<uint8_t *>(Obj)));
+}
+
+} // namespace wearmem
+
+#endif // WEARMEM_HEAP_OBJECT_H

@@ -1,0 +1,259 @@
+//===- os/Os.cpp - Failure-aware OS page provisioning ---------------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/Os.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace wearmem;
+
+static FailureMap generateBudgetMap(size_t PcmPages,
+                                    const FailureConfig &Failures) {
+  size_t NumLines = PcmPages * PcmLinesPerPage;
+  Rng Rand(Failures.Seed);
+  switch (Failures.Pattern) {
+  case FailurePattern::Uniform:
+    return FailureMap::uniform(NumLines, Failures.Rate, Rand);
+  case FailurePattern::ClusterLimit:
+    return FailureMap::clusterLimit(NumLines, Failures.Rate,
+                                    Failures.ClusterLines, Rand);
+  case FailurePattern::PushClustered: {
+    FailureMap Base = FailureMap::uniform(NumLines, Failures.Rate, Rand);
+    return Base.pushClustered(Failures.Cluster);
+  }
+  case FailurePattern::Custom: {
+    assert(Failures.Custom && "custom pattern requires a source map");
+    const FailureMap &Src = *Failures.Custom;
+    assert(Src.numLines() > 0 && "empty custom map");
+    FailureMap Map(NumLines);
+    for (size_t Line = 0; Line != NumLines; ++Line)
+      if (Src.isFailed(Line % Src.numLines()))
+        Map.fail(Line);
+    return Map;
+  }
+  }
+  assert(false && "unknown failure pattern");
+  return FailureMap(NumLines);
+}
+
+FailureAwareOs::FailureAwareOs(size_t PcmPages,
+                               const FailureConfig &Failures,
+                               size_t GrantAlignment)
+    : BudgetMap(generateBudgetMap(PcmPages, Failures)),
+      PageWords(PcmPages), Consumed(PcmPages, false),
+      GrantAlignment(GrantAlignment) {
+  assert(isPowerOfTwo(GrantAlignment) &&
+         "grant alignment must be a power of two");
+  for (size_t Page = 0; Page != PcmPages; ++Page)
+    PageWords[Page] = BudgetMap.pageWord(Page);
+}
+
+FailureAwareOs::~FailureAwareOs() = default;
+
+uint8_t *FailureAwareOs::mapHostPages(size_t NumPages) {
+  size_t Bytes = alignUp(NumPages * PcmPageSize, GrantAlignment);
+  uint8_t *Raw =
+      static_cast<uint8_t *>(std::aligned_alloc(GrantAlignment, Bytes));
+  assert(Raw && "host allocation failed");
+  std::memset(Raw, 0, Bytes);
+  Backing.emplace_back(Raw);
+  return Raw;
+}
+
+size_t FailureAwareOs::remainingPages() const {
+  return PageWords.size() - ConsumedCount;
+}
+
+size_t FailureAwareOs::remainingPerfectPages() const {
+  size_t N = 0;
+  for (size_t Page = 0; Page != PageWords.size(); ++Page)
+    if (!Consumed[Page] && PageWords[Page] == 0)
+      ++N;
+  return N;
+}
+
+std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
+  assert(NumPages > 0 && "empty grant");
+
+  // Debt repayment from the recycled perfect stock: data on borrowed DRAM
+  // pages migrates onto freed perfect PCM, which consumes the stock. This
+  // is the same one-page space cost as the stream diversion below, and
+  // without it debt would be unrepayable once the budget stream runs dry.
+  while (Debt > 0 && !PerfectFreeList.empty()) {
+    FreeChunk &Chunk = PerfectFreeList.back();
+    size_t Use = std::min(Debt, Chunk.NumPages);
+    Debt -= Use;
+    Stats.DebtRepaid += Use;
+    Stats.PerfectDivertedToStock += Use;
+    if (Use == Chunk.NumPages) {
+      PerfectFreeList.pop_back();
+    } else {
+      Chunk.Mem += Use * PcmPageSize;
+      Chunk.NumPages -= Use;
+    }
+  }
+
+  // Returned imperfect grants first (exact size; the failure words travel
+  // with the memory).
+  for (size_t I = 0; I != RelaxedFreeList.size(); ++I) {
+    if (RelaxedFreeList[I].NumPages != NumPages)
+      continue;
+    PageGrant Recycled = std::move(RelaxedFreeList[I]);
+    RelaxedFreeList.erase(RelaxedFreeList.begin() +
+                          static_cast<ptrdiff_t>(I));
+    Stats.RelaxedPagesGranted += NumPages;
+    return Recycled;
+  }
+
+  // Returned *perfect* block-aligned chunks may serve relaxed block
+  // requests, but only when no debt is outstanding: with debt, perfect
+  // stock is reserved for fussy use (which is what repays the borrow).
+  if (Debt == 0) {
+    for (size_t I = 0; I != PerfectFreeList.size(); ++I) {
+      FreeChunk &Chunk = PerfectFreeList[I];
+      if (Chunk.NumPages != NumPages || !chunkIsAligned(Chunk))
+        continue;
+      PageGrant Recycled;
+      Recycled.Mem = Chunk.Mem;
+      Recycled.NumPages = NumPages;
+      Recycled.FailWords.assign(NumPages, 0);
+      PerfectFreeList.erase(PerfectFreeList.begin() +
+                            static_cast<ptrdiff_t>(I));
+      Stats.RelaxedPagesGranted += NumPages;
+      return Recycled;
+    }
+  }
+
+  PageGrant Grant;
+  Grant.FailWords.reserve(NumPages);
+
+  // Walk the budget in address order. Perfect pages repay outstanding
+  // debt (one each) instead of being granted; everything else is granted
+  // as-is, failure map included.
+  size_t Mark = Cursor;
+  std::vector<size_t> Chosen;
+  while (Chosen.size() != NumPages && Cursor != PageWords.size()) {
+    size_t Page = Cursor++;
+    if (Consumed[Page])
+      continue;
+    if (PageWords[Page] == 0 && Debt > 0) {
+      // Debit-credit repayment: the perfect page replaces a borrowed DRAM
+      // page; the relaxed allocator pays by not receiving this page.
+      Consumed[Page] = true;
+      ++ConsumedCount;
+      --Debt;
+      ++Stats.DebtRepaid;
+      ++Stats.PerfectDivertedToStock;
+      continue;
+    }
+    Chosen.push_back(Page);
+  }
+  if (Chosen.size() != NumPages) {
+    // Budget exhausted mid-request: roll the cursor back so a smaller
+    // later request can still see the unconsumed tail. Diverted pages
+    // stay diverted (the debt really was repaid).
+    Cursor = Mark;
+    return std::nullopt;
+  }
+
+  for (size_t Page : Chosen) {
+    Consumed[Page] = true;
+    ++ConsumedCount;
+    Grant.FailWords.push_back(PageWords[Page]);
+  }
+  Stats.RelaxedPagesGranted += NumPages;
+  Grant.NumPages = NumPages;
+  Grant.Mem = mapHostPages(NumPages);
+  return Grant;
+}
+
+std::optional<PageGrant> FailureAwareOs::allocPerfect(size_t NumPages,
+                                                      bool BlockAligned) {
+  assert(NumPages > 0 && "empty grant");
+  Stats.PerfectPagesRequested += NumPages;
+
+  PageGrant Grant;
+  Grant.NumPages = NumPages;
+  Grant.FailWords.assign(NumPages, 0);
+
+  // Recycled perfect chunks first; these pages were already charged to
+  // the budget when first granted. Exact-size matches are preferred;
+  // otherwise a larger chunk is front-split (the front piece keeps the
+  // chunk's alignment, the tail remains page-granular stock). A
+  // block-aligned request only accepts chunks whose front is aligned.
+  size_t BestIdx = PerfectFreeList.size();
+  for (size_t I = 0; I != PerfectFreeList.size(); ++I) {
+    FreeChunk &Chunk = PerfectFreeList[I];
+    if (Chunk.NumPages < NumPages)
+      continue;
+    if (BlockAligned && !chunkIsAligned(Chunk))
+      continue;
+    if (Chunk.NumPages == NumPages) {
+      BestIdx = I;
+      break; // Exact match.
+    }
+    if (BestIdx == PerfectFreeList.size() ||
+        Chunk.NumPages < PerfectFreeList[BestIdx].NumPages)
+      BestIdx = I; // Smallest chunk that fits.
+  }
+  if (BestIdx != PerfectFreeList.size()) {
+    FreeChunk &Chunk = PerfectFreeList[BestIdx];
+    Grant.Mem = Chunk.Mem;
+    Stats.PerfectRecycledServed += NumPages;
+    if (Chunk.NumPages == NumPages) {
+      PerfectFreeList.erase(PerfectFreeList.begin() +
+                            static_cast<ptrdiff_t>(BestIdx));
+    } else {
+      Chunk.Mem += NumPages * PcmPageSize;
+      Chunk.NumPages -= NumPages;
+    }
+    return Grant;
+  }
+
+  // Then the unconsumed perfect-PCM stock, scanning from the top of the
+  // budget so the relaxed cursor keeps seeing fresh pages for as long as
+  // possible; borrow DRAM (with debt) for the remainder.
+  size_t FromPcm = 0;
+  for (size_t Page = PageWords.size(); Page != 0 && FromPcm != NumPages;) {
+    --Page;
+    if (!Consumed[Page] && PageWords[Page] == 0) {
+      Consumed[Page] = true;
+      ++ConsumedCount;
+      ++FromPcm;
+    }
+  }
+  size_t FromDram = NumPages - FromPcm;
+  Stats.PerfectPcmServed += FromPcm;
+  Stats.DramBorrowed += FromDram;
+  Debt += FromDram;
+
+  Grant.Mem = mapHostPages(NumPages);
+  return Grant;
+}
+
+void FailureAwareOs::freePerfect(PageGrant &&Grant) {
+  assert(Grant.Mem != nullptr && Grant.NumPages > 0 && "empty grant");
+  Stats.PerfectPagesReturned += Grant.NumPages;
+  PerfectFreeList.push_back(FreeChunk{Grant.Mem, Grant.NumPages});
+}
+
+void FailureAwareOs::freeRelaxed(PageGrant &&Grant) {
+  assert(Grant.Mem != nullptr && Grant.NumPages > 0 && "empty grant");
+  assert(Grant.FailWords.size() == Grant.NumPages &&
+         "relaxed grants carry one failure word per page");
+  bool Perfect = true;
+  for (uint64_t Word : Grant.FailWords)
+    Perfect &= Word == 0;
+  if (Perfect) {
+    freePerfect(std::move(Grant));
+    return;
+  }
+  RelaxedFreeList.push_back(std::move(Grant));
+}

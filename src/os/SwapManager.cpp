@@ -1,0 +1,84 @@
+//===- os/SwapManager.cpp - Failure-compatible swap placement -------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/SwapManager.h"
+
+#include <bit>
+
+using namespace wearmem;
+
+std::optional<SwapPlacement>
+SwapManager::place(uint64_t SourceWord,
+                   const std::vector<uint64_t> &FreePool) {
+  ++Stats.Requests;
+
+  auto FindPerfect = [&]() -> std::optional<SwapPlacement> {
+    for (size_t I = 0; I != FreePool.size(); ++I) {
+      if (FreePool[I] == 0) {
+        ++Stats.PerfectFallbacks;
+        return SwapPlacement{I, true};
+      }
+    }
+    ++Stats.Failures;
+    return std::nullopt;
+  };
+
+  switch (Policy) {
+  case SwapPolicy::PerfectOnly:
+    return FindPerfect();
+
+  case SwapPolicy::SubsetMatch:
+    // Prefer the imperfect destination with the *most* failures that is
+    // still a subset of the source's, conserving better pages.
+    {
+      std::optional<size_t> Best;
+      int BestCount = -1;
+      for (size_t I = 0; I != FreePool.size(); ++I) {
+        uint64_t Dest = FreePool[I];
+        if (Dest == 0)
+          continue;
+        if ((Dest & ~SourceWord) != 0)
+          continue; // Destination fails somewhere the source has data.
+        int Count = std::popcount(Dest);
+        if (Count > BestCount) {
+          BestCount = Count;
+          Best = I;
+        }
+      }
+      if (Best) {
+        ++Stats.SubsetMatches;
+        return SwapPlacement{*Best, false};
+      }
+      return FindPerfect();
+    }
+
+  case SwapPolicy::ClusteredCount:
+    // With clustering, bitmaps collapse to counts: any destination with
+    // at most as many failed lines as the source is compatible. Prefer
+    // the fullest admissible destination.
+    {
+      int SourceCount = std::popcount(SourceWord);
+      std::optional<size_t> Best;
+      int BestCount = -1;
+      for (size_t I = 0; I != FreePool.size(); ++I) {
+        int Count = std::popcount(FreePool[I]);
+        if (Count == 0 || Count > SourceCount)
+          continue;
+        if (Count > BestCount) {
+          BestCount = Count;
+          Best = I;
+        }
+      }
+      if (Best) {
+        ++Stats.ClusteredMatches;
+        return SwapPlacement{*Best, false};
+      }
+      return FindPerfect();
+    }
+  }
+  return std::nullopt;
+}

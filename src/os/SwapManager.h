@@ -1,0 +1,78 @@
+//===- os/SwapManager.h - Failure-compatible swap placement ------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The swap placement policy of Section 3.2.3. When an imperfect page is
+/// swapped back in, the OS has three options: (1) a perfect page, (2) an
+/// imperfect page whose failures are a *subset* of the source page's (so
+/// every valid source line lands on a working destination line, but such
+/// matches are rare without clustering), or (3) with failure clustering,
+/// any page with the same number of failed lines or fewer, because
+/// clustered failures at a page's end make pages with <= k failures
+/// interchangeable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_OS_SWAPMANAGER_H
+#define WEARMEM_OS_SWAPMANAGER_H
+
+#include "pcm/Geometry.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace wearmem {
+
+/// Placement policy for swapping an imperfect page back into memory.
+enum class SwapPolicy {
+  /// Only perfect destinations (the conservative fallback).
+  PerfectOnly,
+  /// Bitmap subset matching (prior work; limited efficacy in practice).
+  SubsetMatch,
+  /// Clustered count matching: destination failed-line count <= source's.
+  ClusteredCount,
+};
+
+/// Result of one placement decision.
+struct SwapPlacement {
+  size_t PoolIndex;
+  bool UsedPerfectPage;
+};
+
+/// Swap-in placement statistics.
+struct SwapStats {
+  uint64_t Requests = 0;
+  uint64_t SubsetMatches = 0;
+  uint64_t ClusteredMatches = 0;
+  uint64_t PerfectFallbacks = 0;
+  uint64_t Failures = 0;
+};
+
+/// Chooses swap-in destinations from a pool of free pages described by
+/// their 64-bit failure words.
+class SwapManager {
+public:
+  explicit SwapManager(SwapPolicy Policy) : Policy(Policy) {}
+
+  /// Picks a destination for a page whose failure word is \p SourceWord
+  /// from \p FreePool (failure word per free page). Returns std::nullopt
+  /// when nothing in the pool is admissible; the chosen page should then
+  /// be removed from the pool by the caller.
+  std::optional<SwapPlacement>
+  place(uint64_t SourceWord, const std::vector<uint64_t> &FreePool);
+
+  const SwapStats &stats() const { return Stats; }
+
+private:
+  SwapPolicy Policy;
+  SwapStats Stats;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_OS_SWAPMANAGER_H

@@ -1,0 +1,145 @@
+//===- pcm/ClusteringHardware.cpp - Failure clustering hardware ----------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/ClusteringHardware.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace wearmem;
+
+RegionRedirector::RegionRedirector(unsigned NumLines, bool ClusterAtStart,
+                                   unsigned MetaLines)
+    : NumLines(NumLines), ClusterAtStart(ClusterAtStart),
+      MetaLines(MetaLines) {
+  assert(MetaLines < NumLines && "metadata cannot consume a whole region");
+  assert(NumLines <= 65536 && "redirection entries are 16-bit");
+}
+
+bool RegionRedirector::isLogicallyDead(unsigned LogicalOff) const {
+  assert(LogicalOff < NumLines && "line offset out of range");
+  if (Boundary == 0)
+    return false;
+  return ClusterAtStart ? LogicalOff < Boundary
+                        : LogicalOff >= NumLines - Boundary;
+}
+
+RedirectOutcome RegionRedirector::onFailure(
+    unsigned LogicalOff,
+    const std::function<void(unsigned)> &CaptureBeforeRemap) {
+  assert(LogicalOff < NumLines && "line offset out of range");
+  assert(!isLogicallyDead(LogicalOff) &&
+         "software wrote a line it was told had failed");
+  RedirectOutcome Outcome;
+
+  if (!Installed) {
+    // First failure in the region: install the redirection map at the
+    // fixed metadata location (the clustered end). The module places fake
+    // failures for the metadata lines so the OS relocates their contents
+    // before the map is written there.
+    Installed = true;
+    Outcome.InstalledMap = true;
+    Redirect.resize(NumLines);
+    for (unsigned I = 0; I != NumLines; ++I)
+      Redirect[I] = static_cast<uint16_t>(I);
+    for (unsigned I = 0; I != MetaLines; ++I) {
+      unsigned Slot = boundarySlot();
+      CaptureBeforeRemap(Slot);
+      Outcome.NewlyFailedLogical.push_back(Slot);
+      ++Boundary;
+      // If the failed line was about to become a metadata slot, the dead
+      // physical line would host the map. Remap it out by swapping with
+      // the next boundary slot, which is consumed as well.
+      if (Slot == LogicalOff) {
+        unsigned Next = boundarySlot();
+        CaptureBeforeRemap(Next);
+        std::swap(Redirect[Slot], Redirect[Next]);
+        Outcome.NewlyFailedLogical.push_back(Next);
+        ++Boundary;
+        return Outcome;
+      }
+    }
+  }
+
+  assert(Boundary < NumLines && "region exhausted");
+  unsigned Victim = boundarySlot();
+  CaptureBeforeRemap(Victim);
+  Outcome.NewlyFailedLogical.push_back(Victim);
+  if (Victim != LogicalOff) {
+    // Swap the two mappings: the failed physical line retires at the
+    // boundary slot, and the working physical line that backed the victim
+    // now backs the logical line whose write failed.
+    std::swap(Redirect[Victim], Redirect[LogicalOff]);
+  }
+  ++Boundary;
+  return Outcome;
+}
+
+ClusteringHardware::ClusteringHardware(size_t NumPages, unsigned RegionPages,
+                                       size_t MapCacheSize)
+    : RegionPages(RegionPages),
+      LinesPerRegion(RegionPages * PcmLinesPerPage),
+      MapCacheSize(MapCacheSize) {
+  assert(isPowerOfTwo(RegionPages) && "region size must be a power of two");
+  assert(NumPages % RegionPages == 0 &&
+         "module must be a whole number of regions");
+  size_t NumRegions = NumPages / RegionPages;
+  unsigned Meta = FailureMap::metadataLines(RegionPages);
+  Regions.reserve(NumRegions);
+  for (size_t R = 0; R != NumRegions; ++R) {
+    // Even regions cluster at their start, odd regions at their end, so
+    // the working interiors of adjacent regions coalesce (Figure 1(e)).
+    bool AtStart = (R % 2) == 0;
+    Regions.emplace_back(static_cast<unsigned>(LinesPerRegion), AtStart,
+                         Meta);
+  }
+}
+
+LineIndex ClusteringHardware::translate(LineIndex Logical) {
+  size_t Region = regionOf(Logical);
+  assert(Region < Regions.size() && "line index out of range");
+  const RegionRedirector &R = Regions[Region];
+  if (R.installed()) {
+    // An installed map costs two extra accesses unless it is cached.
+    ++MapLookups;
+    touchCache(Region);
+  }
+  unsigned Off = static_cast<unsigned>(Logical % LinesPerRegion);
+  return Region * LinesPerRegion + R.translate(Off);
+}
+
+RedirectOutcome ClusteringHardware::routeFailure(
+    LineIndex Logical,
+    const std::function<void(LineIndex)> &CaptureBeforeRemap) {
+  size_t Region = regionOf(Logical);
+  assert(Region < Regions.size() && "line index out of range");
+  unsigned Off = static_cast<unsigned>(Logical % LinesPerRegion);
+  uint64_t Base = Region * LinesPerRegion;
+  RedirectOutcome Outcome = Regions[Region].onFailure(
+      Off, [&](unsigned VictimOff) { CaptureBeforeRemap(Base + VictimOff); });
+  for (uint64_t &L : Outcome.NewlyFailedLogical)
+    L += Base;
+  return Outcome;
+}
+
+bool ClusteringHardware::isLogicallyDead(LineIndex Logical) const {
+  size_t Region = regionOf(Logical);
+  assert(Region < Regions.size() && "line index out of range");
+  unsigned Off = static_cast<unsigned>(Logical % LinesPerRegion);
+  return Regions[Region].isLogicallyDead(Off);
+}
+
+void ClusteringHardware::touchCache(size_t Region) {
+  auto It = std::find(MapCache.begin(), MapCache.end(), Region);
+  if (It != MapCache.end()) {
+    ++MapCacheHits;
+    MapCache.erase(It);
+  } else if (MapCache.size() >= MapCacheSize) {
+    MapCache.pop_back();
+  }
+  MapCache.insert(MapCache.begin(), Region);
+}

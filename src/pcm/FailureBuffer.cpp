@@ -1,0 +1,48 @@
+//===- pcm/FailureBuffer.cpp - PCM module failure buffer -----------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/FailureBuffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace wearmem;
+
+bool FailureBuffer::push(const FailureRecord &Record) {
+  assert(Record.LineAddr % PcmLineSize == 0 &&
+         "failure records are line-aligned");
+  // An earlier entry with the same address is invalidated.
+  invalidate(Record.LineAddr);
+  if (Entries.size() >= Capacity)
+    return false;
+  Entries.push_back(Record);
+  HighWater = std::max(HighWater, Entries.size());
+  return true;
+}
+
+const uint8_t *FailureBuffer::lookup(PcmAddr LineAddr) const {
+  // The buffer holds at most one entry per address (push invalidates
+  // duplicates), so the first match is the latest value.
+  for (const FailureRecord &Entry : Entries)
+    if (Entry.LineAddr == LineAddr)
+      return Entry.Data.data();
+  return nullptr;
+}
+
+bool FailureBuffer::invalidate(PcmAddr LineAddr) {
+  for (auto It = Entries.begin(), E = Entries.end(); It != E; ++It) {
+    if (It->LineAddr == LineAddr) {
+      Entries.erase(It);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FailureRecord> FailureBuffer::pending() const {
+  return std::vector<FailureRecord>(Entries.begin(), Entries.end());
+}

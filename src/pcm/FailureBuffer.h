@@ -1,0 +1,86 @@
+//===- pcm/FailureBuffer.h - PCM module failure buffer ----------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small SRAM/DRAM failure buffer of Section 3.1.1. When a PCM write
+/// fails, the module copies the data and the corresponding address into
+/// this buffer and interrupts the processor. Every read checks the buffer
+/// for the latest value written to a location and forwards it; the OS
+/// invalidates entries once it has handled them. Entries are kept in FIFO
+/// order; an earlier entry with the same address is invalidated. When the
+/// buffer is about to fill (a few slots are reserved to drain outstanding
+/// writes), the module stops accepting writes until the OS clears at least
+/// one entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_PCM_FAILUREBUFFER_H
+#define WEARMEM_PCM_FAILUREBUFFER_H
+
+#include "pcm/Geometry.h"
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace wearmem {
+
+/// One latched failed write: the line's logical address and its data.
+struct FailureRecord {
+  PcmAddr LineAddr = 0;
+  std::array<uint8_t, PcmLineSize> Data = {};
+};
+
+/// FIFO buffer with address lookup (load/store-queue-like forwarding).
+class FailureBuffer {
+public:
+  /// \p Capacity is the total number of slots; \p DrainReserve slots are
+  /// held back so outstanding writes can still record their failures after
+  /// the stall interrupt fires.
+  explicit FailureBuffer(size_t Capacity, size_t DrainReserve = 2)
+      : Capacity(Capacity), DrainReserve(DrainReserve) {}
+
+  /// Latches a failed write. Replaces any earlier entry for the same line.
+  /// Returns false if the buffer is completely full (data would be lost;
+  /// the device must have stalled writes before this can happen).
+  bool push(const FailureRecord &Record);
+
+  /// Latest forwarded data for \p LineAddr, or nullptr if not present.
+  const uint8_t *lookup(PcmAddr LineAddr) const;
+
+  /// Invalidates the entry for \p LineAddr (OS has handled it). Returns
+  /// true if an entry was removed.
+  bool invalidate(PcmAddr LineAddr);
+
+  /// Oldest-first snapshot of pending entries, for the OS interrupt
+  /// handler.
+  std::vector<FailureRecord> pending() const;
+
+  size_t size() const { return Entries.size(); }
+  size_t capacity() const { return Capacity; }
+  bool empty() const { return Entries.empty(); }
+
+  /// True once occupancy reaches Capacity - DrainReserve: the device must
+  /// refuse further write requests until the OS clears an entry.
+  bool nearFull() const {
+    return Entries.size() + DrainReserve >= Capacity;
+  }
+
+  /// Maximum occupancy ever observed (for buffer-sizing studies).
+  size_t highWater() const { return HighWater; }
+
+private:
+  size_t Capacity;
+  size_t DrainReserve;
+  size_t HighWater = 0;
+  std::deque<FailureRecord> Entries;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_PCM_FAILUREBUFFER_H

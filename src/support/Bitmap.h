@@ -1,0 +1,149 @@
+//===- support/Bitmap.h - Dynamic bit vector --------------------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact dynamic bit vector used for per-page failure bitmaps (one bit
+/// per 64 B PCM line, exactly the 64-bit-per-4KB-page encoding of Section
+/// 3.2.1 of the paper) and for block-level failure masks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_SUPPORT_BITMAP_H
+#define WEARMEM_SUPPORT_BITMAP_H
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wearmem {
+
+/// Fixed-size-at-construction bit vector with word-at-a-time scans.
+class Bitmap {
+public:
+  Bitmap() = default;
+
+  explicit Bitmap(size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  size_t size() const { return NumBits; }
+
+  bool get(size_t Idx) const {
+    assert(Idx < NumBits && "bitmap index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  void set(size_t Idx) {
+    assert(Idx < NumBits && "bitmap index out of range");
+    Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+  }
+
+  void clear(size_t Idx) {
+    assert(Idx < NumBits && "bitmap index out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+
+  void setAll() {
+    for (auto &W : Words)
+      W = ~uint64_t(0);
+    maskTail();
+  }
+
+  void clearAll() {
+    for (auto &W : Words)
+      W = 0;
+  }
+
+  /// Number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(std::popcount(W));
+    return N;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W != 0)
+        return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// Index of the first set bit at or after \p From, or size() if none.
+  size_t findNextSet(size_t From) const {
+    if (From >= NumBits)
+      return NumBits;
+    size_t WordIdx = From / 64;
+    uint64_t Word = Words[WordIdx] & (~uint64_t(0) << (From % 64));
+    while (true) {
+      if (Word != 0) {
+        size_t Bit = WordIdx * 64 +
+                     static_cast<size_t>(std::countr_zero(Word));
+        return Bit < NumBits ? Bit : NumBits;
+      }
+      if (++WordIdx >= Words.size())
+        return NumBits;
+      Word = Words[WordIdx];
+    }
+  }
+
+  /// Index of the first clear bit at or after \p From, or size() if none.
+  size_t findNextClear(size_t From) const {
+    if (From >= NumBits)
+      return NumBits;
+    size_t WordIdx = From / 64;
+    uint64_t Word = ~Words[WordIdx] & (~uint64_t(0) << (From % 64));
+    while (true) {
+      if (Word != 0) {
+        size_t Bit = WordIdx * 64 +
+                     static_cast<size_t>(std::countr_zero(Word));
+        return Bit < NumBits ? Bit : NumBits;
+      }
+      if (++WordIdx >= Words.size())
+        return NumBits;
+      Word = ~Words[WordIdx];
+    }
+  }
+
+  /// True if every bit set in \p Other is also set in this bitmap, i.e.
+  /// Other's failures are a subset of ours (the OS page-compatibility test
+  /// of Section 3.2.3).
+  bool containsAll(const Bitmap &Other) const {
+    assert(NumBits == Other.NumBits && "bitmap size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if ((Other.Words[I] & ~Words[I]) != 0)
+        return false;
+    return true;
+  }
+
+  bool operator==(const Bitmap &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+  /// Raw word access, used when a 4 KB page's 64-line map is stored as one
+  /// machine word (the paper's uncompressed OS table encoding).
+  uint64_t word(size_t WordIdx) const {
+    assert(WordIdx < Words.size() && "word index out of range");
+    return Words[WordIdx];
+  }
+
+private:
+  void maskTail() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_SUPPORT_BITMAP_H

@@ -1,0 +1,149 @@
+//===- support/Random.h - Deterministic pseudo-random sources --*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation. Every source of
+/// randomness in the repository (failure maps, wear budgets, workload
+/// object graphs) flows through this generator so that experiments are
+/// exactly reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_SUPPORT_RANDOM_H
+#define WEARMEM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace wearmem {
+
+/// SplitMix64 generator, used both directly and to seed Xoshiro256.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** generator: fast, high-quality, and deterministic.
+///
+/// This is the workhorse RNG. It deliberately avoids <random> engines whose
+/// exact output sequences are implementation-defined for some distributions;
+/// all distribution shaping here is explicit and portable.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    SplitMix64 Seeder(Seed);
+    for (auto &Word : State)
+      Word = Seeder.next();
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Debiased multiply-shift (Lemire). The retry loop terminates quickly.
+    uint64_t X = next();
+    __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+    uint64_t Low = static_cast<uint64_t>(M);
+    if (Low < Bound) {
+      uint64_t Threshold = -Bound % Bound;
+      while (Low < Threshold) {
+        X = next();
+        M = static_cast<__uint128_t>(X) * Bound;
+        Low = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Standard normal sample (Box-Muller, one value per call).
+  double nextGaussian() {
+    if (HaveSpareGaussian) {
+      HaveSpareGaussian = false;
+      return SpareGaussian;
+    }
+    double U1 = nextDouble();
+    double U2 = nextDouble();
+    // Avoid log(0).
+    if (U1 < 1e-300)
+      U1 = 1e-300;
+    double R = std::sqrt(-2.0 * std::log(U1));
+    double Theta = 2.0 * 3.14159265358979323846 * U2;
+    SpareGaussian = R * std::sin(Theta);
+    HaveSpareGaussian = true;
+    return R * std::cos(Theta);
+  }
+
+  /// Geometric-ish positive sample with mean roughly \p Mean (>= 1).
+  uint64_t nextGeometric(double Mean) {
+    assert(Mean >= 1.0 && "mean must be at least one");
+    if (Mean <= 1.0)
+      return 1;
+    double P = 1.0 / Mean;
+    // Inverse-CDF sampling; clamp the tail to keep allocations bounded.
+    double U = nextDouble();
+    uint64_t Sample = 1;
+    double Q = 1.0 - P;
+    double Cum = P;
+    while (U > Cum && Sample < 64) {
+      U -= Cum;
+      Cum *= Q;
+      ++Sample;
+    }
+    return Sample;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+  double SpareGaussian = 0.0;
+  bool HaveSpareGaussian = false;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_SUPPORT_RANDOM_H

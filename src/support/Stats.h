@@ -1,0 +1,81 @@
+//===- support/Stats.h - Summary statistics for experiments ----*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / geometric-mean / confidence-interval helpers matching the paper's
+/// methodology (Section 5): results are means over repeated invocations with
+/// 95% confidence intervals, aggregated across benchmarks with geometric
+/// means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_SUPPORT_STATS_H
+#define WEARMEM_SUPPORT_STATS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace wearmem {
+
+/// Incremental mean/variance accumulator (Welford).
+class RunningStat {
+public:
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+  }
+
+  size_t count() const { return N; }
+  double mean() const { return Mean; }
+
+  double variance() const {
+    return N > 1 ? M2 / static_cast<double>(N - 1) : 0.0;
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Half-width of the 95% confidence interval on the mean (normal
+  /// approximation; the paper reports 95% CIs of around 1-2%).
+  double ci95() const {
+    if (N < 2)
+      return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(N));
+  }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+/// Geometric mean of a set of strictly positive values.
+inline double geomean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geomean of empty set");
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Arithmetic mean.
+inline double mean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "mean of empty set");
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+} // namespace wearmem
+
+#endif // WEARMEM_SUPPORT_STATS_H

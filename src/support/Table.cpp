@@ -1,0 +1,78 @@
+//===- support/Table.cpp - Plain-text tables for figure output -----------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+using namespace wearmem;
+
+void Table::setHeader(std::vector<std::string> Names) {
+  assert(Rows.empty() && "header must be set before rows are added");
+  Header = std::move(Names);
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(!Header.empty() && "setHeader must be called first");
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::print(FILE *Out) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  if (!Caption.empty())
+    std::fprintf(Out, "## %s\n", Caption.c_str());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C != Cells.size(); ++C)
+      std::fprintf(Out, "%s%-*s", C == 0 ? "" : "  ",
+                   static_cast<int>(Widths[C]), Cells[C].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Header);
+  size_t Total = Header.size() - 1;
+  for (size_t W : Widths)
+    Total += W + 1;
+  for (size_t I = 0; I != Total; ++I)
+    std::fputc('-', Out);
+  std::fputc('\n', Out);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+  std::fputc('\n', Out);
+}
+
+std::string Table::num(double Value, int Precision) {
+  if (std::isnan(Value))
+    return "-";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::bytes(uint64_t Bytes) {
+  char Buf[64];
+  if (Bytes >= 1024 * 1024 && Bytes % (1024 * 1024) == 0)
+    std::snprintf(Buf, sizeof(Buf), "%lluMiB",
+                  static_cast<unsigned long long>(Bytes / (1024 * 1024)));
+  else if (Bytes >= 1024 && Bytes % 1024 == 0)
+    std::snprintf(Buf, sizeof(Buf), "%lluKiB",
+                  static_cast<unsigned long long>(Bytes / 1024));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%lluB",
+                  static_cast<unsigned long long>(Bytes));
+  return Buf;
+}

@@ -1,0 +1,55 @@
+//===- support/Table.h - Plain-text tables for figure output ---*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-width table printer. Each benchmark binary regenerates one
+/// of the paper's figures as a table of series (x value per row, one column
+/// per configuration), so the harness output can be compared against the
+/// published curves directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_SUPPORT_TABLE_H
+#define WEARMEM_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wearmem {
+
+/// A column-aligned text table with an optional caption.
+class Table {
+public:
+  explicit Table(std::string Caption) : Caption(std::move(Caption)) {}
+
+  /// Sets the header row. Must be called before any addRow.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Appends a row of preformatted cells; pads/truncates to header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to \p Out (defaults to stdout).
+  void print(FILE *Out = stdout) const;
+
+  /// Formats a double with \p Precision digits, or "-" for NaN (used to
+  /// mark configurations that did not complete, matching the truncated
+  /// curves in the paper's figures).
+  static std::string num(double Value, int Precision = 3);
+
+  /// Formats a byte count with a binary-unit suffix.
+  static std::string bytes(uint64_t Bytes);
+
+private:
+  std::string Caption;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_SUPPORT_TABLE_H

@@ -1,0 +1,57 @@
+//===- support/Units.h - Size constants and alignment helpers --*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-size constants and the small alignment arithmetic used throughout
+/// the PCM device model, the OS page layer, and the Immix heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_SUPPORT_UNITS_H
+#define WEARMEM_SUPPORT_UNITS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace wearmem {
+
+constexpr size_t KiB = 1024;
+constexpr size_t MiB = 1024 * KiB;
+constexpr size_t GiB = 1024 * MiB;
+
+/// Returns true if \p V is a power of two (and nonzero).
+constexpr bool isPowerOfTwo(uint64_t V) { return V != 0 && (V & (V - 1)) == 0; }
+
+/// Rounds \p V up to the next multiple of \p Align (a power of two).
+constexpr uint64_t alignUp(uint64_t V, uint64_t Align) {
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+/// Rounds \p V down to the previous multiple of \p Align (a power of two).
+constexpr uint64_t alignDown(uint64_t V, uint64_t Align) {
+  return V & ~(Align - 1);
+}
+
+/// Returns the number of \p Unit-sized chunks needed to cover \p Bytes.
+constexpr uint64_t divCeil(uint64_t Bytes, uint64_t Unit) {
+  return (Bytes + Unit - 1) / Unit;
+}
+
+/// Integer log2 of a power of two.
+constexpr unsigned log2Exact(uint64_t V) {
+  unsigned Log = 0;
+  while (V > 1) {
+    V >>= 1;
+    ++Log;
+  }
+  return Log;
+}
+
+} // namespace wearmem
+
+#endif // WEARMEM_SUPPORT_UNITS_H

@@ -1,0 +1,147 @@
+//===- workload/Mutator.cpp - Object-graph workload driver ----------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Mutator.h"
+
+#include "core/DiscontiguousArray.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace wearmem;
+
+Mutator::Mutator(Runtime &Rt, const Profile &P, uint64_t Seed,
+                 double VolumeScale)
+    : Rt(Rt), P(P), Rand(Seed) {
+  double Mean = meanObjectBytes(P.Mix);
+  NumSlots = std::max<size_t>(
+      64, static_cast<size_t>(static_cast<double>(P.LiveSetBytes) / Mean));
+  NumChunks = divCeil(NumSlots, SlotsPerChunk);
+  NumSlots = NumChunks * SlotsPerChunk;
+  TargetBytes = static_cast<uint64_t>(
+      static_cast<double>(P.AllocVolumeBytes) * VolumeScale);
+}
+
+ObjRef Mutator::allocateSampled(const SampledObject &S, bool Pinned) {
+  if (S.Large && Rt.config().UseDiscontiguousArrays)
+    return allocateDiscontiguousArray(Rt, S.PayloadBytes);
+  return Rt.allocate(S.PayloadBytes, S.NumRefs, Pinned);
+}
+
+ObjRef Mutator::chunkOf(size_t Slot) {
+  assert(Slot < NumSlots && "slot out of range");
+  return Runtime::readRef(Spine.get(),
+                          static_cast<unsigned>(Slot / SlotsPerChunk));
+}
+
+ObjRef Mutator::slotGet(size_t Slot) {
+  return Runtime::readRef(chunkOf(Slot),
+                          static_cast<unsigned>(Slot % SlotsPerChunk));
+}
+
+void Mutator::slotSet(size_t Slot, ObjRef Obj) {
+  Rt.writeRef(chunkOf(Slot), static_cast<unsigned>(Slot % SlotsPerChunk),
+              Obj);
+}
+
+bool Mutator::setUp() {
+  assert(!SetUpDone && "setUp must run once");
+  // Spine: one reference per chunk. Large spines land in the LOS, which
+  // is realistic (big container arrays) and keeps the root count at one.
+  ObjRef SpineObj =
+      Rt.allocate(0, static_cast<uint16_t>(NumChunks));
+  if (!SpineObj)
+    return false;
+  Spine = Handle(Rt, SpineObj);
+
+  for (size_t Chunk = 0; Chunk != NumChunks; ++Chunk) {
+    ObjRef ChunkObj =
+        Rt.allocate(0, static_cast<uint16_t>(SlotsPerChunk));
+    if (!ChunkObj)
+      return false;
+    Rt.writeRef(Spine.get(), static_cast<unsigned>(Chunk), ChunkObj);
+  }
+
+  // Populate every slot so the live set starts at its steady-state size.
+  for (size_t Slot = 0; Slot != NumSlots; ++Slot) {
+    SampledObject S = sampleObject(P.Mix, Rand);
+    bool Pinned = !S.Large && Rand.nextBool(P.PinnedFraction);
+    ObjRef Obj = allocateSampled(S, Pinned);
+    if (!Obj)
+      return false;
+    // Wire its references to already-populated slots.
+    for (unsigned R = 0; R != S.NumRefs; ++R) {
+      if (Slot == 0)
+        break;
+      ObjRef Target = slotGet(Rand.nextBelow(Slot));
+      Rt.writeRef(Obj, R, Target);
+    }
+    slotSet(Slot, Obj);
+  }
+  SetUpDone = true;
+  return !Rt.outOfMemory();
+}
+
+bool Mutator::step() {
+  assert(SetUpDone && "setUp must run first");
+  SampledObject S = sampleObject(P.Mix, Rand);
+  bool Survives = Rand.nextBool(P.SurvivalRate);
+  bool Pinned = !S.Large && Survives && Rand.nextBool(P.PinnedFraction);
+
+  ObjRef Obj = allocateSampled(S, Pinned);
+  if (!Obj)
+    return false;
+  SteadyAllocated += S.Large && Rt.config().UseDiscontiguousArrays
+                         ? S.PayloadBytes
+                         : objectSize(Obj);
+
+  // Initialize a little of the payload (programs write what they
+  // allocate; full-object writes would swamp the measurement).
+  if (S.Large && Rt.config().UseDiscontiguousArrays) {
+    uint8_t Pattern[32];
+    std::memset(Pattern, 0xAB, sizeof(Pattern));
+    copyToDiscontiguous(Obj, 0, Pattern, sizeof(Pattern));
+  } else {
+    size_t PayloadBytes = objectPayloadSize(Obj);
+    if (PayloadBytes > 0)
+      std::memset(objectPayload(Obj), 0xAB,
+                  std::min<size_t>(32, PayloadBytes));
+  }
+
+  // Wire outgoing references to random live objects.
+  for (unsigned R = 0; R != S.NumRefs; ++R) {
+    ObjRef Target = slotGet(Rand.nextBelow(NumSlots));
+    Rt.writeRef(Obj, R, Target);
+  }
+
+  if (Survives)
+    slotSet(Rand.nextBelow(NumSlots), Obj); // Evicts the old occupant.
+
+  // Pointer mutations over the existing graph (write-barrier load).
+  double Mutations = P.MutationRate;
+  while (Mutations > 0.0 &&
+         (Mutations >= 1.0 || Rand.nextBool(Mutations))) {
+    Mutations -= 1.0;
+    ObjRef Victim = slotGet(Rand.nextBelow(NumSlots));
+    unsigned NumRefs = objectNumRefs(Victim);
+    if (NumRefs > 0) {
+      ObjRef Target = slotGet(Rand.nextBelow(NumSlots));
+      Rt.writeRef(Victim, Rand.nextBelow(NumRefs), Target);
+    }
+  }
+  return true;
+}
+
+bool Mutator::run() {
+  if (!setUp())
+    return false;
+  while (SteadyAllocated < TargetBytes)
+    if (!step())
+      return false;
+  return !Rt.outOfMemory();
+}

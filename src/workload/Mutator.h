@@ -1,0 +1,79 @@
+//===- workload/Mutator.h - Object-graph workload driver --------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a Runtime with a profile-shaped allocation and mutation stream.
+/// The live set is a rooted backbone - a spine object pointing to chunk
+/// objects, whose reference slots hold the "live" data objects - so every
+/// live reference lives *inside the heap* and the collector is free to
+/// move anything. The mutator holds no raw object pointers across
+/// allocations (every operation renavigates from the rooted spine), which
+/// is exactly the discipline a compiled managed program obeys.
+///
+/// Steady-state behaviour: each step allocates one sampled object;
+/// with probability SurvivalRate the new object replaces a random
+/// backbone slot (evicting its previous occupant into garbage), otherwise
+/// it dies immediately - the generational hypothesis in miniature.
+/// Pointer mutations overwrite random backbone references, exercising the
+/// sticky collectors' write barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_WORKLOAD_MUTATOR_H
+#define WEARMEM_WORKLOAD_MUTATOR_H
+
+#include "core/Runtime.h"
+#include "workload/Profile.h"
+
+#include <cstdint>
+
+namespace wearmem {
+
+class Mutator {
+public:
+  /// \p VolumeScale scales the steady-state allocation volume (the live
+  /// set is never scaled).
+  Mutator(Runtime &Rt, const Profile &P, uint64_t Seed,
+          double VolumeScale = 1.0);
+
+  /// Builds the backbone (spine, chunks, initial live objects). Returns
+  /// false on heap exhaustion.
+  bool setUp();
+
+  /// One allocation step plus its mutations. False on heap exhaustion.
+  bool step();
+
+  /// setUp + steps until the allocation volume is reached. Returns true
+  /// if the run completed.
+  bool run();
+
+  uint64_t steadyAllocatedBytes() const { return SteadyAllocated; }
+  uint64_t targetBytes() const { return TargetBytes; }
+  size_t backboneSlots() const { return NumSlots; }
+
+private:
+  ObjRef allocateSampled(const SampledObject &S, bool Pinned);
+  ObjRef slotGet(size_t Slot);
+  void slotSet(size_t Slot, ObjRef Obj);
+  ObjRef chunkOf(size_t Slot);
+
+  Runtime &Rt;
+  const Profile &P;
+  Rng Rand;
+  Handle Spine;
+  size_t NumSlots = 0;
+  size_t NumChunks = 0;
+  uint64_t SteadyAllocated = 0;
+  uint64_t TargetBytes = 0;
+  bool SetUpDone = false;
+
+  static constexpr size_t SlotsPerChunk = 30;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_WORKLOAD_MUTATOR_H

@@ -1,0 +1,172 @@
+//===- tests/BlockTest.cpp - Immix block and line-map tests ---------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Block.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+using namespace wearmem;
+
+namespace {
+
+struct BlockFixture {
+  explicit BlockFixture(size_t LineSize) {
+    Config.LineSize = LineSize;
+    Mem = static_cast<uint8_t *>(
+        std::aligned_alloc(Config.BlockSize, Config.BlockSize));
+    TheBlock = std::make_unique<Block>(Mem, Config);
+  }
+  ~BlockFixture() { std::free(Mem); }
+
+  HeapConfig Config;
+  uint8_t *Mem;
+  std::unique_ptr<Block> TheBlock;
+};
+
+} // namespace
+
+TEST(BlockTest, Geometry) {
+  BlockFixture F(256);
+  EXPECT_EQ(F.TheBlock->lineCount(), 128u);
+  EXPECT_EQ(F.TheBlock->lineAddr(3), F.Mem + 3 * 256);
+  EXPECT_EQ(F.TheBlock->lineOf(F.Mem + 1000), 3u);
+  EXPECT_TRUE(F.TheBlock->isPerfect());
+}
+
+TEST(BlockTest, FailureWordIntakeExpandsToImmixLines) {
+  // One failed 64 B PCM line poisons a whole 256 B Immix line: the false
+  // failure effect of Section 6.2.
+  BlockFixture F(256);
+  uint64_t Words[8] = {};
+  Words[0] = 0b1; // PCM line 0 -> Immix line 0.
+  Words[2] = uint64_t(1) << 17; // Page 2, PCM line 17.
+  F.TheBlock->applyFailureWords(Words, 8);
+  EXPECT_EQ(F.TheBlock->failedLines(), 2u);
+  EXPECT_TRUE(F.TheBlock->lineIsFailed(0));
+  // Page 2 starts at byte 8192 = Immix line 32; PCM line 17 is at byte
+  // offset 17*64 = 1088 into the page -> Immix line 32 + 4.
+  EXPECT_TRUE(F.TheBlock->lineIsFailed(36));
+  EXPECT_FALSE(F.TheBlock->isPerfect());
+  // With 64 B Immix lines there is no false-failure expansion.
+  BlockFixture G(64);
+  G.TheBlock->applyFailureWords(Words, 8);
+  EXPECT_EQ(G.TheBlock->failedLines(), 2u);
+  EXPECT_TRUE(G.TheBlock->lineIsFailed(0));
+  EXPECT_TRUE(G.TheBlock->lineIsFailed(2 * 64 + 17));
+}
+
+TEST(BlockTest, FindHoleSkipsLiveAndFailed) {
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  B.markLine(2, 5);
+  B.markLine(3, 5);
+  B.failLine(6);
+  Hole H;
+  // Conservative: line 4 is implicitly live (follows live line 3).
+  ASSERT_TRUE(B.findHole(0, 5, 5, /*Conservative=*/true, H));
+  EXPECT_EQ(H.StartLine, 0u);
+  EXPECT_EQ(H.EndLine, 2u);
+  ASSERT_TRUE(B.findHole(H.EndLine, 5, 5, true, H));
+  EXPECT_EQ(H.StartLine, 5u);
+  EXPECT_EQ(H.EndLine, 6u);
+  ASSERT_TRUE(B.findHole(H.EndLine, 5, 5, true, H));
+  EXPECT_EQ(H.StartLine, 7u);
+  EXPECT_EQ(H.EndLine, 128u);
+  EXPECT_FALSE(B.findHole(H.EndLine, 5, 5, true, H));
+}
+
+TEST(BlockTest, FindHoleExactMode) {
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  B.markLine(2, 5);
+  Hole H;
+  ASSERT_TRUE(B.findHole(0, 5, 5, /*Conservative=*/false, H));
+  EXPECT_EQ(H.StartLine, 0u);
+  EXPECT_EQ(H.EndLine, 2u);
+  ASSERT_TRUE(B.findHole(2, 5, 5, false, H));
+  EXPECT_EQ(H.StartLine, 3u); // No implicit-live skip in exact mode.
+}
+
+TEST(BlockTest, FindHoleRespectsBothEpochs) {
+  // Regression test for the evacuation bug: during a full collection,
+  // lines live at the previous sweep (epoch 5) AND lines the trace just
+  // re-marked (epoch 6) must both be treated as unavailable.
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  B.markLine(0, 5); // Live at the last sweep, not yet re-marked.
+  B.markLine(1, 6); // Re-marked in place by the in-progress trace.
+  Hole H;
+  ASSERT_TRUE(B.findHole(0, 5, 6, /*Conservative=*/false, H));
+  EXPECT_EQ(H.StartLine, 2u);
+}
+
+TEST(BlockTest, StaleEpochsReadAsFree) {
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  B.markLine(0, 4); // Stale: dead since epoch 5.
+  Hole H;
+  ASSERT_TRUE(B.findHole(0, 5, 5, false, H));
+  EXPECT_EQ(H.StartLine, 0u);
+}
+
+TEST(BlockTest, SweepClassifiesAndCounts) {
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  B.failLine(10);
+  B.markLine(20, 7);
+  B.markLine(40, 7);
+  Block::SweepResult R = B.sweep(7, /*Conservative=*/true);
+  EXPECT_FALSE(R.Empty);
+  // 128 lines - 1 failed - 2 live - 2 implicit (21 and 41).
+  EXPECT_EQ(R.FreeLines, 128u - 5u);
+  EXPECT_EQ(R.Holes, 4u); // [0,10) [11,20) [22,40) [42,128).
+  EXPECT_EQ(B.freeLines(), R.FreeLines);
+
+  // At the next epoch everything stale reads as free except failures.
+  Block::SweepResult R2 = B.sweep(8, true);
+  EXPECT_TRUE(R2.Empty);
+  EXPECT_EQ(R2.FreeLines, 127u);
+  EXPECT_EQ(R2.Holes, 2u);
+}
+
+TEST(BlockTest, DynamicPcmFailureUpdatesWords) {
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  uint64_t Words[8] = {};
+  B.applyFailureWords(Words, 8);
+  // Fail the PCM line at byte 4096+128 (page 1, PCM line 2).
+  B.failPcmLineAt(4096 + 128);
+  EXPECT_EQ(B.pageFailureWords()[1], uint64_t(1) << 2);
+  // The covering Immix line (16 + 0) is retired.
+  EXPECT_TRUE(B.lineIsFailed(16));
+  EXPECT_EQ(B.failedLines(), 1u);
+}
+
+TEST(BlockTest, UnfailPageRestoresLines) {
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  uint64_t Words[8] = {};
+  Words[3] = 0xFF; // 8 failed PCM lines in page 3 -> 2 Immix lines.
+  B.applyFailureWords(Words, 8);
+  EXPECT_EQ(B.failedLines(), 2u);
+  unsigned Restored = B.unfailPage(3);
+  EXPECT_EQ(Restored, 2u);
+  EXPECT_EQ(B.failedLines(), 0u);
+  EXPECT_EQ(B.pageFailureWords()[3], 0u);
+  EXPECT_TRUE(B.isPerfect());
+}
+
+TEST(BlockTest, MarkLineNeverOverwritesFailed) {
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  B.failLine(5);
+  B.markLine(5, 9);
+  EXPECT_TRUE(B.lineIsFailed(5));
+}

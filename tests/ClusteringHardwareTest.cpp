@@ -1,0 +1,154 @@
+//===- tests/ClusteringHardwareTest.cpp - Redirection hardware tests ------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/ClusteringHardware.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace wearmem;
+
+namespace {
+std::function<void(unsigned)> noCapture() {
+  return [](unsigned) {};
+}
+} // namespace
+
+TEST(RegionRedirectorTest, IdentityUntilFirstFailure) {
+  RegionRedirector R(128, /*ClusterAtStart=*/true, /*MetaLines=*/2);
+  EXPECT_FALSE(R.installed());
+  for (unsigned I = 0; I != 128; ++I)
+    EXPECT_EQ(R.translate(I), I);
+  EXPECT_EQ(R.deadLines(), 0u);
+}
+
+TEST(RegionRedirectorTest, FirstFailureInstallsMapAndMetadata) {
+  RegionRedirector R(128, true, 2);
+  std::vector<unsigned> Captured;
+  RedirectOutcome Outcome = R.onFailure(
+      60, [&Captured](unsigned Off) { Captured.push_back(Off); });
+  EXPECT_TRUE(Outcome.InstalledMap);
+  // Metadata lines 0 and 1, then the boundary victim 2.
+  ASSERT_EQ(Outcome.NewlyFailedLogical.size(), 3u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[0], 0u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[1], 1u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[2], 2u);
+  EXPECT_EQ(Captured, (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(R.deadLines(), 3u);
+  // Logical 60 now maps to the physical line that backed logical 2; the
+  // dead physical 60 retired at logical slot 2.
+  EXPECT_EQ(R.translate(60), 2u);
+  EXPECT_EQ(R.translate(2), 60u);
+  EXPECT_TRUE(R.isLogicallyDead(0));
+  EXPECT_TRUE(R.isLogicallyDead(2));
+  EXPECT_FALSE(R.isLogicallyDead(3));
+  EXPECT_FALSE(R.isLogicallyDead(60));
+}
+
+TEST(RegionRedirectorTest, SubsequentFailuresAdvanceBoundary) {
+  RegionRedirector R(128, true, 2);
+  R.onFailure(60, noCapture());
+  RedirectOutcome Second = R.onFailure(100, noCapture());
+  EXPECT_FALSE(Second.InstalledMap);
+  ASSERT_EQ(Second.NewlyFailedLogical.size(), 1u);
+  EXPECT_EQ(Second.NewlyFailedLogical[0], 3u);
+  EXPECT_EQ(R.deadLines(), 4u);
+  EXPECT_EQ(R.translate(100), 3u);
+}
+
+TEST(RegionRedirectorTest, ClusterAtEnd) {
+  RegionRedirector R(64, /*ClusterAtStart=*/false, 1);
+  RedirectOutcome Outcome = R.onFailure(10, noCapture());
+  // Metadata at 63, victim at 62.
+  ASSERT_EQ(Outcome.NewlyFailedLogical.size(), 2u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[0], 63u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[1], 62u);
+  EXPECT_TRUE(R.isLogicallyDead(63));
+  EXPECT_TRUE(R.isLogicallyDead(62));
+  EXPECT_FALSE(R.isLogicallyDead(0));
+}
+
+TEST(RegionRedirectorTest, MappingStaysBijective) {
+  RegionRedirector R(128, true, 2);
+  Rng Rand(5);
+  for (int Failure = 0; Failure != 50; ++Failure) {
+    // Fail a random live logical line.
+    unsigned Off;
+    do {
+      Off = static_cast<unsigned>(Rand.nextBelow(128));
+    } while (R.isLogicallyDead(Off));
+    R.onFailure(Off, noCapture());
+    std::set<unsigned> Physical;
+    for (unsigned I = 0; I != 128; ++I)
+      Physical.insert(R.translate(I));
+    EXPECT_EQ(Physical.size(), 128u) << "mapping lost bijectivity";
+  }
+  // 50 failures + 2 metadata lines are dead.
+  EXPECT_EQ(R.deadLines(), 52u);
+}
+
+TEST(RegionRedirectorTest, FailureOnMetadataSlot) {
+  // The failing line is logical 0, which is exactly where the map goes:
+  // the hardware consumes an extra boundary slot for the dead physical
+  // line.
+  RegionRedirector R(64, true, 1);
+  RedirectOutcome Outcome = R.onFailure(0, noCapture());
+  EXPECT_TRUE(Outcome.InstalledMap);
+  ASSERT_EQ(Outcome.NewlyFailedLogical.size(), 2u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[0], 0u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[1], 1u);
+  // Bijection preserved.
+  std::set<unsigned> Physical;
+  for (unsigned I = 0; I != 64; ++I)
+    Physical.insert(R.translate(I));
+  EXPECT_EQ(Physical.size(), 64u);
+}
+
+TEST(ClusteringHardwareTest, AlternatingDirections) {
+  ClusteringHardware Hw(/*NumPages=*/8, /*RegionPages=*/2);
+  EXPECT_EQ(Hw.numRegions(), 4u);
+  EXPECT_EQ(Hw.linesPerRegion(), 128u);
+  // Fail one line in region 0 (even: clusters at start) and one in
+  // region 1 (odd: clusters at end).
+  Hw.routeFailure(50, [](LineIndex) {});
+  Hw.routeFailure(128 + 50, [](LineIndex) {});
+  EXPECT_TRUE(Hw.isLogicallyDead(0));
+  EXPECT_TRUE(Hw.isLogicallyDead(2)); // 2 metadata + 1 victim at start.
+  EXPECT_TRUE(Hw.isLogicallyDead(255));
+  EXPECT_TRUE(Hw.isLogicallyDead(253));
+  EXPECT_FALSE(Hw.isLogicallyDead(64));
+  EXPECT_FALSE(Hw.isLogicallyDead(50));
+}
+
+TEST(ClusteringHardwareTest, MapCacheCountsLookups) {
+  ClusteringHardware Hw(8, 2, /*MapCacheSize=*/2);
+  Hw.routeFailure(5, [](LineIndex) {});
+  EXPECT_EQ(Hw.mapLookups(), 0u);
+  Hw.translate(10); // Region 0: installed, first lookup misses the cache.
+  Hw.translate(11); // Hit.
+  EXPECT_EQ(Hw.mapLookups(), 2u);
+  EXPECT_EQ(Hw.mapCacheHits(), 1u);
+  // Uninstalled regions never consult a map.
+  Hw.translate(300);
+  EXPECT_EQ(Hw.mapLookups(), 2u);
+}
+
+TEST(ClusteringHardwareTest, ModuleWideIndices) {
+  ClusteringHardware Hw(4, 2);
+  std::vector<LineIndex> Captured;
+  RedirectOutcome Outcome = Hw.routeFailure(
+      128 + 77, [&Captured](LineIndex L) { Captured.push_back(L); });
+  // Region 1 (odd) clusters at its end: lines 255, 254 (metadata), 253.
+  ASSERT_EQ(Outcome.NewlyFailedLogical.size(), 3u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[0], 255u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[1], 254u);
+  EXPECT_EQ(Outcome.NewlyFailedLogical[2], 253u);
+  EXPECT_EQ(Captured.size(), 3u);
+  for (LineIndex L : Captured)
+    EXPECT_GE(L, 128u);
+}

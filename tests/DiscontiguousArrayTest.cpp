@@ -1,0 +1,149 @@
+//===- tests/DiscontiguousArrayTest.cpp - Arraylet array tests ------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DiscontiguousArray.h"
+#include "workload/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace wearmem;
+
+namespace {
+RuntimeConfig arrayConfig(double Rate, unsigned ClusterPages) {
+  RuntimeConfig Config;
+  Config.HeapBytes = 12 * MiB;
+  Config.FailureRate = Rate;
+  Config.ClusteringRegionPages = ClusterPages;
+  return Config;
+}
+} // namespace
+
+TEST(DiscontiguousArrayTest, RoundTrip) {
+  Runtime Rt(arrayConfig(0.0, 0));
+  constexpr size_t Size = 100 * 1000;
+  ObjRef Spine = allocateDiscontiguousArray(Rt, Size);
+  ASSERT_NE(Spine, nullptr);
+  Handle Root(Rt, Spine);
+  EXPECT_TRUE(isDiscontiguousArray(Root.get()));
+  EXPECT_EQ(discontiguousArrayBytes(Root.get()), Size);
+  EXPECT_EQ(discontiguousArrayletBytes(Root.get()),
+            DefaultArrayletBytes);
+
+  std::vector<uint8_t> Data(Size);
+  for (size_t I = 0; I != Size; ++I)
+    Data[I] = static_cast<uint8_t>(I * 31 + 7);
+  copyToDiscontiguous(Root.get(), 0, Data.data(), Size);
+
+  std::vector<uint8_t> Back(Size);
+  copyFromDiscontiguous(Root.get(), 0, Back.data(), Size);
+  EXPECT_EQ(Data, Back);
+  EXPECT_EQ(readDiscontiguousByte(Root.get(), 12345), Data[12345]);
+}
+
+TEST(DiscontiguousArrayTest, UnalignedRangesCrossArraylets) {
+  Runtime Rt(arrayConfig(0.0, 0));
+  ObjRef Spine = allocateDiscontiguousArray(Rt, 3 * DefaultArrayletBytes);
+  ASSERT_NE(Spine, nullptr);
+  Handle Root(Rt, Spine);
+  // Write a range straddling two arraylet boundaries.
+  std::vector<uint8_t> Data(DefaultArrayletBytes + 100, 0x3C);
+  size_t Offset = DefaultArrayletBytes - 50;
+  copyToDiscontiguous(Root.get(), Offset, Data.data(), Data.size());
+  for (size_t I = 0; I != Data.size(); ++I)
+    ASSERT_EQ(readDiscontiguousByte(Root.get(), Offset + I), 0x3C);
+  // Neighbouring bytes untouched (zero-initialized).
+  EXPECT_EQ(readDiscontiguousByte(Root.get(), Offset - 1), 0);
+  EXPECT_EQ(readDiscontiguousByte(Root.get(), Offset + Data.size()), 0);
+}
+
+TEST(DiscontiguousArrayTest, SurvivesMovingCollections) {
+  Runtime Rt(arrayConfig(0.0, 0));
+  constexpr size_t Size = 64 * KiB;
+  ObjRef Spine = allocateDiscontiguousArray(Rt, Size);
+  ASSERT_NE(Spine, nullptr);
+  Handle Root(Rt, Spine);
+  std::vector<uint8_t> Data(Size);
+  for (size_t I = 0; I != Size; ++I)
+    Data[I] = static_cast<uint8_t>(I ^ (I >> 8));
+  copyToDiscontiguous(Root.get(), 0, Data.data(), Size);
+
+  // Churn with a sparse retained tail: blocks end up sparsely populated,
+  // which makes them defragmentation candidates, so collections really
+  // move objects (including arraylets).
+  std::vector<Handle> Sparse;
+  for (int GC = 0; GC != 6; ++GC) {
+    for (int I = 0; I != 3000; ++I) {
+      ObjRef Obj = Rt.allocate(48, 1);
+      ASSERT_NE(Obj, nullptr);
+      if (I % 97 == 0) {
+        if (Sparse.size() >= 64)
+          Sparse.erase(Sparse.begin());
+        Sparse.push_back(Handle(Rt, Obj));
+      }
+    }
+    Rt.collect(GC % 2 == 0);
+    std::vector<uint8_t> Back(Size);
+    copyFromDiscontiguous(Root.get(), 0, Back.data(), Size);
+    ASSERT_EQ(Data, Back) << "after GC " << GC;
+  }
+  EXPECT_GT(Rt.stats().ObjectsEvacuated, 0u);
+}
+
+TEST(DiscontiguousArrayTest, WorksAtHighFailureWithoutClustering) {
+  // At 50% failures with NO clustering hardware, page-grained large
+  // objects need one borrowed perfect page per data page forever; a
+  // discontiguous array lives in imperfect memory (its medium arraylets
+  // may still trip the overflow perfect-block fallback, but those blocks
+  // are shared and reused). Steady-state churn shows the difference.
+  Runtime ArrayRt(arrayConfig(0.50, 0));
+  Runtime LosRt(arrayConfig(0.50, 0));
+  for (int Round = 0; Round != 40; ++Round) {
+    ObjRef Spine = allocateDiscontiguousArray(ArrayRt, 64 * KiB);
+    ASSERT_NE(Spine, nullptr);
+    Handle Root(ArrayRt, Spine);
+    writeDiscontiguousByte(Root.get(), 60000, 0x77);
+    ASSERT_EQ(readDiscontiguousByte(Root.get(), 60000), 0x77);
+
+    ObjRef Big = LosRt.allocate(64 * KiB, 0);
+    ASSERT_NE(Big, nullptr);
+  }
+  ArrayRt.collect(true);
+  ArrayRt.heap().verifyIntegrity();
+  // The arraylet heap borrows far fewer perfect pages than the LOS heap.
+  EXPECT_LT(ArrayRt.osStats().DramBorrowed,
+            LosRt.osStats().DramBorrowed / 2);
+  EXPECT_EQ(ArrayRt.stats().LargeObjectAllocs, 0u);
+}
+
+TEST(DiscontiguousArrayTest, SpineStaysBelowLosThreshold) {
+  Runtime Rt(arrayConfig(0.0, 0));
+  size_t Max = maxDiscontiguousArrayBytes(Rt);
+  EXPECT_GE(Max, 200 * KiB);
+  ObjRef Spine = allocateDiscontiguousArray(Rt, Max);
+  ASSERT_NE(Spine, nullptr);
+  EXPECT_FALSE(objectHasFlag(Spine, FlagLarge));
+}
+
+TEST(DiscontiguousArrayTest, MutatorIntegration) {
+  // eclipse has a modest large-array share; the heavily array-bound
+  // xalan needs clustering or bigger heaps with arraylets because every
+  // spine is a medium object hunting for a multi-line hole (see the
+  // abl05 bench, where that trade-off is the point).
+  const Profile *P = findProfile("eclipse");
+  ASSERT_NE(P, nullptr);
+  RuntimeConfig Config;
+  Config.HeapBytes = heapBytesFor(*P, 2.5);
+  Config.FailureRate = 0.10;
+  Config.UseDiscontiguousArrays = true;
+  RunResult R = runOnce(*P, Config);
+  EXPECT_TRUE(R.Completed);
+  // The LOS was bypassed for the workload's arrays (only the mutator's
+  // own backbone spine may land there).
+  EXPECT_LE(R.Stats.LargeObjectAllocs, 1u);
+}

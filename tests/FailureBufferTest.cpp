@@ -1,0 +1,85 @@
+//===- tests/FailureBufferTest.cpp - Failure buffer unit tests ------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/FailureBuffer.h"
+
+#include <gtest/gtest.h>
+
+using namespace wearmem;
+
+static FailureRecord makeRecord(PcmAddr LineAddr, uint8_t Fill) {
+  FailureRecord Record;
+  Record.LineAddr = LineAddr;
+  Record.Data.fill(Fill);
+  return Record;
+}
+
+TEST(FailureBufferTest, PushLookup) {
+  FailureBuffer Buffer(8);
+  EXPECT_TRUE(Buffer.empty());
+  EXPECT_TRUE(Buffer.push(makeRecord(0, 0x11)));
+  EXPECT_TRUE(Buffer.push(makeRecord(64, 0x22)));
+  ASSERT_NE(Buffer.lookup(0), nullptr);
+  EXPECT_EQ(Buffer.lookup(0)[0], 0x11);
+  EXPECT_EQ(Buffer.lookup(64)[0], 0x22);
+  EXPECT_EQ(Buffer.lookup(128), nullptr);
+}
+
+TEST(FailureBufferTest, SameAddressInvalidatesEarlier) {
+  FailureBuffer Buffer(4);
+  EXPECT_TRUE(Buffer.push(makeRecord(64, 0xAA)));
+  EXPECT_TRUE(Buffer.push(makeRecord(64, 0xBB)));
+  EXPECT_EQ(Buffer.size(), 1u);
+  EXPECT_EQ(Buffer.lookup(64)[0], 0xBB);
+}
+
+TEST(FailureBufferTest, FifoOrder) {
+  FailureBuffer Buffer(8);
+  Buffer.push(makeRecord(0, 1));
+  Buffer.push(makeRecord(64, 2));
+  Buffer.push(makeRecord(128, 3));
+  std::vector<FailureRecord> Pending = Buffer.pending();
+  ASSERT_EQ(Pending.size(), 3u);
+  EXPECT_EQ(Pending[0].LineAddr, 0u);
+  EXPECT_EQ(Pending[1].LineAddr, 64u);
+  EXPECT_EQ(Pending[2].LineAddr, 128u);
+}
+
+TEST(FailureBufferTest, Invalidate) {
+  FailureBuffer Buffer(8);
+  Buffer.push(makeRecord(64, 7));
+  EXPECT_TRUE(Buffer.invalidate(64));
+  EXPECT_FALSE(Buffer.invalidate(64));
+  EXPECT_EQ(Buffer.lookup(64), nullptr);
+  EXPECT_TRUE(Buffer.empty());
+}
+
+TEST(FailureBufferTest, NearFullWithDrainReserve) {
+  FailureBuffer Buffer(4, /*DrainReserve=*/2);
+  EXPECT_FALSE(Buffer.nearFull());
+  Buffer.push(makeRecord(0, 0));
+  EXPECT_FALSE(Buffer.nearFull());
+  Buffer.push(makeRecord(64, 0));
+  // 2 entries + 2 reserved = capacity: the stall threshold.
+  EXPECT_TRUE(Buffer.nearFull());
+  // The reserve still accepts the in-flight failures.
+  EXPECT_TRUE(Buffer.push(makeRecord(128, 0)));
+  EXPECT_TRUE(Buffer.push(makeRecord(192, 0)));
+  // Completely full: data would be lost.
+  EXPECT_FALSE(Buffer.push(makeRecord(256, 0)));
+  EXPECT_EQ(Buffer.highWater(), 4u);
+}
+
+TEST(FailureBufferTest, HighWaterTracksPeak) {
+  FailureBuffer Buffer(8);
+  Buffer.push(makeRecord(0, 0));
+  Buffer.push(makeRecord(64, 0));
+  Buffer.invalidate(0);
+  Buffer.invalidate(64);
+  EXPECT_EQ(Buffer.size(), 0u);
+  EXPECT_EQ(Buffer.highWater(), 2u);
+}

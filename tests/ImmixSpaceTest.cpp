@@ -1,0 +1,150 @@
+//===- tests/ImmixSpaceTest.cpp - Immix space and allocator tests ---------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/ImmixSpace.h"
+
+#include <gtest/gtest.h>
+
+using namespace wearmem;
+
+namespace {
+
+struct SpaceFixture {
+  SpaceFixture(double Rate, size_t Pages = 256, size_t LineSize = 256)
+      : Os(Pages, makeFailures(Rate)) {
+    Config.LineSize = LineSize;
+    Config.BudgetPages = Pages;
+    Space = std::make_unique<ImmixSpace>(
+        Os, Config, Stats, [this](size_t P) {
+          return Space->pagesHeld() + P <= Config.BudgetPages;
+        });
+    Allocator = std::make_unique<ImmixAllocator>(*Space, Config, Stats);
+  }
+
+  static FailureConfig makeFailures(double Rate) {
+    FailureConfig F;
+    F.Rate = Rate;
+    F.Seed = 1234;
+    return F;
+  }
+
+  HeapConfig Config;
+  HeapStats Stats;
+  FailureAwareOs Os;
+  std::unique_ptr<ImmixSpace> Space;
+  std::unique_ptr<ImmixAllocator> Allocator;
+};
+
+} // namespace
+
+TEST(ImmixAllocatorTest, BumpAllocationIsContiguous) {
+  SpaceFixture F(0.0);
+  uint8_t *A = F.Allocator->alloc(32);
+  uint8_t *B = F.Allocator->alloc(32);
+  uint8_t *C = F.Allocator->alloc(64);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(B, A + 32);
+  EXPECT_EQ(C, A + 64);
+}
+
+TEST(ImmixAllocatorTest, NeverHandsOutFailedLines) {
+  SpaceFixture F(0.25);
+  for (int I = 0; I != 20000; ++I) {
+    uint8_t *Mem = F.Allocator->alloc(64);
+    if (!Mem)
+      break; // Budget exhausted; fine.
+    Block *B = F.Space->blockOf(Mem);
+    ASSERT_NE(B, nullptr);
+    EXPECT_FALSE(B->lineIsFailed(B->lineOf(Mem)));
+    EXPECT_FALSE(B->lineIsFailed(B->lineOf(Mem + 63)));
+  }
+  EXPECT_GT(F.Stats.LinesSkippedFailed, 0u);
+}
+
+TEST(ImmixAllocatorTest, MediumObjectsUseOverflow) {
+  SpaceFixture F(0.0);
+  // Fill the bump hole down to a 512-byte remainder, then allocate a
+  // medium object: it does not fit and must go to the overflow block
+  // rather than waste the remainder.
+  uint8_t *Small = F.Allocator->alloc(64);
+  ASSERT_NE(Small, nullptr);
+  ASSERT_NE(F.Allocator->alloc(32 * KiB - 512 - 64), nullptr);
+  uint8_t *Medium = F.Allocator->alloc(4096);
+  ASSERT_NE(Medium, nullptr);
+  EXPECT_GT(F.Stats.OverflowAllocs, 0u);
+  EXPECT_NE(F.Space->blockOf(Medium), F.Space->blockOf(Small));
+  // The small-object cursor still finishes its hole.
+  uint8_t *Tail = F.Allocator->alloc(64);
+  EXPECT_EQ(F.Space->blockOf(Tail), F.Space->blockOf(Small));
+}
+
+TEST(ImmixAllocatorTest, OverflowSearchesRemainderUnderFailures) {
+  SpaceFixture F(0.25);
+  // Allocate mediums under 25% failures; the failure-aware overflow
+  // search must find fitting holes or fall back to perfect blocks, and
+  // every grant must be hole-clean.
+  for (int I = 0; I != 400; ++I) {
+    uint8_t *Mem = F.Allocator->alloc(2048);
+    if (!Mem)
+      break;
+    Block *B = F.Space->blockOf(Mem);
+    unsigned First = B->lineOf(Mem);
+    unsigned Last = B->lineOf(Mem + 2047);
+    for (unsigned Line = First; Line <= Last; ++Line)
+      ASSERT_FALSE(B->lineIsFailed(Line));
+  }
+  EXPECT_GT(F.Stats.OverflowSearches, 0u);
+}
+
+TEST(ImmixSpaceTest, SweepRecyclesAndReleases) {
+  SpaceFixture F(0.0, /*Pages=*/64);
+  // Allocate a few blocks' worth, mark one line live, sweep.
+  std::vector<uint8_t *> Ptrs;
+  for (int I = 0; I != 2000; ++I) {
+    uint8_t *Mem = F.Allocator->alloc(64);
+    if (!Mem)
+      break;
+    Ptrs.push_back(Mem);
+  }
+  size_t BlocksBefore = F.Space->blockCount();
+  ASSERT_GT(BlocksBefore, 2u);
+  // Mark exactly one object's line at the new epoch.
+  Block *Live = F.Space->blockOf(Ptrs[100]);
+  Live->markLine(Live->lineOf(Ptrs[100]), 2);
+  F.Allocator->retire();
+  ImmixSweepTotals Totals = F.Space->sweep(2);
+  EXPECT_EQ(Totals.RecyclableBlocks, 1u);
+  EXPECT_EQ(Totals.FreeBlocks, BlocksBefore - 1);
+  // Releasing keeps the requested slack and returns the rest to the OS.
+  size_t Released = F.Space->releaseExcessFreeBlocks(2);
+  EXPECT_EQ(Released, BlocksBefore - 1 - 2);
+  EXPECT_EQ(F.Space->blockCount(), 3u);
+}
+
+TEST(ImmixSpaceTest, TakePerfectFreePrefersPerfectBlocks) {
+  SpaceFixture F(0.10);
+  Block *Perfect = F.Space->takePerfectFree();
+  ASSERT_NE(Perfect, nullptr);
+  EXPECT_TRUE(Perfect->isPerfect());
+}
+
+TEST(ImmixSpaceTest, BlockOfMissesForeignAddresses) {
+  SpaceFixture F(0.0);
+  uint8_t *Mem = F.Allocator->alloc(64);
+  ASSERT_NE(F.Space->blockOf(Mem), nullptr);
+  alignas(64) static uint8_t Foreign[64];
+  EXPECT_EQ(F.Space->blockOf(Foreign), nullptr);
+}
+
+TEST(ImmixSpaceTest, BudgetGateStopsGrowth) {
+  SpaceFixture F(0.0, /*Pages=*/16); // Two blocks.
+  size_t Got = 0;
+  while (F.Allocator->alloc(1024))
+    ++Got;
+  EXPECT_EQ(F.Space->pagesHeld(), 16u);
+  EXPECT_GT(Got, 50u);
+}

@@ -1,0 +1,94 @@
+//===- tests/ObjectTest.cpp - Object model unit tests ---------------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Object.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace wearmem;
+
+TEST(ObjectTest, SizeComputation) {
+  EXPECT_EQ(objectBytesFor(0, 0), 16u);
+  EXPECT_EQ(objectBytesFor(8, 0), 24u);
+  EXPECT_EQ(objectBytesFor(0, 2), 32u);
+  EXPECT_EQ(objectBytesFor(1, 0), 24u); // Rounded to alignment.
+  EXPECT_EQ(objectBytesFor(100, 3), (16u + 24u + 100u + 7u) & ~7u);
+}
+
+TEST(ObjectTest, HeaderRoundTrip) {
+  alignas(8) uint8_t Mem[256] = {};
+  initObject(Mem, 128, 4, FlagPinned);
+  EXPECT_EQ(objectSize(Mem), 128u);
+  EXPECT_EQ(objectNumRefs(Mem), 4u);
+  EXPECT_TRUE(objectHasFlag(Mem, FlagPinned));
+  EXPECT_FALSE(objectHasFlag(Mem, FlagLarge));
+  EXPECT_EQ(objectMark(Mem), 0u);
+
+  setObjectMark(Mem, 17);
+  EXPECT_EQ(objectMark(Mem), 17u);
+  EXPECT_EQ(objectSize(Mem), 128u); // Untouched.
+  EXPECT_TRUE(objectHasFlag(Mem, FlagPinned));
+
+  setObjectFlag(Mem, FlagLogged);
+  EXPECT_TRUE(objectHasFlag(Mem, FlagLogged));
+  clearObjectFlag(Mem, FlagLogged);
+  EXPECT_FALSE(objectHasFlag(Mem, FlagLogged));
+  EXPECT_TRUE(objectHasFlag(Mem, FlagPinned));
+  EXPECT_EQ(objectMark(Mem), 17u);
+}
+
+TEST(ObjectTest, RefSlotsAndPayload) {
+  alignas(8) uint8_t Mem[256] = {};
+  initObject(Mem, 96, 3, 0);
+  for (unsigned Slot = 0; Slot != 3; ++Slot)
+    EXPECT_EQ(*refSlot(Mem, Slot), nullptr);
+  alignas(8) uint8_t Other[16] = {};
+  *refSlot(Mem, 1) = Other;
+  EXPECT_EQ(*refSlot(Mem, 1), Other);
+  EXPECT_EQ(*refSlot(Mem, 0), nullptr);
+
+  EXPECT_EQ(objectPayload(Mem), Mem + 16 + 3 * 8);
+  EXPECT_EQ(objectPayloadSize(Mem), 96u - 16u - 24u);
+}
+
+TEST(ObjectTest, Forwarding) {
+  alignas(8) uint8_t Old[64] = {}, New[64] = {};
+  initObject(Old, 64, 0, 0);
+  EXPECT_FALSE(isForwarded(Old));
+  forwardObject(Old, New);
+  EXPECT_TRUE(isForwarded(Old));
+  EXPECT_EQ(forwardee(Old), New);
+  // Size stays readable in the forwarded header.
+  EXPECT_EQ(objectSize(Old), 64u);
+}
+
+class ObjectPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint16_t>> {};
+
+TEST_P(ObjectPropertyTest, EncodingIsLossless) {
+  auto [Payload, NumRefs] = GetParam();
+  uint32_t Size = objectBytesFor(Payload, NumRefs);
+  std::vector<uint8_t> Mem(Size + 8, 0xCD);
+  uint8_t *Obj = Mem.data();
+  initObject(Obj, Size, NumRefs, 0);
+  EXPECT_EQ(objectSize(Obj), Size);
+  EXPECT_EQ(objectNumRefs(Obj), NumRefs);
+  EXPECT_GE(objectPayloadSize(Obj), Payload);
+  for (unsigned Slot = 0; Slot != NumRefs; ++Slot)
+    EXPECT_EQ(*refSlot(Obj, Slot), nullptr);
+  // The byte after the object is untouched.
+  EXPECT_EQ(Mem[Size], 0xCD);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ObjectPropertyTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 8u, 100u, 4096u, 65535u),
+                       ::testing::Values(uint16_t(0), uint16_t(1),
+                                         uint16_t(7), uint16_t(64),
+                                         uint16_t(1000))));

@@ -1,0 +1,250 @@
+//===- tests/OsTest.cpp - OS provisioning, kernel, and swap tests ---------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/Os.h"
+#include "os/OsKernel.h"
+#include "os/SwapManager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace wearmem;
+
+namespace {
+FailureConfig uniformFailures(double Rate, uint64_t Seed = 7) {
+  FailureConfig Config;
+  Config.Rate = Rate;
+  Config.Seed = Seed;
+  return Config;
+}
+} // namespace
+
+TEST(OsTest, RelaxedGrantsCarryFailureWords) {
+  FailureAwareOs Os(64, uniformFailures(0.25));
+  auto Grant = Os.allocRelaxed(8);
+  ASSERT_TRUE(Grant.has_value());
+  EXPECT_EQ(Grant->NumPages, 8u);
+  ASSERT_EQ(Grant->FailWords.size(), 8u);
+  // At 25% line failures, a page's word is essentially never zero.
+  size_t Imperfect = 0;
+  for (uint64_t Word : Grant->FailWords)
+    Imperfect += Word != 0;
+  EXPECT_GT(Imperfect, 5u);
+  // Grants are block-aligned and zeroed.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(Grant->Mem) % (32 * KiB), 0u);
+  for (size_t I = 0; I < Grant->sizeBytes(); I += 997)
+    EXPECT_EQ(Grant->Mem[I], 0u);
+}
+
+TEST(OsTest, BudgetExhaustion) {
+  FailureAwareOs Os(16, uniformFailures(0.0));
+  EXPECT_TRUE(Os.allocRelaxed(8).has_value());
+  EXPECT_TRUE(Os.allocRelaxed(8).has_value());
+  EXPECT_FALSE(Os.allocRelaxed(1).has_value());
+  EXPECT_EQ(Os.remainingPages(), 0u);
+}
+
+TEST(OsTest, PerfectServedFromPcmThenDram) {
+  // At a 50% failure rate over 32 pages, perfect pages are rare; fussy
+  // requests beyond the stock borrow DRAM and accrue debt.
+  FailureAwareOs Os(32, uniformFailures(0.5));
+  size_t Stock = Os.remainingPerfectPages();
+  auto Grant = Os.allocPerfect(Stock + 3);
+  ASSERT_TRUE(Grant.has_value());
+  EXPECT_EQ(Os.outstandingDebt(), 3u);
+  EXPECT_EQ(Os.stats().DramBorrowed, 3u);
+  EXPECT_EQ(Os.stats().PerfectPcmServed, Stock);
+}
+
+TEST(OsTest, RelaxedDivertsPerfectPagesToRepayDebt) {
+  FailureAwareOs Os(64, uniformFailures(0.0));
+  // Exhaust the perfect stock via fussy requests is impossible at f=0
+  // (every page is perfect), so create debt artificially by draining the
+  // stream first.
+  while (Os.allocRelaxed(8))
+    ;
+  auto Borrowed = Os.allocPerfect(4);
+  ASSERT_TRUE(Borrowed.has_value());
+  EXPECT_EQ(Os.outstandingDebt(), 4u);
+  // Returning a perfect grant and asking for relaxed pages repays debt
+  // from the stock before granting anything.
+  Os.freePerfect(std::move(*Borrowed));
+  EXPECT_FALSE(Os.allocRelaxed(8).has_value());
+  EXPECT_EQ(Os.outstandingDebt(), 0u);
+  EXPECT_EQ(Os.stats().DebtRepaid, 4u);
+}
+
+TEST(OsTest, FreePerfectRecycles) {
+  FailureAwareOs Os(16, uniformFailures(0.0));
+  auto Grant = Os.allocPerfect(4);
+  ASSERT_TRUE(Grant.has_value());
+  uint8_t *Mem = Grant->Mem;
+  Os.freePerfect(std::move(*Grant));
+  auto Again = Os.allocPerfect(4);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(Again->Mem, Mem);
+  EXPECT_EQ(Os.stats().PerfectRecycledServed, 4u);
+}
+
+TEST(OsTest, RecycledChunksSplitForSmallerRequests) {
+  FailureAwareOs Os(16, uniformFailures(0.0));
+  auto Big = Os.allocPerfect(8);
+  ASSERT_TRUE(Big.has_value());
+  uint8_t *Mem = Big->Mem;
+  Os.freePerfect(std::move(*Big));
+  auto Small = Os.allocPerfect(2);
+  ASSERT_TRUE(Small.has_value());
+  EXPECT_EQ(Small->Mem, Mem); // Front-split keeps alignment.
+  auto Rest = Os.allocPerfect(6);
+  ASSERT_TRUE(Rest.has_value());
+  EXPECT_EQ(Rest->Mem, Mem + 2 * PcmPageSize);
+}
+
+TEST(OsTest, FreeRelaxedRoutesPerfectGrantsToStock) {
+  FailureAwareOs Os(16, uniformFailures(0.0));
+  auto Grant = Os.allocRelaxed(8);
+  ASSERT_TRUE(Grant.has_value());
+  Os.freeRelaxed(std::move(*Grant));
+  EXPECT_EQ(Os.stats().PerfectPagesReturned, 8u);
+  // And the stock serves fussy requests.
+  EXPECT_TRUE(Os.allocPerfect(8).has_value());
+  EXPECT_EQ(Os.stats().PerfectRecycledServed, 8u);
+}
+
+TEST(OsTest, FreeRelaxedImperfectGrantsRecycleWithWords) {
+  FailureAwareOs Os(16, uniformFailures(0.3));
+  auto Grant = Os.allocRelaxed(8);
+  ASSERT_TRUE(Grant.has_value());
+  std::vector<uint64_t> Words = Grant->FailWords;
+  uint8_t *Mem = Grant->Mem;
+  // Exhaust the stream, then return the grant.
+  while (Os.allocRelaxed(8))
+    ;
+  Os.freeRelaxed(std::move(*Grant));
+  // The returned grant is re-granted, failure words intact.
+  auto Again = Os.allocRelaxed(8);
+  ASSERT_TRUE(Again.has_value());
+  EXPECT_EQ(Again->Mem, Mem);
+  EXPECT_EQ(Again->FailWords, Words);
+}
+
+//===----------------------------------------------------------------------===//
+// OsKernel: dynamic-failure interrupt handling
+//===----------------------------------------------------------------------===//
+
+TEST(OsKernelTest, UpCallsRegisteredHandler) {
+  PcmDeviceConfig Config;
+  Config.NumPages = 4;
+  Config.MeanLineLifetime = 100;
+  Config.LifetimeVariation = 0.0;
+  PcmDevice Device(Config);
+  OsKernel Kernel(Device);
+
+  std::vector<FailureRecord> Seen;
+  Kernel.registerHandler([&Seen](const std::vector<FailureRecord> &Pending) {
+    for (const FailureRecord &Record : Pending)
+      Seen.push_back(Record);
+  });
+
+  Device.injectImminentFailure(5);
+  uint8_t Data[PcmLineSize];
+  std::memset(Data, 0xEE, sizeof(Data));
+  EXPECT_EQ(Device.writeLine(5, Data), WriteResult::Ok);
+
+  // The interrupt fired synchronously; the handler saw the failure, and
+  // the kernel cleared the buffer afterwards.
+  ASSERT_EQ(Seen.size(), 1u);
+  EXPECT_EQ(Seen[0].LineAddr, addrOfLine(5));
+  EXPECT_EQ(Seen[0].Data[0], 0xEE);
+  EXPECT_TRUE(Device.pendingFailures().empty());
+  EXPECT_EQ(Kernel.stats().UpCalls, 1u);
+  EXPECT_EQ(Kernel.stats().FailuresResolved, 1u);
+  EXPECT_FALSE(Kernel.pageIsProtected(0));
+}
+
+TEST(OsKernelTest, FailureUnawareProcessGetsPageCopy) {
+  PcmDeviceConfig Config;
+  Config.NumPages = 4;
+  PcmDevice Device(Config);
+  OsKernel Kernel(Device);
+  // No handler registered: the kernel copies the affected page.
+  Device.injectImminentFailure(70); // Page 1.
+  uint8_t Data[PcmLineSize] = {};
+  EXPECT_EQ(Device.writeLine(70, Data), WriteResult::Ok);
+  EXPECT_EQ(Kernel.stats().PageCopies, 1u);
+  EXPECT_EQ(Kernel.stats().UpCalls, 0u);
+}
+
+TEST(OsKernelTest, HandlerSeesProtectedPage) {
+  PcmDeviceConfig Config;
+  Config.NumPages = 4;
+  PcmDevice Device(Config);
+  OsKernel Kernel(Device);
+  bool WasProtected = false;
+  Kernel.registerHandler(
+      [&](const std::vector<FailureRecord> &Pending) {
+        WasProtected =
+            Kernel.pageIsProtected(pageOfAddr(Pending[0].LineAddr));
+      });
+  Device.injectImminentFailure(3);
+  uint8_t Data[PcmLineSize] = {};
+  Device.writeLine(3, Data);
+  EXPECT_TRUE(WasProtected);
+  EXPECT_FALSE(Kernel.pageIsProtected(0));
+}
+
+//===----------------------------------------------------------------------===//
+// SwapManager: failure-compatible placement
+//===----------------------------------------------------------------------===//
+
+TEST(SwapManagerTest, PerfectOnlyPolicy) {
+  SwapManager Swap(SwapPolicy::PerfectOnly);
+  std::vector<uint64_t> Pool = {0b1010, 0, 0b1};
+  auto Placement = Swap.place(0b1110, Pool);
+  ASSERT_TRUE(Placement.has_value());
+  EXPECT_EQ(Placement->PoolIndex, 1u);
+  EXPECT_TRUE(Placement->UsedPerfectPage);
+}
+
+TEST(SwapManagerTest, SubsetMatchPrefersFullestCompatible) {
+  SwapManager Swap(SwapPolicy::SubsetMatch);
+  // Source fails lines {1,2,3}; compatible destinations fail subsets.
+  std::vector<uint64_t> Pool = {0b0010, 0b0110, 0b1000, 0};
+  auto Placement = Swap.place(0b1110, Pool);
+  ASSERT_TRUE(Placement.has_value());
+  EXPECT_EQ(Placement->PoolIndex, 1u); // {1,2}: densest subset.
+  EXPECT_FALSE(Placement->UsedPerfectPage);
+  EXPECT_EQ(Swap.stats().SubsetMatches, 1u);
+}
+
+TEST(SwapManagerTest, SubsetMatchFallsBackToPerfect) {
+  SwapManager Swap(SwapPolicy::SubsetMatch);
+  std::vector<uint64_t> Pool = {0b1000, 0};
+  auto Placement = Swap.place(0b0110, Pool);
+  ASSERT_TRUE(Placement.has_value());
+  EXPECT_TRUE(Placement->UsedPerfectPage);
+  EXPECT_EQ(Swap.stats().PerfectFallbacks, 1u);
+}
+
+TEST(SwapManagerTest, ClusteredCountMatching) {
+  SwapManager Swap(SwapPolicy::ClusteredCount);
+  // Clustered maps: counts are all that matter. Source has 3 failures;
+  // any destination with <= 3 works, fullest preferred.
+  std::vector<uint64_t> Pool = {0b1, 0b11, 0b11110, 0};
+  auto Placement = Swap.place(0b111, Pool);
+  ASSERT_TRUE(Placement.has_value());
+  EXPECT_EQ(Placement->PoolIndex, 1u); // Two failures: densest <= 3.
+  EXPECT_EQ(Swap.stats().ClusteredMatches, 1u);
+}
+
+TEST(SwapManagerTest, NoDestinationAvailable) {
+  SwapManager Swap(SwapPolicy::PerfectOnly);
+  std::vector<uint64_t> Pool = {0b1, 0b10};
+  EXPECT_FALSE(Swap.place(0b1, Pool).has_value());
+  EXPECT_EQ(Swap.stats().Failures, 1u);
+}

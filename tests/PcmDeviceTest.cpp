@@ -1,0 +1,194 @@
+//===- tests/PcmDeviceTest.cpp - PCM device model tests -------------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pcm/PcmDevice.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace wearmem;
+
+namespace {
+
+PcmDeviceConfig smallConfig() {
+  PcmDeviceConfig Config;
+  Config.NumPages = 8;
+  Config.MeanLineLifetime = 1000;
+  Config.LifetimeVariation = 0.0;
+  Config.FailureBufferCapacity = 16;
+  return Config;
+}
+
+void fillLine(uint8_t (&Buf)[PcmLineSize], uint8_t Fill) {
+  std::memset(Buf, Fill, PcmLineSize);
+}
+
+} // namespace
+
+TEST(PcmDeviceTest, WriteReadRoundTrip) {
+  PcmDevice Device(smallConfig());
+  uint8_t Data[PcmLineSize], Out[PcmLineSize];
+  fillLine(Data, 0x5A);
+  EXPECT_EQ(Device.writeLine(3, Data), WriteResult::Ok);
+  Device.readLine(3, Out);
+  EXPECT_EQ(std::memcmp(Data, Out, PcmLineSize), 0);
+  EXPECT_EQ(Device.stats().LineWrites, 1u);
+  EXPECT_EQ(Device.stats().LineReads, 1u);
+}
+
+TEST(PcmDeviceTest, ByteGranularityReadModifyWrite) {
+  PcmDevice Device(smallConfig());
+  const char *Msg = "hello, wearable memory";
+  // An unaligned write spanning two lines.
+  EXPECT_EQ(Device.write(60, reinterpret_cast<const uint8_t *>(Msg),
+                         strlen(Msg)),
+            WriteResult::Ok);
+  char Back[64] = {};
+  Device.read(60, reinterpret_cast<uint8_t *>(Back), strlen(Msg));
+  EXPECT_STREQ(Back, Msg);
+}
+
+TEST(PcmDeviceTest, WearExhaustionFailsLine) {
+  PcmDeviceConfig Config = smallConfig();
+  Config.MeanLineLifetime = 5;
+  PcmDevice Device(Config);
+  int Interrupts = 0;
+  Device.setFailureInterrupt([&Interrupts] { ++Interrupts; });
+
+  uint8_t Data[PcmLineSize];
+  fillLine(Data, 0x77);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Device.writeLine(0, Data), WriteResult::Ok);
+  // The 5th write exhausted the budget: the line is failed, the data is
+  // latched and forwarded, and the interrupt fired.
+  EXPECT_EQ(Interrupts, 1);
+  EXPECT_EQ(Device.stats().WearFailures, 1u);
+  EXPECT_TRUE(Device.softwareFailureMap().isFailed(0));
+  uint8_t Out[PcmLineSize];
+  Device.readLine(0, Out);
+  EXPECT_EQ(Out[0], 0x77);
+  EXPECT_EQ(Device.stats().BufferForwardedReads, 1u);
+  // Further writes to the dead line are rejected.
+  EXPECT_EQ(Device.writeLine(0, Data), WriteResult::DeadLine);
+}
+
+TEST(PcmDeviceTest, InjectImminentFailure) {
+  PcmDevice Device(smallConfig());
+  Device.injectImminentFailure(7);
+  EXPECT_EQ(Device.remainingWrites(7), 1u);
+  uint8_t Data[PcmLineSize];
+  fillLine(Data, 0x01);
+  EXPECT_EQ(Device.writeLine(7, Data), WriteResult::Ok);
+  EXPECT_TRUE(Device.softwareFailureMap().isFailed(7));
+}
+
+TEST(PcmDeviceTest, OsClearsBufferEntry) {
+  PcmDeviceConfig Config = smallConfig();
+  PcmDevice Device(Config);
+  Device.injectImminentFailure(2);
+  uint8_t Data[PcmLineSize];
+  fillLine(Data, 0x42);
+  Device.writeLine(2, Data);
+  ASSERT_EQ(Device.pendingFailures().size(), 1u);
+  EXPECT_TRUE(Device.clearBufferEntry(addrOfLine(2)));
+  EXPECT_TRUE(Device.pendingFailures().empty());
+  // After the OS clears the entry, the line no longer forwards.
+  uint8_t Out[PcmLineSize];
+  Device.readLine(2, Out);
+  EXPECT_EQ(Device.stats().DeadLineReads, 1u);
+}
+
+TEST(PcmDeviceTest, StallsWhenBufferNearFull) {
+  PcmDeviceConfig Config = smallConfig();
+  Config.FailureBufferCapacity = 4; // DrainReserve 2 -> stall at 2.
+  PcmDevice Device(Config);
+  int Stalls = 0;
+  Device.setStallInterrupt([&Stalls] { ++Stalls; });
+
+  uint8_t Data[PcmLineSize];
+  fillLine(Data, 0x99);
+  Device.injectImminentFailure(0);
+  Device.injectImminentFailure(1);
+  EXPECT_EQ(Device.writeLine(0, Data), WriteResult::Ok);
+  EXPECT_EQ(Device.writeLine(1, Data), WriteResult::Ok);
+  // Buffer occupancy 2 with reserve 2 of 4: the module refuses writes.
+  EXPECT_EQ(Device.writeLine(5, Data), WriteResult::Stalled);
+  EXPECT_EQ(Stalls, 1);
+  // Draining one entry re-enables writes.
+  Device.clearBufferEntry(addrOfLine(0));
+  EXPECT_EQ(Device.writeLine(5, Data), WriteResult::Ok);
+}
+
+TEST(PcmDeviceTest, ClusteringRedirectsFailuresToRegionEnds) {
+  PcmDeviceConfig Config = smallConfig();
+  Config.ClusteringEnabled = true;
+  Config.RegionPages = 2;
+  PcmDevice Device(Config);
+
+  // Write distinctive data to two victim-area lines, then wear out a
+  // middle line; software must see failures only at the region edge, and
+  // all data must remain readable.
+  uint8_t DataA[PcmLineSize], DataB[PcmLineSize], DataC[PcmLineSize];
+  fillLine(DataA, 0xAA);
+  fillLine(DataB, 0xBB);
+  fillLine(DataC, 0xCC);
+  ASSERT_EQ(Device.writeLine(0, DataA), WriteResult::Ok); // Future meta.
+  ASSERT_EQ(Device.writeLine(2, DataB), WriteResult::Ok); // Future victim.
+  Device.injectImminentFailure(40);
+  ASSERT_EQ(Device.writeLine(40, DataC), WriteResult::Ok);
+
+  const FailureMap &Map = Device.softwareFailureMap();
+  // Region 0 clusters at its start: metadata lines 0,1 plus one victim.
+  EXPECT_TRUE(Map.isFailed(0));
+  EXPECT_TRUE(Map.isFailed(1));
+  EXPECT_TRUE(Map.isFailed(2));
+  EXPECT_FALSE(Map.isFailed(40));
+
+  // Line 40's write is durable at its new backing; displaced data for
+  // lines 0 and 2 is forwarded from the failure buffer.
+  uint8_t Out[PcmLineSize];
+  Device.readLine(40, Out);
+  EXPECT_EQ(Out[0], 0xCC);
+  Device.readLine(0, Out);
+  EXPECT_EQ(Out[0], 0xAA);
+  Device.readLine(2, Out);
+  EXPECT_EQ(Out[0], 0xBB);
+}
+
+TEST(PcmDeviceTest, ClusteredLineRemainsWritable) {
+  PcmDeviceConfig Config = smallConfig();
+  Config.ClusteringEnabled = true;
+  Config.RegionPages = 1;
+  PcmDevice Device(Config);
+  uint8_t Data[PcmLineSize];
+  fillLine(Data, 0x10);
+  Device.injectImminentFailure(30);
+  ASSERT_EQ(Device.writeLine(30, Data), WriteResult::Ok);
+  EXPECT_FALSE(Device.softwareFailureMap().isFailed(30));
+  // The logical line survived onto a fresh physical line; keep writing.
+  fillLine(Data, 0x11);
+  EXPECT_EQ(Device.writeLine(30, Data), WriteResult::Ok);
+  uint8_t Out[PcmLineSize];
+  Device.readLine(30, Out);
+  EXPECT_EQ(Out[0], 0x11);
+}
+
+TEST(PcmDeviceTest, LifetimeVariationSpreadsBudgets) {
+  PcmDeviceConfig Config = smallConfig();
+  Config.MeanLineLifetime = 1000;
+  Config.LifetimeVariation = 0.25;
+  PcmDevice Device(Config);
+  uint64_t Min = ~0ull, Max = 0;
+  for (LineIndex Line = 0; Line != Device.numLines(); ++Line) {
+    uint64_t Budget = Device.remainingWrites(Line);
+    Min = std::min(Min, Budget);
+    Max = std::max(Max, Budget);
+  }
+  EXPECT_LT(Min, 900u);
+  EXPECT_GT(Max, 1100u);
+}

@@ -1,0 +1,152 @@
+//===- tests/WorkloadTest.cpp - Workload and runner tests -----------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Mutator.h"
+#include "workload/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wearmem;
+
+TEST(ProfileTest, SuiteShape) {
+  const std::vector<Profile> &Suite = allProfiles();
+  EXPECT_EQ(Suite.size(), 12u);
+  EXPECT_NE(findProfile("pmd"), nullptr);
+  EXPECT_NE(findProfile("xalan"), nullptr);
+  EXPECT_EQ(findProfile("nope"), nullptr);
+  // lusearch is buggy and excluded from analysis aggregation.
+  EXPECT_TRUE(findProfile("lusearch")->Buggy);
+  EXPECT_EQ(analysisProfiles().size(), 11u);
+  for (const Profile &P : Suite) {
+    EXPECT_GT(P.MinHeapBytes, P.LiveSetBytes) << P.Name;
+    EXPECT_GT(P.AllocVolumeBytes, P.LiveSetBytes) << P.Name;
+  }
+}
+
+TEST(ProfileTest, SizeSamplingMatchesMix) {
+  const Profile *Pmd = findProfile("pmd");
+  Rng Rand(1);
+  uint64_t SmallBytes = 0, MediumBytes = 0, LargeBytes = 0;
+  for (int I = 0; I != 200000; ++I) {
+    SampledObject S = sampleObject(Pmd->Mix, Rand);
+    uint32_t Total = objectBytesFor(S.PayloadBytes, S.NumRefs);
+    if (S.Large)
+      LargeBytes += Total;
+    else if (Total > 256)
+      MediumBytes += Total;
+    else
+      SmallBytes += Total;
+  }
+  double Sum = static_cast<double>(SmallBytes + MediumBytes + LargeBytes);
+  // Byte fractions should approximate the declared mix.
+  EXPECT_NEAR(SmallBytes / Sum, Pmd->Mix.SmallWeight, 0.06);
+  EXPECT_NEAR(MediumBytes / Sum, Pmd->Mix.MediumWeight, 0.06);
+  EXPECT_NEAR(LargeBytes / Sum, Pmd->Mix.LargeWeight, 0.06);
+}
+
+TEST(ProfileTest, XalanIsLargeHeavyPmdIsMediumHeavy) {
+  EXPECT_GT(findProfile("xalan")->Mix.LargeWeight, 0.3);
+  EXPECT_GT(findProfile("pmd")->Mix.MediumWeight, 0.3);
+  EXPECT_GT(findProfile("jython")->Mix.MediumWeight, 0.3);
+  // The buggy lusearch allocates about 3x the fixed version.
+  EXPECT_GE(findProfile("lusearch")->AllocVolumeBytes,
+            3 * findProfile("lusearch-fix")->AllocVolumeBytes);
+}
+
+TEST(MutatorTest, DeterministicAcrossRuns) {
+  const Profile *P = findProfile("avrora");
+  RuntimeConfig Config;
+  Config.HeapBytes = heapBytesFor(*P, 2.0);
+  RunResult A = runOnce(*P, Config, 123);
+  RunResult B = runOnce(*P, Config, 123);
+  ASSERT_TRUE(A.Completed);
+  ASSERT_TRUE(B.Completed);
+  EXPECT_EQ(A.Stats.ObjectsAllocated, B.Stats.ObjectsAllocated);
+  EXPECT_EQ(A.Stats.BytesAllocated, B.Stats.BytesAllocated);
+  EXPECT_EQ(A.Stats.GcCount, B.Stats.GcCount);
+  EXPECT_EQ(A.Stats.ObjectsMarked, B.Stats.ObjectsMarked);
+}
+
+TEST(MutatorTest, DifferentSeedsDiffer) {
+  const Profile *P = findProfile("avrora");
+  RuntimeConfig Config;
+  Config.HeapBytes = heapBytesFor(*P, 2.0);
+  RunResult A = runOnce(*P, Config, 123);
+  RunResult B = runOnce(*P, Config, 124);
+  EXPECT_NE(A.Stats.BytesAllocated, B.Stats.BytesAllocated);
+}
+
+TEST(MutatorTest, TinyHeapReportsDnf) {
+  const Profile *P = findProfile("hsqldb");
+  RuntimeConfig Config;
+  Config.HeapBytes = 2 * MiB; // Far below the 6 MiB live set.
+  RunResult R = runOnce(*P, Config);
+  EXPECT_FALSE(R.Completed);
+}
+
+TEST(MutatorTest, LiveSetApproximatesTarget) {
+  const Profile *P = findProfile("eclipse");
+  RuntimeConfig Config;
+  Config.HeapBytes = heapBytesFor(*P, 3.0);
+  Runtime Rt(Config);
+  Mutator M(Rt, *P, 42);
+  ASSERT_TRUE(M.setUp());
+  double Mean = meanObjectBytes(P->Mix);
+  EXPECT_NEAR(static_cast<double>(M.backboneSlots()) * Mean,
+              static_cast<double>(P->LiveSetBytes),
+              0.1 * static_cast<double>(P->LiveSetBytes));
+}
+
+// Integration: every profile completes at 2x its calibrated minimum with
+// the paper's default collector.
+class ProfileCompletionTest
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ProfileCompletionTest, CompletesAtTwiceMinHeap) {
+  const Profile *P = findProfile(GetParam());
+  ASSERT_NE(P, nullptr);
+  RuntimeConfig Config;
+  Config.HeapBytes = heapBytesFor(*P, 2.0);
+  RunResult R = runOnce(*P, Config);
+  EXPECT_TRUE(R.Completed) << P->Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileCompletionTest,
+                         ::testing::Values("avrora", "bloat", "eclipse",
+                                           "fop", "hsqldb", "jython",
+                                           "luindex", "lusearch",
+                                           "lusearch-fix", "pmd",
+                                           "sunflow", "xalan"));
+
+TEST(RunnerTest, NormalizationAndDnf) {
+  AggregateResult Good;
+  Good.Completed = true;
+  Good.MeanMs = 150.0;
+  AggregateResult Base;
+  Base.Completed = true;
+  Base.MeanMs = 100.0;
+  EXPECT_DOUBLE_EQ(normalizedTime(Good, Base), 1.5);
+  AggregateResult Dnf;
+  Dnf.Completed = false;
+  EXPECT_TRUE(std::isnan(normalizedTime(Dnf, Base)));
+  EXPECT_TRUE(std::isnan(normalizedTime(Good, Dnf)));
+
+  EXPECT_NEAR(geomeanNormalized({1.0, 4.0}), 2.0, 1e-9);
+  EXPECT_TRUE(std::isnan(geomeanNormalized({1.0, std::nan("")})));
+}
+
+TEST(RunnerTest, RepeatedRunsAggregate) {
+  const Profile *P = findProfile("luindex");
+  RuntimeConfig Config;
+  Config.HeapBytes = heapBytesFor(*P, 2.0);
+  AggregateResult Agg = runRepeated(*P, Config, 3);
+  EXPECT_TRUE(Agg.Completed);
+  EXPECT_GT(Agg.MeanMs, 0.0);
+  EXPECT_GE(Agg.Ci95Ms, 0.0);
+}

@@ -1,0 +1,242 @@
+//===- tools/wearmem_run.cpp - Command-line experiment runner -------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs one workload/configuration pair and prints the full accounting:
+// wall time, GC behaviour, failure handling, and OS perfect-page traffic.
+// Useful for exploring the design space beyond the canned figures.
+//
+//   wearmem_run --profile=pmd --failure-rate=0.25 --cluster=2
+//   wearmem_run --profile=xalan --collector=ms --heap-factor=3
+//   wearmem_run --list
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+#include "workload/Mutator.h"
+#include "workload/Runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace wearmem;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: wearmem_run [options]\n"
+      "  --list                   list workload profiles and exit\n"
+      "  --profile=NAME           workload (default pmd)\n"
+      "  --collector=KIND         ms | ix | s-ms | s-ix (default s-ix)\n"
+      "  --heap-factor=F          heap = F x profile min (default 2.0)\n"
+      "  --heap-mb=N              absolute heap size in MiB\n"
+      "  --failure-rate=F         failed line fraction 0..0.99\n"
+      "  --cluster=N              clustering region pages (0=off, 1, 2..)\n"
+      "  --line=N                 Immix line size: 64|128|256\n"
+      "  --no-compensate          fixed physical footprint\n"
+      "  --arraylets              discontiguous large arrays\n"
+      "  --dynamic-failures=N     inject N line failures mid-run\n"
+      "  --reps=N                 repetitions (default 3)\n"
+      "  --seed=N                 failure-map seed\n");
+}
+
+bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0)
+    return false;
+  if (Arg[Len] == '\0') {
+    Value.clear();
+    return true;
+  }
+  if (Arg[Len] != '=')
+    return false;
+  Value = Arg + Len + 1;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string ProfileName = "pmd";
+  std::string CollectorName = "s-ix";
+  double HeapFactor = 2.0;
+  double HeapMb = 0.0;
+  double Rate = 0.0;
+  unsigned Cluster = 0;
+  size_t Line = 256;
+  bool Compensate = true;
+  bool Arraylets = false;
+  unsigned DynamicFailures = 0;
+  int Reps = 3;
+  uint64_t Seed = 0x5EEDF00DULL;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Value;
+    const char *Arg = argv[I];
+    if (parseFlag(Arg, "--list", Value)) {
+      Table List("Workload profiles");
+      List.setHeader({"name", "live set", "alloc volume", "min heap",
+                      "small/medium/large bytes"});
+      for (const Profile &P : allProfiles()) {
+        char Mix[48];
+        std::snprintf(Mix, sizeof(Mix), "%.2f/%.2f/%.2f",
+                      P.Mix.SmallWeight, P.Mix.MediumWeight,
+                      P.Mix.LargeWeight);
+        List.addRow({P.Buggy ? std::string(P.Name) + " (buggy)"
+                             : std::string(P.Name),
+                     Table::bytes(P.LiveSetBytes),
+                     Table::bytes(P.AllocVolumeBytes),
+                     Table::bytes(P.MinHeapBytes), Mix});
+      }
+      List.print();
+      return 0;
+    }
+    if (parseFlag(Arg, "--help", Value) || parseFlag(Arg, "-h", Value)) {
+      printUsage();
+      return 0;
+    }
+    if (parseFlag(Arg, "--profile", Value)) {
+      ProfileName = Value;
+    } else if (parseFlag(Arg, "--collector", Value)) {
+      CollectorName = Value;
+    } else if (parseFlag(Arg, "--heap-factor", Value)) {
+      HeapFactor = std::atof(Value.c_str());
+    } else if (parseFlag(Arg, "--heap-mb", Value)) {
+      HeapMb = std::atof(Value.c_str());
+    } else if (parseFlag(Arg, "--failure-rate", Value)) {
+      Rate = std::atof(Value.c_str());
+    } else if (parseFlag(Arg, "--cluster", Value)) {
+      Cluster = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (parseFlag(Arg, "--line", Value)) {
+      Line = static_cast<size_t>(std::atoi(Value.c_str()));
+    } else if (parseFlag(Arg, "--no-compensate", Value)) {
+      Compensate = false;
+    } else if (parseFlag(Arg, "--arraylets", Value)) {
+      Arraylets = true;
+    } else if (parseFlag(Arg, "--dynamic-failures", Value)) {
+      DynamicFailures = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (parseFlag(Arg, "--reps", Value)) {
+      Reps = std::atoi(Value.c_str());
+    } else if (parseFlag(Arg, "--seed", Value)) {
+      Seed = std::strtoull(Value.c_str(), nullptr, 0);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+      printUsage();
+      return 1;
+    }
+  }
+
+  const Profile *P = findProfile(ProfileName);
+  if (!P) {
+    std::fprintf(stderr, "error: unknown profile '%s' (try --list)\n",
+                 ProfileName.c_str());
+    return 1;
+  }
+
+  RuntimeConfig Config;
+  if (CollectorName == "ms")
+    Config.Collector = CollectorKind::MarkSweep;
+  else if (CollectorName == "ix")
+    Config.Collector = CollectorKind::Immix;
+  else if (CollectorName == "s-ms")
+    Config.Collector = CollectorKind::StickyMarkSweep;
+  else if (CollectorName == "s-ix")
+    Config.Collector = CollectorKind::StickyImmix;
+  else {
+    std::fprintf(stderr, "error: unknown collector '%s'\n",
+                 CollectorName.c_str());
+    return 1;
+  }
+  Config.HeapBytes = HeapMb > 0.0
+                         ? static_cast<size_t>(HeapMb * 1024 * 1024)
+                         : heapBytesFor(*P, HeapFactor);
+  Config.FailureRate = Rate;
+  Config.ClusteringRegionPages = Cluster;
+  Config.LineSize = Line;
+  Config.CompensateForFailures = Compensate;
+  Config.UseDiscontiguousArrays = Arraylets;
+  Config.Seed = Seed;
+  if (Config.Collector == CollectorKind::MarkSweep ||
+      Config.Collector == CollectorKind::StickyMarkSweep)
+    Config.FreeListFailureAware = Rate > 0.0;
+
+  std::printf("running %s on %s, heap %s%s\n", Config.describe().c_str(),
+              P->Name, Table::bytes(Config.HeapBytes).c_str(),
+              Arraylets ? ", discontiguous arrays" : "");
+
+  if (DynamicFailures > 0) {
+    // One instrumented run with evenly spaced mid-run line failures.
+    Runtime Rt(Config);
+    Mutator M(Rt, *P, 0xDACA90ULL, benchScale());
+    Rng FailRand(Seed + 1);
+    unsigned Injected = 0;
+    auto Start = std::chrono::steady_clock::now();
+    bool Ok = M.setUp();
+    if (Ok) {
+      uint64_t Step = M.targetBytes() / (DynamicFailures + 1);
+      uint64_t Next = Step;
+      while (M.steadyAllocatedBytes() < M.targetBytes() && M.step()) {
+        if (M.steadyAllocatedBytes() >= Next &&
+            Injected < DynamicFailures) {
+          if (Rt.injectRandomDynamicFailure(FailRand))
+            ++Injected;
+          Next += Step;
+        }
+      }
+    }
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    std::printf("with %u dynamic failures: %s in %.1f ms, %llu "
+                "collections, %llu objects evacuated\n",
+                Injected, Rt.outOfMemory() ? "DID NOT FINISH" : "ok", Ms,
+                static_cast<unsigned long long>(Rt.stats().GcCount),
+                static_cast<unsigned long long>(
+                    Rt.stats().ObjectsEvacuated));
+    return Rt.outOfMemory() ? 2 : 0;
+  }
+
+  AggregateResult Agg = runRepeated(*P, Config, Reps);
+  if (!Agg.Completed) {
+    std::printf("DID NOT FINISH: the workload exhausted this heap "
+                "(the paper's terminated-curve case)\n");
+    return 2;
+  }
+  const RunResult &R = Agg.Last;
+  const HeapStats &S = R.Stats;
+
+  Table Out("Run summary (mean of repetitions; counters from last run)");
+  Out.setHeader({"metric", "value"});
+  Out.addRow({"time", Table::num(Agg.MeanMs, 1) + " ms +/- " +
+                          Table::num(Agg.Ci95Ms, 1)});
+  Out.addRow({"budget pages", std::to_string(R.BudgetPages)});
+  Out.addRow({"objects allocated", std::to_string(S.ObjectsAllocated)});
+  Out.addRow({"bytes allocated", Table::bytes(S.BytesAllocated)});
+  Out.addRow({"collections",
+              std::to_string(S.GcCount) + " (" +
+                  std::to_string(S.FullGcCount) + " full, " +
+                  std::to_string(S.NurseryGcCount) + " nursery)"});
+  Out.addRow({"full pause mean/max",
+              Table::num(R.MeanFullPauseMs, 2) + " / " +
+                  Table::num(R.MaxFullPauseMs, 2) + " ms"});
+  Out.addRow({"objects evacuated", std::to_string(S.ObjectsEvacuated)});
+  Out.addRow({"write barrier logs", std::to_string(S.WriteBarrierLogs)});
+  Out.addRow(
+      {"failed lines at intake", std::to_string(S.LinesSkippedFailed)});
+  Out.addRow({"overflow allocations", std::to_string(S.OverflowAllocs)});
+  Out.addRow(
+      {"perfect block requests", std::to_string(S.PerfectBlockRequests)});
+  Out.addRow({"perfect pages requested",
+              std::to_string(R.Os.PerfectPagesRequested)});
+  Out.addRow({"DRAM pages borrowed", std::to_string(R.Os.DramBorrowed)});
+  Out.addRow({"debt repaid", std::to_string(R.Os.DebtRepaid)});
+  Out.print();
+  return 0;
+}
