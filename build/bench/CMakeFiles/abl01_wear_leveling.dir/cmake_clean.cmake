@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_wear_leveling.dir/abl01_wear_leveling.cpp.o"
+  "CMakeFiles/abl01_wear_leveling.dir/abl01_wear_leveling.cpp.o.d"
+  "abl01_wear_leveling"
+  "abl01_wear_leveling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_region_size.dir/abl02_region_size.cpp.o"
+  "CMakeFiles/abl02_region_size.dir/abl02_region_size.cpp.o.d"
+  "abl02_region_size"
+  "abl02_region_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_region_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

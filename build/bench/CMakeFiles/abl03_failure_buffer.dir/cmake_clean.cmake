@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_failure_buffer.dir/abl03_failure_buffer.cpp.o"
+  "CMakeFiles/abl03_failure_buffer.dir/abl03_failure_buffer.cpp.o.d"
+  "abl03_failure_buffer"
+  "abl03_failure_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_failure_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_line_marking.dir/abl04_line_marking.cpp.o"
+  "CMakeFiles/abl04_line_marking.dir/abl04_line_marking.cpp.o.d"
+  "abl04_line_marking"
+  "abl04_line_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_line_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl04_line_marking.
+# This may be replaced when dependencies are built.

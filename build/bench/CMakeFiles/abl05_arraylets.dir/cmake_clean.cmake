@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_arraylets.dir/abl05_arraylets.cpp.o"
+  "CMakeFiles/abl05_arraylets.dir/abl05_arraylets.cpp.o.d"
+  "abl05_arraylets"
+  "abl05_arraylets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_arraylets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyn01_dynamic_failures.dir/dyn01_dynamic_failures.cpp.o"
+  "CMakeFiles/dyn01_dynamic_failures.dir/dyn01_dynamic_failures.cpp.o.d"
+  "dyn01_dynamic_failures"
+  "dyn01_dynamic_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyn01_dynamic_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

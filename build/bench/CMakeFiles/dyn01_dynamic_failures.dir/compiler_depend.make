@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dyn01_dynamic_failures.
+# This may be replaced when dependencies are built.

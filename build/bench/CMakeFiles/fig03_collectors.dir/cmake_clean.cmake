@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_collectors.dir/fig03_collectors.cpp.o"
+  "CMakeFiles/fig03_collectors.dir/fig03_collectors.cpp.o.d"
+  "fig03_collectors"
+  "fig03_collectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_collectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_overhead.dir/fig04_overhead.cpp.o"
+  "CMakeFiles/fig04_overhead.dir/fig04_overhead.cpp.o.d"
+  "fig04_overhead"
+  "fig04_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_compensation.dir/fig05_compensation.cpp.o"
+  "CMakeFiles/fig05_compensation.dir/fig05_compensation.cpp.o.d"
+  "fig05_compensation"
+  "fig05_compensation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_compensation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

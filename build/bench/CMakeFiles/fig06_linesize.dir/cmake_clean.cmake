@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_linesize.dir/fig06_linesize.cpp.o"
+  "CMakeFiles/fig06_linesize.dir/fig06_linesize.cpp.o.d"
+  "fig06_linesize"
+  "fig06_linesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_linesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cluster_limit.dir/fig08_cluster_limit.cpp.o"
+  "CMakeFiles/fig08_cluster_limit.dir/fig08_cluster_limit.cpp.o.d"
+  "fig08_cluster_limit"
+  "fig08_cluster_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cluster_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

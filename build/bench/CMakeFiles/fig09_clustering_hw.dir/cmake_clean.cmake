@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_clustering_hw.dir/fig09_clustering_hw.cpp.o"
+  "CMakeFiles/fig09_clustering_hw.dir/fig09_clustering_hw.cpp.o.d"
+  "fig09_clustering_hw"
+  "fig09_clustering_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_clustering_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

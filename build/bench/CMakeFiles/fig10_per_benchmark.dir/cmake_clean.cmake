@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_per_benchmark.dir/fig10_per_benchmark.cpp.o"
+  "CMakeFiles/fig10_per_benchmark.dir/fig10_per_benchmark.cpp.o.d"
+  "fig10_per_benchmark"
+  "fig10_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

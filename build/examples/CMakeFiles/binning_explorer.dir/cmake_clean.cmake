@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binning_explorer.dir/binning_explorer.cpp.o"
+  "CMakeFiles/binning_explorer.dir/binning_explorer.cpp.o.d"
+  "binning_explorer"
+  "binning_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binning_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_extension.dir/lifetime_extension.cpp.o"
+  "CMakeFiles/lifetime_extension.dir/lifetime_extension.cpp.o.d"
+  "lifetime_extension"
+  "lifetime_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_failures.dir/online_failures.cpp.o"
+  "CMakeFiles/online_failures.dir/online_failures.cpp.o.d"
+  "online_failures"
+  "online_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_core.dir/DiscontiguousArray.cpp.o"
+  "CMakeFiles/wearmem_core.dir/DiscontiguousArray.cpp.o.d"
+  "CMakeFiles/wearmem_core.dir/Runtime.cpp.o"
+  "CMakeFiles/wearmem_core.dir/Runtime.cpp.o.d"
+  "libwearmem_core.a"
+  "libwearmem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

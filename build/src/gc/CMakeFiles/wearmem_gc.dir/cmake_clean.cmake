@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_gc.dir/Heap.cpp.o"
+  "CMakeFiles/wearmem_gc.dir/Heap.cpp.o.d"
+  "libwearmem_gc.a"
+  "libwearmem_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/Block.cpp" "src/heap/CMakeFiles/wearmem_heap.dir/Block.cpp.o" "gcc" "src/heap/CMakeFiles/wearmem_heap.dir/Block.cpp.o.d"
+  "/root/repo/src/heap/FreeListSpace.cpp" "src/heap/CMakeFiles/wearmem_heap.dir/FreeListSpace.cpp.o" "gcc" "src/heap/CMakeFiles/wearmem_heap.dir/FreeListSpace.cpp.o.d"
+  "/root/repo/src/heap/ImmixSpace.cpp" "src/heap/CMakeFiles/wearmem_heap.dir/ImmixSpace.cpp.o" "gcc" "src/heap/CMakeFiles/wearmem_heap.dir/ImmixSpace.cpp.o.d"
+  "/root/repo/src/heap/LargeObjectSpace.cpp" "src/heap/CMakeFiles/wearmem_heap.dir/LargeObjectSpace.cpp.o" "gcc" "src/heap/CMakeFiles/wearmem_heap.dir/LargeObjectSpace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/wearmem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/wearmem_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wearmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

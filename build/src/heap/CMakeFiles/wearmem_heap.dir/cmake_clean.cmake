@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_heap.dir/Block.cpp.o"
+  "CMakeFiles/wearmem_heap.dir/Block.cpp.o.d"
+  "CMakeFiles/wearmem_heap.dir/FreeListSpace.cpp.o"
+  "CMakeFiles/wearmem_heap.dir/FreeListSpace.cpp.o.d"
+  "CMakeFiles/wearmem_heap.dir/ImmixSpace.cpp.o"
+  "CMakeFiles/wearmem_heap.dir/ImmixSpace.cpp.o.d"
+  "CMakeFiles/wearmem_heap.dir/LargeObjectSpace.cpp.o"
+  "CMakeFiles/wearmem_heap.dir/LargeObjectSpace.cpp.o.d"
+  "libwearmem_heap.a"
+  "libwearmem_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/Os.cpp" "src/os/CMakeFiles/wearmem_os.dir/Os.cpp.o" "gcc" "src/os/CMakeFiles/wearmem_os.dir/Os.cpp.o.d"
+  "/root/repo/src/os/OsKernel.cpp" "src/os/CMakeFiles/wearmem_os.dir/OsKernel.cpp.o" "gcc" "src/os/CMakeFiles/wearmem_os.dir/OsKernel.cpp.o.d"
+  "/root/repo/src/os/SwapManager.cpp" "src/os/CMakeFiles/wearmem_os.dir/SwapManager.cpp.o" "gcc" "src/os/CMakeFiles/wearmem_os.dir/SwapManager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcm/CMakeFiles/wearmem_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wearmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

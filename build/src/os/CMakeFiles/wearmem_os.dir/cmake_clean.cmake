@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_os.dir/Os.cpp.o"
+  "CMakeFiles/wearmem_os.dir/Os.cpp.o.d"
+  "CMakeFiles/wearmem_os.dir/OsKernel.cpp.o"
+  "CMakeFiles/wearmem_os.dir/OsKernel.cpp.o.d"
+  "CMakeFiles/wearmem_os.dir/SwapManager.cpp.o"
+  "CMakeFiles/wearmem_os.dir/SwapManager.cpp.o.d"
+  "libwearmem_os.a"
+  "libwearmem_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcm/ClusteringHardware.cpp" "src/pcm/CMakeFiles/wearmem_pcm.dir/ClusteringHardware.cpp.o" "gcc" "src/pcm/CMakeFiles/wearmem_pcm.dir/ClusteringHardware.cpp.o.d"
+  "/root/repo/src/pcm/FailureBuffer.cpp" "src/pcm/CMakeFiles/wearmem_pcm.dir/FailureBuffer.cpp.o" "gcc" "src/pcm/CMakeFiles/wearmem_pcm.dir/FailureBuffer.cpp.o.d"
+  "/root/repo/src/pcm/FailureMap.cpp" "src/pcm/CMakeFiles/wearmem_pcm.dir/FailureMap.cpp.o" "gcc" "src/pcm/CMakeFiles/wearmem_pcm.dir/FailureMap.cpp.o.d"
+  "/root/repo/src/pcm/PcmDevice.cpp" "src/pcm/CMakeFiles/wearmem_pcm.dir/PcmDevice.cpp.o" "gcc" "src/pcm/CMakeFiles/wearmem_pcm.dir/PcmDevice.cpp.o.d"
+  "/root/repo/src/pcm/WearSimulation.cpp" "src/pcm/CMakeFiles/wearmem_pcm.dir/WearSimulation.cpp.o" "gcc" "src/pcm/CMakeFiles/wearmem_pcm.dir/WearSimulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wearmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

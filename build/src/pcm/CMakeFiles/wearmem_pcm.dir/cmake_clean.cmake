@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_pcm.dir/ClusteringHardware.cpp.o"
+  "CMakeFiles/wearmem_pcm.dir/ClusteringHardware.cpp.o.d"
+  "CMakeFiles/wearmem_pcm.dir/FailureBuffer.cpp.o"
+  "CMakeFiles/wearmem_pcm.dir/FailureBuffer.cpp.o.d"
+  "CMakeFiles/wearmem_pcm.dir/FailureMap.cpp.o"
+  "CMakeFiles/wearmem_pcm.dir/FailureMap.cpp.o.d"
+  "CMakeFiles/wearmem_pcm.dir/PcmDevice.cpp.o"
+  "CMakeFiles/wearmem_pcm.dir/PcmDevice.cpp.o.d"
+  "CMakeFiles/wearmem_pcm.dir/WearSimulation.cpp.o"
+  "CMakeFiles/wearmem_pcm.dir/WearSimulation.cpp.o.d"
+  "libwearmem_pcm.a"
+  "libwearmem_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_support.dir/Table.cpp.o"
+  "CMakeFiles/wearmem_support.dir/Table.cpp.o.d"
+  "libwearmem_support.a"
+  "libwearmem_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Mutator.cpp" "src/workload/CMakeFiles/wearmem_workload.dir/Mutator.cpp.o" "gcc" "src/workload/CMakeFiles/wearmem_workload.dir/Mutator.cpp.o.d"
+  "/root/repo/src/workload/Profile.cpp" "src/workload/CMakeFiles/wearmem_workload.dir/Profile.cpp.o" "gcc" "src/workload/CMakeFiles/wearmem_workload.dir/Profile.cpp.o.d"
+  "/root/repo/src/workload/Runner.cpp" "src/workload/CMakeFiles/wearmem_workload.dir/Runner.cpp.o" "gcc" "src/workload/CMakeFiles/wearmem_workload.dir/Runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wearmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/wearmem_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/wearmem_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/wearmem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/wearmem_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wearmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

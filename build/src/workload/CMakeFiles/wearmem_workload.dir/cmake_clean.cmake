@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_workload.dir/Mutator.cpp.o"
+  "CMakeFiles/wearmem_workload.dir/Mutator.cpp.o.d"
+  "CMakeFiles/wearmem_workload.dir/Profile.cpp.o"
+  "CMakeFiles/wearmem_workload.dir/Profile.cpp.o.d"
+  "CMakeFiles/wearmem_workload.dir/Runner.cpp.o"
+  "CMakeFiles/wearmem_workload.dir/Runner.cpp.o.d"
+  "libwearmem_workload.a"
+  "libwearmem_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BlockTest"
+  "BlockTest.pdb"
+  "CMakeFiles/BlockTest.dir/BlockTest.cpp.o"
+  "CMakeFiles/BlockTest.dir/BlockTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BlockTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for BlockTest.
+# This may be replaced when dependencies are built.

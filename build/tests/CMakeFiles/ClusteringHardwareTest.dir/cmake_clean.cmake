@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ClusteringHardwareTest.dir/ClusteringHardwareTest.cpp.o"
+  "CMakeFiles/ClusteringHardwareTest.dir/ClusteringHardwareTest.cpp.o.d"
+  "ClusteringHardwareTest"
+  "ClusteringHardwareTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ClusteringHardwareTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

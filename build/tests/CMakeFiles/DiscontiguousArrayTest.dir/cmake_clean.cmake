@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DiscontiguousArrayTest.dir/DiscontiguousArrayTest.cpp.o"
+  "CMakeFiles/DiscontiguousArrayTest.dir/DiscontiguousArrayTest.cpp.o.d"
+  "DiscontiguousArrayTest"
+  "DiscontiguousArrayTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DiscontiguousArrayTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

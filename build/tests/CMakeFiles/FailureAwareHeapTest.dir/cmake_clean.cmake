@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FailureAwareHeapTest.dir/FailureAwareHeapTest.cpp.o"
+  "CMakeFiles/FailureAwareHeapTest.dir/FailureAwareHeapTest.cpp.o.d"
+  "FailureAwareHeapTest"
+  "FailureAwareHeapTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FailureAwareHeapTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FailureBufferTest.dir/FailureBufferTest.cpp.o"
+  "CMakeFiles/FailureBufferTest.dir/FailureBufferTest.cpp.o.d"
+  "FailureBufferTest"
+  "FailureBufferTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FailureBufferTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

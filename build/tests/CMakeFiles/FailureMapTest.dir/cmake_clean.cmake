@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FailureMapTest.dir/FailureMapTest.cpp.o"
+  "CMakeFiles/FailureMapTest.dir/FailureMapTest.cpp.o.d"
+  "FailureMapTest"
+  "FailureMapTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FailureMapTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for FailureMapTest.
+# This may be replaced when dependencies are built.

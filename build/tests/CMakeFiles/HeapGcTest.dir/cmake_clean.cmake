@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/HeapGcTest.dir/HeapGcTest.cpp.o"
+  "CMakeFiles/HeapGcTest.dir/HeapGcTest.cpp.o.d"
+  "HeapGcTest"
+  "HeapGcTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/HeapGcTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ImmixSpaceTest.dir/ImmixSpaceTest.cpp.o"
+  "CMakeFiles/ImmixSpaceTest.dir/ImmixSpaceTest.cpp.o.d"
+  "ImmixSpaceTest"
+  "ImmixSpaceTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ImmixSpaceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ObjectTest.dir/ObjectTest.cpp.o"
+  "CMakeFiles/ObjectTest.dir/ObjectTest.cpp.o.d"
+  "ObjectTest"
+  "ObjectTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ObjectTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OsTest.dir/OsTest.cpp.o"
+  "CMakeFiles/OsTest.dir/OsTest.cpp.o.d"
+  "OsTest"
+  "OsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

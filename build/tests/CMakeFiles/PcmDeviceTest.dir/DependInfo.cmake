@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/PcmDeviceTest.cpp" "tests/CMakeFiles/PcmDeviceTest.dir/PcmDeviceTest.cpp.o" "gcc" "tests/CMakeFiles/PcmDeviceTest.dir/PcmDeviceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/wearmem_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wearmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/wearmem_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/wearmem_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/wearmem_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcm/CMakeFiles/wearmem_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wearmem_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

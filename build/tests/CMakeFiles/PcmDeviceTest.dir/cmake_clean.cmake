@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PcmDeviceTest.dir/PcmDeviceTest.cpp.o"
+  "CMakeFiles/PcmDeviceTest.dir/PcmDeviceTest.cpp.o.d"
+  "PcmDeviceTest"
+  "PcmDeviceTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PcmDeviceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RuntimeConfigTest.dir/RuntimeConfigTest.cpp.o"
+  "CMakeFiles/RuntimeConfigTest.dir/RuntimeConfigTest.cpp.o.d"
+  "RuntimeConfigTest"
+  "RuntimeConfigTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RuntimeConfigTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WearTest.dir/WearTest.cpp.o"
+  "CMakeFiles/WearTest.dir/WearTest.cpp.o.d"
+  "WearTest"
+  "WearTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WearTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearmem_run.dir/wearmem_run.cpp.o"
+  "CMakeFiles/wearmem_run.dir/wearmem_run.cpp.o.d"
+  "wearmem_run"
+  "wearmem_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearmem_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
