@@ -26,6 +26,10 @@ HeapConfig RuntimeConfig::toHeapConfig() const {
   Heap.NurseryYieldThreshold = NurseryYieldThreshold;
   Heap.FullGcEvery = FullGcEvery;
   Heap.DefragFreeFraction = DefragFreeFraction;
+  Heap.MaxDebtPages = MaxDebtPages;
+  Heap.EmergencyDefragFailedLines = EmergencyDefragFailedLines;
+  Heap.RetireBlockFailedFraction = RetireBlockFailedFraction;
+  Heap.StormOverloadFraction = StormOverloadFraction;
 
   // Space compensation (Section 6.2): given heap size h used in the
   // absence of failure and failure rate f, use h / (1 - f) so the bytes

@@ -85,6 +85,14 @@ struct RuntimeConfig {
   unsigned FullGcEvery = 16;
   double DefragFreeFraction = 0.25;
 
+  /// Pass-through robustness knobs (see HeapConfig). MaxDebtPages caps
+  /// the DRAM the OS may lend (0 = the page budget itself); the other
+  /// three govern graceful degradation under dynamic failure storms.
+  size_t MaxDebtPages = 0;
+  unsigned EmergencyDefragFailedLines = 32;
+  double RetireBlockFailedFraction = 0.75;
+  double StormOverloadFraction = 0.5;
+
   /// Derives the internal heap configuration (compensated budget,
   /// injector setup).
   HeapConfig toHeapConfig() const;

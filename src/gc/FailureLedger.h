@@ -1,0 +1,79 @@
+//===- gc/FailureLedger.h - Ground truth for dynamic failures ---*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent record of every dynamically failed 64 B PCM line,
+/// keyed by block base address and byte offset. The heap updates it as
+/// failures are injected; the HeapAuditor replays it against the blocks'
+/// line states and page failure words, so a failure that the recovery
+/// machinery lost track of (a cleared mark, a stale word) is caught as a
+/// cross-layer disagreement rather than silent corruption.
+///
+/// Entries follow the memory they describe: releasing a block back to the
+/// OS pool drops its entries (the grant's failure words carry the truth
+/// from then on), and an emergency page remap drops the page's entries
+/// (the physical lines behind it changed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_GC_FAILURELEDGER_H
+#define WEARMEM_GC_FAILURELEDGER_H
+
+#include "pcm/Geometry.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace wearmem {
+
+/// Ground-truth record of dynamic line failures.
+class FailureLedger {
+public:
+  /// Records the failure of the PCM line containing \p ByteOffset within
+  /// the block based at \p Base.
+  void record(uintptr_t Base, size_t ByteOffset) {
+    Failed[Base].insert(ByteOffset - ByteOffset % PcmLineSize);
+  }
+
+  /// Forgets a released block.
+  void dropBlock(uintptr_t Base) { Failed.erase(Base); }
+
+  /// Forgets one page of a block (the OS remapped it; the failures no
+  /// longer exist at these addresses).
+  void dropPage(uintptr_t Base, size_t PageWithinBlock) {
+    auto It = Failed.find(Base);
+    if (It == Failed.end())
+      return;
+    size_t Lo = PageWithinBlock * PcmPageSize;
+    It->second.erase(It->second.lower_bound(Lo),
+                     It->second.lower_bound(Lo + PcmPageSize));
+    if (It->second.empty())
+      Failed.erase(It);
+  }
+
+  size_t totalLines() const {
+    size_t N = 0;
+    for (const auto &[Base, Offsets] : Failed)
+      N += Offsets.size();
+    return N;
+  }
+
+  /// Visits every entry as (Base, ByteOffset), in deterministic order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (const auto &[Base, Offsets] : Failed)
+      for (size_t Offset : Offsets)
+        F(Base, Offset);
+  }
+
+private:
+  std::map<uintptr_t, std::set<size_t>> Failed;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_GC_FAILURELEDGER_H

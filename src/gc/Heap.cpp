@@ -7,6 +7,8 @@
 
 #include "gc/Heap.h"
 
+#include "gc/HeapAuditor.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -55,14 +57,18 @@ size_t Heap::pagesHeld() const {
 // Allocation
 //===----------------------------------------------------------------------===//
 
-template <typename AllocFn> uint8_t *Heap::allocWithGcRetry(AllocFn Fn) {
+template <typename AllocFn>
+uint8_t *Heap::allocWithGcRetry(AllocFn Fn, bool WantPerfect) {
   if (OutOfMemory)
     return nullptr;
   if (uint8_t *Mem = Fn())
     return Mem;
   // First line of defense for sticky collectors: a nursery collection,
-  // unless it is time for a periodic full collection.
-  if (isSticky(Config.Collector) &&
+  // unless it is time for a periodic full collection, or dynamically
+  // failed lines are waiting for their deferred defragmenting collection
+  // (this slow path is the "collector is ready" moment, and only a full
+  // collection evacuates the fenced-off lines).
+  if (isSticky(Config.Collector) && !PendingFailureRecovery &&
       NurseryGcsSinceFull < Config.FullGcEvery) {
     collect(CollectionKind::Nursery);
     if (uint8_t *Mem = Fn())
@@ -71,7 +77,10 @@ template <typename AllocFn> uint8_t *Heap::allocWithGcRetry(AllocFn Fn) {
   collect(CollectionKind::Full);
   if (uint8_t *Mem = Fn())
     return Mem;
+  // Diagnosed fail-stop, not an abort: classify what ran out so the run
+  // result can report it (RunResult::Dnf).
   OutOfMemory = true;
+  Dnf = classifyExhaustion(WantPerfect);
   return nullptr;
 }
 
@@ -82,7 +91,8 @@ ObjRef Heap::allocate(uint32_t PayloadBytes, uint16_t NumRefs,
   uint8_t *Mem = nullptr;
   if (Size >= Config.LargeObjectThreshold) {
     uint64_t GcsBefore = Stats.GcCount;
-    Mem = allocWithGcRetry([&] { return Los.alloc(Size); });
+    Mem = allocWithGcRetry([&] { return Los.alloc(Size); },
+                           /*WantPerfect=*/true);
     Stats.GcTriggerLarge += Stats.GcCount - GcsBefore;
     Flags |= FlagLarge;
   } else if (Immix) {
@@ -144,6 +154,11 @@ double Heap::collect(CollectionKind Kind) {
   if (Kind == CollectionKind::Nursery &&
       !isSticky(Config.Collector))
     Kind = CollectionKind::Full; // Non-generational: everything is full.
+  // Deferred failure recovery needs a *full* defragmenting collection: a
+  // nursery pass would sweep away the fresh-failure flags without moving
+  // the objects off the failed lines.
+  if (PendingFailureRecovery)
+    Kind = CollectionKind::Full;
 
   runCollection(Kind);
   // A nursery collection that freed too little escalates immediately:
@@ -215,8 +230,13 @@ void Heap::runCollection(CollectionKind Kind) {
     Immix->clearDefragCandidates();
     // Return excess empty blocks to the OS pool so page-grained
     // allocators can compete for them (the paper's global block pool).
+    // The ledger forgets released blocks: their failure words travel
+    // with the grant from here on.
     Immix->releaseExcessFreeBlocks(
-        std::max<size_t>(4, Immix->blockCount() / 16));
+        std::max<size_t>(4, Immix->blockCount() / 16),
+        [this](const Block &B) {
+          Ledger.dropBlock(reinterpret_cast<uintptr_t>(B.base()));
+        });
     LastYield =
         Totals.TotalLines == 0
             ? 1.0
@@ -254,6 +274,13 @@ void Heap::runCollection(CollectionKind Kind) {
   // The mutator allocator resumes under the (possibly bumped) epoch.
   if (Allocator)
     Allocator->setHoleEpochs(Epoch, Epoch);
+
+  if (Full) {
+    // The defragmenting trace evacuated (or page-remapped) everything
+    // that sat on dynamically failed lines; the recovery debt is paid.
+    PendingFailureRecovery = false;
+    DynamicFailedSinceGc = 0;
+  }
 
   double Ms = std::chrono::duration<double, std::milli>(
                   std::chrono::steady_clock::now() - Start)
@@ -417,8 +444,11 @@ void Heap::emergencyPageRemap(Block *B, const uint8_t *Obj) {
       static_cast<size_t>(Obj - B->base()) / PcmPageSize;
   size_t LastPage =
       static_cast<size_t>(Obj + Size - 1 - B->base()) / PcmPageSize;
-  for (size_t Page = FirstPage; Page <= LastPage; ++Page)
+  for (size_t Page = FirstPage; Page <= LastPage; ++Page) {
     B->unfailPage(static_cast<unsigned>(Page));
+    // The failed physical lines are gone from these addresses.
+    Ledger.dropPage(reinterpret_cast<uintptr_t>(B->base()), Page);
+  }
 }
 
 void Heap::remapMarksOnWrap(uint8_t Prev) {
@@ -447,21 +477,57 @@ void Heap::remapMarksOnWrap(uint8_t Prev) {
 //===----------------------------------------------------------------------===//
 
 void Heap::injectDynamicFailureAt(uint8_t *Addr) {
-  ++Stats.DynamicFailuresHandled;
-  if (Immix) {
+  // The classic single-failure path: fence off and recover immediately.
+  injectDynamicFailureBatch({Addr}, /*DeferRecovery=*/false);
+}
+
+void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
+                                     bool DeferRecovery) {
+  if (Addrs.empty() || OutOfMemory)
+    return;
+  ++Stats.DynamicFailureBatches;
+  if (!Immix) {
+    // Free-list heaps cannot move objects: model the failure-unaware OS
+    // handling (copy each affected page to a perfect page).
+    Stats.DynamicFailuresHandled += Addrs.size();
+    Stats.DynamicFailurePageCopies += Addrs.size();
+    return;
+  }
+  for (uint8_t *Addr : Addrs) {
     Block *B = Immix->blockOf(Addr);
     assert(B && "dynamic failure outside the Immix space");
-    B->failPcmLineAt(static_cast<size_t>(Addr - B->base()));
+    size_t Offset = static_cast<size_t>(Addr - B->base());
+    B->failPcmLineAt(Offset);
     B->setFreshFailure(true);
-    Allocator->invalidateCache();
-    // The paper's recovery: mark the affected block for evacuation and
+    Ledger.record(reinterpret_cast<uintptr_t>(B->base()), Offset);
+    ++Stats.DynamicFailuresHandled;
+    ++Stats.FailedLinesDynamic;
+  }
+  // The fenced lines may sit inside cached bump regions.
+  Allocator->invalidateCache();
+  DynamicFailedSinceGc += static_cast<unsigned>(Addrs.size());
+
+  if (!DeferRecovery) {
+    // The paper's recovery: mark the affected blocks for evacuation and
     // invoke a (full, defragmenting) copying collection.
     collect(CollectionKind::Full);
     return;
   }
-  // Free-list heaps cannot move objects: model the failure-unaware OS
-  // handling (copy the affected page to a perfect page).
-  ++Stats.DynamicFailurePageCopies;
+  if (DynamicFailedSinceGc >= Config.EmergencyDefragFailedLines) {
+    // Storm backstop: so many lines died since the last collection that
+    // waiting any longer risks allocating around a minefield.
+    ++Stats.EmergencyDefrags;
+    PendingFailureRecovery = true;
+    collect(CollectionKind::Full);
+    return;
+  }
+  // Hardware (failure buffer) and OS (protected pages) hold the line
+  // until the collector is ready; the next slow path or collection pays
+  // the debt.
+  if (!PendingFailureRecovery) {
+    PendingFailureRecovery = true;
+    ++Stats.DeferredFailureRecoveries;
+  }
 }
 
 void Heap::injectDynamicFailureOnLarge(ObjRef Obj) {
@@ -486,43 +552,41 @@ void Heap::injectDynamicFailureOnLarge(ObjRef Obj) {
 }
 
 //===----------------------------------------------------------------------===//
-// Integrity checking
+// Fail-stop diagnosis and integrity checking
 //===----------------------------------------------------------------------===//
 
-void Heap::verifyIntegrity() const {
-  std::unordered_set<const uint8_t *> Seen;
-  std::vector<const uint8_t *> Work;
-  for (ObjRef Root : Roots)
-    if (Root)
-      Work.push_back(Root);
-  while (!Work.empty()) {
-    const uint8_t *Obj = Work.back();
-    Work.pop_back();
-    if (!Seen.insert(Obj).second)
-      continue;
-    assert(!isForwarded(Obj) &&
-           "reachable object holds a stale forwarding pointer");
-    uint32_t Size = objectSize(Obj);
-    assert(Size >= MinObjectBytes && Size % ObjectAlignment == 0 &&
-           "corrupt object header");
-    if (Immix && !objectHasFlag(Obj, FlagLarge)) {
-      Block *B = Immix->blockOf(Obj);
-      assert(B && "reachable object outside the heap");
-      unsigned First = B->lineOf(Obj);
-      unsigned Last = B->lineOf(Obj + Size - 1);
-      for (unsigned Line = First; Line <= Last; ++Line)
-        assert(!B->lineIsFailed(Line) &&
-               "live object occupies a failed line");
-      (void)B;
-      (void)Last;
-    }
-    unsigned NumRefs = objectNumRefs(Obj);
-    for (unsigned Slot = 0; Slot != NumRefs; ++Slot) {
-      const uint8_t *Child =
-          *reinterpret_cast<const uint8_t *const *>(
-              Obj + ObjectHeaderBytes + Slot * RefSlotBytes);
-      if (Child)
-        Work.push_back(Child);
-    }
+DnfReason Heap::classifyExhaustion(bool WantedPerfect) const {
+  // A heap drowning in failed lines died of the storm, whatever request
+  // happened to deliver the final blow. Only lines that wore out while
+  // running count: a heap born with static failures had its page budget
+  // compensated for them, so they say nothing about a storm.
+  if (Immix) {
+    size_t Failed = 0;
+    size_t Total = 0;
+    Immix->forEachBlock([&](const Block &B) {
+      Failed += B.dynamicFailedLines();
+      Total += B.lineCount();
+    });
+    if (Total != 0 &&
+        static_cast<double>(Failed) >=
+            Config.StormOverloadFraction * static_cast<double>(Total))
+      return DnfReason::FailureStormOverload;
   }
+  // A fussy request with no perfect page anywhere - fresh stock, recycled
+  // stock - and (by reaching this point) a refused or exhausted DRAM
+  // borrow: the perfect pool is spent.
+  if (WantedPerfect && Os_.remainingPerfectPages() == 0 &&
+      Os_.perfectStockPages() == 0)
+    return DnfReason::PerfectPagesExhausted;
+  return DnfReason::HeapExhausted;
+}
+
+void Heap::verifyIntegrity() const {
+  HeapAuditor Auditor(*this);
+  AuditReport Report = Auditor.audit();
+  if (Report.Violations.empty())
+    return;
+  for (const std::string &V : Report.Violations)
+    std::fprintf(stderr, "heap audit violation: %s\n", V.c_str());
+  std::abort();
 }

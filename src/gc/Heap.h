@@ -28,6 +28,7 @@
 #ifndef WEARMEM_GC_HEAP_H
 #define WEARMEM_GC_HEAP_H
 
+#include "gc/FailureLedger.h"
 #include "heap/FreeListSpace.h"
 #include "heap/HeapConfig.h"
 #include "heap/ImmixSpace.h"
@@ -39,6 +40,8 @@
 #include <vector>
 
 namespace wearmem {
+
+class HeapAuditor;
 
 /// Which collection to run.
 enum class CollectionKind { Nursery, Full };
@@ -97,6 +100,20 @@ public:
   /// models the failure-unaware OS page copy.
   void injectDynamicFailureAt(uint8_t *Addr);
 
+  /// Retires the PCM lines containing \p Addrs as one correlated failure
+  /// event (a storm burst or a region wearing out together). With
+  /// \p DeferRecovery, recovery follows the paper's "the hardware and OS
+  /// handle these failures until the collector is ready": the lines are
+  /// fenced off immediately, but the defragmenting collection is deferred
+  /// to the next allocation slow path - unless the batch crosses the
+  /// emergency-defragmentation threshold, which collects right away.
+  void injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
+                                 bool DeferRecovery = true);
+
+  /// True while dynamically failed lines await their defragmenting
+  /// collection (objects may still sit on failed lines until then).
+  bool pendingFailureRecovery() const { return PendingFailureRecovery; }
+
   /// Relocates a large object hit by a dynamic failure, then fixes
   /// references with a full collection.
   void injectDynamicFailureOnLarge(ObjRef Obj);
@@ -106,10 +123,13 @@ public:
   //===--------------------------------------------------------------===//
 
   bool outOfMemory() const { return OutOfMemory; }
+  /// Why the heap gave up; None while it is still healthy.
+  DnfReason dnfReason() const { return Dnf; }
   const HeapConfig &config() const { return Config; }
   const HeapStats &stats() const { return Stats; }
   const OsStats &osStats() const { return Os_.stats(); }
   const FailureAwareOs &os() const { return Os_; }
+  const FailureLedger &failureLedger() const { return Ledger; }
   size_t pagesHeld() const;
   uint8_t epoch() const { return Epoch; }
 
@@ -121,14 +141,19 @@ public:
   }
 
   ImmixSpace *immixSpace() { return Immix.get(); }
+  const ImmixSpace *immixSpace() const { return Immix.get(); }
   LargeObjectSpace &largeObjectSpace() { return Los; }
 
-  /// Verifies heap invariants by walking the graph from the roots
-  /// (test-only; O(live set)).
+  /// Verifies heap invariants via the cross-layer HeapAuditor and aborts
+  /// with a diagnostic on the first violation (test-only; O(live set)).
   void verifyIntegrity() const;
 
 private:
-  template <typename AllocFn> uint8_t *allocWithGcRetry(AllocFn Fn);
+  friend class HeapAuditor;
+
+  template <typename AllocFn>
+  uint8_t *allocWithGcRetry(AllocFn Fn, bool WantPerfect = false);
+  DnfReason classifyExhaustion(bool WantedPerfect) const;
   void runCollection(CollectionKind Kind);
   ObjRef visitEdge(ObjRef Target, CollectionKind Kind);
   void scanObject(ObjRef Obj, CollectionKind Kind);
@@ -155,9 +180,16 @@ private:
 
   std::vector<ObjRef> MarkStack;
 
+  FailureLedger Ledger;
+
   uint8_t Epoch = 1;
   unsigned NurseryGcsSinceFull = 0;
+  /// Dynamically failed lines since the last collection (emergency
+  /// defragmentation trigger).
+  unsigned DynamicFailedSinceGc = 0;
   bool OutOfMemory = false;
+  DnfReason Dnf = DnfReason::None;
+  bool PendingFailureRecovery = false;
   bool InCollection = false;
   /// Nursery survivors are opportunistically copied (Sticky Immix).
   bool CopyNurserySurvivors = true;

@@ -1,0 +1,366 @@
+//===- gc/HeapAuditor.cpp - Cross-layer heap integrity audits -------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapAuditor.h"
+#include "gc/Heap.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace wearmem {
+
+void HeapAuditor::note(AuditReport &Report, std::string Msg) {
+  if (Report.Violations.size() < MaxViolations)
+    Report.Violations.push_back(std::move(Msg));
+}
+
+uint64_t HeapAuditor::stampOf(const uint8_t *Obj) {
+  // Size and ref count identify an object well enough across audits while
+  // staying stable under mutation (marks, log flags and payload change
+  // legitimately).
+  return (static_cast<uint64_t>(objectSize(Obj)) << 16) |
+         objectNumRefs(Obj);
+}
+
+void HeapAuditor::expectPinned(const uint8_t *Obj) {
+  PinnedWatch[Obj] = PinRecord{stampOf(Obj), /*External=*/true};
+}
+
+AuditReport HeapAuditor::audit() {
+  AuditReport Report;
+  Reachable.clear();
+  checkObjectGraph(Report);
+  if (H.Immix) {
+    checkLineStateVsFailureWords(Report);
+    checkLedgerAndOsMaps(Report);
+  }
+  checkPinStability(Report);
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 1: the object graph
+//===----------------------------------------------------------------------===//
+
+void HeapAuditor::checkObjectGraph(AuditReport &Report) {
+  char Buf[160];
+  std::unordered_set<const uint8_t *> Visited;
+  std::vector<const uint8_t *> Stack;
+  for (ObjRef Root : H.Roots)
+    if (Root && Visited.insert(Root).second)
+      Stack.push_back(Root);
+
+  std::vector<std::pair<uintptr_t, uint32_t>> Extents;
+  while (!Stack.empty()) {
+    const uint8_t *Obj = Stack.back();
+    Stack.pop_back();
+    ++Report.ObjectsVisited;
+    Reachable.push_back(Obj);
+
+    if (reinterpret_cast<uintptr_t>(Obj) % ObjectAlignment != 0) {
+      std::snprintf(Buf, sizeof(Buf), "misaligned object address %p",
+                    static_cast<const void *>(Obj));
+      note(Report, Buf);
+      continue; // The header cannot be trusted.
+    }
+    uint32_t Size = objectSize(Obj);
+    uint16_t NumRefs = objectNumRefs(Obj);
+    if (Size < MinObjectBytes || Size % ObjectAlignment != 0 ||
+        ObjectHeaderBytes + NumRefs * RefSlotBytes > Size) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "corrupt header at %p: size=%u refs=%u",
+                    static_cast<const void *>(Obj), Size, NumRefs);
+      note(Report, Buf);
+      continue; // Reference slots cannot be trusted either.
+    }
+    if (isForwarded(Obj)) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "reachable object %p carries a stale forwarding pointer",
+                    static_cast<const void *>(Obj));
+      note(Report, Buf);
+    }
+    Extents.emplace_back(reinterpret_cast<uintptr_t>(Obj), Size);
+
+    if (H.Immix) {
+      if (Block *B = H.Immix->blockOf(Obj)) {
+        if (Obj + Size > B->base() + B->sizeBytes()) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "object %p (%u bytes) spills out of its block",
+                        static_cast<const void *>(Obj), Size);
+          note(Report, Buf);
+        } else {
+          if (B->state() == BlockState::Retired) {
+            std::snprintf(Buf, sizeof(Buf),
+                          "live object %p inside a retired block",
+                          static_cast<const void *>(Obj));
+            note(Report, Buf);
+          }
+          unsigned First = B->lineOf(Obj);
+          unsigned Last = B->lineOf(Obj + Size - 1);
+          // "Allocate only into free lines": a live object may overlap a
+          // failed line only inside a deferred-recovery window, before
+          // the defragmenting collection has evacuated it.
+          if (!H.PendingFailureRecovery) {
+            for (unsigned Line = First; Line <= Last; ++Line)
+              if (B->lineIsFailed(Line)) {
+                std::snprintf(Buf, sizeof(Buf),
+                              "live object %p overlaps failed line %u",
+                              static_cast<const void *>(Obj), Line);
+                note(Report, Buf);
+                break;
+              }
+          }
+          // A traced object's first covering line must carry the same
+          // epoch (conservative marking may skip the rest). A line that
+          // failed after the trace legitimately lost its mark.
+          if (objectMark(Obj) == H.Epoch && !B->lineIsFailed(First) &&
+              B->lineMark(First) != H.Epoch) {
+            std::snprintf(
+                Buf, sizeof(Buf),
+                "object %p marked at epoch %u but its line mark is %u",
+                static_cast<const void *>(Obj), unsigned(H.Epoch),
+                unsigned(B->lineMark(First)));
+            note(Report, Buf);
+          }
+        }
+      } else if (objectHasFlag(Obj, FlagLarge) && !H.Los.contains(Obj)) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "large-flagged object %p unknown to the LOS",
+                      static_cast<const void *>(Obj));
+        note(Report, Buf);
+      }
+    }
+
+    for (unsigned Slot = 0; Slot != NumRefs; ++Slot) {
+      const uint8_t *Ref =
+          *refSlot(const_cast<ObjRef>(Obj), Slot);
+      if (Ref && Visited.insert(Ref).second)
+        Stack.push_back(Ref);
+    }
+  }
+
+  // No two reachable objects may overlap (the other observable half of
+  // allocate-only-into-free-lines: a bump cursor that entered a live or
+  // failed hole shows up here).
+  std::sort(Extents.begin(), Extents.end());
+  for (size_t I = 1; I < Extents.size(); ++I)
+    if (Extents[I - 1].first + Extents[I - 1].second > Extents[I].first) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "objects overlap: %p (%u bytes) and %p",
+                    reinterpret_cast<const void *>(Extents[I - 1].first),
+                    Extents[I - 1].second,
+                    reinterpret_cast<const void *>(Extents[I].first));
+      note(Report, Buf);
+    }
+
+  // LOS-wide sanity (zombies excepted: they were relocated and await
+  // their sweep).
+  H.Los.forEachObject([&](ObjRef Obj) {
+    if (isForwarded(Obj))
+      return;
+    uint32_t Size = objectSize(Obj);
+    uint16_t NumRefs = objectNumRefs(Obj);
+    if (Size < MinObjectBytes || Size % ObjectAlignment != 0 ||
+        ObjectHeaderBytes + NumRefs * RefSlotBytes > Size) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "corrupt LOS header at %p: size=%u refs=%u",
+                    static_cast<const void *>(Obj), Size, NumRefs);
+      note(Report, Buf);
+    } else if (!objectHasFlag(Obj, FlagLarge)) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "LOS object %p lacks the Large flag",
+                    static_cast<const void *>(Obj));
+      note(Report, Buf);
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 2: Immix line states vs page failure words
+//===----------------------------------------------------------------------===//
+
+void HeapAuditor::checkLineStateVsFailureWords(AuditReport &Report) {
+  char Buf[160];
+  H.Immix->forEachBlock([&](const Block &B) {
+    ++Report.BlocksChecked;
+    const std::vector<uint64_t> &Words = B.pageFailureWords();
+    size_t LineBytes = B.lineSize();
+
+    // Every failure-word bit must be fenced by a failed Immix line.
+    for (size_t Page = 0; Page != Words.size(); ++Page) {
+      uint64_t W = Words[Page];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        W &= W - 1;
+        size_t Offset = Page * PcmPageSize + Bit * PcmLineSize;
+        if (!B.lineIsFailed(static_cast<unsigned>(Offset / LineBytes))) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "block %p: failed PCM line at offset %zu not "
+                        "fenced by a Failed Immix line",
+                        static_cast<const void *>(B.base()), Offset);
+          note(Report, Buf);
+        }
+      }
+    }
+
+    unsigned CountedFailed = 0;
+    for (unsigned Line = 0; Line != B.lineCount(); ++Line) {
+      if (!B.lineIsFailed(Line)) {
+        // Retirement zeroes stale marks and nothing may mark a retired
+        // block afterwards.
+        if (B.state() == BlockState::Retired && B.lineMark(Line) != 0) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "retired block %p carries mark %u on line %u",
+                        static_cast<const void *>(B.base()),
+                        unsigned(B.lineMark(Line)), Line);
+          note(Report, Buf);
+        }
+        continue;
+      }
+      ++CountedFailed;
+      // ...and every failed Immix line must trace back to at least one
+      // failed PCM line (false failures included: the covering line is
+      // failed *because* of the bit).
+      if (!Words.empty()) {
+        bool Any = false;
+        for (size_t Off = Line * LineBytes, Hi = Off + LineBytes;
+             Off != Hi; Off += PcmLineSize) {
+          size_t Page = Off / PcmPageSize;
+          size_t Bit = (Off % PcmPageSize) / PcmLineSize;
+          if ((Words[Page] >> Bit) & 1) {
+            Any = true;
+            break;
+          }
+        }
+        if (!Any) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "block %p: Failed Immix line %u has no failed "
+                        "PCM line behind it",
+                        static_cast<const void *>(B.base()), Line);
+          note(Report, Buf);
+        }
+      }
+    }
+    if (CountedFailed != B.failedLines()) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "block %p: failedLines()=%u but %u lines are Failed",
+                    static_cast<const void *>(B.base()), B.failedLines(),
+                    CountedFailed);
+      note(Report, Buf);
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Layer 3: the dynamic-failure ledger and the OS budget map
+//===----------------------------------------------------------------------===//
+
+void HeapAuditor::checkLedgerAndOsMaps(AuditReport &Report) {
+  char Buf[160];
+  // Replay the device-truth ledger: every dynamically failed line must
+  // still be present in the block's failure word and fenced in its line
+  // marks. (Releases and page remaps prune the ledger, so every entry
+  // refers to memory the heap still holds.)
+  H.Ledger.forEach([&](uintptr_t Base, size_t Offset) {
+    ++Report.LedgerLinesChecked;
+    Block *B = H.Immix->blockOf(reinterpret_cast<const uint8_t *>(Base));
+    if (!B || reinterpret_cast<uintptr_t>(B->base()) != Base) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "ledger entry %#zx+%zu for a block the heap no "
+                    "longer holds",
+                    static_cast<size_t>(Base), Offset);
+      note(Report, Buf);
+      return;
+    }
+    const std::vector<uint64_t> &Words = B->pageFailureWords();
+    size_t Page = Offset / PcmPageSize;
+    size_t Bit = (Offset % PcmPageSize) / PcmLineSize;
+    if (Words.empty() || ((Words[Page] >> Bit) & 1) == 0) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "block %p: dynamic failure at offset %zu lost from "
+                    "the page failure word",
+                    static_cast<const void *>(B->base()), Offset);
+      note(Report, Buf);
+    }
+    if (!B->lineIsFailed(
+            static_cast<unsigned>(Offset / B->lineSize()))) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "block %p: dynamic failure at offset %zu no longer "
+                    "fenced by a Failed line",
+                    static_cast<const void *>(B->base()), Offset);
+      note(Report, Buf);
+    }
+  });
+
+  // Blocks of known provenance must remember at least every statically
+  // failed line the OS budget map records for their pages. Remapped
+  // pages sit on different physical memory and are exempt.
+  const FailureMap &BudgetMap = H.Os_.budgetFailureMap();
+  H.Immix->forEachBlock([&](const Block &B) {
+    const std::vector<uint32_t> &Ids = B.pageIds();
+    if (Ids.empty())
+      return;
+    const std::vector<uint64_t> &Words = B.pageFailureWords();
+    size_t Pages = std::min(Ids.size(), Words.size());
+    for (size_t Page = 0; Page != Pages; ++Page) {
+      if (B.pageWasRemapped(static_cast<unsigned>(Page)))
+        continue;
+      uint64_t BudgetWord = BudgetMap.pageWord(Ids[Page]);
+      if (BudgetWord & ~Words[Page]) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "block %p page %zu (budget page %u) forgot "
+                      "statically failed lines the OS remembers",
+                      static_cast<const void *>(B.base()), Page,
+                      Ids[Page]);
+        note(Report, Buf);
+      }
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Pin stability ("only unpinned objects move")
+//===----------------------------------------------------------------------===//
+
+void HeapAuditor::checkPinStability(AuditReport &Report) {
+  char Buf[160];
+  std::unordered_set<const uint8_t *> Live(Reachable.begin(),
+                                           Reachable.end());
+  for (const uint8_t *Obj : Reachable) {
+    if (!objectHasFlag(Obj, FlagPinned))
+      continue;
+    auto [It, Inserted] =
+        PinnedWatch.insert({Obj, PinRecord{stampOf(Obj), false}});
+    if (!Inserted && It->second.Stamp != stampOf(Obj)) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "pinned object at %p changed identity between "
+                    "audits (was it moved and its slot reused?)",
+                    static_cast<const void *>(Obj));
+      note(Report, Buf);
+      It->second.Stamp = stampOf(Obj);
+    }
+  }
+  for (auto It = PinnedWatch.begin(); It != PinnedWatch.end();) {
+    if (Live.count(It->first)) {
+      ++It;
+      continue;
+    }
+    if (It->second.External) {
+      // Native code still holds this address; losing it means a pinned
+      // object moved or was collected out from under its pin.
+      std::snprintf(Buf, sizeof(Buf),
+                    "externally pinned object at %p is no longer "
+                    "reachable at its registered address",
+                    static_cast<const void *>(It->first));
+      note(Report, Buf);
+    }
+    It = PinnedWatch.erase(It);
+  }
+}
+
+} // namespace wearmem

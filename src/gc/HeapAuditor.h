@@ -1,0 +1,103 @@
+//===- gc/HeapAuditor.h - Cross-layer heap integrity audits -----*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cross-layer integrity auditor for the failure-aware heap. Where the
+/// old Heap::verifyIntegrity asserted a handful of object-graph facts,
+/// the auditor checks that *three independent layers agree* after a
+/// collection, which is what makes soak runs under fault campaigns
+/// trustworthy:
+///
+///  1. the object graph - headers sane, no reachable object forwarded,
+///     no two reachable objects overlap, and (outside a deferred
+///     recovery window) no live object straddles a failed line; the
+///     combination is the observable residue of the paper's
+///     "allocate only into free lines" invariant;
+///  2. heap line states vs page failure words - a failed 64 B PCM line
+///     and the Immix line covering it must fail together, in both
+///     directions, and retired blocks must be genuinely dead;
+///  3. the dynamic-failure ledger (device truth) vs the blocks, and the
+///     blocks' failure words vs the OS budget failure map - a failure
+///     must never be forgotten by a lower layer that a higher layer
+///     still remembers.
+///
+/// The "only unpinned objects move" invariant is checked the way native
+/// code would notice a violation: callers register pinned addresses with
+/// expectPinned (and the auditor auto-registers reachable pinned objects
+/// across audits); a registered address that stops holding the same
+/// pinned object while it is still reachable is a violation.
+///
+/// The auditor never aborts; it returns a report. Heap::verifyIntegrity
+/// wraps it with the old abort-on-violation behaviour for tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_GC_HEAPAUDITOR_H
+#define WEARMEM_GC_HEAPAUDITOR_H
+
+#include "heap/Object.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wearmem {
+
+class Heap;
+
+/// Outcome of one audit pass.
+struct AuditReport {
+  size_t ObjectsVisited = 0;
+  size_t BlocksChecked = 0;
+  size_t LedgerLinesChecked = 0;
+  /// Human-readable violation descriptions, capped so a systematic
+  /// corruption cannot allocate unboundedly.
+  std::vector<std::string> Violations;
+
+  bool passed() const { return Violations.empty(); }
+};
+
+/// Cross-checks the heap's three failure-tracking layers.
+class HeapAuditor {
+public:
+  explicit HeapAuditor(const Heap &H) : H(H) {}
+
+  /// Registers an address an external observer (native code) believes
+  /// holds a pinned object; subsequent audits verify it stays put.
+  void expectPinned(const uint8_t *Obj);
+
+  /// Runs every check; O(live set + blocks + ledger).
+  AuditReport audit();
+
+private:
+  struct PinRecord {
+    uint64_t Stamp;
+    bool External; ///< Registered via expectPinned, not auto-tracked.
+  };
+
+  static uint64_t stampOf(const uint8_t *Obj);
+  static void note(AuditReport &Report, std::string Msg);
+  void checkObjectGraph(AuditReport &Report);
+  void checkLineStateVsFailureWords(AuditReport &Report);
+  void checkLedgerAndOsMaps(AuditReport &Report);
+  void checkPinStability(AuditReport &Report);
+
+  const Heap &H;
+  /// Pinned addresses under watch, with a content stamp taken when first
+  /// seen. Persistent across audits (keep one auditor alive in soak
+  /// mode).
+  std::unordered_map<const uint8_t *, PinRecord> PinnedWatch;
+  /// Reachable set of the current audit pass (shared between checks).
+  std::vector<const uint8_t *> Reachable;
+
+  static constexpr size_t MaxViolations = 32;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_GC_HEAPAUDITOR_H

@@ -18,6 +18,8 @@ Block::Block(uint8_t *Mem, const HeapConfig &Config)
   assert(isPowerOfTwo(LineBytes) && LineBytes >= PcmLineSize &&
          "Immix lines must be at least one PCM line");
   assert(BlockBytes % LineBytes == 0 && "lines must tile the block");
+  assert(BlockBytes / PcmPageSize <= 64 &&
+         "remap tracking packs page flags into one word");
 }
 
 void Block::applyFailureWords(const uint64_t *FailWords, size_t NumPages) {
@@ -54,6 +56,7 @@ unsigned Block::unfailPage(unsigned PageWithinBlock) {
   }
   if (!PageFailWords.empty())
     PageFailWords[PageWithinBlock] = 0;
+  RemappedPages |= uint64_t(1) << PageWithinBlock;
   return Restored;
 }
 

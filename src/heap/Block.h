@@ -42,6 +42,10 @@ enum class BlockState : uint8_t {
   InUse,
   /// No reusable holes.
   Full,
+  /// Permanently withdrawn: so many of its lines failed that recycling
+  /// the remainder is not worth it. Retired blocks keep their pages (the
+  /// budget really is lost) but never re-enter an allocation list.
+  Retired,
 };
 
 /// A contiguous run of available lines: [StartLine, EndLine).
@@ -99,8 +103,16 @@ public:
     size_t Bit = (ByteOffset % PcmPageSize) / PcmLineSize;
     if (!PageFailWords.empty())
       PageFailWords[Page] |= uint64_t(1) << Bit;
-    failLine(static_cast<unsigned>(ByteOffset / LineBytes));
+    unsigned Line = static_cast<unsigned>(ByteOffset / LineBytes);
+    if (LineMarks[Line] != LineFailed)
+      ++DynamicFailedLineCount;
+    failLine(Line);
   }
+
+  /// Lines lost to *dynamic* wear-out (static intake failures are known
+  /// at grant time and compensated for; dynamic ones mean the block is
+  /// dying, which is what block retirement keys on).
+  unsigned dynamicFailedLines() const { return DynamicFailedLineCount; }
 
   /// Models the OS remapping one of the block's pages onto a perfect
   /// physical page (the pinned-object escape hatch of Section 3.3.3):
@@ -118,6 +130,18 @@ public:
   const std::vector<uint64_t> &pageFailureWords() const {
     return PageFailWords;
   }
+
+  /// True if \p PageWithinBlock was remapped onto a perfect physical page
+  /// by unfailPage: its failure word no longer reflects the OS budget
+  /// map, so cross-layer audits must not compare the two.
+  bool pageWasRemapped(unsigned PageWithinBlock) const {
+    return (RemappedPages & (uint64_t(1) << PageWithinBlock)) != 0;
+  }
+
+  /// The OS budget page indices backing this block (one per page), empty
+  /// when the provenance is unknown (recycled perfect chunks, DRAM).
+  const std::vector<uint32_t> &pageIds() const { return PageIds; }
+  void setPageIds(std::vector<uint32_t> Ids) { PageIds = std::move(Ids); }
 
   unsigned failedLines() const { return FailedLineCount; }
   bool isPerfect() const { return FailedLineCount == 0; }
@@ -171,7 +195,10 @@ private:
   size_t LineBytes;
   std::vector<uint8_t> LineMarks;
   std::vector<uint64_t> PageFailWords;
+  std::vector<uint32_t> PageIds;
+  uint64_t RemappedPages = 0;
   unsigned FailedLineCount = 0;
+  unsigned DynamicFailedLineCount = 0;
   unsigned FreeLineCount;
   BlockState State = BlockState::Free;
   bool Evacuating = false;

@@ -57,6 +57,38 @@ inline uint8_t nextEpoch(uint8_t Epoch) {
   return Epoch == MaxEpoch ? 1 : static_cast<uint8_t>(Epoch + 1);
 }
 
+/// Why a run stopped without finishing. The paper's curves simply
+/// terminate (Figures 7-9); the runtime additionally diagnoses *why* so a
+/// did-not-finish is a clean, attributable fail-stop rather than an abort.
+enum class DnfReason : uint8_t {
+  /// Still running, or completed.
+  None,
+  /// Ordinary exhaustion: the live set plus fragmentation no longer fits
+  /// the page budget.
+  HeapExhausted,
+  /// The fussy pool ran dry: no perfect PCM pages remain and the DRAM
+  /// debt cap refuses further borrowing, so page-grained allocation
+  /// cannot proceed.
+  PerfectPagesExhausted,
+  /// Dynamic failures retired lines faster than defragmentation could
+  /// compact around them; a large fraction of the heap is dead memory.
+  FailureStormOverload,
+};
+
+inline const char *dnfReasonName(DnfReason Reason) {
+  switch (Reason) {
+  case DnfReason::None:
+    return "none";
+  case DnfReason::HeapExhausted:
+    return "heap-exhausted";
+  case DnfReason::PerfectPagesExhausted:
+    return "perfect-pages-exhausted";
+  case DnfReason::FailureStormOverload:
+    return "failure-storm-overload";
+  }
+  return "?";
+}
+
 /// Static heap configuration.
 struct HeapConfig {
   CollectorKind Collector = CollectorKind::StickyImmix;
@@ -101,6 +133,21 @@ struct HeapConfig {
   /// paper's cost model. A finite cap is only used by ablations.
   size_t MaxDebtPages = 0;
 
+  /// Graceful degradation under fault campaigns. A dynamic-failure batch
+  /// whose accumulated line count since the last collection reaches this
+  /// threshold triggers an emergency defragmenting collection instead of
+  /// deferring recovery to the next scheduled one.
+  unsigned EmergencyDefragFailedLines = 32;
+  /// An *empty* block whose failed-line fraction reaches this is retired
+  /// at sweep: it leaves the free/recycle lists for good (its pages are
+  /// mostly dead memory and recycling it would just spread allocation
+  /// across holes).
+  double RetireBlockFailedFraction = 0.75;
+  /// When allocation fails for good and at least this fraction of all
+  /// Immix lines is failed, the fail-stop is classified as a failure
+  /// storm rather than ordinary heap exhaustion.
+  double StormOverloadFraction = 0.5;
+
   size_t linesPerBlock() const { return BlockSize / LineSize; }
   size_t pagesPerBlock() const { return BlockSize / PcmPageSize; }
   size_t maxDebtPages() const {
@@ -137,6 +184,12 @@ struct HeapStats {
   uint64_t DynamicFailurePageCopies = 0;
   uint64_t PinnedFailurePageRemaps = 0;
   uint64_t WriteBarrierLogs = 0;
+
+  uint64_t DynamicFailureBatches = 0;
+  uint64_t DeferredFailureRecoveries = 0;
+  uint64_t EmergencyDefrags = 0;
+  uint64_t BlocksRetired = 0;
+  uint64_t FailedLinesDynamic = 0;
 };
 
 } // namespace wearmem

@@ -209,6 +209,7 @@ Block *ImmixSpace::createBlock(PageGrant &&Grant) {
          "blocks must be block-aligned");
   auto NewBlock = std::make_unique<Block>(Grant.Mem, Config);
   NewBlock->applyFailureWords(Grant.FailWords.data(), Grant.NumPages);
+  NewBlock->setPageIds(std::move(Grant.PageIds));
   Block *Raw = NewBlock.get();
 #ifdef WEARMEM_DEBUG_TRACE
   DebugReleased.erase(reinterpret_cast<uintptr_t>(Grant.Mem));
@@ -288,7 +289,8 @@ Block *ImmixSpace::takeFree() {
   return createBlock(std::move(*Grant));
 }
 
-size_t ImmixSpace::releaseExcessFreeBlocks(size_t KeepFree) {
+size_t ImmixSpace::releaseExcessFreeBlocks(
+    size_t KeepFree, const std::function<void(const Block &)> &OnRelease) {
   if (FreeList.size() <= KeepFree)
     return 0;
   std::unordered_map<uintptr_t, Block *> Victims;
@@ -297,10 +299,19 @@ size_t ImmixSpace::releaseExcessFreeBlocks(size_t KeepFree) {
     if (B->evacuating() || B->hasFreshFailure())
       break; // Rare; retry next sweep.
     FreeList.pop_back();
+    if (OnRelease)
+      OnRelease(*B);
     PageGrant Grant;
     Grant.Mem = B->base();
     Grant.NumPages = Config.pagesPerBlock();
     Grant.FailWords = B->pageFailureWords();
+    // Page identity survives the round trip unless a page was remapped
+    // onto a different physical page, which orphans the whole mapping.
+    bool AnyRemapped = false;
+    for (size_t Page = 0; Page != Grant.NumPages; ++Page)
+      AnyRemapped |= B->pageWasRemapped(static_cast<unsigned>(Page));
+    if (!AnyRemapped)
+      Grant.PageIds = B->pageIds();
     uintptr_t Base = reinterpret_cast<uintptr_t>(B->base());
     ByBase.erase(Base);
     Victims.emplace(Base, B);
@@ -366,6 +377,8 @@ void ImmixSpace::selectDefragCandidates() {
   // affected objects *must* move).
   std::vector<Block *> Fragmented;
   for (auto &B : Blocks) {
+    if (B->state() == BlockState::Retired)
+      continue; // Nothing live to move, nothing free to use.
     if (B->hasFreshFailure()) {
       B->setEvacuating(true);
       size_t Need = LiveEstimate(B.get()) + B->freeLines();
@@ -405,12 +418,42 @@ ImmixSweepTotals ImmixSpace::sweep(uint8_t Epoch) {
   RecycleList.clear();
   ImmixSweepTotals Totals;
   for (auto &B : Blocks) {
+    if (B->state() == BlockState::Retired) {
+      // Permanently withdrawn: the pages stay charged to the budget but
+      // the lines no longer count as allocatable capacity.
+      ++Totals.RetiredBlocks;
+      Totals.FailedLines += B->failedLines();
+      continue;
+    }
     Block::SweepResult R =
         B->sweep(Epoch, Config.ConservativeLineMarking);
     Stats.LinesSwept += B->lineCount();
     Totals.TotalLines += B->lineCount();
     Totals.FreeLines += R.FreeLines;
     Totals.FailedLines += B->failedLines();
+    if (R.Empty && B->dynamicFailedLines() > 0 &&
+        B->failedLines() >=
+            static_cast<unsigned>(Config.RetireBlockFailedFraction *
+                                  static_cast<double>(B->lineCount()))) {
+      // Graceful degradation: an empty block that dynamic wear-out has
+      // reduced to mostly holes is retired rather than recycled -
+      // spreading allocation across its few surviving lines just
+      // multiplies future evacuation work. Statically imperfect blocks
+      // are exempt: their failures were known at grant time and the
+      // compensated heap budget counts on their working lines.
+      B->setState(BlockState::Retired);
+      B->setFreshFailure(false);
+      B->setEvacuating(false);
+      // Zero the surviving stale line marks: nothing may ever be marked
+      // in a retired block again, and a zeroed table cannot alias a
+      // future epoch (the auditor relies on this).
+      for (unsigned Line = 0; Line != B->lineCount(); ++Line)
+        B->markLine(Line, 0);
+      ++RetiredCount;
+      ++Stats.BlocksRetired;
+      ++Totals.RetiredBlocks;
+      continue;
+    }
     if (R.Empty && R.FreeLines > 0) {
       B->setState(BlockState::Free);
       FreeList.push_back(B.get());

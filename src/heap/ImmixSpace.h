@@ -105,6 +105,7 @@ struct ImmixSweepTotals {
   size_t FreeBlocks = 0;
   size_t RecyclableBlocks = 0;
   size_t FullBlocks = 0;
+  size_t RetiredBlocks = 0;
   size_t FreeLines = 0;
   size_t TotalLines = 0;
   size_t FailedLines = 0;
@@ -162,18 +163,30 @@ public:
   /// (the paper's "global pool of pages for use by the whole runtime"),
   /// so page-grained allocators can compete for them. Blocks that
   /// suffered a dynamic failure are retained until their candidate flag
-  /// clears. Returns the number of blocks released.
-  size_t releaseExcessFreeBlocks(size_t KeepFree);
+  /// clears. \p OnRelease (optional) observes each block just before it
+  /// is handed back, so bookkeeping keyed on block bases (the dynamic
+  /// failure ledger) can be pruned. Returns the number of blocks
+  /// released.
+  size_t releaseExcessFreeBlocks(
+      size_t KeepFree,
+      const std::function<void(const Block &)> &OnRelease = nullptr);
 
   size_t pagesHeld() const {
     return Blocks.size() * Config.pagesPerBlock();
   }
   size_t blockCount() const { return Blocks.size(); }
 
+  /// Retired blocks still held (their pages are lost capacity).
+  size_t retiredBlockCount() const { return RetiredCount; }
+
   /// Iterates all blocks (diagnostics and candidate selection).
   template <typename Fn> void forEachBlock(Fn F) {
     for (auto &B : Blocks)
       F(*B);
+  }
+  template <typename Fn> void forEachBlock(Fn F) const {
+    for (const auto &B : Blocks)
+      F(static_cast<const Block &>(*B));
   }
 
 private:
@@ -188,6 +201,7 @@ private:
   std::vector<Block *> FreeList;
   std::vector<Block *> RecycleList;
   std::unordered_map<uintptr_t, Block *> ByBase;
+  size_t RetiredCount = 0;
 
 #ifdef WEARMEM_DEBUG_TRACE
 public:

@@ -1,0 +1,506 @@
+//===- inject/FaultCampaign.cpp - Scriptable fault campaigns --------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "inject/FaultCampaign.h"
+
+#include "core/Runtime.h"
+#include "pcm/PcmDevice.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+using namespace wearmem;
+
+//===----------------------------------------------------------------------===//
+// Schedule parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Digits with an optional k/m/g suffix (powers of 1024), advancing Pos.
+bool parseScaled(const std::string &S, size_t &Pos, uint64_t &Out) {
+  size_t Start = Pos;
+  uint64_t V = 0;
+  while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9') {
+    V = V * 10 + static_cast<uint64_t>(S[Pos] - '0');
+    ++Pos;
+  }
+  if (Pos == Start)
+    return false;
+  if (Pos < S.size()) {
+    switch (std::tolower(static_cast<unsigned char>(S[Pos]))) {
+    case 'k':
+      V <<= 10;
+      ++Pos;
+      break;
+    case 'm':
+      V <<= 20;
+      ++Pos;
+      break;
+    case 'g':
+      V <<= 30;
+      ++Pos;
+      break;
+    default:
+      break;
+    }
+  }
+  Out = V;
+  return true;
+}
+
+std::string trimmed(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+bool parseOneTrigger(const std::string &Entry, FaultTrigger &T,
+                     std::string &Error) {
+  size_t At = Entry.find('@');
+  if (At == std::string::npos) {
+    Error = "missing '@clock' in '" + Entry + "'";
+    return false;
+  }
+  std::string Shape = Entry.substr(0, At);
+  if (Shape == "drip") {
+    T.Shape = FaultShape::Drip;
+    T.Lines = 1;
+  } else if (Shape == "storm") {
+    T.Shape = FaultShape::Storm;
+    T.Lines = 16;
+  } else if (Shape == "region") {
+    T.Shape = FaultShape::Region;
+  } else {
+    Error = "unknown shape '" + Shape + "' (drip, storm, region)";
+    return false;
+  }
+
+  size_t Colon = Entry.find(':', At);
+  if (Colon == std::string::npos) {
+    Error = "missing ':start' in '" + Entry + "'";
+    return false;
+  }
+  std::string Clock = Entry.substr(At + 1, Colon - At - 1);
+  if (Clock == "writes") {
+    T.Clock = TriggerClock::Writes;
+  } else if (Clock == "alloc") {
+    T.Clock = TriggerClock::AllocBytes;
+  } else if (Clock == "gc") {
+    T.Clock = TriggerClock::GcCount;
+  } else {
+    Error = "unknown clock '" + Clock + "' (writes, alloc, gc)";
+    return false;
+  }
+
+  std::string Rest = Entry.substr(Colon + 1);
+  size_t OptColon = Rest.find(':');
+  std::string Timing =
+      OptColon == std::string::npos ? Rest : Rest.substr(0, OptColon);
+  std::string Opts =
+      OptColon == std::string::npos ? "" : Rest.substr(OptColon + 1);
+
+  size_t Pos = 0;
+  if (!parseScaled(Timing, Pos, T.Start)) {
+    Error = "bad start value in '" + Entry + "'";
+    return false;
+  }
+  if (Pos < Timing.size() && Timing[Pos] == '+') {
+    ++Pos;
+    if (!parseScaled(Timing, Pos, T.Period)) {
+      Error = "bad period value in '" + Entry + "'";
+      return false;
+    }
+  }
+  if (Pos < Timing.size() && Timing[Pos] == 'x') {
+    ++Pos;
+    uint64_t Reps = 0;
+    if (!parseScaled(Timing, Pos, Reps) || Reps == 0) {
+      Error = "bad repeat count in '" + Entry + "'";
+      return false;
+    }
+    T.Repeats = static_cast<unsigned>(Reps);
+  }
+  if (Pos != Timing.size()) {
+    Error = "trailing junk '" + Timing.substr(Pos) + "' in '" + Entry + "'";
+    return false;
+  }
+
+  size_t OptPos = 0;
+  while (OptPos < Opts.size()) {
+    size_t Comma = Opts.find(',', OptPos);
+    std::string Opt = trimmed(
+        Opts.substr(OptPos, Comma == std::string::npos ? std::string::npos
+                                                       : Comma - OptPos));
+    OptPos = Comma == std::string::npos ? Opts.size() : Comma + 1;
+    if (Opt.empty())
+      continue;
+    if (Opt == "hot") {
+      T.Hot = true;
+      continue;
+    }
+    size_t Eq = Opt.find('=');
+    uint64_t Val = 0;
+    size_t ValPos = Eq + 1;
+    if (Eq == std::string::npos ||
+        !parseScaled(Opt, ValPos, Val) || ValPos != Opt.size() ||
+        Val == 0) {
+      Error = "bad option '" + Opt + "' in '" + Entry + "'";
+      return false;
+    }
+    std::string Key = Opt.substr(0, Eq);
+    if (Key == "lines") {
+      T.Lines = static_cast<unsigned>(Val);
+    } else if (Key == "pages") {
+      T.Pages = static_cast<unsigned>(Val);
+    } else {
+      Error = "unknown option '" + Key + "' in '" + Entry + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<std::vector<FaultTrigger>>
+FaultCampaign::parseSchedule(const std::string &Text, std::string *Error) {
+  std::vector<FaultTrigger> Triggers;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Semi = Text.find(';', Pos);
+    std::string Entry = trimmed(Text.substr(
+        Pos, Semi == std::string::npos ? std::string::npos : Semi - Pos));
+    Pos = Semi == std::string::npos ? Text.size() + 1 : Semi + 1;
+    if (Entry.empty())
+      continue;
+    FaultTrigger T;
+    std::string Err;
+    if (!parseOneTrigger(Entry, T, Err)) {
+      if (Error)
+        *Error = Err;
+      return std::nullopt;
+    }
+    Triggers.push_back(T);
+  }
+  if (Triggers.empty()) {
+    if (Error)
+      *Error = "empty schedule";
+    return std::nullopt;
+  }
+  return Triggers;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine
+//===----------------------------------------------------------------------===//
+
+FaultCampaign::FaultCampaign(std::vector<FaultTrigger> Triggers,
+                             uint64_t Seed)
+    : Rand(Seed) {
+  for (const FaultTrigger &T : Triggers)
+    Armed.push_back(ArmedTrigger{T, T.Start, 0, true});
+}
+
+void FaultCampaign::attachDevice(PcmDevice &Device) {
+  this->Device = &Device;
+  Device.setWriteObserver([this](LineIndex) { ++ObservedWrites; });
+}
+
+void FaultCampaign::setReplay(std::vector<FaultEvent> Events) {
+  Replay = std::move(Events);
+  ReplayNext = 0;
+}
+
+uint64_t FaultCampaign::clockNow(TriggerClock Clock) const {
+  switch (Clock) {
+  case TriggerClock::Writes:
+    if (Device)
+      return ObservedWrites;
+    // No device underneath the heap model: allocation dominates the
+    // write stream, so approximate one line write per 64 allocated
+    // bytes.
+    return Rt ? Rt->stats().BytesAllocated / PcmLineSize : 0;
+  case TriggerClock::AllocBytes:
+    return Rt ? Rt->stats().BytesAllocated : 0;
+  case TriggerClock::GcCount:
+    return Rt ? Rt->stats().GcCount : 0;
+  }
+  return 0;
+}
+
+bool FaultCampaign::exhausted() const {
+  if (ReplayNext < Replay.size())
+    return false;
+  for (const ArmedTrigger &A : Armed)
+    if (A.Armed)
+      return false;
+  return true;
+}
+
+bool FaultCampaign::pump() {
+  bool AnyFired = false;
+  for (ArmedTrigger &A : Armed) {
+    if (!A.Armed || clockNow(A.T.Clock) < A.NextAt)
+      continue;
+    // Fire at most once per pump per trigger: a clock that leapt ahead
+    // produces a paced series of firings, not one mega-burst.
+    fire(A);
+    AnyFired = true;
+  }
+  pumpReplay(AnyFired);
+  return AnyFired;
+}
+
+void FaultCampaign::fire(ArmedTrigger &A) {
+  ++Stats.Firings;
+  if (Rt)
+    fireHeap(A.T);
+  else if (Device)
+    fireDevice(A.T);
+  ++A.FiredCount;
+  if (A.T.Period > 0 &&
+      (A.T.Repeats == 0 || A.FiredCount < A.T.Repeats)) {
+    A.NextAt += A.T.Period;
+    return;
+  }
+  if (Escalate) {
+    // The trigger ran its course and the heap survived: come back twice
+    // as hard after one more period.
+    ++Stats.Escalations;
+    A.T.Lines = std::min(A.T.Lines * 2, 4096u);
+    A.T.Pages = std::min(A.T.Pages * 2, 64u);
+    A.FiredCount = 0;
+    uint64_t Step =
+        A.T.Period > 0 ? A.T.Period : std::max<uint64_t>(A.T.Start, 1);
+    A.NextAt = clockNow(A.T.Clock) + Step;
+    return;
+  }
+  A.Armed = false;
+}
+
+void FaultCampaign::fireHeap(const FaultTrigger &T) {
+  ImmixSpace *Space = Rt->heap().immixSpace();
+  if (!Space || Space->blockCount() == 0 || Rt->heap().outOfMemory()) {
+    ++Stats.DryFirings;
+    return;
+  }
+  uint8_t Epoch = Rt->heap().epoch();
+  std::vector<uint8_t *> Addrs;
+
+  // One failure strikes one 64 B PCM line; within a live Immix line the
+  // victim PCM line is chosen uniformly.
+  auto pcmLineWithin = [&](Block &B, unsigned Line) -> uint8_t * {
+    size_t PerLine = std::max<size_t>(1, B.lineSize() / PcmLineSize);
+    return B.lineAddr(Line) +
+           Rand.nextBelow(PerLine) * PcmLineSize;
+  };
+
+  switch (T.Shape) {
+  case FaultShape::Drip: {
+    // Wear strikes written (live) lines; sample across the whole heap.
+    std::vector<std::pair<Block *, unsigned>> Live;
+    Space->forEachBlock([&](Block &B) {
+      if (B.state() == BlockState::Retired)
+        return;
+      for (unsigned Line = 0; Line != B.lineCount(); ++Line)
+        if (B.lineMark(Line) == Epoch)
+          Live.emplace_back(&B, Line);
+    });
+    size_t Want = std::min<size_t>(T.Lines, Live.size());
+    for (size_t I = 0; I != Want; ++I) {
+      size_t J = I + Rand.nextBelow(Live.size() - I);
+      std::swap(Live[I], Live[J]);
+      Addrs.push_back(pcmLineWithin(*Live[I].first, Live[I].second));
+    }
+    break;
+  }
+
+  case FaultShape::Storm: {
+    // A correlated burst into one block - the hottest (most live lines)
+    // when Hot, else a random occupied one.
+    std::vector<std::pair<Block *, std::vector<unsigned>>> Occupied;
+    Space->forEachBlock([&](Block &B) {
+      if (B.state() == BlockState::Retired)
+        return;
+      std::vector<unsigned> LiveLines;
+      for (unsigned Line = 0; Line != B.lineCount(); ++Line)
+        if (B.lineMark(Line) == Epoch)
+          LiveLines.push_back(Line);
+      if (!LiveLines.empty())
+        Occupied.emplace_back(&B, std::move(LiveLines));
+    });
+    if (Occupied.empty())
+      break;
+    size_t Target = 0;
+    if (T.Hot) {
+      for (size_t I = 1; I != Occupied.size(); ++I)
+        if (Occupied[I].second.size() >
+            Occupied[Target].second.size())
+          Target = I;
+    } else {
+      Target = Rand.nextBelow(Occupied.size());
+    }
+    Block &B = *Occupied[Target].first;
+    std::vector<unsigned> &LiveLines = Occupied[Target].second;
+    size_t Want = std::min<size_t>(T.Lines, LiveLines.size());
+    for (size_t I = 0; I != Want; ++I) {
+      size_t J = I + Rand.nextBelow(LiveLines.size() - I);
+      std::swap(LiveLines[I], LiveLines[J]);
+      Addrs.push_back(pcmLineWithin(B, LiveLines[I]));
+    }
+    break;
+  }
+
+  case FaultShape::Region: {
+    // A spatially correlated wear-out: an aligned span of pages loses
+    // every still-working PCM line at once.
+    std::vector<Block *> Candidates;
+    Space->forEachBlock([&](Block &B) {
+      if (B.state() != BlockState::Retired)
+        Candidates.push_back(&B);
+    });
+    if (Candidates.empty())
+      break;
+    Block &B = *Candidates[Rand.nextBelow(Candidates.size())];
+    size_t PagesInBlock = B.sizeBytes() / PcmPageSize;
+    size_t Span = std::min<size_t>(std::max(1u, T.Pages), PagesInBlock);
+    size_t StartPage = Rand.nextBelow(PagesInBlock / Span) * Span;
+    const std::vector<uint64_t> &Words = B.pageFailureWords();
+    for (size_t Page = StartPage; Page != StartPage + Span; ++Page)
+      for (size_t Bit = 0; Bit != PcmLinesPerPage; ++Bit) {
+        if (Page < Words.size() && ((Words[Page] >> Bit) & 1))
+          continue; // Already dead.
+        Addrs.push_back(B.base() + Page * PcmPageSize +
+                        Bit * PcmLineSize);
+      }
+    break;
+  }
+
+  case FaultShape::Replay:
+    // Replay is driven by pumpReplay, never by a scheduled trigger.
+    break;
+  }
+
+  injectHeapBatch(std::move(Addrs), T.Clock, /*Record=*/true);
+}
+
+void FaultCampaign::fireDevice(const FaultTrigger &T) {
+  const FailureMap &Map = Device->softwareFailureMap();
+  size_t NumLines = Device->numLines();
+  size_t NumPages = Device->numPages();
+  unsigned Failed = 0;
+
+  auto forceOne = [&](LineIndex Line) {
+    if (!Map.isFailed(Line) && Device->forceFailLine(Line))
+      ++Failed;
+  };
+
+  switch (T.Shape) {
+  case FaultShape::Drip: {
+    for (unsigned I = 0; I != T.Lines; ++I) {
+      // Rejection-sample a working line, with a bounded linear fallback
+      // so a nearly dead module still converges.
+      LineIndex Line = Rand.nextBelow(NumLines);
+      for (size_t Probe = 0;
+           Probe != NumLines && Map.isFailed(Line); ++Probe)
+        Line = (Line + 1) % NumLines;
+      forceOne(Line);
+    }
+    break;
+  }
+  case FaultShape::Storm: {
+    // Concentrate the burst in one page.
+    PageIndex Page = Rand.nextBelow(NumPages);
+    std::vector<LineIndex> Working;
+    for (size_t I = 0; I != PcmLinesPerPage; ++I) {
+      LineIndex Line = Page * PcmLinesPerPage + I;
+      if (!Map.isFailed(Line))
+        Working.push_back(Line);
+    }
+    size_t Want = std::min<size_t>(T.Lines, Working.size());
+    for (size_t I = 0; I != Want; ++I) {
+      size_t J = I + Rand.nextBelow(Working.size() - I);
+      std::swap(Working[I], Working[J]);
+      forceOne(Working[I]);
+    }
+    break;
+  }
+  case FaultShape::Region: {
+    size_t Span = std::min<size_t>(std::max(1u, T.Pages), NumPages);
+    PageIndex Start = Rand.nextBelow(NumPages / Span) * Span;
+    for (size_t I = 0; I != Span * PcmLinesPerPage; ++I)
+      forceOne(Start * PcmLinesPerPage + I);
+    break;
+  }
+  case FaultShape::Replay:
+    break;
+  }
+
+  Stats.DeviceLinesFailed += Failed;
+  if (Failed == 0)
+    ++Stats.DryFirings;
+}
+
+void FaultCampaign::pumpReplay(bool &AnyFired) {
+  if (!Rt || ReplayNext >= Replay.size())
+    return;
+  ImmixSpace *Space = Rt->heap().immixSpace();
+  std::vector<uint8_t *> Addrs;
+  while (ReplayNext != Replay.size()) {
+    const FaultEvent &E = Replay[ReplayNext];
+    if (clockNow(E.Clock) < E.ClockValue)
+      break;
+    ++ReplayNext;
+    Block *Target = nullptr;
+    if (Space) {
+      uint32_t Ordinal = 0;
+      Space->forEachBlock([&](Block &B) {
+        if (Ordinal++ == E.BlockOrdinal)
+          Target = &B;
+      });
+    }
+    if (!Target || E.ByteOffset >= Target->sizeBytes()) {
+      ++Stats.ReplayMisses;
+      continue;
+    }
+    Addrs.push_back(Target->base() + E.ByteOffset);
+  }
+  if (!Addrs.empty()) {
+    AnyFired = true;
+    ++Stats.Firings;
+    injectHeapBatch(std::move(Addrs), TriggerClock::AllocBytes,
+                    /*Record=*/false);
+  }
+}
+
+void FaultCampaign::injectHeapBatch(std::vector<uint8_t *> &&Addrs,
+                                    TriggerClock Clock, bool Record) {
+  if (Addrs.empty()) {
+    ++Stats.DryFirings;
+    return;
+  }
+  if (Record) {
+    ImmixSpace *Space = Rt->heap().immixSpace();
+    std::unordered_map<const uint8_t *, uint32_t> OrdinalOf;
+    uint32_t Ordinal = 0;
+    Space->forEachBlock(
+        [&](Block &B) { OrdinalOf[B.base()] = Ordinal++; });
+    uint64_t Now = clockNow(Clock);
+    for (uint8_t *Addr : Addrs) {
+      Block *B = Space->blockOf(Addr);
+      Trace.push_back(FaultEvent{
+          Now, Clock, OrdinalOf[B->base()],
+          static_cast<uint32_t>(Addr - B->base())});
+    }
+  }
+  Stats.LinesFailed += Addrs.size();
+  Rt->heap().injectDynamicFailureBatch(Addrs, /*DeferRecovery=*/true);
+}

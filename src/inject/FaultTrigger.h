@@ -1,0 +1,107 @@
+//===- inject/FaultTrigger.h - Campaign trigger descriptions ----*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptions of *when* and *how* a fault campaign wears lines out.
+/// A trigger pairs a clock (what advances it) with a shape (what fails
+/// when it fires); a campaign is a list of triggers plus a seed, making
+/// whole failure histories scriptable and replayable.
+///
+/// The textual schedule syntax (FaultCampaign::parseSchedule) is
+///
+///   shape@clock:start[+period][xN][:key=val,...]  joined by ';'
+///
+/// e.g. "drip@alloc:1m+256k" (one line every 256 KiB allocated after the
+/// first MiB) or "storm@gc:10+5x6:lines=24,hot" (six storms of 24 lines
+/// into the hottest block, every 5th GC from the 10th). Numbers accept
+/// k/m/g suffixes (powers of 1024 for byte clocks, plain multipliers
+/// elsewhere).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_INJECT_FAULTTRIGGER_H
+#define WEARMEM_INJECT_FAULTTRIGGER_H
+
+#include <cstdint>
+
+namespace wearmem {
+
+/// What advances a trigger towards firing.
+enum class TriggerClock : uint8_t {
+  /// Device line writes (requires an attached PcmDevice; approximated by
+  /// allocated bytes / 64 when only a runtime is attached, since
+  /// allocation dominates the write stream).
+  Writes,
+  /// Bytes allocated by the mutator.
+  AllocBytes,
+  /// Collections completed (nursery and full).
+  GcCount,
+};
+
+/// What fails when a trigger fires.
+enum class FaultShape : uint8_t {
+  /// A steady drip: N random live lines, spread across the heap.
+  Drip,
+  /// A correlated burst into the hottest block (or one random block):
+  /// wear concentrates where the write stream does.
+  Storm,
+  /// A whole aligned span of pages wears out together (a failing row or
+  /// bank): every working PCM line in the span fails at once.
+  Region,
+  /// Replays a recorded trace (installed via FaultCampaign::setReplay,
+  /// not the schedule parser).
+  Replay,
+};
+
+inline const char *triggerClockName(TriggerClock Clock) {
+  switch (Clock) {
+  case TriggerClock::Writes:
+    return "writes";
+  case TriggerClock::AllocBytes:
+    return "alloc";
+  case TriggerClock::GcCount:
+    return "gc";
+  }
+  return "?";
+}
+
+inline const char *faultShapeName(FaultShape Shape) {
+  switch (Shape) {
+  case FaultShape::Drip:
+    return "drip";
+  case FaultShape::Storm:
+    return "storm";
+  case FaultShape::Region:
+    return "region";
+  case FaultShape::Replay:
+    return "replay";
+  }
+  return "?";
+}
+
+/// One scheduled wear-out pattern.
+struct FaultTrigger {
+  FaultShape Shape = FaultShape::Drip;
+  TriggerClock Clock = TriggerClock::AllocBytes;
+  /// Clock value of the first firing.
+  uint64_t Start = 0;
+  /// Clock distance between firings; 0 = fire once.
+  uint64_t Period = 0;
+  /// Maximum number of firings; 0 = unbounded (periodic triggers only).
+  unsigned Repeats = 0;
+  /// Lines to fail per firing (Drip and Storm).
+  unsigned Lines = 1;
+  /// Span size in pages (Region).
+  unsigned Pages = 1;
+  /// Storm only: target the hottest block (most lines marked live)
+  /// instead of a random one.
+  bool Hot = false;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_INJECT_FAULTTRIGGER_H

@@ -79,6 +79,13 @@ size_t FailureAwareOs::remainingPerfectPages() const {
   return N;
 }
 
+size_t FailureAwareOs::perfectStockPages() const {
+  size_t N = 0;
+  for (const FreeChunk &Chunk : PerfectFreeList)
+    N += Chunk.NumPages;
+  return N;
+}
+
 std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
   assert(NumPages > 0 && "empty grant");
 
@@ -124,6 +131,7 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
       Recycled.Mem = Chunk.Mem;
       Recycled.NumPages = NumPages;
       Recycled.FailWords.assign(NumPages, 0);
+      // Chunk splitting and coalescing lose page identity.
       PerfectFreeList.erase(PerfectFreeList.begin() +
                             static_cast<ptrdiff_t>(I));
       Stats.RelaxedPagesGranted += NumPages;
@@ -167,6 +175,7 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
     Consumed[Page] = true;
     ++ConsumedCount;
     Grant.FailWords.push_back(PageWords[Page]);
+    Grant.PageIds.push_back(static_cast<uint32_t>(Page));
   }
   Stats.RelaxedPagesGranted += NumPages;
   Grant.NumPages = NumPages;

@@ -73,6 +73,11 @@ struct PageGrant {
   uint8_t *Mem = nullptr;
   size_t NumPages = 0;
   std::vector<uint64_t> FailWords;
+  /// Budget page indices backing the grant (relaxed grants only; empty
+  /// when provenance is unknown - recycled perfect chunks, DRAM). Lets
+  /// auditors cross-check a grant's failure words against the OS budget
+  /// failure map.
+  std::vector<uint32_t> PageIds;
 
   size_t sizeBytes() const { return NumPages * PcmPageSize; }
 };
@@ -130,6 +135,10 @@ public:
 
   /// Unconsumed pages that are failure-free.
   size_t remainingPerfectPages() const;
+
+  /// Pages sitting in the recycled perfect stock (already charged to the
+  /// budget, immediately grantable to fussy requests).
+  size_t perfectStockPages() const;
 
   size_t outstandingDebt() const { return Debt; }
 

@@ -24,8 +24,10 @@ void OsKernel::handleFailures() {
   // the interrupt; those failures stay buffered until this invocation
   // loops back around, mirroring the paper's "the hardware and OS handle
   // these failures until the collector is ready to deal with them".
-  if (InHandler)
+  if (InHandler) {
+    ++Stats.ReentrantInterrupts;
     return;
+  }
   InHandler = true;
   ++Stats.Interrupts;
 
@@ -64,4 +66,23 @@ void OsKernel::handleFailures() {
       ProtectedPages.erase(pageOfAddr(Record.LineAddr));
   }
   InHandler = false;
+}
+
+WriteResult OsKernel::writeWithBackpressure(PcmAddr Addr,
+                                            const uint8_t *Data,
+                                            size_t Size) {
+  WriteResult Result = Device.write(Addr, Data, Size);
+  for (unsigned Retry = 0;
+       Result == WriteResult::Stalled && Retry != MaxStallRetries;
+       ++Retry) {
+    // The stall interrupt already ran once (the device raises it before
+    // refusing); drain explicitly and retry in case resolution freed
+    // buffer space only after that first attempt.
+    handleFailures();
+    ++Stats.StallRetries;
+    Result = Device.write(Addr, Data, Size);
+  }
+  if (Result == WriteResult::Stalled)
+    ++Stats.StallDrainFailures;
+  return Result;
 }

@@ -42,6 +42,14 @@ struct OsKernelStats {
   /// Whole-page copies performed for failure-unaware handling.
   uint64_t PageCopies = 0;
   uint64_t StallsDrained = 0;
+  /// Interrupts raised while the handler was already running (failures
+  /// raised by the up-call itself; they stay buffered for the loop).
+  uint64_t ReentrantInterrupts = 0;
+  /// Stalled writes retried by writeWithBackpressure after a drain.
+  uint64_t StallRetries = 0;
+  /// writeWithBackpressure giving up: the buffer stayed near-full for a
+  /// whole retry budget (a failure storm outran the drain path).
+  uint64_t StallDrainFailures = 0;
 };
 
 /// Interrupt-handling glue between a PcmDevice and a managed runtime.
@@ -60,6 +68,17 @@ public:
   /// entries. Called automatically via the device interrupt; may also be
   /// called directly to drain a stall.
   void handleFailures();
+
+  /// Bounded backpressure for failure storms: a write that stalls on the
+  /// near-full failure buffer drains it and retries, up to
+  /// \p MaxStallRetries times, instead of failing the caller on the first
+  /// stall. Returns the final device verdict; Stalled after the retry
+  /// budget means the storm is outrunning resolution (counted in
+  /// StallDrainFailures) and the caller should degrade gracefully.
+  WriteResult writeWithBackpressure(PcmAddr Addr, const uint8_t *Data,
+                                    size_t Size);
+
+  static constexpr unsigned MaxStallRetries = 8;
 
   /// True while \p Page is under revoked permissions (failure being
   /// resolved). Exposed for tests.

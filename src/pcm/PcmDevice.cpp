@@ -84,10 +84,44 @@ WriteResult PcmDevice::writeLine(LineIndex Logical, const uint8_t *Data) {
     ++Stats.FailureInterrupts;
     if (OnFailure)
       OnFailure();
+    if (WriteObserver)
+      WriteObserver(Logical);
     return WriteResult::Ok;
   }
   std::memcpy(lineStorage(Physical), Data, PcmLineSize);
+  if (WriteObserver)
+    WriteObserver(Logical);
   return WriteResult::Ok;
+}
+
+bool PcmDevice::forceFailLine(LineIndex Logical) {
+  assert(Logical < numLines() && "line index out of range");
+  if (SoftwareMap.isFailed(Logical))
+    return false;
+  if (Buffer.nearFull()) {
+    // Follow the stall protocol a real write would: raise the stall
+    // interrupt so the OS can drain, and refuse if it could not.
+    ++Stats.StallEvents;
+    if (OnStall)
+      OnStall();
+    if (Buffer.nearFull())
+      return false;
+  }
+  // The line's current contents are the data "in flight" when the cell
+  // stuck; latch them so nothing is lost. (The buffer cannot already
+  // hold this line - it would be failed in the software map.)
+  LineIndex Physical = translate(Logical);
+  uint8_t Data[PcmLineSize];
+  std::memcpy(Data, lineStorage(Physical), PcmLineSize);
+  Budget[Physical] = 0;
+  PhysFailed.set(Physical);
+  ++Stats.WearFailures;
+  ++Stats.ForcedFailures;
+  handleWearFailure(Logical, Data);
+  ++Stats.FailureInterrupts;
+  if (OnFailure)
+    OnFailure();
+  return true;
 }
 
 void PcmDevice::handleWearFailure(LineIndex Logical, const uint8_t *Data) {

@@ -74,6 +74,8 @@ struct PcmDeviceStats {
   uint64_t StallEvents = 0;
   uint64_t DeadLineReads = 0;
   uint64_t FailureInterrupts = 0;
+  /// Wear-outs forced by a fault campaign rather than budget exhaustion.
+  uint64_t ForcedFailures = 0;
 };
 
 /// The simulated module. All addresses are *logical* line/byte addresses,
@@ -85,6 +87,9 @@ public:
   using FailureInterruptFn = std::function<void()>;
   /// Fires when the buffer reaches its near-full threshold.
   using StallInterruptFn = std::function<void()>;
+  /// Observes every successful line write (fault campaigns use this as
+  /// their write-count clock).
+  using WriteObserverFn = std::function<void(LineIndex)>;
 
   explicit PcmDevice(const PcmDeviceConfig &Config);
 
@@ -96,6 +101,9 @@ public:
     OnFailure = std::move(Fn);
   }
   void setStallInterrupt(StallInterruptFn Fn) { OnStall = std::move(Fn); }
+  void setWriteObserver(WriteObserverFn Fn) {
+    WriteObserver = std::move(Fn);
+  }
 
   /// Writes one 64 B line. May trigger wear failure handling.
   WriteResult writeLine(LineIndex Logical, const uint8_t *Data);
@@ -137,6 +145,14 @@ public:
   /// write (fault-injection hook for tests and examples).
   void injectImminentFailure(LineIndex Logical);
 
+  /// Wears out the line *now*, as if a write just exhausted its budget:
+  /// the current contents are latched in the failure buffer, the failure
+  /// is routed (clustered if enabled) and the interrupt fires. Respects
+  /// the stall protocol - when the buffer is near-full it raises the
+  /// stall interrupt once and refuses (returns false) if that did not
+  /// free space. Also returns false if the line is already dead.
+  bool forceFailLine(LineIndex Logical);
+
 private:
   LineIndex translate(LineIndex Logical);
   LineIndex translateConst(LineIndex Logical) const;
@@ -158,6 +174,7 @@ private:
   PcmDeviceStats Stats;
   FailureInterruptFn OnFailure;
   StallInterruptFn OnStall;
+  WriteObserverFn WriteObserver;
 };
 
 } // namespace wearmem

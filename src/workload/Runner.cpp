@@ -37,6 +37,7 @@ RunResult wearmem::runOnce(const Profile &P, const RuntimeConfig &Config,
 
   Result.Completed = SetupOk && !Rt.outOfMemory() &&
                      M.steadyAllocatedBytes() >= M.targetBytes();
+  Result.Dnf = Rt.heap().dnfReason();
   Result.Stats = Rt.stats();
   Result.Os = Rt.osStats();
   Result.BudgetPages = Rt.heap().config().BudgetPages;

@@ -30,6 +30,8 @@ namespace wearmem {
 /// One invocation's outcome.
 struct RunResult {
   bool Completed = false;
+  /// Why the run did not finish (None when Completed).
+  DnfReason Dnf = DnfReason::None;
   double SetupMs = 0.0;
   double RunMs = 0.0;
   HeapStats Stats;

@@ -6,8 +6,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "pcm/FailureBuffer.h"
+#include "pcm/PcmDevice.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 using namespace wearmem;
 
@@ -82,4 +85,68 @@ TEST(FailureBufferTest, HighWaterTracksPeak) {
   Buffer.invalidate(64);
   EXPECT_EQ(Buffer.size(), 0u);
   EXPECT_EQ(Buffer.highWater(), 2u);
+}
+
+TEST(FailureBufferTest, SaturatedBufferRefusesWithoutDroppingLatched) {
+  // Fill every slot including the drain reserve, then verify the refusal
+  // path loses nothing: all latched records stay pending, in FIFO order,
+  // with their data intact.
+  FailureBuffer Buffer(4, /*DrainReserve=*/2);
+  for (unsigned I = 0; I != 4; ++I)
+    ASSERT_TRUE(Buffer.push(makeRecord(I * 64, static_cast<uint8_t>(I))));
+  EXPECT_FALSE(Buffer.push(makeRecord(512, 0xFF)));
+  EXPECT_EQ(Buffer.size(), 4u);
+  std::vector<FailureRecord> Pending = Buffer.pending();
+  ASSERT_EQ(Pending.size(), 4u);
+  for (unsigned I = 0; I != 4; ++I) {
+    EXPECT_EQ(Pending[I].LineAddr, I * 64u);
+    EXPECT_EQ(Pending[I].Data[0], I);
+  }
+  EXPECT_EQ(Buffer.lookup(512), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Device-level saturation: the stall protocol end to end
+//===----------------------------------------------------------------------===//
+
+TEST(FailureBufferTest, DeviceStallProtocolUnderSaturation) {
+  // A small buffer with no OS attached: failures accumulate until the
+  // near-full threshold, after which the module must stall writes (and
+  // raise the stall interrupt) rather than silently drop a record.
+  PcmDeviceConfig Config;
+  Config.NumPages = 4;
+  Config.FailureBufferCapacity = 4; // Near-full at 2 with reserve 2.
+  Config.MeanLineLifetime = 1000;
+  Config.LifetimeVariation = 0.0;
+  PcmDevice Device(Config);
+  unsigned Stalls = 0;
+  Device.setStallInterrupt([&Stalls] { ++Stalls; });
+
+  uint8_t Data[PcmLineSize];
+  std::memset(Data, 0xAB, sizeof(Data));
+  for (LineIndex Line : {0u, 1u}) {
+    Device.injectImminentFailure(Line);
+    EXPECT_EQ(Device.writeLine(Line, Data), WriteResult::Ok);
+  }
+  EXPECT_TRUE(Device.failureBuffer().nearFull());
+
+  // Saturated: writes stall, the interrupt fires, nothing is lost.
+  EXPECT_EQ(Device.writeLine(5, Data), WriteResult::Stalled);
+  EXPECT_EQ(Stalls, 1u);
+  EXPECT_EQ(Device.stats().StallEvents, 1u);
+  EXPECT_EQ(Device.pendingFailures().size(), 2u);
+
+  // Forced wear-outs honour the same protocol instead of overflowing.
+  EXPECT_FALSE(Device.forceFailLine(6));
+  EXPECT_EQ(Device.stats().ForcedFailures, 0u);
+  EXPECT_EQ(Device.pendingFailures().size(), 2u);
+
+  // Draining one entry re-enables writes; the surviving record still
+  // forwards its latched data.
+  EXPECT_TRUE(Device.clearBufferEntry(addrOfLine(0)));
+  EXPECT_EQ(Device.writeLine(5, Data), WriteResult::Ok);
+  uint8_t Out[PcmLineSize];
+  Device.readLine(1, Out);
+  EXPECT_EQ(Out[0], 0xAB);
+  EXPECT_EQ(Device.stats().BufferForwardedReads, 1u);
 }

@@ -1,0 +1,275 @@
+//===- tests/FaultCampaignTest.cpp - Fault-campaign engine tests ----------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "gc/HeapAuditor.h"
+#include "inject/FaultCampaign.h"
+#include "pcm/PcmDevice.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace wearmem;
+
+namespace {
+
+RuntimeConfig testConfig() {
+  RuntimeConfig Config;
+  Config.HeapBytes = 4 * MiB;
+  Config.Seed = 0xC0FFEE;
+  return Config;
+}
+
+/// Roots roughly \p Bytes of small live objects and runs a full
+/// collection so their lines carry the current epoch mark (campaign
+/// shapes target live lines).
+std::vector<Handle> populate(Runtime &Rt, size_t Bytes) {
+  std::vector<Handle> Roots;
+  for (size_t Allocated = 0; Allocated < Bytes; Allocated += 80) {
+    Roots.push_back(Rt.allocateRooted(48, 2));
+    EXPECT_NE(Roots.back().get(), nullptr);
+  }
+  Rt.collect(true);
+  return Roots;
+}
+
+/// Every failed Immix line as (block ordinal, line index), in iteration
+/// order; two identical runs must produce identical sets.
+std::vector<std::pair<size_t, unsigned>> failedLineSet(Runtime &Rt) {
+  std::vector<std::pair<size_t, unsigned>> Out;
+  size_t Ordinal = 0;
+  Rt.heap().immixSpace()->forEachBlock([&](Block &B) {
+    for (unsigned Line = 0; Line != B.lineCount(); ++Line)
+      if (B.lineIsFailed(Line))
+        Out.emplace_back(Ordinal, Line);
+    ++Ordinal;
+  });
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Schedule parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultCampaignParse, SingleDrip) {
+  auto Triggers = FaultCampaign::parseSchedule("drip@alloc:1m+256k");
+  ASSERT_TRUE(Triggers.has_value());
+  ASSERT_EQ(Triggers->size(), 1u);
+  const FaultTrigger &T = (*Triggers)[0];
+  EXPECT_EQ(T.Shape, FaultShape::Drip);
+  EXPECT_EQ(T.Clock, TriggerClock::AllocBytes);
+  EXPECT_EQ(T.Start, 1u * MiB);
+  EXPECT_EQ(T.Period, 256u * KiB);
+  EXPECT_EQ(T.Repeats, 0u); // Unbounded.
+  EXPECT_EQ(T.Lines, 1u);
+  EXPECT_FALSE(T.Hot);
+}
+
+TEST(FaultCampaignParse, MultiEntryWithOptions) {
+  auto Triggers = FaultCampaign::parseSchedule(
+      "storm@gc:10+5x6:lines=24,hot; region@writes:8:pages=2");
+  ASSERT_TRUE(Triggers.has_value());
+  ASSERT_EQ(Triggers->size(), 2u);
+  const FaultTrigger &Storm = (*Triggers)[0];
+  EXPECT_EQ(Storm.Shape, FaultShape::Storm);
+  EXPECT_EQ(Storm.Clock, TriggerClock::GcCount);
+  EXPECT_EQ(Storm.Start, 10u);
+  EXPECT_EQ(Storm.Period, 5u);
+  EXPECT_EQ(Storm.Repeats, 6u);
+  EXPECT_EQ(Storm.Lines, 24u);
+  EXPECT_TRUE(Storm.Hot);
+  const FaultTrigger &Region = (*Triggers)[1];
+  EXPECT_EQ(Region.Shape, FaultShape::Region);
+  EXPECT_EQ(Region.Clock, TriggerClock::Writes);
+  EXPECT_EQ(Region.Start, 8u);
+  EXPECT_EQ(Region.Period, 0u); // One-shot.
+  EXPECT_EQ(Region.Pages, 2u);
+}
+
+TEST(FaultCampaignParse, RejectsMalformedEntries) {
+  const char *Bad[] = {
+      "",                    // Empty schedule.
+      "drip:100",            // Missing @clock.
+      "flood@gc:1",          // Unknown shape.
+      "drip@time:1",         // Unknown clock.
+      "drip@gc:x5",          // Bad start.
+      "drip@gc:1+",          // Bad period.
+      "drip@gc:1+2x0",       // Zero repeats.
+      "drip@gc:1q",          // Trailing junk.
+      "drip@gc:1:lines=0",   // Zero-valued option.
+      "drip@gc:1:holes=3",   // Unknown option.
+  };
+  for (const char *Text : Bad) {
+    std::string Error;
+    EXPECT_FALSE(FaultCampaign::parseSchedule(Text, &Error).has_value())
+        << "accepted '" << Text << "'";
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Heap-targeted campaigns
+//===----------------------------------------------------------------------===//
+
+TEST(FaultCampaignTest, DripIsDeterministicForAFixedSeed) {
+  auto Triggers = FaultCampaign::parseSchedule("drip@gc:1:lines=6");
+  ASSERT_TRUE(Triggers.has_value());
+
+  auto runOnce = [&](Runtime &Rt, FaultCampaign &Campaign) {
+    auto Roots = populate(Rt, MiB);
+    EXPECT_TRUE(Campaign.pump());
+  };
+
+  Runtime RtA(testConfig());
+  FaultCampaign CampaignA(*Triggers, 99);
+  CampaignA.attachRuntime(RtA);
+  runOnce(RtA, CampaignA);
+
+  Runtime RtB(testConfig());
+  FaultCampaign CampaignB(*Triggers, 99);
+  CampaignB.attachRuntime(RtB);
+  runOnce(RtB, CampaignB);
+
+  EXPECT_EQ(CampaignA.stats().LinesFailed, 6u);
+  ASSERT_EQ(CampaignA.trace().size(), CampaignB.trace().size());
+  for (size_t I = 0; I != CampaignA.trace().size(); ++I) {
+    EXPECT_EQ(CampaignA.trace()[I].BlockOrdinal,
+              CampaignB.trace()[I].BlockOrdinal);
+    EXPECT_EQ(CampaignA.trace()[I].ByteOffset,
+              CampaignB.trace()[I].ByteOffset);
+  }
+  EXPECT_EQ(failedLineSet(RtA), failedLineSet(RtB));
+}
+
+TEST(FaultCampaignTest, StormDefersRecoveryUntilNextCollection) {
+  auto Triggers = FaultCampaign::parseSchedule("storm@gc:1:lines=8,hot");
+  ASSERT_TRUE(Triggers.has_value());
+  Runtime Rt(testConfig());
+  FaultCampaign Campaign(*Triggers, 7);
+  Campaign.attachRuntime(Rt);
+  auto Roots = populate(Rt, MiB);
+
+  ASSERT_TRUE(Campaign.pump());
+  EXPECT_EQ(Campaign.stats().LinesFailed, 8u);
+  // Below the emergency threshold the lines are fenced but recovery
+  // waits for the collector.
+  EXPECT_TRUE(Rt.heap().pendingFailureRecovery());
+  EXPECT_EQ(Rt.stats().DynamicFailureBatches, 1u);
+  EXPECT_EQ(Rt.stats().EmergencyDefrags, 0u);
+
+  Rt.collect(true);
+  EXPECT_FALSE(Rt.heap().pendingFailureRecovery());
+  EXPECT_EQ(Rt.stats().DeferredFailureRecoveries, 1u);
+
+  HeapAuditor Auditor(Rt.heap());
+  AuditReport Report = Auditor.audit();
+  EXPECT_TRUE(Report.passed())
+      << (Report.Violations.empty() ? "" : Report.Violations[0]);
+}
+
+TEST(FaultCampaignTest, HugeBatchTriggersEmergencyDefrag) {
+  // 64 lines in one burst crosses the default emergency threshold (32):
+  // recovery must run immediately instead of waiting.
+  auto Triggers = FaultCampaign::parseSchedule("storm@gc:1:lines=64,hot");
+  ASSERT_TRUE(Triggers.has_value());
+  Runtime Rt(testConfig());
+  FaultCampaign Campaign(*Triggers, 7);
+  Campaign.attachRuntime(Rt);
+  auto Roots = populate(Rt, MiB);
+
+  ASSERT_TRUE(Campaign.pump());
+  EXPECT_GE(Campaign.stats().LinesFailed, 32u);
+  EXPECT_GE(Rt.stats().EmergencyDefrags, 1u);
+  EXPECT_FALSE(Rt.heap().pendingFailureRecovery());
+}
+
+TEST(FaultCampaignTest, ReplayReproducesARecordedRun) {
+  auto Triggers = FaultCampaign::parseSchedule("drip@gc:1:lines=6");
+  ASSERT_TRUE(Triggers.has_value());
+
+  Runtime RtA(testConfig());
+  FaultCampaign CampaignA(*Triggers, 99);
+  CampaignA.attachRuntime(RtA);
+  auto RootsA = populate(RtA, MiB);
+  ASSERT_TRUE(CampaignA.pump());
+  ASSERT_EQ(CampaignA.trace().size(), 6u);
+
+  // A fresh, identically seeded run replays the recorded trace instead
+  // of scheduling its own triggers - and lands on the same lines.
+  Runtime RtB(testConfig());
+  FaultCampaign CampaignB(std::vector<FaultTrigger>{}, 1234);
+  CampaignB.attachRuntime(RtB);
+  CampaignB.setReplay(CampaignA.trace());
+  auto RootsB = populate(RtB, MiB);
+  ASSERT_TRUE(CampaignB.pump());
+
+  EXPECT_EQ(CampaignB.stats().ReplayMisses, 0u);
+  EXPECT_EQ(CampaignB.stats().LinesFailed, 6u);
+  EXPECT_TRUE(CampaignB.exhausted());
+  EXPECT_EQ(failedLineSet(RtA), failedLineSet(RtB));
+}
+
+TEST(FaultCampaignTest, EscalationReArmsAtDoubledIntensity) {
+  auto Triggers = FaultCampaign::parseSchedule("storm@gc:1:lines=4,hot");
+  ASSERT_TRUE(Triggers.has_value());
+  Runtime Rt(testConfig());
+  FaultCampaign Campaign(*Triggers, 7);
+  Campaign.attachRuntime(Rt);
+  Campaign.setEscalation(true);
+  auto Roots = populate(Rt, MiB);
+
+  ASSERT_TRUE(Campaign.pump());
+  uint64_t FirstWave = Campaign.stats().LinesFailed;
+  EXPECT_EQ(FirstWave, 4u);
+  EXPECT_EQ(Campaign.stats().Escalations, 1u);
+  EXPECT_FALSE(Campaign.exhausted());
+
+  // The next collection advances the gc clock past the re-armed
+  // deadline; the second wave is twice as hard.
+  Rt.collect(true);
+  ASSERT_TRUE(Campaign.pump());
+  EXPECT_EQ(Campaign.stats().LinesFailed, FirstWave + 8u);
+  EXPECT_EQ(Campaign.stats().Escalations, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Device-targeted campaigns
+//===----------------------------------------------------------------------===//
+
+TEST(FaultCampaignTest, DeviceCampaignForcesWearOutsOnWritesClock) {
+  PcmDeviceConfig Config;
+  Config.NumPages = 8;
+  Config.MeanLineLifetime = 1000000; // No natural wear in this test.
+  Config.LifetimeVariation = 0.0;
+  PcmDevice Device(Config);
+
+  auto Triggers = FaultCampaign::parseSchedule("drip@writes:4+4:lines=2");
+  ASSERT_TRUE(Triggers.has_value());
+  FaultCampaign Campaign(*Triggers, 123);
+  Campaign.attachDevice(Device);
+
+  uint8_t Data[PcmLineSize];
+  std::memset(Data, 0x3C, sizeof(Data));
+  Device.writeLine(0, Data);
+  Campaign.pump();
+  // One observed write: the trigger (armed at 4) must not have fired.
+  EXPECT_EQ(Campaign.stats().Firings, 0u);
+
+  for (unsigned I = 1; I != 20; ++I) {
+    Device.writeLine(I % 64, Data); // May hit a force-failed line; fine.
+    Campaign.pump();
+  }
+  EXPECT_GE(Campaign.stats().Firings, 4u);
+  EXPECT_GT(Campaign.stats().DeviceLinesFailed, 0u);
+  EXPECT_EQ(Device.stats().ForcedFailures,
+            Campaign.stats().DeviceLinesFailed);
+  EXPECT_GT(Device.softwareFailureMap().failedCount(), 0u);
+  EXPECT_FALSE(Campaign.exhausted()); // Unbounded periodic trigger.
+}

@@ -198,6 +198,108 @@ TEST(OsKernelTest, HandlerSeesProtectedPage) {
   EXPECT_FALSE(Kernel.pageIsProtected(0));
 }
 
+TEST(OsKernelTest, ReentrantFailureStaysBufferedUntilTheHandlerLoops) {
+  PcmDeviceConfig Config;
+  Config.NumPages = 4;
+  Config.MeanLineLifetime = 1000;
+  Config.LifetimeVariation = 0.0;
+  PcmDevice Device(Config);
+  OsKernel Kernel(Device);
+
+  uint8_t Data[PcmLineSize];
+  std::memset(Data, 0x5A, sizeof(Data));
+  int Calls = 0;
+  Kernel.registerHandler([&](const std::vector<FailureRecord> &Pending) {
+    if (++Calls != 1)
+      return;
+    ASSERT_EQ(Pending.size(), 1u);
+    EXPECT_EQ(Pending[0].LineAddr, addrOfLine(5));
+    // The up-call's own write wears out another line. The interrupt
+    // re-raises inside the handler; the failure must stay buffered (not
+    // recurse) and be picked up when the outer handler loops.
+    Device.injectImminentFailure(9);
+    EXPECT_EQ(Device.writeLine(9, Data), WriteResult::Ok);
+    EXPECT_EQ(Kernel.stats().ReentrantInterrupts, 1u);
+    EXPECT_EQ(Device.pendingFailures().size(), 2u);
+  });
+
+  Device.injectImminentFailure(5);
+  EXPECT_EQ(Device.writeLine(5, Data), WriteResult::Ok);
+
+  // One outer interrupt, two up-calls (the loop drained the re-entrant
+  // failure), each failure resolved exactly once.
+  EXPECT_EQ(Calls, 2);
+  EXPECT_EQ(Kernel.stats().Interrupts, 1u);
+  EXPECT_EQ(Kernel.stats().ReentrantInterrupts, 1u);
+  EXPECT_EQ(Kernel.stats().UpCalls, 2u);
+  EXPECT_EQ(Kernel.stats().FailuresResolved, 2u);
+  EXPECT_TRUE(Device.pendingFailures().empty());
+  EXPECT_TRUE(Device.softwareFailureMap().isFailed(5));
+  EXPECT_TRUE(Device.softwareFailureMap().isFailed(9));
+}
+
+TEST(OsKernelTest, WriteWithBackpressureDrainsAStalledBuffer) {
+  PcmDeviceConfig Config;
+  Config.NumPages = 4;
+  Config.FailureBufferCapacity = 4; // Near-full at 2 with reserve 2.
+  Config.MeanLineLifetime = 1000;
+  Config.LifetimeVariation = 0.0;
+  PcmDevice Device(Config);
+
+  // Latch two failures before any kernel exists, so the buffer sits at
+  // the stall threshold with nobody having drained it.
+  uint8_t Data[PcmLineSize] = {};
+  for (LineIndex Line : {0u, 1u}) {
+    Device.injectImminentFailure(Line);
+    EXPECT_EQ(Device.writeLine(Line, Data), WriteResult::Ok);
+  }
+  EXPECT_TRUE(Device.failureBuffer().nearFull());
+
+  OsKernel Kernel(Device);
+  Kernel.registerHandler([](const std::vector<FailureRecord> &) {});
+  // The plain device write would return Stalled; backpressure drains and
+  // retries until it lands.
+  EXPECT_EQ(Kernel.writeWithBackpressure(addrOfLine(3), Data, PcmLineSize),
+            WriteResult::Ok);
+  EXPECT_GE(Kernel.stats().StallRetries, 1u);
+  EXPECT_EQ(Kernel.stats().StallDrainFailures, 0u);
+  EXPECT_TRUE(Device.pendingFailures().empty());
+}
+
+TEST(OsKernelTest, BackpressureGivesUpWhenTheDrainPathIsBusy) {
+  PcmDeviceConfig Config;
+  Config.NumPages = 4;
+  Config.FailureBufferCapacity = 4;
+  Config.MeanLineLifetime = 1000;
+  Config.LifetimeVariation = 0.0;
+  PcmDevice Device(Config);
+  uint8_t Data[PcmLineSize] = {};
+  for (LineIndex Line : {0u, 1u}) {
+    Device.injectImminentFailure(Line);
+    EXPECT_EQ(Device.writeLine(Line, Data), WriteResult::Ok);
+  }
+
+  OsKernel Kernel(Device);
+  int Calls = 0;
+  WriteResult Inner = WriteResult::Ok;
+  Kernel.registerHandler([&](const std::vector<FailureRecord> &) {
+    if (Calls++ != 0)
+      return;
+    // A write issued from inside the failure handler finds the buffer
+    // still near-full, and the drain path cannot re-enter: the bounded
+    // retry budget must expire cleanly instead of spinning or crashing.
+    Inner = Kernel.writeWithBackpressure(addrOfLine(3), Data, PcmLineSize);
+  });
+  Kernel.handleFailures();
+
+  EXPECT_EQ(Inner, WriteResult::Stalled);
+  EXPECT_EQ(Kernel.stats().StallRetries, OsKernel::MaxStallRetries);
+  EXPECT_EQ(Kernel.stats().StallDrainFailures, 1u);
+  // Once the handler returned, the outer loop drained everything.
+  EXPECT_TRUE(Device.pendingFailures().empty());
+  EXPECT_EQ(Calls, 1);
+}
+
 //===----------------------------------------------------------------------===//
 // SwapManager: failure-compatible placement
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,393 @@
+//===- tools/wearmem_soak.cpp - Chaos soak runner -------------------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Long mutator sessions under escalating fault campaigns. The runner
+// drives a synthetic benchmark profile while a FaultCampaign wears lines
+// out mid-run, audits the heap's three failure-tracking layers after
+// collections, and reports a survival curve, the time-to-first-DNF, and
+// the auditor verdicts as JSON on stdout.
+//
+// Output is byte-for-byte deterministic for a fixed seed (wall-clock
+// timing is opt-in via --with-timing), so a failure storm that kills a
+// run can be reproduced exactly from its command line.
+//
+// Exit codes: 0 survived, 1 usage error, 2 diagnosed did-not-finish,
+// 3 audit violation, 4 determinism mismatch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapAuditor.h"
+#include "inject/FaultCampaign.h"
+#include "workload/Mutator.h"
+#include "workload/Runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace wearmem;
+
+namespace {
+
+struct SoakOptions {
+  std::string ProfileName = "luindex";
+  std::string Schedule = "storm@gc:6+2:lines=24,hot";
+  uint64_t Seed = 42;
+  double HeapFactor = 2.5;
+  size_t HeapMb = 0; ///< Overrides HeapFactor when nonzero.
+  double FailureRate = 0.0;
+  unsigned ClusteringRegionPages = 0;
+  size_t MaxDebtPages = 0;
+  unsigned AuditEvery = 1; ///< Audit after every Nth collection; 0 = end only.
+  bool Escalate = false;
+  bool VerifyDeterminism = false;
+  bool WithTiming = false;
+  double VolumeScale = 1.0;
+};
+
+struct CurvePoint {
+  uint64_t AllocBytes = 0;
+  uint64_t GcCount = 0;
+  uint64_t FailedLinesDynamic = 0;
+  uint64_t BlocksRetired = 0;
+};
+
+struct SoakOutcome {
+  bool Survived = false;
+  DnfReason Dnf = DnfReason::None;
+  uint64_t TtfAllocBytes = 0; ///< Alloc volume at first DNF (0 = survived).
+  uint64_t AllocBytes = 0;
+  uint64_t TargetBytes = 0;
+  size_t Audits = 0;
+  std::vector<std::string> Violations;
+  std::vector<CurvePoint> Curve;
+  CampaignStats Campaign;
+  HeapStats Heap;
+  OsStats Os;
+  size_t BudgetPages = 0;
+  double RunMs = 0.0;
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --profile NAME        synthetic benchmark (default luindex)\n"
+      "  --campaign SCHED      fault schedule, e.g. "
+      "'storm@gc:6+2:lines=24,hot;drip@alloc:1m+256k'\n"
+      "  --seed N              campaign + workload seed (default 42)\n"
+      "  --heap-factor F       heap = F x profile minimum (default 2.5)\n"
+      "  --heap-mb N           absolute heap size, overrides factor\n"
+      "  --failure-rate F      static line-failure rate (default 0)\n"
+      "  --clustering N        clustering-hardware region pages (default "
+      "0 = off)\n"
+      "  --max-debt-pages N    DRAM debt cap (default 0 = page budget)\n"
+      "  --audit-every N       audit after every Nth GC (0 = end only; "
+      "default 1)\n"
+      "  --volume-scale F      scale the allocation volume (default 1)\n"
+      "  --escalate            triggers re-arm at doubled intensity\n"
+      "  --verify-determinism  run twice, require identical curves\n"
+      "  --with-timing         include wall-clock ms in the JSON\n",
+      Argv0);
+}
+
+bool parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto value = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    const char *V;
+    if (Arg == "--profile" && (V = value())) {
+      Opt.ProfileName = V;
+    } else if (Arg == "--campaign" && (V = value())) {
+      Opt.Schedule = V;
+    } else if (Arg == "--seed" && (V = value())) {
+      Opt.Seed = std::strtoull(V, nullptr, 0);
+    } else if (Arg == "--heap-factor" && (V = value())) {
+      Opt.HeapFactor = std::atof(V);
+    } else if (Arg == "--heap-mb" && (V = value())) {
+      Opt.HeapMb = std::strtoull(V, nullptr, 0);
+    } else if (Arg == "--failure-rate" && (V = value())) {
+      Opt.FailureRate = std::atof(V);
+    } else if (Arg == "--clustering" && (V = value())) {
+      Opt.ClusteringRegionPages =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    } else if (Arg == "--max-debt-pages" && (V = value())) {
+      Opt.MaxDebtPages = std::strtoull(V, nullptr, 0);
+    } else if (Arg == "--audit-every" && (V = value())) {
+      Opt.AuditEvery = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    } else if (Arg == "--volume-scale" && (V = value())) {
+      Opt.VolumeScale = std::atof(V);
+    } else if (Arg == "--escalate") {
+      Opt.Escalate = true;
+    } else if (Arg == "--verify-determinism") {
+      Opt.VerifyDeterminism = true;
+    } else if (Arg == "--with-timing") {
+      Opt.WithTiming = true;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete option '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
+                    const std::vector<FaultTrigger> &Triggers) {
+  SoakOutcome Out;
+
+  RuntimeConfig Config;
+  Config.HeapBytes = Opt.HeapMb ? Opt.HeapMb * MiB
+                                : heapBytesFor(P, Opt.HeapFactor);
+  Config.FailureRate = Opt.FailureRate;
+  Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
+  Config.MaxDebtPages = Opt.MaxDebtPages;
+  Config.Seed = Opt.Seed;
+
+  Runtime Rt(Config);
+  Mutator M(Rt, P, Opt.Seed, Opt.VolumeScale);
+  FaultCampaign Campaign(Triggers, Opt.Seed);
+  Campaign.attachRuntime(Rt);
+  Campaign.setEscalation(Opt.Escalate);
+  HeapAuditor Auditor(Rt.heap());
+
+  Out.BudgetPages = Rt.heap().config().BudgetPages;
+
+  auto audit = [&]() -> bool {
+    AuditReport Report = Auditor.audit();
+    ++Out.Audits;
+    if (Report.passed())
+      return true;
+    Out.Violations = Report.Violations;
+    return false;
+  };
+
+  auto T0 = std::chrono::steady_clock::now();
+  bool Alive = M.setUp();
+  // Curve points land on campaign firings plus fixed allocation
+  // intervals, so quiet stretches still chart.
+  uint64_t CurveInterval =
+      std::max<uint64_t>(M.targetBytes() / 192, 64 * KiB);
+  uint64_t LastCurveAt = 0;
+  uint64_t LastGc = Rt.stats().GcCount;
+  unsigned GcsSinceAudit = 0;
+  bool AuditFailed = false;
+
+  auto recordPoint = [&]() {
+    Out.Curve.push_back(CurvePoint{
+        M.steadyAllocatedBytes(), Rt.stats().GcCount,
+        Rt.stats().FailedLinesDynamic, Rt.stats().BlocksRetired});
+    LastCurveAt = M.steadyAllocatedBytes();
+  };
+  recordPoint();
+
+  while (Alive && M.steadyAllocatedBytes() < M.targetBytes()) {
+    if (!M.step()) {
+      Alive = false;
+      break;
+    }
+    bool Fired = Campaign.pump();
+    uint64_t Gc = Rt.stats().GcCount;
+    if (Gc != LastGc) {
+      GcsSinceAudit += static_cast<unsigned>(Gc - LastGc);
+      LastGc = Gc;
+      // Audit between collections, but not mid-recovery: the deferred
+      // window legitimately has live objects on failed lines.
+      if (Opt.AuditEvery != 0 && GcsSinceAudit >= Opt.AuditEvery &&
+          !Rt.heap().pendingFailureRecovery()) {
+        GcsSinceAudit = 0;
+        if (!audit()) {
+          AuditFailed = true;
+          break;
+        }
+      }
+    }
+    if (Fired ||
+        M.steadyAllocatedBytes() - LastCurveAt >= CurveInterval)
+      recordPoint();
+  }
+
+  // Flush any pending recovery so the final audit sees a settled heap,
+  // then take the closing curve point and verdict.
+  if (!AuditFailed && !Rt.outOfMemory()) {
+    if (Rt.heap().pendingFailureRecovery())
+      Rt.collect(true);
+    if (!audit())
+      AuditFailed = true;
+  }
+  recordPoint();
+  auto T1 = std::chrono::steady_clock::now();
+
+  Out.AllocBytes = M.steadyAllocatedBytes();
+  Out.TargetBytes = M.targetBytes();
+  Out.Survived = !AuditFailed && Alive && !Rt.outOfMemory() &&
+                 Out.AllocBytes >= Out.TargetBytes;
+  Out.Dnf = Rt.heap().dnfReason();
+  if (!Out.Survived && !AuditFailed)
+    Out.TtfAllocBytes = Out.AllocBytes;
+  Out.Campaign = Campaign.stats();
+  Out.Heap = Rt.stats();
+  Out.Os = Rt.osStats();
+  Out.RunMs =
+      std::chrono::duration<double, std::milli>(T1 - T0).count();
+  return Out;
+}
+
+bool sameCurve(const SoakOutcome &A, const SoakOutcome &B) {
+  if (A.Curve.size() != B.Curve.size() || A.Survived != B.Survived ||
+      A.Dnf != B.Dnf || A.AllocBytes != B.AllocBytes ||
+      A.Campaign.LinesFailed != B.Campaign.LinesFailed)
+    return false;
+  for (size_t I = 0; I != A.Curve.size(); ++I) {
+    const CurvePoint &X = A.Curve[I];
+    const CurvePoint &Y = B.Curve[I];
+    if (X.AllocBytes != Y.AllocBytes || X.GcCount != Y.GcCount ||
+        X.FailedLinesDynamic != Y.FailedLinesDynamic ||
+        X.BlocksRetired != Y.BlocksRetired)
+      return false;
+  }
+  return true;
+}
+
+void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
+               const RuntimeConfig &Config, bool DeterminismVerified) {
+  uint64_t BudgetLines =
+      static_cast<uint64_t>(Out.BudgetPages) * PcmLinesPerPage;
+  double WearFraction =
+      BudgetLines == 0 ? 0.0
+                       : static_cast<double>(Out.Heap.FailedLinesDynamic) /
+                             static_cast<double>(BudgetLines);
+
+  std::printf("{\n");
+  std::printf("  \"tool\": \"wearmem_soak\",\n");
+  std::printf("  \"profile\": \"%s\",\n", Opt.ProfileName.c_str());
+  std::printf("  \"campaign\": \"%s\",\n", Opt.Schedule.c_str());
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(Opt.Seed));
+  std::printf("  \"escalate\": %s,\n", Opt.Escalate ? "true" : "false");
+  std::printf("  \"config\": {\"collector\": \"%s\", \"heap_bytes\": %zu, "
+              "\"budget_pages\": %zu, \"budget_lines\": %llu, "
+              "\"max_debt_pages\": %zu},\n",
+              Config.describe().c_str(), Config.HeapBytes, Out.BudgetPages,
+              static_cast<unsigned long long>(BudgetLines),
+              Opt.MaxDebtPages);
+  std::printf("  \"outcome\": {\"survived\": %s, \"dnf_reason\": \"%s\", "
+              "\"ttf_alloc_bytes\": %llu, \"alloc_bytes\": %llu, "
+              "\"target_bytes\": %llu},\n",
+              Out.Survived ? "true" : "false", dnfReasonName(Out.Dnf),
+              static_cast<unsigned long long>(Out.TtfAllocBytes),
+              static_cast<unsigned long long>(Out.AllocBytes),
+              static_cast<unsigned long long>(Out.TargetBytes));
+  std::printf(
+      "  \"campaign_stats\": {\"firings\": %llu, \"lines_failed\": %llu, "
+      "\"device_lines_failed\": %llu, \"dry_firings\": %llu, "
+      "\"replay_misses\": %llu, \"escalations\": %llu},\n",
+      static_cast<unsigned long long>(Out.Campaign.Firings),
+      static_cast<unsigned long long>(Out.Campaign.LinesFailed),
+      static_cast<unsigned long long>(Out.Campaign.DeviceLinesFailed),
+      static_cast<unsigned long long>(Out.Campaign.DryFirings),
+      static_cast<unsigned long long>(Out.Campaign.ReplayMisses),
+      static_cast<unsigned long long>(Out.Campaign.Escalations));
+  std::printf(
+      "  \"heap\": {\"gc_count\": %llu, \"full_gc_count\": %llu, "
+      "\"dynamic_batches\": %llu, \"deferred_recoveries\": %llu, "
+      "\"emergency_defrags\": %llu, \"blocks_retired\": %llu, "
+      "\"objects_evacuated\": %llu, \"pinned_page_remaps\": %llu},\n",
+      static_cast<unsigned long long>(Out.Heap.GcCount),
+      static_cast<unsigned long long>(Out.Heap.FullGcCount),
+      static_cast<unsigned long long>(Out.Heap.DynamicFailureBatches),
+      static_cast<unsigned long long>(Out.Heap.DeferredFailureRecoveries),
+      static_cast<unsigned long long>(Out.Heap.EmergencyDefrags),
+      static_cast<unsigned long long>(Out.Heap.BlocksRetired),
+      static_cast<unsigned long long>(Out.Heap.ObjectsEvacuated),
+      static_cast<unsigned long long>(Out.Heap.PinnedFailurePageRemaps));
+  std::printf("  \"os\": {\"dram_borrowed\": %llu, \"debt_repaid\": "
+              "%llu},\n",
+              static_cast<unsigned long long>(Out.Os.DramBorrowed),
+              static_cast<unsigned long long>(Out.Os.DebtRepaid));
+  std::printf("  \"wear\": {\"dynamic_failed_lines\": %llu, "
+              "\"dynamic_failed_fraction\": %.4f},\n",
+              static_cast<unsigned long long>(Out.Heap.FailedLinesDynamic),
+              WearFraction);
+  std::printf("  \"audits\": {\"count\": %zu, \"violations\": %zu",
+              Out.Audits, Out.Violations.size());
+  if (!Out.Violations.empty()) {
+    std::printf(", \"messages\": [");
+    for (size_t I = 0; I != Out.Violations.size(); ++I)
+      std::printf("%s\"%s\"", I ? ", " : "", Out.Violations[I].c_str());
+    std::printf("]");
+  }
+  std::printf("},\n");
+  if (Opt.VerifyDeterminism)
+    std::printf("  \"determinism\": \"%s\",\n",
+                DeterminismVerified ? "verified" : "MISMATCH");
+  if (Opt.WithTiming)
+    std::printf("  \"run_ms\": %.2f,\n", Out.RunMs);
+  std::printf("  \"survival_curve\": [\n");
+  for (size_t I = 0; I != Out.Curve.size(); ++I) {
+    const CurvePoint &Pt = Out.Curve[I];
+    std::printf("    {\"alloc\": %llu, \"gc\": %llu, \"failed\": %llu, "
+                "\"retired\": %llu}%s\n",
+                static_cast<unsigned long long>(Pt.AllocBytes),
+                static_cast<unsigned long long>(Pt.GcCount),
+                static_cast<unsigned long long>(Pt.FailedLinesDynamic),
+                static_cast<unsigned long long>(Pt.BlocksRetired),
+                I + 1 == Out.Curve.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SoakOptions Opt;
+  if (!parseArgs(Argc, Argv, Opt)) {
+    usage(Argv[0]);
+    return 1;
+  }
+  const Profile *P = findProfile(Opt.ProfileName);
+  if (!P) {
+    std::fprintf(stderr, "unknown profile '%s'\n",
+                 Opt.ProfileName.c_str());
+    return 1;
+  }
+  std::string ParseError;
+  std::optional<std::vector<FaultTrigger>> Triggers =
+      FaultCampaign::parseSchedule(Opt.Schedule, &ParseError);
+  if (!Triggers) {
+    std::fprintf(stderr, "bad campaign schedule: %s\n",
+                 ParseError.c_str());
+    return 1;
+  }
+
+  SoakOutcome Out = runSoak(Opt, *P, *Triggers);
+  bool DeterminismVerified = true;
+  if (Opt.VerifyDeterminism) {
+    SoakOutcome Again = runSoak(Opt, *P, *Triggers);
+    DeterminismVerified = sameCurve(Out, Again);
+  }
+
+  RuntimeConfig Config;
+  Config.HeapBytes =
+      Opt.HeapMb ? Opt.HeapMb * MiB : heapBytesFor(*P, Opt.HeapFactor);
+  Config.FailureRate = Opt.FailureRate;
+  Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
+  printJson(Opt, Out, Config, DeterminismVerified);
+
+  if (!DeterminismVerified)
+    return 4;
+  if (!Out.Violations.empty())
+    return 3;
+  if (!Out.Survived)
+    return 2;
+  return 0;
+}
