@@ -7,7 +7,10 @@
 
 #include "core/Runtime.h"
 
+#include "gc/HeapAuditor.h"
+
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -58,7 +61,11 @@ HeapConfig RuntimeConfig::toHeapConfig() const {
 
   Heap.Failures.Rate = FailureRate;
   Heap.Failures.Seed = Seed;
-  if (ClusteringRegionPages > 0 && FailureRate > 0.0) {
+  // A Custom map wins over the clustering transform: recovery re-seeds
+  // the new incarnation with the reconciled map, whose failures already
+  // sit wherever the clustering hardware put them.
+  if (ClusteringRegionPages > 0 && FailureRate > 0.0 &&
+      Pattern != FailurePattern::Custom) {
     Heap.Failures.Pattern = FailurePattern::PushClustered;
     Heap.Failures.Cluster.RegionPages = ClusteringRegionPages;
     Heap.Failures.Cluster.Policy = ClusterPolicy::Alternate;
@@ -149,6 +156,82 @@ void Handle::set(ObjRef Obj) {
 
 Runtime::Runtime(const RuntimeConfig &Config)
     : Config(Config), Heap_(Config.toHeapConfig()) {}
+
+std::shared_ptr<DurableState> Runtime::bootstrapDurableState() const {
+  auto DS = std::make_shared<DurableState>();
+  DS->DeviceTruth = Heap_.os().budgetFailureMap();
+  DS->Baseline = DS->DeviceTruth;
+  return DS;
+}
+
+void Runtime::attachDurableState(std::shared_ptr<DurableState> DS) {
+  assert(DS && "durable state required");
+  Journal_ = std::make_unique<MetadataJournal>(std::move(DS));
+  Heap_.attachJournal(Journal_.get());
+}
+
+std::unique_ptr<Runtime> Runtime::recover(const RuntimeConfig &Base,
+                                          std::shared_ptr<DurableState> DS,
+                                          RecoveryReport &Report) {
+  auto Start = std::chrono::steady_clock::now();
+  Report = RecoveryReport();
+
+  // Phase 1: journal replay. Torn tails and corrupted cells are detected
+  // by the scanner; the journal's view is rebuilt over the baseline.
+  JournalScan Scan = MetadataJournal::scanBytes(DS->Journal);
+
+  // Phase 2: device rescan + reconciliation. The device is ground truth;
+  // journal-only claims are dropped and counted, device-only failures
+  // (lost to a tear) are adopted silently - that is what device-wins
+  // recovery is for.
+  ReconcileResult Rec =
+      reconcileJournal(Scan, DS->Baseline, DS->DeviceTruth);
+  Report.RecordsReplayed = Rec.RecordsReplayed;
+  Report.TornTailBytes = Scan.TornTailBytes;
+  Report.TornRecords = Scan.TornRecords;
+  Report.ChecksumFailures = Scan.ChecksumFailures;
+  Report.JournalOnlyLines = Rec.JournalOnlyLines;
+  Report.DeviceOnlyLines = Rec.DeviceOnlyLines;
+  Report.Divergences = Scan.ChecksumFailures + Rec.JournalOnlyLines;
+  Report.ClusterRemaps = Rec.ClusterRemaps;
+  Report.PoolTransitions = Rec.PoolTransitions;
+  Report.LedgerEntries = Rec.LedgerEntries;
+  Report.JournalBytes = DS->Journal.size();
+
+  // Kill point between recovery phases: the journal is replayed but the
+  // heap is not rebuilt. The arm is consumed, so retrying recover()
+  // succeeds (and replays the same journal - recovery is idempotent).
+  {
+    MetadataJournal Probe(DS);
+    Probe.crashPoint(CrashPoint::RecoveryPhase);
+  }
+
+  // Phase 3: rebuild. Provision the new incarnation from the reconciled
+  // map. The derived page budget depends only on HeapBytes, FailureRate,
+  // and the clustering geometry - all unchanged - so the budget matches
+  // the map line-for-line.
+  RuntimeConfig Cfg = Base;
+  Cfg.Pattern = FailurePattern::Custom;
+  Cfg.CustomFailureMap = std::make_shared<FailureMap>(Rec.Reconciled);
+  auto Rt = std::make_unique<Runtime>(Cfg);
+  assert(Rt->heap().os().budgetFailureMap().numLines() ==
+             Rec.Reconciled.numLines() &&
+         "page budget changed across recovery");
+  Rt->attachDurableState(std::move(DS));
+  Rt->Journal_->compact(Rec.Reconciled);
+
+  // Phase 4: recovery verifier. The rebuilt heap must audit clean before
+  // the mutator resumes.
+  HeapAuditor Auditor(Rt->heap());
+  AuditReport Audit = Auditor.audit();
+  Report.AuditPassed = Audit.passed();
+  Report.AuditViolations = Audit.Violations.size();
+  Report.RecoveryMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  return Rt;
+}
 
 Handle Runtime::allocateRooted(uint32_t PayloadBytes, uint16_t NumRefs,
                                bool Pinned) {

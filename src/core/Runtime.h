@@ -103,6 +103,29 @@ struct RuntimeConfig {
 
 class Runtime;
 
+/// Outcome of one crash recovery (Runtime::recover): what the journal
+/// replay found, how it reconciled against device truth, and whether the
+/// rebuilt heap audited clean.
+struct RecoveryReport {
+  uint64_t RecordsReplayed = 0;
+  uint64_t TornTailBytes = 0;
+  uint64_t TornRecords = 0;
+  uint64_t ChecksumFailures = 0;
+  /// Journal-claimed failures the device rescan denied (dropped).
+  uint64_t JournalOnlyLines = 0;
+  /// Device failures the journal lost (torn tail); adopted.
+  uint64_t DeviceOnlyLines = 0;
+  /// ChecksumFailures + JournalOnlyLines.
+  uint64_t Divergences = 0;
+  uint64_t ClusterRemaps = 0;
+  uint64_t PoolTransitions = 0;
+  uint64_t LedgerEntries = 0;
+  uint64_t JournalBytes = 0;
+  double RecoveryMs = 0.0;
+  bool AuditPassed = false;
+  uint64_t AuditViolations = 0;
+};
+
 /// An RAII GC root. The referenced object (and everything reachable from
 /// it) stays live and the handle stays valid across moving collections.
 class Handle {
@@ -174,6 +197,32 @@ public:
   }
 
   //===--------------------------------------------------------------===//
+  // Crash consistency
+  //===--------------------------------------------------------------===//
+
+  /// Snapshots this incarnation's provisioning map as the durable state a
+  /// crash would leave behind (device truth = baseline = the budget map).
+  std::shared_ptr<DurableState> bootstrapDurableState() const;
+
+  /// Binds a durable state: a MetadataJournal is created over it and
+  /// attached through the heap and OS layers, enabling write-ahead
+  /// logging and the kill points.
+  void attachDurableState(std::shared_ptr<DurableState> DS);
+
+  MetadataJournal *journal() const { return Journal_.get(); }
+
+  /// Boots a fresh incarnation from \p DS after a crash: replays the
+  /// journal over the baseline, reconciles against the device rescan
+  /// (device wins; divergences counted, never applied), rebuilds the OS
+  /// pools and heap from the reconciled map, compacts the journal, and
+  /// runs the HeapAuditor as the recovery verifier. \p Base must be the
+  /// dead incarnation's config. Throws CrashSignal if the RecoveryPhase
+  /// kill point is armed (the arm is consumed, so a retry succeeds).
+  static std::unique_ptr<Runtime> recover(const RuntimeConfig &Base,
+                                          std::shared_ptr<DurableState> DS,
+                                          RecoveryReport &Report);
+
+  //===--------------------------------------------------------------===//
   // Introspection
   //===--------------------------------------------------------------===//
 
@@ -188,6 +237,7 @@ private:
 
   RuntimeConfig Config;
   Heap Heap_;
+  std::unique_ptr<MetadataJournal> Journal_;
 };
 
 } // namespace wearmem

@@ -170,6 +170,10 @@ double Heap::collect(CollectionKind Kind) {
 }
 
 void Heap::runCollection(CollectionKind Kind) {
+  // Kill point between batch-recovery phases: failed lines are fenced
+  // (and journaled), the defragmenting collection has not started.
+  if (Journal && PendingFailureRecovery)
+    Journal->crashPoint(CrashPoint::RecoveryPhase);
   InCollection = true;
   auto Start = std::chrono::steady_clock::now();
   bool Full = Kind == CollectionKind::Full;
@@ -445,6 +449,12 @@ void Heap::emergencyPageRemap(Block *B, const uint8_t *Obj) {
   size_t LastPage =
       static_cast<size_t>(Obj + Size - 1 - B->base()) / PcmPageSize;
   for (size_t Page = FirstPage; Page <= LastPage; ++Page) {
+    const std::vector<uint32_t> &Ids = B->pageIds();
+    if (Journal && Page < Ids.size() &&
+        !B->pageWasRemapped(static_cast<unsigned>(Page)))
+      // Clears durable truth for the page, passes the Remap kill point,
+      // then appends the PoolTransition/PageRemap record.
+      Journal->recordPageRemap(Ids[Page]);
     B->unfailPage(static_cast<unsigned>(Page));
     // The failed physical lines are gone from these addresses.
     Ledger.dropPage(reinterpret_cast<uintptr_t>(B->base()), Page);
@@ -493,10 +503,30 @@ void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
     Stats.DynamicFailurePageCopies += Addrs.size();
     return;
   }
-  for (uint8_t *Addr : Addrs) {
+  for (size_t I = 0; I != Addrs.size(); ++I) {
+    uint8_t *Addr = Addrs[I];
+    // Mid-upcall kill point: the first half of the batch is fenced and
+    // journaled, the rest is only in the (durable) failure buffer.
+    if (Journal && I == Addrs.size() / 2 && I != 0)
+      Journal->crashPoint(CrashPoint::InterruptUpcall);
     Block *B = Immix->blockOf(Addr);
     assert(B && "dynamic failure outside the Immix space");
     size_t Offset = static_cast<size_t>(Addr - B->base());
+    if (Journal) {
+      // Write-ahead, in budget coordinates: durable truth first, then the
+      // journal records, then the volatile line marks and ledger below.
+      size_t Page = Offset / PcmPageSize;
+      const std::vector<uint32_t> &Ids = B->pageIds();
+      if (Page < Ids.size() &&
+          !B->pageWasRemapped(static_cast<unsigned>(Page))) {
+        uint32_t LineInPage =
+            static_cast<uint32_t>((Offset % PcmPageSize) / PcmLineSize);
+        Journal->recordLineFailure(Ids[Page], LineInPage);
+        Journal->recordLedgerEntry(Ids[Page], LineInPage);
+      } else {
+        ++Stats.UnjournaledFailures;
+      }
+    }
     B->failPcmLineAt(Offset);
     B->setFreshFailure(true);
     Ledger.record(reinterpret_cast<uintptr_t>(B->base()), Offset);

@@ -34,6 +34,7 @@
 #include "heap/ImmixSpace.h"
 #include "heap/LargeObjectSpace.h"
 #include "heap/Object.h"
+#include "os/MetadataJournal.h"
 #include "os/Os.h"
 
 #include <memory>
@@ -118,6 +119,15 @@ public:
   /// references with a full collection.
   void injectDynamicFailureOnLarge(ObjRef Obj);
 
+  /// Binds the crash-consistency journal: dynamic failures, emergency
+  /// page remaps, and pool transitions are write-ahead logged in budget
+  /// (page, line) coordinates, and the failure paths gain kill points.
+  void attachJournal(MetadataJournal *J) {
+    Journal = J;
+    Os_.attachJournal(J);
+  }
+  MetadataJournal *journal() const { return Journal; }
+
   //===--------------------------------------------------------------===//
   // Introspection
   //===--------------------------------------------------------------===//
@@ -165,6 +175,7 @@ private:
   HeapConfig Config;
   HeapStats Stats;
   FailureAwareOs Os_;
+  MetadataJournal *Journal = nullptr;
 
   std::unique_ptr<ImmixSpace> Immix;
   std::unique_ptr<ImmixAllocator> Allocator;

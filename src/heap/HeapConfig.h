@@ -190,6 +190,12 @@ struct HeapStats {
   uint64_t EmergencyDefrags = 0;
   uint64_t BlocksRetired = 0;
   uint64_t FailedLinesDynamic = 0;
+
+  /// Dynamic failures that could not be journaled in budget coordinates
+  /// (recycled/DRAM-backed blocks without page provenance, or pages
+  /// already remapped to perfect physical pages). They still fence and
+  /// recover normally; they are just invisible to crash recovery.
+  uint64_t UnjournaledFailures = 0;
 };
 
 } // namespace wearmem

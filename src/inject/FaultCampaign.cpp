@@ -78,8 +78,10 @@ bool parseOneTrigger(const std::string &Entry, FaultTrigger &T,
     T.Lines = 16;
   } else if (Shape == "region") {
     T.Shape = FaultShape::Region;
+  } else if (Shape == "crash") {
+    T.Shape = FaultShape::Crash;
   } else {
-    Error = "unknown shape '" + Shape + "' (drip, storm, region)";
+    Error = "unknown shape '" + Shape + "' (drip, storm, region, crash)";
     return false;
   }
 
@@ -147,15 +149,40 @@ bool parseOneTrigger(const std::string &Entry, FaultTrigger &T,
       continue;
     }
     size_t Eq = Opt.find('=');
-    uint64_t Val = 0;
-    size_t ValPos = Eq + 1;
-    if (Eq == std::string::npos ||
-        !parseScaled(Opt, ValPos, Val) || ValPos != Opt.size() ||
-        Val == 0) {
+    if (Eq == std::string::npos) {
       Error = "bad option '" + Opt + "' in '" + Entry + "'";
       return false;
     }
     std::string Key = Opt.substr(0, Eq);
+    if (Key == "at") {
+      // Kill-point selector; only meaningful on crash triggers.
+      if (T.Shape != FaultShape::Crash) {
+        Error = "option 'at' requires the crash shape in '" + Entry + "'";
+        return false;
+      }
+      std::string Point = Opt.substr(Eq + 1);
+      if (Point == "append") {
+        T.CrashAt = CrashPoint::JournalAppend;
+      } else if (Point == "remap") {
+        T.CrashAt = CrashPoint::Remap;
+      } else if (Point == "upcall") {
+        T.CrashAt = CrashPoint::InterruptUpcall;
+      } else if (Point == "recovery") {
+        T.CrashAt = CrashPoint::RecoveryPhase;
+      } else {
+        Error = "unknown kill point '" + Point +
+                "' (append, remap, upcall, recovery) in '" + Entry + "'";
+        return false;
+      }
+      continue;
+    }
+    uint64_t Val = 0;
+    size_t ValPos = Eq + 1;
+    if (!parseScaled(Opt, ValPos, Val) || ValPos != Opt.size() ||
+        Val == 0) {
+      Error = "bad option '" + Opt + "' in '" + Entry + "'";
+      return false;
+    }
     if (Key == "lines") {
       T.Lines = static_cast<unsigned>(Val);
     } else if (Key == "pages") {
@@ -387,6 +414,18 @@ void FaultCampaign::fireHeap(const FaultTrigger &T) {
   case FaultShape::Replay:
     // Replay is driven by pumpReplay, never by a scheduled trigger.
     break;
+
+  case FaultShape::Crash: {
+    // Arm the kill point; the crash fires later, when execution actually
+    // reaches it.
+    MetadataJournal *J = Rt->heap().journal() ? Rt->heap().journal()
+                                              : Journal;
+    if (J)
+      J->armCrash(T.CrashAt);
+    else
+      ++Stats.DryFirings;
+    return;
+  }
   }
 
   injectHeapBatch(std::move(Addrs), T.Clock, /*Record=*/true);
@@ -442,6 +481,13 @@ void FaultCampaign::fireDevice(const FaultTrigger &T) {
   }
   case FaultShape::Replay:
     break;
+  case FaultShape::Crash:
+    if (Journal) {
+      Journal->armCrash(T.CrashAt);
+      return;
+    }
+    ++Stats.DryFirings;
+    return;
   }
 
   Stats.DeviceLinesFailed += Failed;

@@ -39,6 +39,7 @@ namespace wearmem {
 
 class Runtime;
 class PcmDevice;
+class MetadataJournal;
 
 /// One injected line failure, in replayable coordinates: the ordinal of
 /// the containing block (in space iteration order, which is creation
@@ -88,6 +89,10 @@ public:
   /// Writes clock counts real line writes via the write observer.
   void attachDevice(PcmDevice &Device);
 
+  /// Kill-point target for crash triggers on device-attached campaigns
+  /// (runtime-attached campaigns find the journal through the runtime).
+  void attachJournal(MetadataJournal *J) { this->Journal = J; }
+
   /// Escalation mode: a trigger that completes its repeats re-arms with
   /// doubled intensity instead of disarming, so a surviving heap faces
   /// ever-worse storms until something gives.
@@ -136,6 +141,7 @@ private:
   Rng Rand;
   Runtime *Rt = nullptr;
   PcmDevice *Device = nullptr;
+  MetadataJournal *Journal = nullptr;
   uint64_t ObservedWrites = 0;
   bool Escalate = false;
   CampaignStats Stats;

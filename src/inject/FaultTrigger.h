@@ -26,6 +26,8 @@
 #ifndef WEARMEM_INJECT_FAULTTRIGGER_H
 #define WEARMEM_INJECT_FAULTTRIGGER_H
 
+#include "os/MetadataJournal.h"
+
 #include <cstdint>
 
 namespace wearmem {
@@ -55,6 +57,11 @@ enum class FaultShape : uint8_t {
   /// Replays a recorded trace (installed via FaultCampaign::setReplay,
   /// not the schedule parser).
   Replay,
+  /// Arms a kill point (CrashAt) in the attached journal: the next time
+  /// execution reaches it, CrashSignal is thrown and the process dies
+  /// there. Requires a journal-attached runtime (or an explicit
+  /// FaultCampaign::attachJournal); a dry firing otherwise.
+  Crash,
 };
 
 inline const char *triggerClockName(TriggerClock Clock) {
@@ -79,6 +86,8 @@ inline const char *faultShapeName(FaultShape Shape) {
     return "region";
   case FaultShape::Replay:
     return "replay";
+  case FaultShape::Crash:
+    return "crash";
   }
   return "?";
 }
@@ -100,6 +109,9 @@ struct FaultTrigger {
   /// Storm only: target the hottest block (most lines marked live)
   /// instead of a random one.
   bool Hot = false;
+  /// Crash only: which kill point to arm (schedule option
+  /// at=append|remap|upcall|recovery).
+  CrashPoint CrashAt = CrashPoint::JournalAppend;
 };
 
 } // namespace wearmem

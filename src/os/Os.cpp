@@ -7,6 +7,7 @@
 
 #include "os/Os.h"
 
+#include "os/MetadataJournal.h"
 #include "support/Random.h"
 
 #include <cassert>
@@ -99,6 +100,9 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
     Debt -= Use;
     Stats.DebtRepaid += Use;
     Stats.PerfectDivertedToStock += Use;
+    if (Journal)
+      Journal->recordPoolTransition(PoolTransitionKind::DebtRepay,
+                                    static_cast<uint32_t>(Use));
     if (Use == Chunk.NumPages) {
       PerfectFreeList.pop_back();
     } else {
@@ -159,6 +163,8 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
       --Debt;
       ++Stats.DebtRepaid;
       ++Stats.PerfectDivertedToStock;
+      if (Journal)
+        Journal->recordPoolTransition(PoolTransitionKind::DebtRepay, 1);
       continue;
     }
     Chosen.push_back(Page);
@@ -242,6 +248,9 @@ std::optional<PageGrant> FailureAwareOs::allocPerfect(size_t NumPages,
   Stats.PerfectPcmServed += FromPcm;
   Stats.DramBorrowed += FromDram;
   Debt += FromDram;
+  if (Journal && FromDram)
+    Journal->recordPoolTransition(PoolTransitionKind::DramBorrow,
+                                  static_cast<uint32_t>(FromDram));
 
   Grant.Mem = mapHostPages(NumPages);
   return Grant;
@@ -250,6 +259,9 @@ std::optional<PageGrant> FailureAwareOs::allocPerfect(size_t NumPages,
 void FailureAwareOs::freePerfect(PageGrant &&Grant) {
   assert(Grant.Mem != nullptr && Grant.NumPages > 0 && "empty grant");
   Stats.PerfectPagesReturned += Grant.NumPages;
+  if (Journal)
+    Journal->recordPoolTransition(PoolTransitionKind::PerfectReturn,
+                                  static_cast<uint32_t>(Grant.NumPages));
   PerfectFreeList.push_back(FreeChunk{Grant.Mem, Grant.NumPages});
 }
 

@@ -39,6 +39,8 @@
 
 namespace wearmem {
 
+class MetadataJournal;
+
 /// How the fault injector distributes failures over the process's pages.
 enum class FailurePattern {
   /// Independent uniform line failures (the default PCM wear model).
@@ -148,6 +150,11 @@ public:
   /// fragmentation diagnostics).
   const FailureMap &budgetFailureMap() const { return BudgetMap; }
 
+  /// Binds the crash-consistency journal: perfect/imperfect pool
+  /// transitions (DRAM borrows, debt repayments, perfect-stock returns)
+  /// are write-ahead logged as PoolTransition records.
+  void attachJournal(MetadataJournal *J) { Journal = J; }
+
 private:
   uint8_t *mapHostPages(size_t NumPages);
 
@@ -160,6 +167,7 @@ private:
   size_t ConsumedCount = 0;
   size_t GrantAlignment;
   OsStats Stats;
+  MetadataJournal *Journal = nullptr;
   /// Host-memory backing for grants (aligned_alloc'd).
   struct FreeDeleter {
     void operator()(uint8_t *P) const { std::free(P); }

@@ -19,6 +19,59 @@ OsKernel::OsKernel(PcmDevice &Device) : Device(Device) {
   });
 }
 
+void OsKernel::attachJournal(MetadataJournal *J) {
+  Journal = J;
+  if (!J) {
+    Device.setFailureMetadataObserver(nullptr);
+    return;
+  }
+  Device.setFailureMetadataObserver([this](const RedirectOutcome &Outcome,
+                                           LineIndex Logical,
+                                           uint64_t Region) {
+    if (!Journal || Outcome.AlreadyDead)
+      return;
+    // Write-ahead: every newly failed logical line, in (page, line)
+    // coordinates. recordLineFailure marks durable truth before the
+    // append, so a tear here loses bookkeeping, never physics.
+    for (uint64_t Line : Outcome.NewlyFailedLogical)
+      Journal->recordLineFailure(
+          static_cast<uint32_t>(Line / PcmLinesPerPage),
+          static_cast<uint32_t>(Line % PcmLinesPerPage));
+    if (Region == ~uint64_t(0) || Outcome.Refused)
+      return;
+    // Mid-remap kill point: the failure-map records above are (possibly)
+    // durable, the redirection-map record below is not yet.
+    Journal->crashPoint(CrashPoint::Remap);
+    size_t LinesPerRegion = Device.clustering()
+                                ? Device.clustering()->linesPerRegion()
+                                : PcmLinesPerPage;
+    Journal->recordClusterRemap(
+        static_cast<uint32_t>(Region),
+        static_cast<uint32_t>(Logical % LinesPerRegion),
+        Outcome.InstalledMap);
+  });
+}
+
+DeviceRecovery OsKernel::recoverFromJournal() {
+  assert(Journal && "recovery requires an attached journal");
+  JournalScan Scan = Journal->scan();
+  // Ground truth is the device rescan: the hardware survived the crash
+  // even though every volatile OS structure did not.
+  ReconcileResult Rec = reconcileJournal(Scan, Journal->durable().Baseline,
+                                         Device.softwareFailureMap());
+  DeviceRecovery Out;
+  Out.RecordsReplayed = Rec.RecordsReplayed;
+  Out.TornTailBytes = Scan.TornTailBytes;
+  Out.ChecksumFailures = Scan.ChecksumFailures;
+  Out.JournalOnlyLines = Rec.JournalOnlyLines;
+  Out.DeviceOnlyLines = Rec.DeviceOnlyLines;
+  Out.Divergences = Scan.ChecksumFailures + Rec.JournalOnlyLines;
+  Out.ClusterRemapsReplayed = Rec.ClusterRemaps;
+  Out.Reconciled = Rec.Reconciled;
+  Journal->compact(Rec.Reconciled);
+  return Out;
+}
+
 void OsKernel::handleFailures() {
   // The up-call may perform PCM writes that themselves fail and re-raise
   // the interrupt; those failures stay buffered until this invocation
@@ -41,6 +94,12 @@ void OsKernel::handleFailures() {
     // reverse address translation; identity-mapped here).
     for (const FailureRecord &Record : Pending)
       ProtectedPages.insert(pageOfAddr(Record.LineAddr));
+
+    // Mid-upcall kill point: pages fenced, the batch not yet handed to
+    // the runtime. A crash here leaves the kernel dead mid-handler; the
+    // recovery path constructs a fresh OsKernel against the same device.
+    if (Journal)
+      Journal->crashPoint(CrashPoint::InterruptUpcall);
 
     if (Handler_) {
       ++Stats.UpCalls;

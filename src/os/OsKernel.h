@@ -20,6 +20,7 @@
 #ifndef WEARMEM_OS_OSKERNEL_H
 #define WEARMEM_OS_OSKERNEL_H
 
+#include "os/MetadataJournal.h"
 #include "pcm/PcmDevice.h"
 
 #include <cstdint>
@@ -52,6 +53,24 @@ struct OsKernelStats {
   uint64_t StallDrainFailures = 0;
 };
 
+/// Counters for a device-side journal recovery.
+struct DeviceRecovery {
+  uint64_t RecordsReplayed = 0;
+  uint64_t TornTailBytes = 0;
+  uint64_t ChecksumFailures = 0;
+  /// Journal claims a line failed; the device rescan denies it. Dropped,
+  /// counted as a divergence.
+  uint64_t JournalOnlyLines = 0;
+  /// Device reports a failure the journal never logged (torn tail).
+  /// Adopted from the rescan; not a divergence.
+  uint64_t DeviceOnlyLines = 0;
+  /// ChecksumFailures + JournalOnlyLines.
+  uint64_t Divergences = 0;
+  uint64_t ClusterRemapsReplayed = 0;
+  /// The reconciled (device-wins) failure map.
+  FailureMap Reconciled;
+};
+
 /// Interrupt-handling glue between a PcmDevice and a managed runtime.
 class OsKernel {
 public:
@@ -62,6 +81,20 @@ public:
   void registerHandler(RuntimeFailureHandler Handler) {
     Handler_ = std::move(Handler);
   }
+
+  /// Binds a metadata journal: each wear failure the device reports is
+  /// journaled as a FailureMapUpdate (plus a ClusterRemap record when the
+  /// clustering hardware swapped mappings), and the kernel's interrupt
+  /// path gains the InterruptUpcall and Remap kill points.
+  void attachJournal(MetadataJournal *J);
+  MetadataJournal *journal() const { return Journal; }
+
+  /// Crash recovery for the device side: scans the journal, replays it
+  /// over the journal's baseline, rescans the device's software failure
+  /// map as ground truth, and reconciles (device wins; divergences are
+  /// counted and reported, never silently applied). Compacts the journal
+  /// to the reconciled map before returning.
+  DeviceRecovery recoverFromJournal();
 
   /// Services the failure interrupt: snapshots pending failures, revokes
   /// page permissions, up-calls (or page-copies), then clears the buffer
@@ -93,6 +126,7 @@ private:
   RuntimeFailureHandler Handler_;
   std::set<PageIndex> ProtectedPages;
   OsKernelStats Stats;
+  MetadataJournal *Journal = nullptr;
   bool InHandler = false;
 };
 

@@ -22,6 +22,8 @@ RegionRedirector::RegionRedirector(unsigned NumLines, bool ClusterAtStart,
 
 bool RegionRedirector::isLogicallyDead(unsigned LogicalOff) const {
   assert(LogicalOff < NumLines && "line offset out of range");
+  if (!FailedInPlace_.empty() && FailedInPlace_[LogicalOff])
+    return true;
   if (Boundary == 0)
     return false;
   return ClusterAtStart ? LogicalOff < Boundary
@@ -32,9 +34,32 @@ RedirectOutcome RegionRedirector::onFailure(
     unsigned LogicalOff,
     const std::function<void(unsigned)> &CaptureBeforeRemap) {
   assert(LogicalOff < NumLines && "line offset out of range");
-  assert(!isLogicallyDead(LogicalOff) &&
-         "software wrote a line it was told had failed");
   RedirectOutcome Outcome;
+
+  // A failure report for a line already known dead (duplicate interrupt,
+  // journal replay after recovery) is idempotent: nothing to remap,
+  // nothing newly failed.
+  if (isLogicallyDead(LogicalOff)) {
+    Outcome.AlreadyDead = true;
+    return Outcome;
+  }
+
+  // Remap capacity boundary: once half the region is dead - or a fresh
+  // region is too small to host its map plus one failure within that
+  // budget - the hardware refuses to swap. The region demotes: the
+  // failed line dies in place, exactly as it would without clustering.
+  if (Demoted || Boundary >= remapCapacity() ||
+      (!Installed && MetaLines + 1 > remapCapacity())) {
+    Demoted = true;
+    if (FailedInPlace_.empty())
+      FailedInPlace_.assign(NumLines, false);
+    FailedInPlace_[LogicalOff] = true;
+    ++FailedInPlaceCount;
+    CaptureBeforeRemap(LogicalOff);
+    Outcome.NewlyFailedLogical.push_back(LogicalOff);
+    Outcome.Refused = true;
+    return Outcome;
+  }
 
   if (!Installed) {
     // First failure in the region: install the redirection map at the

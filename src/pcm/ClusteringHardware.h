@@ -43,6 +43,13 @@ struct RedirectOutcome {
   std::vector<uint64_t> NewlyFailedLogical;
   /// True if the redirection map was installed by this failure.
   bool InstalledMap = false;
+  /// True if the line was already logically dead: the failure is a
+  /// duplicate report (e.g. a journal replay) and changed nothing.
+  bool AlreadyDead = false;
+  /// True if the region is at (or past) its remap capacity: no swap was
+  /// performed; the failed line simply dies in place and the region is
+  /// demoted to fail-in-place behaviour.
+  bool Refused = false;
 };
 
 /// Redirection state for one clustering region.
@@ -68,20 +75,43 @@ public:
   /// must now consider failed. \p CaptureBeforeRemap is invoked with each
   /// victim's logical offset *before* its mapping changes, so the device
   /// can latch the victim's current contents into the failure buffer.
+  ///
+  /// At the remap capacity boundary (half the region dead) the hardware
+  /// refuses further swaps: the region demotes to fail-in-place, the
+  /// failed logical line is reported back unchanged (Refused), and the
+  /// redirection map stops growing. A failure reported for a line that is
+  /// already logically dead is a graceful no-op (AlreadyDead) rather than
+  /// a protocol violation, so journal replays and duplicate interrupts
+  /// are idempotent.
   RedirectOutcome
   onFailure(unsigned LogicalOff,
             const std::function<void(unsigned)> &CaptureBeforeRemap);
 
-  /// True if \p LogicalOff lies in the dead (clustered) portion, i.e. a
-  /// correctly functioning OS would never access it.
+  /// True if \p LogicalOff lies in the dead (clustered) portion or died
+  /// in place after demotion, i.e. a correctly functioning OS would never
+  /// access it.
   bool isLogicallyDead(unsigned LogicalOff) const;
 
   bool installed() const { return Installed; }
 
-  /// Number of logical lines consumed so far (metadata + wear failures).
+  /// Number of logical lines consumed at the clustered end (metadata +
+  /// remapped wear failures).
   unsigned deadLines() const { return Boundary; }
 
   unsigned numLines() const { return NumLines; }
+
+  /// Boundary slots the redirection hardware may consume before refusing
+  /// further swaps: half the region. Past it, clustering has destroyed as
+  /// much locality as it preserves and the map's boundary pointer field
+  /// is saturated.
+  unsigned remapCapacity() const { return NumLines / 2; }
+
+  /// True once the region refused a swap: all later failures die in
+  /// place.
+  bool demoted() const { return Demoted; }
+
+  /// Lines that died in place after demotion.
+  unsigned failedInPlace() const { return FailedInPlaceCount; }
 
 private:
   /// Logical offset of the next boundary slot to consume.
@@ -93,10 +123,14 @@ private:
   bool ClusterAtStart;
   unsigned MetaLines;
   bool Installed = false;
+  bool Demoted = false;
   /// Count of dead logical lines accumulated at the clustered end.
   unsigned Boundary = 0;
+  unsigned FailedInPlaceCount = 0;
   /// Logical -> physical line offset; allocated on installation.
   std::vector<uint16_t> Redirect;
+  /// Lines dead in place (post-demotion failures); lazily sized.
+  std::vector<bool> FailedInPlace_;
 };
 
 /// The per-module collection of region redirectors, plus the small cache

@@ -80,6 +80,9 @@ public:
 
   bool isFailed(LineIndex Line) const { return Lines.get(Line); }
   void fail(LineIndex Line) { Lines.set(Line); }
+  /// Un-fails a line (the OS remapped the page to a perfect physical
+  /// page, so the address no longer maps to worn-out cells).
+  void clear(LineIndex Line) { Lines.clear(Line); }
 
   size_t failedCount() const { return Lines.count(); }
 

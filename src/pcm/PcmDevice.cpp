@@ -135,6 +135,11 @@ void PcmDevice::handleWearFailure(LineIndex Logical, const uint8_t *Data) {
     assert(Pushed && "failure buffer overflow despite stall protocol");
     (void)Pushed;
     SoftwareMap.fail(Logical);
+    if (MetadataObserver) {
+      RedirectOutcome Plain;
+      Plain.NewlyFailedLogical.push_back(Logical);
+      MetadataObserver(Plain, Logical, ~uint64_t(0));
+    }
     return;
   }
 
@@ -164,6 +169,9 @@ void PcmDevice::handleWearFailure(LineIndex Logical, const uint8_t *Data) {
     if (Victim == Logical)
       LogicalRetired = true;
   }
+  if (MetadataObserver)
+    MetadataObserver(Outcome, Logical,
+                     Logical / Clustering->linesPerRegion());
 
   if (LogicalRetired) {
     // The written line itself was retired (it coincided with the boundary

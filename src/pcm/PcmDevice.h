@@ -90,6 +90,13 @@ public:
   /// Observes every successful line write (fault campaigns use this as
   /// their write-count clock).
   using WriteObserverFn = std::function<void(LineIndex)>;
+  /// Observes every wear failure *after* the software failure map and any
+  /// clustering redirection have been updated: the newly failed logical
+  /// lines, the redirect outcome, and the region index (or ~0 without
+  /// clustering). The OS layer hooks this to journal FailureMapUpdate and
+  /// ClusterRemap records (pcm cannot depend on the os journal directly).
+  using FailureMetadataObserverFn = std::function<void(
+      const RedirectOutcome &Outcome, LineIndex Logical, uint64_t Region)>;
 
   explicit PcmDevice(const PcmDeviceConfig &Config);
 
@@ -103,6 +110,9 @@ public:
   void setStallInterrupt(StallInterruptFn Fn) { OnStall = std::move(Fn); }
   void setWriteObserver(WriteObserverFn Fn) {
     WriteObserver = std::move(Fn);
+  }
+  void setFailureMetadataObserver(FailureMetadataObserverFn Fn) {
+    MetadataObserver = std::move(Fn);
   }
 
   /// Writes one 64 B line. May trigger wear failure handling.
@@ -175,6 +185,7 @@ private:
   FailureInterruptFn OnFailure;
   StallInterruptFn OnStall;
   WriteObserverFn WriteObserver;
+  FailureMetadataObserverFn MetadataObserver;
 };
 
 } // namespace wearmem

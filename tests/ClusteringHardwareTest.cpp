@@ -152,3 +152,98 @@ TEST(ClusteringHardwareTest, ModuleWideIndices) {
   for (LineIndex L : Captured)
     EXPECT_GE(L, 128u);
 }
+
+// The hardware swaps right up to the capacity boundary: a region may
+// reach *exactly* half its lines dead without demoting.
+TEST(RegionRedirectorTest, RemapsUpToExactlyHalfDead) {
+  RegionRedirector R(128, true, 2);
+  // Re-failing the same logical line wears out whatever physical line
+  // currently backs it, so each failure consumes one more boundary slot
+  // while logical 100 stays live.
+  while (R.deadLines() < R.remapCapacity()) {
+    RedirectOutcome Outcome = R.onFailure(100, noCapture());
+    EXPECT_FALSE(Outcome.Refused);
+    EXPECT_FALSE(Outcome.AlreadyDead);
+  }
+  EXPECT_EQ(R.deadLines(), R.remapCapacity());
+  EXPECT_EQ(R.deadLines(), 64u);
+  EXPECT_FALSE(R.demoted());
+  EXPECT_FALSE(R.isLogicallyDead(100));
+  EXPECT_EQ(R.failedInPlace(), 0u);
+}
+
+// One failure past capacity is refused: no swap, the line dies in place,
+// and the region demotes to fail-in-place for good.
+TEST(RegionRedirectorTest, OnePastCapacityRefusesAndDemotes) {
+  RegionRedirector R(128, true, 2);
+  while (R.deadLines() < R.remapCapacity())
+    R.onFailure(100, noCapture());
+
+  unsigned MappingBefore = R.translate(100);
+  RedirectOutcome Past = R.onFailure(100, noCapture());
+  EXPECT_TRUE(Past.Refused);
+  EXPECT_FALSE(Past.AlreadyDead);
+  ASSERT_EQ(Past.NewlyFailedLogical.size(), 1u);
+  EXPECT_EQ(Past.NewlyFailedLogical[0], 100u);
+  EXPECT_TRUE(R.demoted());
+  EXPECT_TRUE(R.isLogicallyDead(100));
+  EXPECT_EQ(R.failedInPlace(), 1u);
+  // No swap happened: the boundary and the mapping are untouched.
+  EXPECT_EQ(R.deadLines(), R.remapCapacity());
+  EXPECT_EQ(R.translate(100), MappingBefore);
+
+  // Every later failure in the demoted region also dies in place.
+  RedirectOutcome Next = R.onFailure(101, noCapture());
+  EXPECT_TRUE(Next.Refused);
+  EXPECT_EQ(R.failedInPlace(), 2u);
+}
+
+// Failure reports for lines that are already logically dead - clustered
+// boundary slots, metadata lines, or in-place deaths after demotion - are
+// graceful no-ops, so journal replays and duplicate interrupts are
+// idempotent.
+TEST(RegionRedirectorTest, AlreadyDeadFailureIsIdempotent) {
+  RegionRedirector R(128, true, 2);
+  R.onFailure(100, noCapture()); // installs: 0, 1 (metadata), 2 dead
+
+  for (unsigned Dead : {0u, 1u, 2u}) {
+    unsigned Captures = 0;
+    RedirectOutcome Dup =
+        R.onFailure(Dead, [&Captures](unsigned) { ++Captures; });
+    EXPECT_TRUE(Dup.AlreadyDead);
+    EXPECT_FALSE(Dup.Refused);
+    EXPECT_TRUE(Dup.NewlyFailedLogical.empty());
+    EXPECT_EQ(Captures, 0u);
+  }
+  EXPECT_EQ(R.deadLines(), 3u);
+
+  // Post-demotion in-place deaths replay idempotently too.
+  while (R.deadLines() < R.remapCapacity())
+    R.onFailure(100, noCapture());
+  R.onFailure(100, noCapture()); // dies in place, demotes
+  RedirectOutcome Dup = R.onFailure(100, noCapture());
+  EXPECT_TRUE(Dup.AlreadyDead);
+  EXPECT_EQ(R.failedInPlace(), 1u);
+}
+
+// The same boundary semantics hold through the module-wide interface, and
+// demotion stays contained to its region.
+TEST(ClusteringHardwareTest, CapacityBoundaryPerRegion) {
+  ClusteringHardware Hw(4, 2); // two regions of 128 lines
+  const RegionRedirector &R0 = Hw.region(0);
+  while (R0.deadLines() < R0.remapCapacity()) {
+    RedirectOutcome Outcome = Hw.routeFailure(100, [](LineIndex) {});
+    EXPECT_FALSE(Outcome.Refused);
+  }
+  RedirectOutcome Past = Hw.routeFailure(100, [](LineIndex) {});
+  EXPECT_TRUE(Past.Refused);
+  ASSERT_EQ(Past.NewlyFailedLogical.size(), 1u);
+  EXPECT_EQ(Past.NewlyFailedLogical[0], 100u);
+  EXPECT_TRUE(Hw.isLogicallyDead(100));
+  EXPECT_TRUE(Hw.region(0).demoted());
+  // Region 1 is untouched and still remaps normally.
+  EXPECT_FALSE(Hw.region(1).demoted());
+  RedirectOutcome Other = Hw.routeFailure(200, [](LineIndex) {});
+  EXPECT_FALSE(Other.Refused);
+  EXPECT_TRUE(Other.InstalledMap);
+}

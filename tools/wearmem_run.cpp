@@ -44,7 +44,7 @@ void printUsage() {
       "  --arraylets              discontiguous large arrays\n"
       "  --dynamic-failures=N     inject N line failures mid-run\n"
       "  --reps=N                 repetitions (default 3)\n"
-      "  --seed=N                 failure-map seed\n");
+      "  --seed=N                 failure-map + workload seed\n");
 }
 
 bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
@@ -167,14 +167,16 @@ int main(int argc, char **argv) {
       Config.Collector == CollectorKind::StickyMarkSweep)
     Config.FreeListFailureAware = Rate > 0.0;
 
-  std::printf("running %s on %s, heap %s%s\n", Config.describe().c_str(),
-              P->Name, Table::bytes(Config.HeapBytes).c_str(),
-              Arraylets ? ", discontiguous arrays" : "");
+  std::printf("running %s on %s, heap %s%s, seed %llu\n",
+              Config.describe().c_str(), P->Name,
+              Table::bytes(Config.HeapBytes).c_str(),
+              Arraylets ? ", discontiguous arrays" : "",
+              static_cast<unsigned long long>(Seed));
 
   if (DynamicFailures > 0) {
     // One instrumented run with evenly spaced mid-run line failures.
     Runtime Rt(Config);
-    Mutator M(Rt, *P, 0xDACA90ULL, benchScale());
+    Mutator M(Rt, *P, Seed, benchScale());
     Rng FailRand(Seed + 1);
     unsigned Injected = 0;
     auto Start = std::chrono::steady_clock::now();
@@ -203,7 +205,7 @@ int main(int argc, char **argv) {
     return Rt.outOfMemory() ? 2 : 0;
   }
 
-  AggregateResult Agg = runRepeated(*P, Config, Reps);
+  AggregateResult Agg = runRepeated(*P, Config, Reps, Seed);
   if (!Agg.Completed) {
     std::printf("DID NOT FINISH: the workload exhausted this heap "
                 "(the paper's terminated-curve case)\n");

@@ -22,6 +22,7 @@
 
 #include "gc/HeapAuditor.h"
 #include "inject/FaultCampaign.h"
+#include "pcm/WearSimulation.h"
 #include "workload/Mutator.h"
 #include "workload/Runner.h"
 
@@ -29,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,14 @@ struct SoakOptions {
   bool VerifyDeterminism = false;
   bool WithTiming = false;
   double VolumeScale = 1.0;
+  /// Crash-campaign mode: kill-and-recover this many iterations.
+  unsigned CrashIters = 0;
+  /// --campaign was given explicitly (crash mode swaps in a denser
+  /// default schedule otherwise, so kill points are actually reached).
+  bool ScheduleExplicit = false;
+  /// Seed the static failure map from a wear simulation run to this
+  /// failed fraction (0 = off).
+  double WearSimTarget = 0.0;
 };
 
 struct CurvePoint {
@@ -92,6 +102,11 @@ void usage(const char *Argv0) {
       "  --audit-every N       audit after every Nth GC (0 = end only; "
       "default 1)\n"
       "  --volume-scale F      scale the allocation volume (default 1)\n"
+      "  --wear-sim F          derive the static failure map from a wear\n"
+      "                        simulation worn to failed fraction F\n"
+      "  --crash-campaign N    kill-and-recover mode: N iterations of\n"
+      "                        run, crash at a rotating kill point,\n"
+      "                        journal recovery, and audit\n"
       "  --escalate            triggers re-arm at doubled intensity\n"
       "  --verify-determinism  run twice, require identical curves\n"
       "  --with-timing         include wall-clock ms in the JSON\n",
@@ -109,6 +124,7 @@ bool parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       Opt.ProfileName = V;
     } else if (Arg == "--campaign" && (V = value())) {
       Opt.Schedule = V;
+      Opt.ScheduleExplicit = true;
     } else if (Arg == "--seed" && (V = value())) {
       Opt.Seed = std::strtoull(V, nullptr, 0);
     } else if (Arg == "--heap-factor" && (V = value())) {
@@ -126,6 +142,10 @@ bool parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       Opt.AuditEvery = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
     } else if (Arg == "--volume-scale" && (V = value())) {
       Opt.VolumeScale = std::atof(V);
+    } else if (Arg == "--wear-sim" && (V = value())) {
+      Opt.WearSimTarget = std::atof(V);
+    } else if (Arg == "--crash-campaign" && (V = value())) {
+      Opt.CrashIters = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
     } else if (Arg == "--escalate") {
       Opt.Escalate = true;
     } else if (Arg == "--verify-determinism") {
@@ -141,10 +161,7 @@ bool parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
   return true;
 }
 
-SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
-                    const std::vector<FaultTrigger> &Triggers) {
-  SoakOutcome Out;
-
+RuntimeConfig makeConfig(const SoakOptions &Opt, const Profile &P) {
   RuntimeConfig Config;
   Config.HeapBytes = Opt.HeapMb ? Opt.HeapMb * MiB
                                 : heapBytesFor(P, Opt.HeapFactor);
@@ -152,6 +169,26 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
   Config.MaxDebtPages = Opt.MaxDebtPages;
   Config.Seed = Opt.Seed;
+  if (Opt.WearSimTarget > 0.0) {
+    // Provision from a simulated wear-out instead of the parametric
+    // injector: the map (and its failed fraction, which drives budget
+    // compensation) comes from seeded skewed traffic.
+    WearSimConfig Sim;
+    Sim.Seed = Opt.Seed;
+    WearSimResult R = simulateWear(Sim, Opt.WearSimTarget);
+    Config.FailureRate = R.Map.failedFraction();
+    Config.Pattern = FailurePattern::Custom;
+    Config.CustomFailureMap =
+        std::make_shared<FailureMap>(std::move(R.Map));
+  }
+  return Config;
+}
+
+SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
+                    const std::vector<FaultTrigger> &Triggers) {
+  SoakOutcome Out;
+
+  RuntimeConfig Config = makeConfig(Opt, P);
 
   Runtime Rt(Config);
   Mutator M(Rt, P, Opt.Seed, Opt.VolumeScale);
@@ -346,6 +383,171 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
   std::printf("  ]\n}\n");
 }
 
+//===----------------------------------------------------------------------===//
+// Crash campaign: kill -> recover -> audit, N times
+//===----------------------------------------------------------------------===//
+
+struct CrashIterOutcome {
+  CrashPoint ArmedAt = CrashPoint::JournalAppend;
+  bool Fired = false;
+  CrashPoint FiredAt = CrashPoint::JournalAppend;
+  /// The run reached its allocation target before any kill point fired
+  /// (the iteration still powers off and recovers).
+  bool CompletedRun = false;
+  uint64_t GcAtKill = 0;
+  uint64_t AllocAtKill = 0;
+  /// Times recover() itself was killed by an armed RecoveryPhase point
+  /// and retried.
+  unsigned RecoveryRetries = 0;
+  RecoveryReport Report;
+};
+
+int runCrashCampaign(const SoakOptions &Opt, const Profile &P,
+                     const std::vector<FaultTrigger> &WearTriggers) {
+  RuntimeConfig Config = makeConfig(Opt, P);
+  auto Rt = std::make_unique<Runtime>(Config);
+  Rt->attachDurableState(Rt->bootstrapDurableState());
+  size_t BudgetPages = Rt->heap().config().BudgetPages;
+
+  std::vector<CrashIterOutcome> Iters;
+  Iters.reserve(Opt.CrashIters);
+
+  for (unsigned Iter = 0; Iter != Opt.CrashIters; ++Iter) {
+    CrashIterOutcome R;
+    // Rotate through all four kill points; vary the arming moment so
+    // the crash lands in different run phases.
+    R.ArmedAt = static_cast<CrashPoint>(Iter % 4);
+    std::vector<FaultTrigger> Triggers = WearTriggers;
+    FaultTrigger CrashT;
+    CrashT.Shape = FaultShape::Crash;
+    CrashT.Clock = TriggerClock::GcCount;
+    CrashT.Start = 2 + (Iter % 3);
+    CrashT.CrashAt = R.ArmedAt;
+    Triggers.push_back(CrashT);
+
+    {
+      Mutator M(*Rt, P, Opt.Seed + Iter, Opt.VolumeScale);
+      FaultCampaign Campaign(Triggers, Opt.Seed + Iter);
+      Campaign.attachRuntime(*Rt);
+      try {
+        bool Alive = M.setUp();
+        while (Alive && !Rt->outOfMemory() &&
+               M.steadyAllocatedBytes() < M.targetBytes()) {
+          if (!M.step())
+            break;
+          Campaign.pump();
+        }
+        R.CompletedRun = true;
+      } catch (const CrashSignal &Sig) {
+        R.Fired = true;
+        R.FiredAt = Sig.Point;
+      }
+      R.GcAtKill = Rt->stats().GcCount;
+      R.AllocAtKill = Rt->stats().BytesAllocated;
+    }
+
+    // Power off. Every volatile layer - heap, OS pools, ledger - dies
+    // with the Runtime; only the DurableState (journal + device truth)
+    // survives into the next incarnation.
+    std::shared_ptr<DurableState> DS = Rt->journal()->durableState();
+    RuntimeConfig Base = Rt->config();
+    Rt.reset();
+
+    // Recover. An armed RecoveryPhase kill that never fired during the
+    // run fires *inside* recover(); the arm is consumed, so the retry
+    // replays the same journal and succeeds (recovery is idempotent).
+    for (;;) {
+      try {
+        Rt = Runtime::recover(Base, DS, R.Report);
+        break;
+      } catch (const CrashSignal &) {
+        ++R.RecoveryRetries;
+      }
+    }
+    Iters.push_back(R);
+  }
+
+  uint64_t TotalFired = 0, TotalViolations = 0, TotalDivergences = 0;
+  uint64_t TotalReplayed = 0, TotalTornTails = 0, TotalRetries = 0;
+  for (const CrashIterOutcome &R : Iters) {
+    TotalFired += R.Fired ? 1 : 0;
+    TotalViolations += R.Report.AuditViolations;
+    TotalDivergences += R.Report.Divergences;
+    TotalReplayed += R.Report.RecordsReplayed;
+    TotalTornTails += R.Report.TornRecords;
+    TotalRetries += R.RecoveryRetries;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"tool\": \"wearmem_soak\",\n");
+  std::printf("  \"mode\": \"crash-campaign\",\n");
+  std::printf("  \"profile\": \"%s\",\n", Opt.ProfileName.c_str());
+  std::printf("  \"campaign\": \"%s\",\n", Opt.Schedule.c_str());
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(Opt.Seed));
+  std::printf("  \"config\": {\"collector\": \"%s\", \"heap_bytes\": %zu, "
+              "\"budget_pages\": %zu},\n",
+              Config.describe().c_str(), Config.HeapBytes, BudgetPages);
+  std::printf("  \"iterations\": [\n");
+  for (size_t I = 0; I != Iters.size(); ++I) {
+    const CrashIterOutcome &R = Iters[I];
+    std::printf(
+        "    {\"iter\": %zu, \"armed\": \"%s\", \"fired\": %s, "
+        "\"fired_at\": \"%s\", \"completed_run\": %s, \"gc_at_kill\": "
+        "%llu, \"alloc_at_kill\": %llu, \"recovery_retries\": %u,\n",
+        I, crashPointName(R.ArmedAt), R.Fired ? "true" : "false",
+        R.Fired ? crashPointName(R.FiredAt) : "none",
+        R.CompletedRun ? "true" : "false",
+        static_cast<unsigned long long>(R.GcAtKill),
+        static_cast<unsigned long long>(R.AllocAtKill),
+        R.RecoveryRetries);
+    std::printf(
+        "     \"recovery\": {\"records_replayed\": %llu, "
+        "\"journal_bytes\": %llu, \"torn_records\": %llu, "
+        "\"torn_tail_bytes\": %llu, \"checksum_failures\": %llu, "
+        "\"journal_only_lines\": %llu, \"device_only_lines\": %llu, "
+        "\"divergences\": %llu, \"cluster_remaps\": %llu, "
+        "\"pool_transitions\": %llu, \"ledger_entries\": %llu, "
+        "\"audit_passed\": %s, \"audit_violations\": %llu%s}}%s\n",
+        static_cast<unsigned long long>(R.Report.RecordsReplayed),
+        static_cast<unsigned long long>(R.Report.JournalBytes),
+        static_cast<unsigned long long>(R.Report.TornRecords),
+        static_cast<unsigned long long>(R.Report.TornTailBytes),
+        static_cast<unsigned long long>(R.Report.ChecksumFailures),
+        static_cast<unsigned long long>(R.Report.JournalOnlyLines),
+        static_cast<unsigned long long>(R.Report.DeviceOnlyLines),
+        static_cast<unsigned long long>(R.Report.Divergences),
+        static_cast<unsigned long long>(R.Report.ClusterRemaps),
+        static_cast<unsigned long long>(R.Report.PoolTransitions),
+        static_cast<unsigned long long>(R.Report.LedgerEntries),
+        R.Report.AuditPassed ? "true" : "false",
+        static_cast<unsigned long long>(R.Report.AuditViolations),
+        Opt.WithTiming
+            ? (", \"recovery_ms\": " +
+               std::to_string(R.Report.RecoveryMs))
+                  .c_str()
+            : "",
+        I + 1 == Iters.size() ? "" : ",");
+  }
+  std::printf("  ],\n");
+  std::printf(
+      "  \"totals\": {\"iterations\": %zu, \"crashes_fired\": %llu, "
+      "\"recovery_retries\": %llu, \"records_replayed\": %llu, "
+      "\"torn_records\": %llu, \"divergences\": %llu, "
+      "\"audit_violations\": %llu}\n",
+      Iters.size(), static_cast<unsigned long long>(TotalFired),
+      static_cast<unsigned long long>(TotalRetries),
+      static_cast<unsigned long long>(TotalReplayed),
+      static_cast<unsigned long long>(TotalTornTails),
+      static_cast<unsigned long long>(TotalDivergences),
+      static_cast<unsigned long long>(TotalViolations));
+  std::printf("}\n");
+
+  // Same gate as soak mode: a recovery that does not audit clean is a
+  // hard failure.
+  return TotalViolations != 0 ? 3 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -360,6 +562,12 @@ int main(int Argc, char **Argv) {
                  Opt.ProfileName.c_str());
     return 1;
   }
+  // The soak default storm starts at gc 6, past the end of a short
+  // crash-campaign run; wear must land *while a kill point is armed*
+  // for the crash to fire, so crash mode defaults to a storm on every
+  // collection instead.
+  if (Opt.CrashIters && !Opt.ScheduleExplicit)
+    Opt.Schedule = "storm@gc:2+1:lines=32,hot";
   std::string ParseError;
   std::optional<std::vector<FaultTrigger>> Triggers =
       FaultCampaign::parseSchedule(Opt.Schedule, &ParseError);
@@ -369,6 +577,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  if (Opt.CrashIters)
+    return runCrashCampaign(Opt, *P, *Triggers);
+
   SoakOutcome Out = runSoak(Opt, *P, *Triggers);
   bool DeterminismVerified = true;
   if (Opt.VerifyDeterminism) {
@@ -376,12 +587,7 @@ int main(int Argc, char **Argv) {
     DeterminismVerified = sameCurve(Out, Again);
   }
 
-  RuntimeConfig Config;
-  Config.HeapBytes =
-      Opt.HeapMb ? Opt.HeapMb * MiB : heapBytesFor(*P, Opt.HeapFactor);
-  Config.FailureRate = Opt.FailureRate;
-  Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
-  printJson(Opt, Out, Config, DeterminismVerified);
+  printJson(Opt, Out, makeConfig(Opt, *P), DeterminismVerified);
 
   if (!DeterminismVerified)
     return 4;
