@@ -4,22 +4,45 @@
 // Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
 //
 //===----------------------------------------------------------------------===//
+//
+// Hole scanning is word-parallel: the byte-per-line mark table is shadowed
+// by derived 64-bit bitmaps (failed lines, plus up to two cached per-epoch
+// liveness bitmaps), and findHole/sweep walk 64 lines per step with
+// countr_zero/countr_one. The mark table stays the source of truth; the
+// bitmaps are maintained incrementally by markLine/failLine/unfailPage and
+// rebuilt lazily when a query names an epoch with no cached slot. The
+// original byte scans survive as *Oracle methods; fuzz tests, the
+// alloc-path benchmark, and WEARMEM_EXPENSIVE_CHECKS builds hold the two
+// implementations equal.
+//
+//===----------------------------------------------------------------------===//
 
 #include "heap/Block.h"
 
+#include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace wearmem;
+
+Block::ScanCounters &Block::scanCounters() {
+  static ScanCounters Counters;
+  return Counters;
+}
 
 Block::Block(uint8_t *Mem, const HeapConfig &Config)
     : Mem(Mem), BlockBytes(Config.BlockSize), LineBytes(Config.LineSize),
       LineMarks(Config.linesPerBlock(), 0),
+      FailedBits(Config.linesPerBlock()),
       FreeLineCount(static_cast<unsigned>(Config.linesPerBlock())) {
   assert(isPowerOfTwo(LineBytes) && LineBytes >= PcmLineSize &&
          "Immix lines must be at least one PCM line");
   assert(BlockBytes % LineBytes == 0 && "lines must tile the block");
   assert(BlockBytes / PcmPageSize <= 64 &&
          "remap tracking packs page flags into one word");
+  for (EpochBits &S : Slots)
+    S.Bits = Bitmap(Config.linesPerBlock());
 }
 
 void Block::applyFailureWords(const uint64_t *FailWords, size_t NumPages) {
@@ -50,6 +73,8 @@ unsigned Block::unfailPage(unsigned PageWithinBlock) {
   for (unsigned Line = First; Line != First + LinesPerPage; ++Line) {
     if (LineMarks[Line] == LineFailed) {
       LineMarks[Line] = 0;
+      FailedBits.clear(Line);
+      updateSlotsForLine(Line, 0);
       --FailedLineCount;
       ++Restored;
     }
@@ -57,19 +82,152 @@ unsigned Block::unfailPage(unsigned PageWithinBlock) {
   if (!PageFailWords.empty())
     PageFailWords[PageWithinBlock] = 0;
   RemappedPages |= uint64_t(1) << PageWithinBlock;
+  // Restored lines may have merged or extended holes.
+  if (Restored != 0)
+    resetFittingCursor();
   return Restored;
 }
+
+//===----------------------------------------------------------------------===//
+// Derived availability bitmaps
+//===----------------------------------------------------------------------===//
+
+void Block::rebuildSlot(EpochBits &S, uint8_t Value) const {
+  ++scanCounters().SlotRebuilds;
+  S.Bits.clearAll();
+  for (unsigned Line = 0, E = lineCount(); Line != E; ++Line)
+    if (LineMarks[Line] == Value)
+      S.Bits.set(Line);
+  S.Value = Value;
+  S.Valid = true;
+}
+
+const Block::EpochBits &Block::slotFor(uint8_t Value, uint8_t Keep) const {
+  for (EpochBits &S : Slots)
+    if (S.Valid && S.Value == Value)
+      return S;
+  // Miss: rebuild into an invalid slot if one exists, else into any slot
+  // not caching Keep (the other epoch of the current query).
+  EpochBits *Victim = nullptr;
+  for (EpochBits &S : Slots)
+    if (!S.Valid) {
+      Victim = &S;
+      break;
+    }
+  if (!Victim)
+    for (EpochBits &S : Slots)
+      if (!(S.Valid && S.Value == Keep)) {
+        Victim = &S;
+        break;
+      }
+  assert(Victim && "two slots cannot both cache the Keep epoch");
+  rebuildSlot(*Victim, Value);
+  return *Victim;
+}
+
+uint64_t Block::availWordAt(size_t W, const Bitmap &SweepBits,
+                            const Bitmap &MarkBits,
+                            bool Conservative) const {
+  ++scanCounters().WordSteps;
+  uint64_t Live = SweepBits.word(W) | MarkBits.word(W);
+  uint64_t Unavailable = Live | FailedBits.word(W);
+  if (Conservative) {
+    // The implicit-live shift: a line right after a live line may hold
+    // the spilled tail of a small object. The carry propagates bit 63 of
+    // the previous word's live stream. Failed lines do not spill (nothing
+    // was ever allocated into them), so the shift uses Live, not
+    // Unavailable - the exact definition the byte oracle uses.
+    uint64_t Carry =
+        W == 0 ? 0 : ((SweepBits.word(W - 1) | MarkBits.word(W - 1)) >> 63);
+    Unavailable |= (Live << 1) | Carry;
+  }
+  uint64_t Avail = ~Unavailable;
+  unsigned NumLines = lineCount();
+  if ((W + 1) * 64 > NumLines)
+    Avail &= (uint64_t(1) << (NumLines % 64)) - 1;
+  return Avail;
+}
+
+//===----------------------------------------------------------------------===//
+// Hole finding
+//===----------------------------------------------------------------------===//
 
 bool Block::findHole(unsigned FromLine, uint8_t SweepEpoch,
                      uint8_t MarkEpoch, bool Conservative,
                      Hole &Out) const {
   unsigned NumLines = lineCount();
+  if (FromLine >= NumLines)
+    return false;
+  const EpochBits &SweepSlot = slotFor(SweepEpoch, MarkEpoch);
+  const EpochBits &MarkSlot = slotFor(MarkEpoch, SweepEpoch);
+  const Bitmap &SB = SweepSlot.Bits;
+  const Bitmap &MB = MarkSlot.Bits;
+  size_t NumWords = wordCount();
+
+  size_t W = FromLine / 64;
+  uint64_t Avail = availWordAt(W, SB, MB, Conservative) &
+                   (~uint64_t(0) << (FromLine % 64));
+  bool Found = true;
+  while (Avail == 0) {
+    if (++W == NumWords) {
+      Found = false;
+      break;
+    }
+    Avail = availWordAt(W, SB, MB, Conservative);
+  }
+  if (Found) {
+    unsigned Start =
+        static_cast<unsigned>(W * 64) +
+        static_cast<unsigned>(std::countr_zero(Avail));
+    // Extend: consecutive set bits, continuing across word boundaries.
+    // (A hole crossing a boundary implies bit 63 was available, i.e. not
+    // live, so the next word's conservative carry is zero - the chain
+    // stays consistent.)
+    unsigned End =
+        Start + static_cast<unsigned>(std::countr_one(Avail >> (Start % 64)));
+    while (End % 64 == 0 && End < NumLines) {
+      uint64_t Next = availWordAt(++W, SB, MB, Conservative);
+      unsigned Run = static_cast<unsigned>(std::countr_one(Next));
+      End += Run;
+      if (Run != 64)
+        break;
+    }
+    Out.StartLine = Start;
+    Out.EndLine = End;
+  }
+
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+  Hole Ref;
+  bool RefFound =
+      findHoleOracle(FromLine, SweepEpoch, MarkEpoch, Conservative, Ref);
+  if (RefFound != Found ||
+      (Found && (Ref.StartLine != Out.StartLine ||
+                 Ref.EndLine != Out.EndLine))) {
+    std::fprintf(stderr,
+                 "findHole divergence: from=%u epochs=(%u,%u) cons=%d "
+                 "word=(%d,[%u,%u)) oracle=(%d,[%u,%u))\n",
+                 FromLine, SweepEpoch, MarkEpoch, (int)Conservative,
+                 (int)Found, Found ? Out.StartLine : 0,
+                 Found ? Out.EndLine : 0, (int)RefFound,
+                 RefFound ? Ref.StartLine : 0, RefFound ? Ref.EndLine : 0);
+    std::abort();
+  }
+#endif
+  return Found;
+}
+
+bool Block::findHoleOracle(unsigned FromLine, uint8_t SweepEpoch,
+                           uint8_t MarkEpoch, bool Conservative,
+                           Hole &Out) const {
+  unsigned NumLines = lineCount();
   unsigned Line = FromLine;
+  ScanCounters &Counters = scanCounters();
   auto PrevLive = [&](unsigned L) {
     uint8_t Mark = LineMarks[L - 1];
     return Mark == SweepEpoch || Mark == MarkEpoch;
   };
   while (Line < NumLines) {
+    ++Counters.ByteSteps;
     // Skip unavailable lines.
     if (!lineAvailable(Line, SweepEpoch, MarkEpoch)) {
       ++Line;
@@ -83,8 +241,10 @@ bool Block::findHole(unsigned FromLine, uint8_t SweepEpoch,
     }
     // Found the start of a hole; extend it.
     unsigned Start = Line;
-    while (Line < NumLines && lineAvailable(Line, SweepEpoch, MarkEpoch))
+    while (Line < NumLines && lineAvailable(Line, SweepEpoch, MarkEpoch)) {
+      ++Counters.ByteSteps;
       ++Line;
+    }
     Out.StartLine = Start;
     Out.EndLine = Line;
     return true;
@@ -92,12 +252,41 @@ bool Block::findHole(unsigned FromLine, uint8_t SweepEpoch,
   return false;
 }
 
-Block::SweepResult Block::sweep(uint8_t Epoch, bool Conservative) {
+//===----------------------------------------------------------------------===//
+// Sweeping
+//===----------------------------------------------------------------------===//
+
+Block::SweepResult Block::sweepCount(uint8_t Epoch,
+                                     bool Conservative) const {
+  SweepResult Result;
+  const Bitmap &LB = slotFor(Epoch, Epoch).Bits;
+  size_t NumWords = wordCount();
+  uint64_t PrevAvailTop = 0;
+  bool AnyLive = false;
+  for (size_t W = 0; W != NumWords; ++W) {
+    uint64_t Avail = availWordAt(W, LB, LB, Conservative);
+    AnyLive |= LB.word(W) != 0;
+    Result.FreeLines +=
+        static_cast<unsigned>(std::popcount(Avail));
+    // A hole starts at every 0 -> 1 transition of the availability
+    // stream (carrying the previous word's top bit across the boundary).
+    uint64_t Starts = Avail & ~((Avail << 1) | PrevAvailTop);
+    Result.Holes += static_cast<unsigned>(std::popcount(Starts));
+    PrevAvailTop = Avail >> 63;
+  }
+  Result.Empty = !AnyLive;
+  return Result;
+}
+
+Block::SweepResult Block::sweepCountOracle(uint8_t Epoch,
+                                           bool Conservative) const {
   SweepResult Result;
   unsigned NumLines = lineCount();
+  ScanCounters &Counters = scanCounters();
   bool AnyLive = false;
   bool InHole = false;
   for (unsigned Line = 0; Line != NumLines; ++Line) {
+    ++Counters.ByteSteps;
     uint8_t Mark = LineMarks[Line];
     if (Mark == Epoch)
       AnyLive = true;
@@ -116,6 +305,25 @@ Block::SweepResult Block::sweep(uint8_t Epoch, bool Conservative) {
     }
   }
   Result.Empty = !AnyLive;
+  return Result;
+}
+
+Block::SweepResult Block::sweep(uint8_t Epoch, bool Conservative) {
+  SweepResult Result = sweepCount(Epoch, Conservative);
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+  SweepResult Ref = sweepCountOracle(Epoch, Conservative);
+  if (!(Result == Ref)) {
+    std::fprintf(stderr,
+                 "sweep divergence: epoch=%u cons=%d word=(%u,%u,%d) "
+                 "oracle=(%u,%u,%d)\n",
+                 Epoch, (int)Conservative, Result.FreeLines, Result.Holes,
+                 (int)Result.Empty, Ref.FreeLines, Ref.Holes,
+                 (int)Ref.Empty);
+    std::abort();
+  }
+#endif
   FreeLineCount = Result.FreeLines;
+  // The recycle-probe memo describes the pre-sweep hole layout.
+  resetFittingCursor();
   return Result;
 }

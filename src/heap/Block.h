@@ -25,6 +25,7 @@
 
 #include "heap/HeapConfig.h"
 #include "pcm/Geometry.h"
+#include "support/Bitmap.h"
 
 #include <cstdint>
 #include <memory>
@@ -57,6 +58,19 @@ struct Hole {
 
 class Block {
 public:
+  /// Deterministic scan-work counters shared by all blocks. WordSteps
+  /// counts 64-line words examined by the word-parallel scanner;
+  /// ByteSteps counts line-mark bytes examined by the byte-scan oracle.
+  /// They are the benchmark's currency: wall time is noisy, these are
+  /// exactly reproducible from a seed.
+  struct ScanCounters {
+    uint64_t WordSteps = 0;
+    uint64_t ByteSteps = 0;
+    uint64_t SlotRebuilds = 0;
+    void reset() { *this = ScanCounters(); }
+  };
+  static ScanCounters &scanCounters();
+
   /// \p Mem must be BlockSize bytes, block-aligned.
   Block(uint8_t *Mem, const HeapConfig &Config);
 
@@ -78,8 +92,14 @@ public:
   uint8_t lineMark(unsigned Line) const { return LineMarks[Line]; }
 
   void markLine(unsigned Line, uint8_t Epoch) {
-    if (LineMarks[Line] != LineFailed)
-      LineMarks[Line] = Epoch;
+    if (LineMarks[Line] == LineFailed)
+      return;
+    LineMarks[Line] = Epoch;
+    updateSlotsForLine(Line, Epoch);
+    // Zeroing a mark (wrap remapping, retirement) can enlarge holes, so
+    // the fitting cursor's no-hole knowledge is stale.
+    if (Epoch == 0)
+      resetFittingCursor();
   }
 
   bool lineIsFailed(unsigned Line) const {
@@ -91,6 +111,8 @@ public:
     if (LineMarks[Line] != LineFailed) {
       LineMarks[Line] = LineFailed;
       ++FailedLineCount;
+      FailedBits.set(Line);
+      updateSlotsForLine(Line, LineFailed);
     }
   }
 
@@ -163,8 +185,21 @@ public:
   /// marking, the line immediately after a live line is implicitly live
   /// (a small object may spill into it) and is not part of any hole.
   /// Returns false if the block has no further holes.
+  ///
+  /// Word-parallel: scans 64 lines per step over availability bitmaps
+  /// derived from the line marks (epoch-normalized lazily; see
+  /// ensureEpochBits). The byte-scan reference lives on as
+  /// findHoleOracle.
   bool findHole(unsigned FromLine, uint8_t SweepEpoch, uint8_t MarkEpoch,
                 bool Conservative, Hole &Out) const;
+
+  /// The original byte-at-a-time scan, retained as a differential oracle
+  /// for the word-parallel findHole (fuzz tests and the alloc-path
+  /// benchmark compare the two; WEARMEM_EXPENSIVE_CHECKS builds compare
+  /// on every call).
+  bool findHoleOracle(unsigned FromLine, uint8_t SweepEpoch,
+                      uint8_t MarkEpoch, bool Conservative,
+                      Hole &Out) const;
 
   /// Post-trace accounting: recounts available lines and holes and
   /// returns the block's new state.
@@ -172,8 +207,48 @@ public:
     unsigned FreeLines = 0;
     unsigned Holes = 0;
     bool Empty = false;
+
+    bool operator==(const SweepResult &O) const {
+      return FreeLines == O.FreeLines && Holes == O.Holes &&
+             Empty == O.Empty;
+    }
   };
   SweepResult sweep(uint8_t Epoch, bool Conservative);
+
+  /// Pure word-parallel recount at (\p Epoch, \p Epoch); sweep() is this
+  /// plus the FreeLineCount/cursor side effects. Shares the availability
+  /// definition with findHole, so the free-line total and the holes
+  /// findHole yields can never disagree at equal epochs (the
+  /// sweep-vs-findHole implicit-live divergence bug).
+  SweepResult sweepCount(uint8_t Epoch, bool Conservative) const;
+
+  /// Byte-scan oracle for sweepCount (no side effects).
+  SweepResult sweepCountOracle(uint8_t Epoch, bool Conservative) const;
+
+  /// \name Fitting-scan cursor
+  /// takeRecyclableFitting's per-block memo. Invariant: every hole in
+  /// [0, HoleCursor) spans fewer than HoleCursorNeed lines, so a probe
+  /// needing at least HoleCursorNeed lines may resume at HoleCursor
+  /// instead of rescanning the prefix. Reset whenever holes can grow
+  /// (sweep, unfailPage, zeroed marks).
+  /// @{
+  unsigned fittingScanStart(unsigned NeedLines) const {
+    return NeedLines >= HoleCursorNeed ? HoleCursor : 0;
+  }
+  /// A full scan from fittingScanStart(NeedLines) found no fitting hole:
+  /// the whole block has none of NeedLines or more.
+  void noteNoFittingHole(unsigned NeedLines) {
+    HoleCursor = lineCount();
+    HoleCursorNeed = NeedLines;
+  }
+  /// A fitting hole ending at \p EndLine was consumed; earlier holes were
+  /// already too small for the recorded need.
+  void noteFittingHole(unsigned EndLine) { HoleCursor = EndLine; }
+  void resetFittingCursor() {
+    HoleCursor = 0;
+    HoleCursorNeed = 0;
+  }
+  /// @}
 
   BlockState state() const { return State; }
   void setState(BlockState S) { State = S; }
@@ -190,16 +265,58 @@ public:
   void setFreshFailure(bool V) { FreshFailure = V; }
 
 private:
+  /// A cached bitmap of the lines whose mark byte equals Value. Two slots
+  /// suffice: queries name at most two epochs (sweep epoch + mark epoch),
+  /// and the slots are maintained incrementally by every mark mutation,
+  /// so in steady state no byte scan happens at all. A missing epoch is
+  /// rebuilt lazily from the mark table (epoch normalization), at most
+  /// once per block per epoch rotation.
+  struct EpochBits {
+    uint8_t Value = 0;
+    bool Valid = false;
+    Bitmap Bits;
+  };
+
+  /// Keeps every cached slot consistent with LineMarks[Line] = Value.
+  void updateSlotsForLine(unsigned Line, uint8_t Value) {
+    for (EpochBits &S : Slots) {
+      if (!S.Valid)
+        continue;
+      if (S.Value == Value)
+        S.Bits.set(Line);
+      else
+        S.Bits.clear(Line);
+    }
+  }
+
+  /// Returns the cached bitmap for \p Value, rebuilding it (into a slot
+  /// not holding \p Keep) if absent.
+  const EpochBits &slotFor(uint8_t Value, uint8_t Keep) const;
+  void rebuildSlot(EpochBits &S, uint8_t Value) const;
+
+  size_t wordCount() const { return (LineMarks.size() + 63) / 64; }
+
+  /// One word of the availability bit stream for lines
+  /// [W*64, W*64 + 64): bit i set = line available at the given epochs,
+  /// with the conservative implicit-live shift applied and the tail
+  /// beyond lineCount() masked off.
+  uint64_t availWordAt(size_t W, const Bitmap &SweepBits,
+                       const Bitmap &MarkBits, bool Conservative) const;
+
   uint8_t *Mem;
   size_t BlockBytes;
   size_t LineBytes;
   std::vector<uint8_t> LineMarks;
+  Bitmap FailedBits;
+  mutable EpochBits Slots[2];
   std::vector<uint64_t> PageFailWords;
   std::vector<uint32_t> PageIds;
   uint64_t RemappedPages = 0;
   unsigned FailedLineCount = 0;
   unsigned DynamicFailedLineCount = 0;
   unsigned FreeLineCount;
+  unsigned HoleCursor = 0;
+  unsigned HoleCursorNeed = 0;
   BlockState State = BlockState::Free;
   bool Evacuating = false;
   bool FreshFailure = false;

@@ -221,15 +221,26 @@ Block *ImmixSpace::createBlock(PageGrant &&Grant) {
 }
 
 Block *ImmixSpace::takeRecyclable() {
+  Block *Found = nullptr;
+  size_t Skipped = 0;
   while (!RecycleList.empty()) {
     Block *B = RecycleList.back();
     RecycleList.pop_back();
-    if (B->evacuating())
+    if (B->evacuating()) {
+      // Re-home the block at the far end instead of dropping it: an
+      // evacuating block must be allocatable again the moment its
+      // candidate flag clears, not leak off the list until some later
+      // sweep happens to re-list it.
+      RecycleList.push_front(B);
+      if (++Skipped == RecycleList.size())
+        break; // Every listed block is evacuating.
       continue;
+    }
     assert(B->state() == BlockState::Recyclable && "stale recycle list");
-    return B;
+    Found = B;
+    break;
   }
-  return nullptr;
+  return Found;
 }
 
 Block *ImmixSpace::takeRecyclableFitting(unsigned NeedLines,
@@ -238,22 +249,32 @@ Block *ImmixSpace::takeRecyclableFitting(unsigned NeedLines,
   // Bounded scan: a long fruitless walk would make every medium
   // allocation O(heap) under heavy fragmentation.
   constexpr size_t MaxProbes = 16;
-  std::vector<Block *> Unsuitable;
   Block *Found = nullptr;
   for (size_t Probe = 0; Probe != MaxProbes && !RecycleList.empty();
        ++Probe) {
     Block *B = RecycleList.back();
     RecycleList.pop_back();
-    if (B->evacuating())
+    if (B->evacuating()) {
+      // Keep it listed (O(1) at the far end); it becomes allocatable
+      // again as soon as evacuation ends.
+      RecycleList.push_front(B);
       continue;
-    // Fast reject on the sweep's total; then search real holes.
+    }
+    // Fast reject on the sweep's total. freeLines() is an upper bound on
+    // any hole at these epochs (evacuation queries exclude strictly more
+    // lines than the sweep that counted it), so this can admit a block
+    // with no fitting hole but never wrongly rejects one.
     if (B->freeLines() >= NeedLines) {
       Hole H;
-      unsigned From = 0;
+      // Resume from the block's fitting cursor: everything before it is
+      // known to hold only holes too small for this request, so repeated
+      // medium allocations stop rescanning the same prefix.
+      unsigned From = B->fittingScanStart(NeedLines);
       while (B->findHole(From, SweepEpoch, MarkEpoch,
                          Config.ConservativeLineMarking, H)) {
         From = H.EndLine;
         if (H.lines() >= NeedLines) {
+          B->noteFittingHole(H.EndLine);
           Out = H;
           Found = B;
           break;
@@ -261,24 +282,35 @@ Block *ImmixSpace::takeRecyclableFitting(unsigned NeedLines,
       }
       if (Found)
         break;
+      B->noteNoFittingHole(NeedLines);
     }
-    Unsuitable.push_back(B);
+    // Reinsert at the front so the next probe sequence sees fresh
+    // candidates first.
+    RecycleList.push_front(B);
   }
-  // Reinsert unsuitable blocks at the front so the next probe sequence
-  // sees fresh candidates first.
-  RecycleList.insert(RecycleList.begin(), Unsuitable.begin(),
-                     Unsuitable.end());
   return Found;
 }
 
 Block *ImmixSpace::takeFree() {
-  while (!FreeList.empty()) {
+  size_t Scanned = 0;
+  size_t ListSize = FreeList.size();
+  std::vector<Block *> SkippedEvacuating;
+  while (!FreeList.empty() && Scanned++ != ListSize) {
     Block *B = FreeList.back();
     FreeList.pop_back();
-    if (B->evacuating())
+    if (B->evacuating()) {
+      // Reinstated below; see takeRecyclable.
+      SkippedEvacuating.push_back(B);
       continue;
+    }
+    if (!SkippedEvacuating.empty())
+      FreeList.insert(FreeList.begin(), SkippedEvacuating.begin(),
+                      SkippedEvacuating.end());
     return B;
   }
+  if (!SkippedEvacuating.empty())
+    FreeList.insert(FreeList.begin(), SkippedEvacuating.begin(),
+                    SkippedEvacuating.end());
   // Grow the space, budget permitting.
   size_t Pages = Config.pagesPerBlock();
   if (!Gate(Pages))
@@ -330,7 +362,10 @@ size_t ImmixSpace::releaseExcessFreeBlocks(
 }
 
 Block *ImmixSpace::takePerfectFree() {
-  // Prefer a perfect block already in the local free list.
+  // Prefer a perfect block already in the local free list. Unsuitable
+  // blocks (evacuating or imperfect) are skipped *in place* - only the
+  // chosen block is erased - so unlike the pop-and-drop paths above this
+  // scan never orphans a block from its list.
   for (size_t I = FreeList.size(); I != 0;) {
     --I;
     Block *B = FreeList[I];

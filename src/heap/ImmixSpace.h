@@ -28,6 +28,7 @@
 #include "heap/Object.h"
 #include "os/Os.h"
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -127,10 +128,11 @@ public:
 
   /// A recyclable block containing a hole of at least \p NeedLines lines
   /// (found at the given epochs; \p Out receives it). Scans a bounded
-  /// number of list entries, reinserting unsuitable blocks. This is the
-  /// overflow allocator's pressure-relief: when no completely free block
-  /// remains, medium objects can still drain recycled holes instead of
-  /// demanding perfect memory or collection.
+  /// number of list entries, reinserting unsuitable blocks at the far end
+  /// in O(1) and resuming each block's hole search from its fitting
+  /// cursor. This is the overflow allocator's pressure-relief: when no
+  /// completely free block remains, medium objects can still drain
+  /// recycled holes instead of demanding perfect memory or collection.
   Block *takeRecyclableFitting(unsigned NeedLines, uint8_t SweepEpoch,
                                uint8_t MarkEpoch, Hole &Out);
 
@@ -199,7 +201,11 @@ private:
 
   std::vector<std::unique_ptr<Block>> Blocks;
   std::vector<Block *> FreeList;
-  std::vector<Block *> RecycleList;
+  /// Deque, not vector: takeRecyclableFitting pops probes off the back
+  /// and re-homes rejected (or evacuating) blocks at the front, both
+  /// O(1). With a vector the front reinsert was O(n) per probe sequence,
+  /// making every medium allocation under fragmentation quadratic-ish.
+  std::deque<Block *> RecycleList;
   std::unordered_map<uintptr_t, Block *> ByBase;
   size_t RetiredCount = 0;
 

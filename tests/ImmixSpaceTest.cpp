@@ -140,6 +140,92 @@ TEST(ImmixSpaceTest, BlockOfMissesForeignAddresses) {
   EXPECT_EQ(F.Space->blockOf(Foreign), nullptr);
 }
 
+TEST(ImmixSpaceTest, EvacuatingRecyclableIsReinstatedAfterProbe) {
+  // Regression: takeRecyclable/takeRecyclableFitting used to pop an
+  // evacuating block and drop it on the floor, leaking it from the
+  // recycle list until some later sweep happened to re-list it.
+  SpaceFixture F(0.0, /*Pages=*/64);
+  std::vector<uint8_t *> Ptrs;
+  for (int I = 0; I != 2000; ++I) {
+    uint8_t *Mem = F.Allocator->alloc(64);
+    if (!Mem)
+      break;
+    Ptrs.push_back(Mem);
+  }
+  // One line live -> exactly one recyclable block after the sweep.
+  Block *Live = F.Space->blockOf(Ptrs[100]);
+  Live->markLine(Live->lineOf(Ptrs[100]), 2);
+  F.Allocator->retire();
+  F.Space->sweep(2);
+  ASSERT_EQ(Live->state(), BlockState::Recyclable);
+
+  Live->setEvacuating(true);
+  // Mid-evacuation probes must skip it without losing it.
+  EXPECT_EQ(F.Space->takeRecyclable(), nullptr);
+  Hole H;
+  EXPECT_EQ(F.Space->takeRecyclableFitting(1, 2, 2, H), nullptr);
+  // Evacuation ends; the block must be allocatable again with no
+  // intervening sweep.
+  F.Space->clearDefragCandidates();
+  EXPECT_EQ(F.Space->takeRecyclable(), Live);
+}
+
+TEST(ImmixSpaceTest, EvacuatingFreeBlockIsReinstatedAfterProbe) {
+  SpaceFixture F(0.0, /*Pages=*/16); // Two blocks, no room to grow.
+  while (F.Allocator->alloc(1024))
+    ;
+  F.Allocator->retire();
+  ImmixSweepTotals Totals = F.Space->sweep(2);
+  ASSERT_EQ(Totals.FreeBlocks, 2u);
+  std::vector<Block *> Free;
+  F.Space->forEachBlock([&](Block &B) {
+    B.setEvacuating(true);
+    Free.push_back(&B);
+  });
+  // All free blocks evacuating and the budget exhausted: no block.
+  EXPECT_EQ(F.Space->takeFree(), nullptr);
+  F.Space->clearDefragCandidates();
+  // Both blocks must still be reachable through the free list.
+  EXPECT_NE(F.Space->takeFree(), nullptr);
+  EXPECT_NE(F.Space->takeFree(), nullptr);
+}
+
+TEST(ImmixSpaceTest, FittingProbeReusesHoleCursor) {
+  SpaceFixture F(0.0, /*Pages=*/64);
+  std::vector<uint8_t *> Ptrs;
+  for (int I = 0; I != 2000; ++I) {
+    uint8_t *Mem = F.Allocator->alloc(64);
+    if (!Mem)
+      break;
+    Ptrs.push_back(Mem);
+  }
+  // Fragment one block: every fourth line live -> max hole of 3 lines.
+  Block *Frag = F.Space->blockOf(Ptrs[100]);
+  for (unsigned Line = 0; Line < Frag->lineCount(); Line += 4)
+    Frag->markLine(Line, 2);
+  F.Allocator->retire();
+  F.Space->sweep(2);
+  ASSERT_EQ(Frag->state(), BlockState::Recyclable);
+
+  Block::ScanCounters &Counters = Block::scanCounters();
+  Hole H;
+  // First oversized probe scans the block once and records futility.
+  Counters.reset();
+  EXPECT_EQ(F.Space->takeRecyclableFitting(8, 2, 2, H), nullptr);
+  uint64_t FirstProbeSteps = Counters.WordSteps;
+  EXPECT_GT(FirstProbeSteps, 0u);
+  // Repeat probes at the same (or larger) need resume at the cursor and
+  // do no scanning at all.
+  Counters.reset();
+  EXPECT_EQ(F.Space->takeRecyclableFitting(8, 2, 2, H), nullptr);
+  EXPECT_EQ(F.Space->takeRecyclableFitting(9, 2, 2, H), nullptr);
+  EXPECT_EQ(Counters.WordSteps, 0u);
+  // A smaller request still sees the early holes.
+  Block *Got = F.Space->takeRecyclableFitting(2, 2, 2, H);
+  EXPECT_EQ(Got, Frag);
+  EXPECT_GE(H.lines(), 2u);
+}
+
 TEST(ImmixSpaceTest, BudgetGateStopsGrowth) {
   SpaceFixture F(0.0, /*Pages=*/16); // Two blocks.
   size_t Got = 0;
