@@ -1,0 +1,336 @@
+//===- bench/perf02_parallel_gc.cpp - Parallel collection perf gate -------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Perf gate for the parallel collection engine: the same deterministic
+// workload is built in one heap per worker count (1, 2, 4, 8), a fixed
+// number of full collections is run in each, and the post-collection
+// heaps are compared through HeapAuditor::digest plus the deterministic
+// heap counters. The engine's contract is that the post-GC heap state is
+// bit-identical for ANY worker count, so every digest and every counter
+// must match the serial heap exactly - any difference exits 2.
+//
+// The emitted BENCH_parallel_gc.json contains only deterministic values
+// (counters and hex digests): the same seed produces a byte-identical
+// file, so CI diffs two runs to prove run-to-run determinism. Wall-clock
+// GC times are printed to stdout for humans and feed the speedup gate -
+// the 4-worker heap must collect at least 1.8x faster than the serial
+// heap - but never enter the JSON. The speedup gate only arms on
+// machines with >= 4 hardware threads and can be disarmed with
+// --no-speedup-gate (CI's TSan job does this; instrumented timing is
+// meaningless).
+//
+// Exit codes: 0 ok, 1 usage, 2 determinism mismatch, 3 speedup gate
+// failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "gc/HeapAuditor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace wearmem;
+
+namespace {
+
+constexpr unsigned WorkerCounts[] = {1, 2, 4, 8};
+constexpr unsigned NumConfigs = 4;
+constexpr unsigned TimedGcs = 3;
+
+/// FNV-1a over a few words: address-free payload stamps, so digests with
+/// payload hashing compare equal across address spaces.
+uint64_t stamp(uint64_t A, uint64_t B, uint64_t C) {
+  uint64_t D = 1469598103934665603ULL;
+  for (uint64_t V : {A, B, C}) {
+    for (unsigned I = 0; I != 8; ++I) {
+      D ^= (V >> (I * 8)) & 0xFF;
+      D *= 1099511628211ULL;
+    }
+  }
+  return D;
+}
+
+void stampPayload(ObjRef Obj, uint64_t S) {
+  uint8_t *P = objectPayload(Obj);
+  size_t N = objectPayloadSize(Obj);
+  for (size_t I = 0; I + 8 <= N; I += 8) {
+    uint64_t V = stamp(S, I, 0x9E3779B97F4A7C15ULL);
+    std::memcpy(P + I, &V, 8);
+  }
+}
+
+HeapConfig makeConfig(unsigned GcThreads, uint64_t Seed) {
+  HeapConfig Config;
+  Config.Collector = CollectorKind::StickyImmix;
+  Config.BudgetPages = (96 * MiB) / PcmPageSize;
+  Config.GcThreads = GcThreads;
+  // A sprinkle of static failures keeps the failure-aware paths (line
+  // skipping, hole scans) on the measured path.
+  Config.Failures.Rate = 0.02;
+  Config.Failures.Seed = Seed;
+  // Defragment aggressively so full collections carry real evacuation
+  // work on top of the mark/sweep bulk.
+  Config.DefragFreeFraction = 0.35;
+  return Config;
+}
+
+/// Deterministic mark-heavy live set: long linked lists (deep chains the
+/// work-stealing deques must bound), wide fan-out hubs (instant frontier
+/// explosions), pinned survivors (never move) and a few large objects,
+/// plus unrooted churn so collections also sweep.
+struct Workload {
+  explicit Workload(Heap &Hp, uint64_t Seed, double Scale) : Hp(Hp) {
+    const unsigned NumLists = 12;
+    const unsigned ListLen = static_cast<unsigned>(25000 * Scale);
+    const unsigned NumHubs = 6;
+    const unsigned HubRefs = static_cast<unsigned>(15000 * Scale);
+    const unsigned NumLarge = 4;
+
+    // Every allocation can trigger a moving collection, so references
+    // held across allocations live in heap roots and are re-read after
+    // each allocate; a raw ObjRef would dangle at the first evacuation.
+    for (unsigned L = 0; L != NumLists && !Hp.outOfMemory(); ++L) {
+      unsigned HeadRoot = Hp.createRoot(nullptr);
+      Roots.push_back(HeadRoot);
+      for (unsigned I = 0; I != ListLen; ++I) {
+        bool Pin = (I % 97) == 0;
+        ObjRef Node = Hp.allocate(/*PayloadBytes=*/48, /*NumRefs=*/2, Pin);
+        if (!Node)
+          break;
+        stampPayload(Node, stamp(Seed, L, I));
+        if (ObjRef Head = Hp.root(HeadRoot))
+          Hp.writeRef(Node, 0, Head);
+        Hp.setRoot(HeadRoot, Node);
+        // Churn in multi-line bursts between groups of survivors. The
+        // grouping matters: interleaving a survivor into every other
+        // line would, under conservative line marking, keep every line
+        // reachable-or-implicit and let sweeps reclaim nothing. Dense
+        // survivor runs + dead churn runs leave blocks mostly free, so
+        // they become defrag candidates and full collections carry real
+        // evacuation work.
+        if (I % 16 == 15)
+          for (unsigned C = 0; C != 32; ++C)
+            Hp.allocate(216, 0);
+      }
+    }
+    for (unsigned H = 0; H != NumHubs && !Hp.outOfMemory(); ++H) {
+      ObjRef Hub =
+          Hp.allocate(/*PayloadBytes=*/16, static_cast<uint16_t>(HubRefs));
+      if (!Hub)
+        break;
+      unsigned HubRoot = Hp.createRoot(Hub);
+      Roots.push_back(HubRoot);
+      for (unsigned I = 0; I != HubRefs; ++I) {
+        ObjRef Leaf = Hp.allocate(32, 0);
+        if (!Leaf)
+          break;
+        stampPayload(Leaf, stamp(Seed ^ 0x4B5ULL, H, I));
+        Hp.writeRef(Hp.root(HubRoot), I, Leaf);
+      }
+    }
+    for (unsigned I = 0; I != NumLarge && !Hp.outOfMemory(); ++I) {
+      ObjRef Big = Hp.allocate(static_cast<uint32_t>(64 * KiB), 1);
+      if (!Big)
+        break;
+      stampPayload(Big, stamp(Seed, 0xB16, I));
+      Roots.push_back(Hp.createRoot(Big));
+    }
+  }
+
+  Heap &Hp;
+  std::vector<unsigned> Roots;
+};
+
+/// Everything one worker-count configuration contributes to the gate:
+/// per-GC digests plus the deterministic counter snapshot.
+struct ConfigResult {
+  unsigned GcThreads = 0;
+  std::vector<uint64_t> Digests;
+  uint64_t GcCount = 0;
+  uint64_t FullGcCount = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t BytesAllocated = 0;
+  uint64_t ObjectsEvacuated = 0;
+  uint64_t BlocksRetired = 0;
+  uint64_t LinesSwept = 0;
+  uint64_t PinnedRemaps = 0;
+  double GcMs = 0.0; // stdout + speedup gate only, never serialized
+};
+
+ConfigResult runConfig(unsigned GcThreads, uint64_t Seed, double Scale,
+                       unsigned Reps) {
+  ConfigResult R;
+  R.GcThreads = GcThreads;
+  Heap Hp(makeConfig(GcThreads, Seed));
+  Workload W(Hp, Seed, Scale);
+  HeapAuditor Auditor(Hp);
+
+  // Settle allocation-triggered collections, then time explicit full
+  // collections over the steady live set. Reps repeats only the *timing*
+  // loop beyond the first rep (identical live set, no digest changes),
+  // and the best reading is kept to shed scheduler noise.
+  double BestMs = -1.0;
+  for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I != TimedGcs; ++I)
+      Hp.collect(CollectionKind::Full);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    if (BestMs < 0.0 || Ms < BestMs)
+      BestMs = Ms;
+    if (Rep == 0) {
+      // Digest once per timed collection round: the heap is in its
+      // post-full-GC fixed point, identical for every worker count.
+      R.Digests.push_back(Auditor.digest(/*HashPayload=*/true));
+      Hp.collect(CollectionKind::Nursery);
+      R.Digests.push_back(Auditor.digest(/*HashPayload=*/true));
+    }
+  }
+  R.GcMs = BestMs;
+
+  const HeapStats &S = Hp.stats();
+  R.GcCount = S.GcCount;
+  R.FullGcCount = S.FullGcCount;
+  R.ObjectsAllocated = S.ObjectsAllocated;
+  R.BytesAllocated = S.BytesAllocated;
+  R.ObjectsEvacuated = S.ObjectsEvacuated;
+  R.BlocksRetired = S.BlocksRetired;
+  R.LinesSwept = S.LinesSwept;
+  R.PinnedRemaps = S.PinnedFailurePageRemaps;
+  return R;
+}
+
+bool countersEqual(const ConfigResult &A, const ConfigResult &B) {
+  return A.Digests == B.Digests && A.GcCount == B.GcCount &&
+         A.FullGcCount == B.FullGcCount &&
+         A.ObjectsAllocated == B.ObjectsAllocated &&
+         A.BytesAllocated == B.BytesAllocated &&
+         A.ObjectsEvacuated == B.ObjectsEvacuated &&
+         A.BlocksRetired == B.BlocksRetired &&
+         A.LinesSwept == B.LinesSwept && A.PinnedRemaps == B.PinnedRemaps;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Seed = 42;
+  std::string OutPath = "BENCH_parallel_gc.json";
+  double Scale = 1.0;
+  unsigned Reps = 3;
+  bool NoSpeedupGate = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc)
+      Seed = std::strtoull(argv[++I], nullptr, 10);
+    else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (std::strcmp(argv[I], "--scale") == 0 && I + 1 < argc)
+      Scale = std::atof(argv[++I]);
+    else if (std::strcmp(argv[I], "--reps") == 0 && I + 1 < argc)
+      Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(argv[I], "--no-speedup-gate") == 0)
+      NoSpeedupGate = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--out FILE] [--scale F] "
+                   "[--reps N] [--no-speedup-gate]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (Reps == 0)
+    Reps = 1;
+
+  std::printf("%-10s %10s %10s %12s %10s %9s\n", "gc-threads", "full-gcs",
+              "evacuated", "lines-swept", "digests", "gc-ms");
+  ConfigResult Results[NumConfigs];
+  for (unsigned C = 0; C != NumConfigs; ++C) {
+    Results[C] = runConfig(WorkerCounts[C], Seed, Scale, Reps);
+    const ConfigResult &R = Results[C];
+    std::printf("%-10u %10llu %10llu %12llu %10zu %9.2f\n", R.GcThreads,
+                (unsigned long long)R.FullGcCount,
+                (unsigned long long)R.ObjectsEvacuated,
+                (unsigned long long)R.LinesSwept, R.Digests.size(),
+                R.GcMs);
+  }
+
+  // Determinism gate: every configuration must reproduce the serial
+  // heap's digests and counters exactly.
+  bool Identical = true;
+  for (unsigned C = 1; C != NumConfigs; ++C)
+    if (!countersEqual(Results[0], Results[C])) {
+      Identical = false;
+      std::printf("MISMATCH: %u-worker heap differs from serial\n",
+                  Results[C].GcThreads);
+    }
+
+  double Speedup =
+      Results[2].GcMs > 0.0 ? Results[0].GcMs / Results[2].GcMs : 0.0;
+  unsigned Hw = std::thread::hardware_concurrency();
+  bool GateArmed = !NoSpeedupGate && Hw >= 4;
+  std::printf("\nserial %.2f ms vs 4-worker %.2f ms -> %.2fx speedup "
+              "(gate %s: need >= 1.80)\n",
+              Results[0].GcMs, Results[2].GcMs, Speedup,
+              GateArmed ? "armed"
+                        : (NoSpeedupGate ? "disarmed by flag"
+                                         : "disarmed: < 4 hw threads"));
+
+  // Deterministic JSON: counters and digests only, fixed field order,
+  // no wall times. Same seed => byte-identical file.
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"perf02_parallel_gc\",\n");
+  std::fprintf(Out, "  \"seed\": %llu,\n", (unsigned long long)Seed);
+  std::fprintf(Out, "  \"scale\": %.3f,\n", Scale);
+  std::fprintf(Out, "  \"timed_gcs\": %u,\n", TimedGcs);
+  std::fprintf(Out, "  \"configs\": [\n");
+  for (unsigned C = 0; C != NumConfigs; ++C) {
+    const ConfigResult &R = Results[C];
+    std::fprintf(Out,
+                 "    {\"gc_threads\": %u, \"gc_count\": %llu, "
+                 "\"full_gc_count\": %llu, \"objects_allocated\": %llu, "
+                 "\"bytes_allocated\": %llu, \"objects_evacuated\": %llu, "
+                 "\"blocks_retired\": %llu, \"lines_swept\": %llu, "
+                 "\"pinned_remaps\": %llu,\n     \"digests\": [",
+                 R.GcThreads, (unsigned long long)R.GcCount,
+                 (unsigned long long)R.FullGcCount,
+                 (unsigned long long)R.ObjectsAllocated,
+                 (unsigned long long)R.BytesAllocated,
+                 (unsigned long long)R.ObjectsEvacuated,
+                 (unsigned long long)R.BlocksRetired,
+                 (unsigned long long)R.LinesSwept,
+                 (unsigned long long)R.PinnedRemaps);
+    for (size_t I = 0; I != R.Digests.size(); ++I)
+      std::fprintf(Out, "%s\"0x%016llx\"", I ? ", " : "",
+                   (unsigned long long)R.Digests[I]);
+    std::fprintf(Out, "]}%s\n", C + 1 == NumConfigs ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"identical_across_worker_counts\": %s\n",
+               Identical ? "true" : "false");
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  if (!Identical)
+    return 2;
+  if (GateArmed && Speedup < 1.8) {
+    std::printf("SPEEDUP GATE FAILED: %.2fx < 1.80x\n", Speedup);
+    return 3;
+  }
+  return 0;
+}

@@ -26,6 +26,7 @@ HeapConfig RuntimeConfig::toHeapConfig() const {
   Heap.ConservativeLineMarking = ConservativeLineMarking;
   Heap.FailureAware = FailureAware;
   Heap.FreeListFailureAware = FreeListFailureAware;
+  Heap.GcThreads = GcThreads;
   Heap.NurseryYieldThreshold = NurseryYieldThreshold;
   Heap.FullGcEvery = FullGcEvery;
   Heap.DefragFreeFraction = DefragFreeFraction;

@@ -80,6 +80,11 @@ struct RuntimeConfig {
 
   uint64_t Seed = 0x5EEDF00DULL;
 
+  /// GC worker threads for the parallel collection engine; 1 collects
+  /// inline on the mutator thread. Post-collection heap state is
+  /// bit-identical under any value (see gc/GcWorkers.h).
+  unsigned GcThreads = 1;
+
   /// Pass-through GC policy knobs.
   double NurseryYieldThreshold = 0.10;
   unsigned FullGcEvery = 16;

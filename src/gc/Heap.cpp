@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace wearmem;
@@ -42,6 +43,17 @@ Heap::Heap(const HeapConfig &Config)
     FreeList =
         std::make_unique<FreeListSpace>(Os_, this->Config, Stats, Gate);
   }
+  if (this->Config.GcThreads > 1)
+    Workers = std::make_unique<GcWorkerPool>(this->Config.GcThreads);
+}
+
+void Heap::setGcThreads(unsigned Threads) {
+  assert(!InCollection && "cannot reconfigure workers during collection");
+  Config.GcThreads = std::max(1u, Threads);
+  if (Config.GcThreads > 1)
+    Workers = std::make_unique<GcWorkerPool>(Config.GcThreads);
+  else
+    Workers.reset();
 }
 
 size_t Heap::pagesHeld() const {
@@ -207,30 +219,23 @@ void Heap::runCollection(CollectionKind Kind) {
       EvacAllocator->setHoleEpochs(Epoch, Epoch);
   }
 
-  // Trace. Roots first, then (nursery only) the fields of logged old
-  // objects, then the transitive closure.
-  assert(MarkStack.empty() && "mark stack must start empty");
-  for (ObjRef &Root : Roots)
-    if (Root)
-      Root = visitEdge(Root, Kind);
-  if (!Full) {
-    for (ObjRef Logged : ModBuf) {
-      assert(!isForwarded(Logged) &&
-             "old objects do not move in nursery collections");
-      scanObject(Logged, Kind);
-      clearObjectFlag(Logged, FlagLogged);
-    }
-    ModBuf.clear();
-  }
-  while (!MarkStack.empty()) {
-    ObjRef Obj = MarkStack.back();
-    MarkStack.pop_back();
-    scanObject(Obj, Kind);
-  }
+  // Trace, in three phases (see Heap.h): parallel claim-and-mark,
+  // serial address-ordered evacuation, parallel reference fixup. Any
+  // worker interleaving yields the same post-collection heap state.
+  markPhase(Kind);
+  evacuatePhase();
+  fixupPhase();
 
-  // Sweep.
+  // Sweep. The O(lines) per-block recounts and the LOS liveness probe
+  // shard across the pool; classification and list building stay serial
+  // in canonical order.
+  GcParallelFor Par;
+  if (Workers && Workers->workers() > 1)
+    Par = [this](size_t Count, const std::function<void(size_t)> &Fn) {
+      Workers->parallelChunks(Count, Fn);
+    };
   if (Immix) {
-    ImmixSweepTotals Totals = Immix->sweep(Epoch);
+    ImmixSweepTotals Totals = Immix->sweep(Epoch, Par);
     Immix->clearDefragCandidates();
     // Return excess empty blocks to the OS pool so page-grained
     // allocators can compete for them (the paper's global block pool).
@@ -254,7 +259,7 @@ void Heap::runCollection(CollectionKind Kind) {
                     : static_cast<double>(Totals.FreeBytes) /
                           static_cast<double>(Totals.TotalBytes);
   }
-  Los.sweep(Epoch);
+  Los.sweep(Epoch, Par);
 
 #ifdef WEARMEM_EXPENSIVE_CHECKS
   // Evacuation targets within one collection must never overlap. This
@@ -294,146 +299,349 @@ void Heap::runCollection(CollectionKind Kind) {
   else
     NurseryPausesMs.push_back(Ms);
   InCollection = false;
+  MarkWorkers.clear();
+  // End-of-cycle safepoint: apply dynamic failures that arrived while
+  // the mark phase was running.
+  drainDeferredFailures();
 }
 
-void Heap::scanObject(ObjRef Obj, CollectionKind Kind) {
-  Stats.BytesTraced += objectSize(Obj);
-  unsigned NumRefs = objectNumRefs(Obj);
-  for (unsigned Slot = 0; Slot != NumRefs; ++Slot) {
-    ObjRef *SlotPtr = refSlot(Obj, Slot);
-    ObjRef Target = *SlotPtr;
-    if (!Target)
-      continue;
-#ifdef WEARMEM_DEBUG_TRACE
-    uintptr_t TBase =
-        reinterpret_cast<uintptr_t>(Target) & ~(Config.BlockSize - 1);
-    bool InReleased = Immix && Immix->DebugReleased.count(TBase) != 0;
-    bool Plausible =
-        reinterpret_cast<uintptr_t>(Target) % ObjectAlignment == 0 &&
-        ((Immix && Immix->blockOf(Target) != nullptr) ||
-         Los.contains(Target));
-    if (!Plausible) {
-      Block *SrcBlock = Immix ? Immix->blockOf(Obj) : nullptr;
-      std::fprintf(
-          stderr,
-          "wild ref: src=%p size=%u refs=%u flags=%02x mark=%u slot=%u "
-          "target=%p released=%d srcInImmix=%d srcLarge=%d epoch=%u "
-          "kind=%s\n",
-          (void *)Obj, objectSize(Obj), NumRefs, objectFlags(Obj),
-          objectMark(Obj), Slot, (void *)Target, (int)InReleased,
-          SrcBlock != nullptr, (int)objectHasFlag(Obj, FlagLarge), Epoch,
-          Kind == CollectionKind::Full ? "full" : "nursery");
-      if (SrcBlock)
-        std::fprintf(stderr,
-                     "  src block base=%p state=%d evac=%d lineMark=%u\n",
-                     (void *)SrcBlock->base(), (int)SrcBlock->state(),
-                     (int)SrcBlock->evacuating(),
-                     SrcBlock->lineMark(SrcBlock->lineOf(Obj)));
-      std::abort();
-    }
-#endif
-    ObjRef NewTarget = visitEdge(Target, Kind);
-    if (NewTarget != Target)
-      *SlotPtr = NewTarget;
-  }
-}
+void Heap::markPhase(CollectionKind Kind) {
+  bool Full = Kind == CollectionKind::Full;
+  unsigned NumWorkers = Workers ? Workers->workers() : 1;
+  MarkWorkers.clear();
+  MarkWorkers.resize(NumWorkers);
+  MarkWorkList WorkList(NumWorkers, MarkChunkItems, MarkMaxDequeChunks);
 
-ObjRef Heap::visitEdge(ObjRef Target, CollectionKind Kind) {
-#ifdef WEARMEM_DEBUG_TRACE
-  while (isForwarded(Target)) {
-    ObjRef F = forwardee(Target);
-    uintptr_t FBase =
-        reinterpret_cast<uintptr_t>(F) & ~(Config.BlockSize - 1);
-    bool FReleased = Immix && Immix->DebugReleased.count(FBase) != 0;
-    bool FPlausible =
-        reinterpret_cast<uintptr_t>(F) % ObjectAlignment == 0 &&
-        ((Immix && Immix->blockOf(F) != nullptr) || Los.contains(F));
-    if (!FPlausible) {
-      uintptr_t TBase =
-          reinterpret_cast<uintptr_t>(Target) & ~(Config.BlockSize - 1);
-      std::fprintf(stderr,
-                   "wild forwardee: obj=%p (released=%d, size=%u, "
-                   "flags=%02x, mark=%u) -> fwd=%p (released=%d) "
-                   "epoch=%u kind=%s\n",
-                   (void *)Target,
-                   (int)(Immix && Immix->DebugReleased.count(TBase)),
-                   objectSize(Target), objectFlags(Target),
-                   objectMark(Target), (void *)F, (int)FReleased, Epoch,
-                   Kind == CollectionKind::Full ? "full" : "nursery");
-      std::abort();
-    }
-    Target = F;
-  }
-#else
-  while (isForwarded(Target))
-    Target = forwardee(Target);
-#endif
-  if (objectMark(Target) == Epoch)
-    return Target;
-
-  bool Large = objectHasFlag(Target, FlagLarge);
-  if (Immix && !Large) {
-    Block *B = Immix->blockOf(Target);
-    assert(B && "unmanaged address reached the tracer");
-    bool Pinned = objectHasFlag(Target, FlagPinned);
-    bool WantCopy =
-        Kind == CollectionKind::Full
-            ? B->evacuating()
-            : CopyNurserySurvivors; // Every nursery survivor is a copy
-                                    // candidate (Sticky Immix).
-    if (WantCopy && !Pinned) {
-      size_t Size = objectSize(Target);
-      if (uint8_t *NewMem = EvacAllocator->alloc(Size)) {
 #ifdef WEARMEM_EXPENSIVE_CHECKS
-        DebugCopies.push_back(
-            {reinterpret_cast<uintptr_t>(NewMem), Size});
+  // The mutation log is consumed by the phase; the oracle needs the
+  // original seed set afterwards.
+  std::vector<ObjRef> LoggedSeeds;
+  if (!Full)
+    LoggedSeeds = ModBuf;
 #endif
-        std::memcpy(NewMem, Target, Size);
-        forwardObject(Target, NewMem);
-        Target = NewMem;
-        ++Stats.ObjectsEvacuated;
-        Stats.BytesEvacuated += Size;
-        B = Immix->blockOf(Target);
-      } else if (B->hasFreshFailure() &&
-                 overlapsFailedLine(B, Target)) {
+
+  // Mark-phase safepoint: dynamic-failure interrupts arriving from here
+  // on are parked and drained at the end of the collection.
+  InMarkPhase.store(true, std::memory_order_release);
+
+  // Claims Target for this epoch, categorizes it, and queues it for
+  // scanning. Racing claims CAS the same header word, so every header
+  // read in here decodes from an atomic snapshot (see Object.h).
+  auto ClaimEdge = [&](ObjRef Target, unsigned Wk) {
+    uint64_t Word = objectWord0Acquire(Target);
+    // Reachable slots never point at forwarded objects when the phase
+    // starts; chase defensively anyway (word1 is stable all phase).
+    while (word0Flags(Word) & FlagForwarded) {
+      Target = forwardee(Target);
+      Word = objectWord0Acquire(Target);
+    }
+    uint64_t ClaimedWord;
+    if (!tryClaimObjectMark(Target, Epoch, ClaimedWord))
+      return;
+    MarkWorker &MW = MarkWorkers[Wk];
+    ++MW.ObjectsMarked;
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+    MW.Claimed.push_back(Target);
+#endif
+    uint8_t Flags = word0Flags(ClaimedWord);
+    if (Immix && !(Flags & FlagLarge)) {
+      Block *B = Immix->blockOf(Target);
+      assert(B && "unmanaged address reached the tracer");
+      size_t Size = word0Size(ClaimedWord);
+      bool Pinned = (Flags & FlagPinned) != 0;
+      bool WantCopy =
+          Full ? B->evacuating()
+               : CopyNurserySurvivors; // Every nursery survivor is a
+                                       // copy candidate (Sticky Immix).
+      if (WantCopy && !Pinned) {
+        // Copying allocates, which is order-dependent; deferred to the
+        // serial evacuation phase. The old lines stay unmarked, exactly
+        // as the serial collector leaves them on a successful copy.
+        MW.EvacCandidates.push_back(Target);
+      } else if (Pinned && B->hasFreshFailure() &&
+                 overlapsFailedLine(B, Target, Size)) {
+        // A pinned object on a failed line cannot move; the OS will
+        // remap the page (Section 3.3.3). Deferred: the remap must
+        // precede the line marking (marking a failed line is a no-op),
+        // and it mutates OS/journal state serially.
+        MW.RemapCandidates.push_back(Target);
+      } else {
+        markObjectLines(Target, Size);
+      }
+    }
+    WorkList.push(Wk, Target);
+  };
+
+  auto ScanMarked = [&](ObjRef Obj, unsigned Wk) {
+    MarkWorker &MW = MarkWorkers[Wk];
+    uint64_t Word = objectWord0Acquire(Obj);
+    MW.BytesTraced += word0Size(Word);
+    MW.Scanned.push_back(Obj);
+    ObjRef *Slots = reinterpret_cast<ObjRef *>(Obj + ObjectHeaderBytes);
+    for (unsigned Slot = 0, E = word0NumRefs(Word); Slot != E; ++Slot)
+      if (ObjRef Target = Slots[Slot])
+        ClaimEdge(Target, Wk);
+  };
+
+  auto WorkerFn = [&](unsigned Wk) {
+    if (Wk == 0 && MarkPhaseHook)
+      MarkPhaseHook();
+    // Deterministically partitioned seeds: contiguous slices of the
+    // root array and (nursery) of the mutation log. Claim races make
+    // the partition irrelevant to the outcome; slicing just spreads the
+    // initial work.
+    size_t NumRoots = Roots.size();
+    for (size_t I = NumRoots * Wk / NumWorkers,
+                E = NumRoots * (Wk + 1) / NumWorkers;
+         I != E; ++I)
+      if (Roots[I])
+        ClaimEdge(Roots[I], Wk);
+    if (!Full) {
+      size_t NumLogged = ModBuf.size();
+      for (size_t I = NumLogged * Wk / NumWorkers,
+                  E = NumLogged * (Wk + 1) / NumWorkers;
+           I != E; ++I) {
+        ObjRef Logged = ModBuf[I];
+        assert(!isForwarded(Logged) &&
+               "old objects do not move in nursery collections");
+        // Logged old objects already carry this epoch's mark (that is
+        // what made them old), so claiming would skip them: they are
+        // scan-only seeds.
+        ScanMarked(Logged, Wk);
+      }
+    }
+    ObjRef Obj;
+    while (WorkList.pop(Wk, Obj))
+      ScanMarked(Obj, Wk);
+  };
+  if (Workers)
+    Workers->runOnAll(WorkerFn);
+  else
+    WorkerFn(0);
+
+  InMarkPhase.store(false, std::memory_order_release);
+
+  // Deterministic merge, in worker order.
+  for (MarkWorker &MW : MarkWorkers) {
+    Stats.ObjectsMarked += MW.ObjectsMarked;
+    Stats.BytesTraced += MW.BytesTraced;
+  }
+  MarkDebug.DequePeakChunks = WorkList.dequePeakChunks();
+  MarkDebug.OverflowPeakChunks = WorkList.overflowPeakChunks();
+
+  if (!Full) {
+    // Clearing the logged flags is a plain header write, so it waits
+    // until no claims can race.
+    for (ObjRef Logged : ModBuf)
+      clearObjectFlag(Logged, FlagLogged);
+    ModBuf.clear();
+  }
+
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+  verifyMarkOracle(Full ? std::vector<ObjRef>() : LoggedSeeds);
+#endif
+}
+
+void Heap::evacuatePhase() {
+  if (!Immix)
+    return;
+  // Merge the per-worker candidate lists and process them in canonical
+  // (block creation ordinal, in-block offset) order: evacuation
+  // allocates, so its order determines every forwarding address. Raw
+  // addresses would be just as total an order, but block grants are
+  // separate host allocations whose relative placement varies between
+  // heap instances; the ordinal/offset pair depends only on the
+  // allocation history, which is what makes post-GC digests comparable
+  // across worker counts and across processes.
+  std::unordered_map<const Block *, uint32_t> BlockOrdinal;
+  BlockOrdinal.reserve(Immix->blockCount());
+  {
+    uint32_t Idx = 0;
+    Immix->forEachBlock(
+        [&](const Block &Blk) { BlockOrdinal.emplace(&Blk, Idx++); });
+  }
+  auto CanonSort = [&](std::vector<ObjRef> &Objs) {
+    std::vector<std::pair<uint64_t, ObjRef>> Keyed;
+    Keyed.reserve(Objs.size());
+    for (ObjRef Obj : Objs) {
+      const Block *Blk = Immix->blockOf(Obj);
+      uint64_t Key =
+          (static_cast<uint64_t>(BlockOrdinal.find(Blk)->second) << 32) |
+          static_cast<uint64_t>(Obj - Blk->base());
+      Keyed.emplace_back(Key, Obj);
+    }
+    std::sort(Keyed.begin(), Keyed.end());
+    for (size_t I = 0; I != Keyed.size(); ++I)
+      Objs[I] = Keyed[I].second;
+  };
+  std::vector<ObjRef> Evacs;
+  std::vector<ObjRef> Remaps;
+  for (MarkWorker &MW : MarkWorkers) {
+    Evacs.insert(Evacs.end(), MW.EvacCandidates.begin(),
+                 MW.EvacCandidates.end());
+    Remaps.insert(Remaps.end(), MW.RemapCandidates.begin(),
+                  MW.RemapCandidates.end());
+  }
+  CanonSort(Evacs);
+  CanonSort(Remaps);
+  for (ObjRef Target : Evacs) {
+    Block *B = Immix->blockOf(Target);
+    size_t Size = objectSize(Target);
+    if (uint8_t *NewMem = EvacAllocator->alloc(Size)) {
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+      DebugCopies.push_back({reinterpret_cast<uintptr_t>(NewMem), Size});
+#endif
+      // The mark phase claimed the old copy's mark byte, so the copy is
+      // born marked; the forwarding flag lands on the old copy only.
+      std::memcpy(NewMem, Target, Size);
+      forwardObject(Target, NewMem);
+      ++Stats.ObjectsEvacuated;
+      Stats.BytesEvacuated += Size;
+      markObjectLines(NewMem, Size);
+    } else {
+      if (B->hasFreshFailure() && overlapsFailedLine(B, Target, Size))
         // Could not evacuate an object sitting on a dynamically failed
         // line: fall back to the OS remapping the whole page.
         emergencyPageRemap(B, Target);
-      }
-    } else if (Pinned && B->hasFreshFailure() &&
-               overlapsFailedLine(B, Target)) {
-      // A pinned object on a failed line cannot move; the OS remaps the
-      // affected page to a perfect physical page (Section 3.3.3).
-      ++Stats.PinnedFailurePageRemaps;
-      emergencyPageRemap(B, Target);
+      markObjectLines(Target, Size);
     }
-    setObjectMark(Target, Epoch);
-    markObjectLines(Target);
-  } else {
-    setObjectMark(Target, Epoch);
   }
-  ++Stats.ObjectsMarked;
-  MarkStack.push_back(Target);
-  return Target;
+  for (ObjRef Target : Remaps) {
+    Block *B = Immix->blockOf(Target);
+    size_t Size = objectSize(Target);
+    ++Stats.PinnedFailurePageRemaps;
+    emergencyPageRemap(B, Target);
+    markObjectLines(Target, Size);
+  }
 }
 
-void Heap::markObjectLines(ObjRef Obj) {
+void Heap::fixupPhase() {
+  // Each worker rewrites the reference slots of exactly the objects it
+  // scanned; the Scanned lists partition the scanned set, so the writes
+  // are disjoint. Headers are read-only here (forwarding was installed
+  // by the serial evacuation phase).
+  auto FixWorker = [&](unsigned Wk) {
+    for (ObjRef Obj : MarkWorkers[Wk].Scanned) {
+      ObjRef Final = Obj;
+      while (isForwarded(Final))
+        Final = forwardee(Final);
+      ObjRef *Slots =
+          reinterpret_cast<ObjRef *>(Final + ObjectHeaderBytes);
+      for (unsigned Slot = 0, E = objectNumRefs(Final); Slot != E;
+           ++Slot) {
+        ObjRef Target = Slots[Slot];
+        if (!Target)
+          continue;
+        ObjRef NewTarget = Target;
+        while (isForwarded(NewTarget))
+          NewTarget = forwardee(NewTarget);
+        if (NewTarget != Target)
+          Slots[Slot] = NewTarget;
+      }
+    }
+  };
+  if (Workers)
+    Workers->runOnAll(FixWorker);
+  else
+    FixWorker(0);
+  for (ObjRef &Root : Roots) {
+    if (!Root)
+      continue;
+    while (isForwarded(Root))
+      Root = forwardee(Root);
+  }
+}
+
+void Heap::drainDeferredFailures() {
+  std::vector<uint8_t *> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(DeferredFailureMu);
+    Batch.swap(DeferredFailures);
+  }
+  if (Batch.empty())
+    return;
+  if (Immix) {
+    // The collection that just finished may have released a containing
+    // block back to the OS pool; such failures are no longer the heap's
+    // concern (the failure words travel with the grant).
+    Batch.erase(std::remove_if(Batch.begin(), Batch.end(),
+                               [this](uint8_t *Addr) {
+                                 return Immix->blockOf(Addr) == nullptr;
+                               }),
+                Batch.end());
+    if (Batch.empty())
+      return;
+  }
+  injectDynamicFailureBatch(Batch, /*DeferRecovery=*/true);
+}
+
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+void Heap::verifyMarkOracle(const std::vector<ObjRef> &LoggedSeeds) {
+  // Serial differential oracle for the parallel mark phase: re-trace
+  // the reachable graph read-only (it runs between mark and evacuation,
+  // so no forwarding exists for this epoch yet) and check that exactly
+  // the claimable closure was claimed.
+  std::unordered_set<const uint8_t *> Claimed;
+  for (MarkWorker &MW : MarkWorkers)
+    for (ObjRef Obj : MW.Claimed)
+      Claimed.insert(Obj);
+  std::unordered_set<const uint8_t *> Visited;
+  std::vector<ObjRef> Stack;
+  auto Push = [&](ObjRef Obj) {
+    while (isForwarded(Obj))
+      Obj = forwardee(Obj);
+    if (objectMark(Obj) != Epoch) {
+      std::fprintf(stderr,
+                   "parallel mark missed reachable object %p\n",
+                   static_cast<void *>(Obj));
+      std::abort();
+    }
+    // Traverse onward only through objects this phase scanned: claimed
+    // ones here, logged nursery seeds below. (Unclaimed-but-marked
+    // means an old object in a nursery collection, whose fields the
+    // sticky barrier guarantees hold no unlogged young references.)
+    if (Claimed.count(Obj) && Visited.insert(Obj).second)
+      Stack.push_back(Obj);
+  };
+  for (ObjRef Root : Roots)
+    if (Root)
+      Push(Root);
+  for (ObjRef Logged : LoggedSeeds)
+    if (Visited.insert(Logged).second)
+      Stack.push_back(Logged);
+  while (!Stack.empty()) {
+    ObjRef Obj = Stack.back();
+    Stack.pop_back();
+    for (unsigned Slot = 0, E = objectNumRefs(Obj); Slot != E; ++Slot)
+      if (ObjRef Target = *refSlot(Obj, Slot))
+        Push(Target);
+  }
+  for (const uint8_t *Obj : Claimed)
+    if (!Visited.count(Obj)) {
+      std::fprintf(stderr,
+                   "parallel mark claimed unreachable object %p\n",
+                   static_cast<const void *>(Obj));
+      std::abort();
+    }
+}
+#endif
+
+void Heap::markObjectLines(ObjRef Obj, size_t Size) {
   Block *B = Immix->blockOf(Obj);
-  size_t Size = objectSize(Obj);
   unsigned First = B->lineOf(Obj);
   if (Config.ConservativeLineMarking && Size <= Config.LineSize) {
     // Small objects mark only their first line; the sweep conservatively
     // keeps the following line.
-    B->markLine(First, Epoch);
+    B->markLineAtomic(First, Epoch);
     return;
   }
   unsigned Last = B->lineOf(Obj + Size - 1);
   for (unsigned Line = First; Line <= Last; ++Line)
-    B->markLine(Line, Epoch);
+    B->markLineAtomic(Line, Epoch);
 }
 
-bool Heap::overlapsFailedLine(Block *B, const uint8_t *Obj) const {
-  size_t Size = objectSize(Obj);
+bool Heap::overlapsFailedLine(Block *B, const uint8_t *Obj,
+                              size_t Size) const {
   unsigned First = B->lineOf(Obj);
   unsigned Last = B->lineOf(Obj + Size - 1);
   for (unsigned Line = First; Line <= Last; ++Line)
@@ -495,6 +703,18 @@ void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
                                      bool DeferRecovery) {
   if (Addrs.empty() || OutOfMemory)
     return;
+  if (InMarkPhase.load(std::memory_order_acquire)) {
+    // Mark-phase safepoint contract: failing lines while GC workers
+    // trace would race the atomic line marking and could unfence pages
+    // mid-phase. Park the batch (this path is the only one that may run
+    // concurrently with the collector); runCollection drains it at the
+    // end-of-cycle safepoint - deferred, never lost.
+    std::lock_guard<std::mutex> Lock(DeferredFailureMu);
+    DeferredFailures.insert(DeferredFailures.end(), Addrs.begin(),
+                            Addrs.end());
+    ++Stats.MarkPhaseDeferredInterrupts;
+    return;
+  }
   ++Stats.DynamicFailureBatches;
   if (!Immix) {
     // Free-list heaps cannot move objects: model the failure-unaware OS

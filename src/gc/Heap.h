@@ -29,6 +29,7 @@
 #define WEARMEM_GC_HEAP_H
 
 #include "gc/FailureLedger.h"
+#include "gc/GcWorkers.h"
 #include "heap/FreeListSpace.h"
 #include "heap/HeapConfig.h"
 #include "heap/ImmixSpace.h"
@@ -37,7 +38,10 @@
 #include "os/MetadataJournal.h"
 #include "os/Os.h"
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace wearmem {
@@ -90,6 +94,52 @@ public:
 
   /// Runs a collection explicitly. Returns the freed fraction estimate.
   double collect(CollectionKind Kind);
+
+  /// True while a collection is running (mutator-visible safepoint
+  /// query; fault campaigns use it to hold their triggers).
+  bool inCollection() const { return InCollection; }
+
+  //===--------------------------------------------------------------===//
+  // Parallel collection engine
+  //===--------------------------------------------------------------===//
+
+  /// Collections run in three phases so the post-collection heap state
+  /// is bit-identical under any worker count:
+  ///  1. parallel mark - workers race to CAS-claim object mark bytes
+  ///     and mark lines atomically (both order-independent), while
+  ///     copying decisions are only *recorded*;
+  ///  2. serial evacuation - candidates are merged, sorted by (block
+  ///     creation ordinal, in-block offset), and copied in that
+  ///     canonical order, so forwarding addresses depend neither on
+  ///     trace order nor on where the host placed the blocks;
+  ///  3. parallel fixup - each worker rewrites the reference slots of
+  ///     the objects it scanned (disjoint sets), then roots serially.
+
+  /// Reconfigures the GC worker pool; 1 collects inline with no
+  /// threads. Must not be called during a collection.
+  void setGcThreads(unsigned Threads);
+  unsigned gcThreads() const { return Config.GcThreads; }
+
+  /// Test hook: invoked once per collection, by worker 0, at the start
+  /// of the mark phase (other workers may already be tracing).
+  void setMarkPhaseHook(std::function<void()> Hook) {
+    MarkPhaseHook = std::move(Hook);
+  }
+
+  /// Mark-frontier bounds for the work-list chunking (see
+  /// MarkWorkList): per-worker deques never exceed MarkMaxDequeChunks
+  /// published chunks of MarkChunkItems objects; the excess spills to
+  /// the drained-before-termination overflow list.
+  static constexpr size_t MarkChunkItems = 128;
+  static constexpr size_t MarkMaxDequeChunks = 64;
+
+  /// Peak work-list occupancy of the most recent collection (the
+  /// bounded-growth regression tests read these).
+  struct MarkPhaseDebug {
+    size_t DequePeakChunks = 0;
+    size_t OverflowPeakChunks = 0;
+  };
+  const MarkPhaseDebug &lastMarkPhaseDebug() const { return MarkDebug; }
 
   //===--------------------------------------------------------------===//
   // Dynamic failures (Sections 3.2.2, 4.2)
@@ -161,14 +211,34 @@ public:
 private:
   friend class HeapAuditor;
 
+  /// Per-worker mark-phase scratch: private counters plus the scanned /
+  /// evacuation-candidate / pinned-remap-candidate lists, merged (in
+  /// worker order) or processed (address-sorted) after the phase.
+  struct MarkWorker {
+    std::vector<ObjRef> Scanned;
+    std::vector<ObjRef> EvacCandidates;
+    std::vector<ObjRef> RemapCandidates;
+    uint64_t ObjectsMarked = 0;
+    uint64_t BytesTraced = 0;
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+    std::vector<ObjRef> Claimed;
+#endif
+  };
+
   template <typename AllocFn>
   uint8_t *allocWithGcRetry(AllocFn Fn, bool WantPerfect = false);
   DnfReason classifyExhaustion(bool WantedPerfect) const;
   void runCollection(CollectionKind Kind);
-  ObjRef visitEdge(ObjRef Target, CollectionKind Kind);
-  void scanObject(ObjRef Obj, CollectionKind Kind);
-  void markObjectLines(ObjRef Obj);
-  bool overlapsFailedLine(Block *B, const uint8_t *Obj) const;
+  void markPhase(CollectionKind Kind);
+  void evacuatePhase();
+  void fixupPhase();
+  void drainDeferredFailures();
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+  void verifyMarkOracle(const std::vector<ObjRef> &LoggedSeeds);
+#endif
+  void markObjectLines(ObjRef Obj, size_t Size);
+  bool overlapsFailedLine(Block *B, const uint8_t *Obj,
+                          size_t Size) const;
   void emergencyPageRemap(Block *B, const uint8_t *Obj);
   void remapMarksOnWrap(uint8_t Prev);
 
@@ -189,7 +259,20 @@ private:
   /// Sticky write-barrier log: old objects whose fields were mutated.
   std::vector<ObjRef> ModBuf;
 
-  std::vector<ObjRef> MarkStack;
+  /// The GC worker pool (absent when GcThreads <= 1: phases run inline).
+  std::unique_ptr<GcWorkerPool> Workers;
+  std::vector<MarkWorker> MarkWorkers;
+  MarkPhaseDebug MarkDebug;
+  std::function<void()> MarkPhaseHook;
+
+  /// Mark-phase safepoint deferral for dynamic-failure interrupts:
+  /// failing a line while workers trace would race the atomic line
+  /// marking (and could unfence pages mid-phase), so batches arriving
+  /// while InMarkPhase are parked here and drained - never lost - when
+  /// the collection reaches its end-of-cycle safepoint.
+  std::atomic<bool> InMarkPhase{false};
+  std::mutex DeferredFailureMu;
+  std::vector<uint8_t *> DeferredFailures;
 
   FailureLedger Ledger;
 

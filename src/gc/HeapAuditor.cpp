@@ -44,6 +44,99 @@ AuditReport HeapAuditor::audit() {
 }
 
 //===----------------------------------------------------------------------===//
+// Position-independent heap digest
+//===----------------------------------------------------------------------===//
+
+uint64_t HeapAuditor::digest(bool HashPayload) {
+  constexpr uint64_t FnvOffset = 1469598103934665603ULL;
+  constexpr uint64_t FnvPrime = 1099511628211ULL;
+  uint64_t D = FnvOffset;
+  auto MixByte = [&D](uint8_t Byte) {
+    D ^= Byte;
+    D *= FnvPrime;
+  };
+  auto Mix = [&MixByte](uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      MixByte(static_cast<uint8_t>(V >> (I * 8)));
+  };
+
+  // Layer A: every Immix block in creation order - state, line counters
+  // and the raw line-mark bytes. This is what the sharded sweep and the
+  // atomic line marking must reproduce exactly.
+  std::unordered_map<const Block *, uint64_t> BlockOrdinal;
+  if (H.Immix) {
+    uint64_t Idx = 0;
+    H.Immix->forEachBlock([&](const Block &B) {
+      BlockOrdinal.emplace(&B, Idx);
+      Mix(Idx++);
+      Mix(static_cast<uint64_t>(B.state()));
+      Mix(B.freeLines());
+      Mix(B.failedLines());
+      Mix(B.evacuating() ? 1 : 0);
+      for (unsigned Line = 0; Line != B.lineCount(); ++Line)
+        MixByte(B.lineMark(Line));
+    });
+  }
+
+  // Layer B: the reachable object graph in BFS discovery order from the
+  // roots. Objects are identified by discovery ordinal and located by
+  // (block ordinal, in-block offset), never by virtual address, so two
+  // heaps in different address spaces digest equal; references fold in
+  // as the target's ordinal, which pins the whole graph shape.
+  std::unordered_map<const uint8_t *, uint64_t> Ordinal;
+  std::vector<const uint8_t *> Order;
+  for (ObjRef Root : H.Roots) {
+    Mix(Root ? 1 : 0);
+    if (Root && Ordinal.emplace(Root, Order.size()).second)
+      Order.push_back(Root);
+  }
+  for (size_t Head = 0; Head != Order.size(); ++Head) {
+    const uint8_t *Obj = Order[Head];
+    uint32_t Size = objectSize(Obj);
+    uint16_t NumRefs = objectNumRefs(Obj);
+    Mix(Head);
+    Mix(Size);
+    Mix(NumRefs);
+    MixByte(objectFlags(Obj));
+    MixByte(objectMark(Obj));
+
+    const Block *B =
+        H.Immix ? H.Immix->blockOf(Obj) : nullptr;
+    if (B) {
+      Mix(1);
+      Mix(BlockOrdinal[B]);
+      Mix(static_cast<uint64_t>(Obj - B->base()));
+    } else if (H.Los.contains(Obj)) {
+      Mix(2); // LOS placement is content-addressed only.
+    } else {
+      Mix(3); // Free-list space: ordinal identity only.
+    }
+
+    for (unsigned Slot = 0; Slot != NumRefs; ++Slot) {
+      const uint8_t *Ref = *refSlot(const_cast<ObjRef>(Obj), Slot);
+      if (!Ref) {
+        Mix(~uint64_t(0));
+        continue;
+      }
+      auto [It, Inserted] = Ordinal.emplace(Ref, Order.size());
+      if (Inserted)
+        Order.push_back(Ref);
+      Mix(It->second);
+    }
+
+    if (HashPayload) {
+      const uint8_t *Payload =
+          objectPayload(const_cast<ObjRef>(Obj));
+      size_t PayloadBytes = objectPayloadSize(Obj);
+      Mix(PayloadBytes);
+      for (size_t I = 0; I != PayloadBytes; ++I)
+        MixByte(Payload[I]);
+    }
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
 // Layer 1: the object graph
 //===----------------------------------------------------------------------===//
 

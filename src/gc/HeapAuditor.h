@@ -74,6 +74,18 @@ public:
   /// Runs every check; O(live set + blocks + ledger).
   AuditReport audit();
 
+  /// Position-independent digest of the post-collection heap state: the
+  /// Immix line/block states in creation order plus the reachable object
+  /// graph in BFS discovery order, with object locations expressed as
+  /// (block ordinal, in-block offset) relative coordinates and
+  /// references as discovery ordinals. Two heaps that ran the same
+  /// mutator/GC schedule digest equal even in separate address spaces,
+  /// which is what the parallel-GC determinism gates compare across
+  /// worker counts and runs. With \p HashPayload the raw payload bytes
+  /// are folded in too (only meaningful for workloads whose payloads are
+  /// address-free).
+  uint64_t digest(bool HashPayload = false);
+
 private:
   struct PinRecord {
     uint64_t Stamp;

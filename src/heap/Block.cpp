@@ -93,7 +93,7 @@ unsigned Block::unfailPage(unsigned PageWithinBlock) {
 //===----------------------------------------------------------------------===//
 
 void Block::rebuildSlot(EpochBits &S, uint8_t Value) const {
-  ++scanCounters().SlotRebuilds;
+  scanCounters().SlotRebuilds.fetch_add(1, std::memory_order_relaxed);
   S.Bits.clearAll();
   for (unsigned Line = 0, E = lineCount(); Line != E; ++Line)
     if (LineMarks[Line] == Value)
@@ -128,7 +128,7 @@ const Block::EpochBits &Block::slotFor(uint8_t Value, uint8_t Keep) const {
 uint64_t Block::availWordAt(size_t W, const Bitmap &SweepBits,
                             const Bitmap &MarkBits,
                             bool Conservative) const {
-  ++scanCounters().WordSteps;
+  scanCounters().WordSteps.fetch_add(1, std::memory_order_relaxed);
   uint64_t Live = SweepBits.word(W) | MarkBits.word(W);
   uint64_t Unavailable = Live | FailedBits.word(W);
   if (Conservative) {
@@ -227,7 +227,7 @@ bool Block::findHoleOracle(unsigned FromLine, uint8_t SweepEpoch,
     return Mark == SweepEpoch || Mark == MarkEpoch;
   };
   while (Line < NumLines) {
-    ++Counters.ByteSteps;
+    Counters.ByteSteps.fetch_add(1, std::memory_order_relaxed);
     // Skip unavailable lines.
     if (!lineAvailable(Line, SweepEpoch, MarkEpoch)) {
       ++Line;
@@ -242,7 +242,7 @@ bool Block::findHoleOracle(unsigned FromLine, uint8_t SweepEpoch,
     // Found the start of a hole; extend it.
     unsigned Start = Line;
     while (Line < NumLines && lineAvailable(Line, SweepEpoch, MarkEpoch)) {
-      ++Counters.ByteSteps;
+      Counters.ByteSteps.fetch_add(1, std::memory_order_relaxed);
       ++Line;
     }
     Out.StartLine = Start;
@@ -286,7 +286,7 @@ Block::SweepResult Block::sweepCountOracle(uint8_t Epoch,
   bool AnyLive = false;
   bool InHole = false;
   for (unsigned Line = 0; Line != NumLines; ++Line) {
-    ++Counters.ByteSteps;
+    Counters.ByteSteps.fetch_add(1, std::memory_order_relaxed);
     uint8_t Mark = LineMarks[Line];
     if (Mark == Epoch)
       AnyLive = true;

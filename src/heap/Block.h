@@ -27,6 +27,7 @@
 #include "pcm/Geometry.h"
 #include "support/Bitmap.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -63,11 +64,19 @@ public:
   /// ByteSteps counts line-mark bytes examined by the byte-scan oracle.
   /// They are the benchmark's currency: wall time is noisy, these are
   /// exactly reproducible from a seed.
+  /// The fields are atomics (relaxed increments) because the sharded
+  /// sweep and wearmem_soak's --jobs rep pool both step blocks from
+  /// several threads; single-threaded step sequences stay exactly
+  /// reproducible.
   struct ScanCounters {
-    uint64_t WordSteps = 0;
-    uint64_t ByteSteps = 0;
-    uint64_t SlotRebuilds = 0;
-    void reset() { *this = ScanCounters(); }
+    std::atomic<uint64_t> WordSteps{0};
+    std::atomic<uint64_t> ByteSteps{0};
+    std::atomic<uint64_t> SlotRebuilds{0};
+    void reset() {
+      WordSteps.store(0, std::memory_order_relaxed);
+      ByteSteps.store(0, std::memory_order_relaxed);
+      SlotRebuilds.store(0, std::memory_order_relaxed);
+    }
   };
   static ScanCounters &scanCounters();
 
@@ -100,6 +109,23 @@ public:
     // the fitting cursor's no-hole knowledge is stale.
     if (Epoch == 0)
       resetFittingCursor();
+  }
+
+  /// Thread-safe markLine for the parallel mark phase: several GC
+  /// workers may mark lines of the same block at once. Requires a live
+  /// epoch (never 0, so the fitting cursor is untouched) and relies on
+  /// the mark-phase safepoint contract: no line can fail concurrently
+  /// (failure interrupts are deferred), so the LineFailed check is
+  /// stable. Racing markers for the same line converge because the
+  /// stored value and the slot-bit updates are idempotent.
+  void markLineAtomic(unsigned Line, uint8_t Epoch) {
+    assert(Epoch != 0 && "atomic marking is for live epochs only");
+    std::atomic_ref<uint8_t> Mark(LineMarks[Line]);
+    uint8_t Cur = Mark.load(std::memory_order_relaxed);
+    if (Cur == LineFailed || Cur == Epoch)
+      return;
+    Mark.store(Epoch, std::memory_order_relaxed);
+    updateSlotsForLineAtomic(Line, Epoch);
   }
 
   bool lineIsFailed(unsigned Line) const {
@@ -286,6 +312,21 @@ private:
         S.Bits.set(Line);
       else
         S.Bits.clear(Line);
+    }
+  }
+
+  /// Atomic-bit variant of updateSlotsForLine for markLineAtomic. The
+  /// slots' Value/Valid metadata is stable during a mark phase (only
+  /// rebuilt from allocation/sweep paths, which are serial), so only the
+  /// bit flips need atomicity.
+  void updateSlotsForLineAtomic(unsigned Line, uint8_t Value) {
+    for (EpochBits &S : Slots) {
+      if (!S.Valid)
+        continue;
+      if (S.Value == Value)
+        S.Bits.setAtomic(Line);
+      else
+        S.Bits.clearAtomic(Line);
     }
   }
 

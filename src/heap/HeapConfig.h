@@ -22,8 +22,17 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 
 namespace wearmem {
+
+/// A parallel-for the GC layer hands down to the heap spaces: invoke
+/// Fn(I) exactly once for each I in [0, Count), possibly concurrently.
+/// An empty (default-constructed) function means "run serially". This
+/// indirection keeps the heap library free of any dependency on the gc
+/// library's worker pool.
+using GcParallelFor =
+    std::function<void(size_t Count, const std::function<void(size_t)> &Fn)>;
 
 /// The memory-management algorithms of Figure 3.
 enum class CollectorKind {
@@ -148,6 +157,11 @@ struct HeapConfig {
   /// storm rather than ordinary heap exhaustion.
   double StormOverloadFraction = 0.5;
 
+  /// Number of GC worker threads for the parallel collection engine.
+  /// 1 (the default) collects inline on the mutator thread with no pool;
+  /// any value produces bit-identical post-collection heap state.
+  unsigned GcThreads = 1;
+
   size_t linesPerBlock() const { return BlockSize / LineSize; }
   size_t pagesPerBlock() const { return BlockSize / PcmPageSize; }
   size_t maxDebtPages() const {
@@ -186,6 +200,10 @@ struct HeapStats {
   uint64_t WriteBarrierLogs = 0;
 
   uint64_t DynamicFailureBatches = 0;
+  /// Dynamic-failure batches that arrived while a (parallel) mark phase
+  /// was running and were parked until the end of the collection - the
+  /// safepoint deferral contract: never lost, never applied mid-trace.
+  uint64_t MarkPhaseDeferredInterrupts = 0;
   uint64_t DeferredFailureRecoveries = 0;
   uint64_t EmergencyDefrags = 0;
   uint64_t BlocksRetired = 0;

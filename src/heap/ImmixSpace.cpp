@@ -448,11 +448,26 @@ void ImmixSpace::clearDefragCandidates() {
   }
 }
 
-ImmixSweepTotals ImmixSpace::sweep(uint8_t Epoch) {
+ImmixSweepTotals ImmixSpace::sweep(uint8_t Epoch, const GcParallelFor &Par) {
   FreeList.clear();
   RecycleList.clear();
   ImmixSweepTotals Totals;
-  for (auto &B : Blocks) {
+  // Shard the per-block recount (each Block::sweep touches only its own
+  // block's state) into per-index result slots; everything order-dependent
+  // happens in the serial merge below.
+  std::vector<Block::SweepResult> Results(Blocks.size());
+  auto SweepOne = [&](size_t I) {
+    Block &B = *Blocks[I];
+    if (B.state() != BlockState::Retired)
+      Results[I] = B.sweep(Epoch, Config.ConservativeLineMarking);
+  };
+  if (Par)
+    Par(Blocks.size(), SweepOne);
+  else
+    for (size_t I = 0, E = Blocks.size(); I != E; ++I)
+      SweepOne(I);
+  for (size_t I = 0, E = Blocks.size(); I != E; ++I) {
+    auto &B = Blocks[I];
     if (B->state() == BlockState::Retired) {
       // Permanently withdrawn: the pages stay charged to the budget but
       // the lines no longer count as allocatable capacity.
@@ -460,8 +475,7 @@ ImmixSweepTotals ImmixSpace::sweep(uint8_t Epoch) {
       Totals.FailedLines += B->failedLines();
       continue;
     }
-    Block::SweepResult R =
-        B->sweep(Epoch, Config.ConservativeLineMarking);
+    Block::SweepResult R = Results[I];
     Stats.LinesSwept += B->lineCount();
     Totals.TotalLines += B->lineCount();
     Totals.FreeLines += R.FreeLines;

@@ -159,7 +159,12 @@ public:
   void clearDefragCandidates();
 
   /// Rebuilds the free/recyclable lists from the line marks at \p Epoch.
-  ImmixSweepTotals sweep(uint8_t Epoch);
+  /// With a non-empty \p Par, the per-block recount (the O(lines) part)
+  /// runs sharded across GC workers into per-block result slots; the
+  /// classification/retirement merge then walks blocks serially in
+  /// creation order, so list contents and retirement decisions are
+  /// byte-identical to a serial sweep under any worker count.
+  ImmixSweepTotals sweep(uint8_t Epoch, const GcParallelFor &Par = {});
 
   /// Returns completely empty blocks beyond \p KeepFree to the OS pool
   /// (the paper's "global pool of pages for use by the whole runtime"),

@@ -7,6 +7,7 @@
 
 #include "heap/LargeObjectSpace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -28,21 +29,48 @@ uint8_t *LargeObjectSpace::alloc(size_t Size) {
   std::memset(Mem, 0, Pages * PcmPageSize);
   PagesHeld += Pages;
   Nodes.emplace(reinterpret_cast<uintptr_t>(Mem),
-                LosNode{std::move(*Grant), false});
+                LosNode{std::move(*Grant), NextSeq++, false});
   return Mem;
 }
 
-void LargeObjectSpace::sweep(uint8_t Epoch) {
-  for (auto It = Nodes.begin(); It != Nodes.end();) {
-    ObjRef Obj = reinterpret_cast<ObjRef>(It->first);
-    bool Live = !It->second.Zombie && objectMark(Obj) == Epoch;
-    if (Live) {
-      ++It;
+void LargeObjectSpace::sweep(uint8_t Epoch, const GcParallelFor &Par) {
+  if (Nodes.empty())
+    return;
+  // Canonical allocation order: the free order (and thus the OS pool
+  // state afterwards) must not depend on hash-map iteration order, on
+  // which GC worker classified which node, or on where the host placed
+  // the grants - address order would replay differently in another heap
+  // instance even for an identical allocation history.
+  std::vector<std::pair<uint64_t, uintptr_t>> BySeq;
+  BySeq.reserve(Nodes.size());
+  for (const auto &KV : Nodes)
+    BySeq.emplace_back(KV.second.Seq, KV.first);
+  std::sort(BySeq.begin(), BySeq.end());
+  std::vector<uintptr_t> Addrs;
+  Addrs.reserve(BySeq.size());
+  for (const auto &[Seq, Addr] : BySeq)
+    Addrs.push_back(Addr);
+  std::vector<uint8_t> Dead(Addrs.size(), 0);
+  auto Classify = [&](size_t I) {
+    const LosNode &N = Nodes.find(Addrs[I])->second;
+    ObjRef Obj = reinterpret_cast<ObjRef>(Addrs[I]);
+    Dead[I] = N.Zombie || objectMark(Obj) != Epoch;
+  };
+  // The liveness probe is read-only on the node table and the headers;
+  // only sharding it is worthwhile (the frees mutate the OS pool and
+  // stay serial, in allocation order).
+  if (Par && Addrs.size() >= 64)
+    Par(Addrs.size(), Classify);
+  else
+    for (size_t I = 0, E = Addrs.size(); I != E; ++I)
+      Classify(I);
+  for (size_t I = 0, E = Addrs.size(); I != E; ++I) {
+    if (!Dead[I])
       continue;
-    }
+    auto It = Nodes.find(Addrs[I]);
     PagesHeld -= It->second.Grant.NumPages;
     Os.freePerfect(std::move(It->second.Grant));
-    It = Nodes.erase(It);
+    Nodes.erase(It);
   }
 }
 
@@ -61,7 +89,7 @@ ObjRef LargeObjectSpace::relocate(ObjRef Obj) {
   std::memcpy(NewMem, Obj, Size);
   PagesHeld += Pages;
   Nodes.emplace(reinterpret_cast<uintptr_t>(NewMem),
-                LosNode{std::move(*Grant), false});
+                LosNode{std::move(*Grant), NextSeq++, false});
   forwardObject(Obj, NewMem);
   // Re-find after the emplace: insertion may rehash the table.
   Nodes.find(reinterpret_cast<uintptr_t>(Obj))->second.Zombie = true;

@@ -41,8 +41,13 @@ public:
   /// the budget or debt cap refuses growth (collection required).
   uint8_t *alloc(size_t Size);
 
-  /// Frees objects whose mark is not \p Epoch, returning their pages.
-  void sweep(uint8_t Epoch);
+  /// Frees objects whose mark is not \p Epoch, returning their pages in
+  /// ascending allocation order (canonical regardless of hash-map
+  /// layout, worker count, or where the host placed the grants - the
+  /// free order shapes the OS pool's recycling lists, so it must depend
+  /// only on the allocation history). A non-empty \p Par shards the
+  /// read-only liveness probe across GC workers; the frees stay serial.
+  void sweep(uint8_t Epoch, const GcParallelFor &Par = {});
 
   /// Copies a large object to fresh pages (dynamic-failure relocation),
   /// leaving a forwarding pointer; the old pages are reclaimed when the
@@ -66,6 +71,8 @@ public:
 private:
   struct LosNode {
     PageGrant Grant;
+    /// Allocation sequence number: the canonical sweep order.
+    uint64_t Seq = 0;
     /// Relocated away; the grant is freed at the next sweep.
     bool Zombie = false;
   };
@@ -76,6 +83,7 @@ private:
   BudgetGate Gate;
   std::unordered_map<uintptr_t, LosNode> Nodes;
   size_t PagesHeld = 0;
+  uint64_t NextSeq = 0;
 };
 
 } // namespace wearmem

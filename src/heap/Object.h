@@ -26,6 +26,7 @@
 #ifndef WEARMEM_HEAP_OBJECT_H
 #define WEARMEM_HEAP_OBJECT_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -134,6 +135,57 @@ inline size_t objectPayloadSize(const uint8_t *Obj) {
   return objectSize(Obj) - ObjectHeaderBytes -
          objectNumRefs(Obj) * RefSlotBytes;
 }
+
+/// \name Concurrent-mark header access
+/// During the parallel mark phase several GC workers race to claim the
+/// same object, so header word0 may receive atomic compare-exchanges at
+/// any moment. The plain accessors above would constitute data races
+/// when mixed with those CASes; mark-phase code must instead take one
+/// atomic snapshot of word0 with objectWord0Acquire and decode fields
+/// from it with the word0* helpers. Word1 (forwarding) is never written
+/// during the mark phase, so plain reads of it stay safe.
+/// @{
+
+constexpr uint32_t word0Size(uint64_t Word) {
+  return static_cast<uint32_t>(Word >> 32);
+}
+constexpr uint16_t word0NumRefs(uint64_t Word) {
+  return static_cast<uint16_t>(Word >> 16);
+}
+constexpr uint8_t word0Flags(uint64_t Word) {
+  return static_cast<uint8_t>(Word >> 8);
+}
+constexpr uint8_t word0Mark(uint64_t Word) {
+  return static_cast<uint8_t>(Word);
+}
+
+/// Atomic (acquire) snapshot of header word0.
+inline uint64_t objectWord0Acquire(const uint8_t *Obj) {
+  return std::atomic_ref<uint64_t>(
+             const_cast<uint64_t &>(detail::word0(Obj)))
+      .load(std::memory_order_acquire);
+}
+
+/// Atomically claims the object for the given epoch: CASes the mark byte
+/// from any non-\p Epoch value to \p Epoch. Returns true if this caller
+/// won the claim (and must scan the object), false if the object was
+/// already marked for \p Epoch. On success \p ClaimedWord receives the
+/// post-claim word0 so the winner can decode size/refs/flags without a
+/// second (racy) header read.
+inline bool tryClaimObjectMark(ObjRef Obj, uint8_t Epoch,
+                               uint64_t &ClaimedWord) {
+  std::atomic_ref<uint64_t> Word(detail::word0(Obj));
+  uint64_t Cur = Word.load(std::memory_order_relaxed);
+  do {
+    if (word0Mark(Cur) == Epoch)
+      return false;
+    ClaimedWord = (Cur & ~uint64_t(0xFF)) | Epoch;
+  } while (!Word.compare_exchange_weak(Cur, ClaimedWord,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire));
+  return true;
+}
+/// @}
 
 /// Installs a forwarding pointer in an evacuated object's old copy.
 inline void forwardObject(ObjRef Old, ObjRef New) {

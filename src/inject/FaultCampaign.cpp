@@ -273,6 +273,14 @@ bool FaultCampaign::exhausted() const {
 }
 
 bool FaultCampaign::pump() {
+  // pump() is documented as a mutator-step call; if a caller pumps while
+  // the heap is mid-collection (e.g. from a GC callback), hold the
+  // triggers rather than racing the parallel mark phase. Clocks are
+  // unaffected - the firings happen at the next real mutator step.
+  if (Rt && Rt->heap().inCollection()) {
+    ++Stats.PumpsDeferredInGc;
+    return false;
+  }
   bool AnyFired = false;
   for (ArmedTrigger &A : Armed) {
     if (!A.Armed || clockNow(A.T.Clock) < A.NextAt)

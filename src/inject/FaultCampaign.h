@@ -69,6 +69,10 @@ struct CampaignStats {
   uint64_t ReplayMisses = 0;
   /// Triggers re-armed at doubled intensity by escalation mode.
   uint64_t Escalations = 0;
+  /// pump() calls declined because the attached runtime was inside a
+  /// collection - the parallel mark phase is a no-mutator window, so
+  /// campaigns hold their triggers until the next mutator step.
+  uint64_t PumpsDeferredInGc = 0;
 };
 
 /// The campaign engine.

@@ -81,6 +81,14 @@ void OsKernel::handleFailures() {
     ++Stats.ReentrantInterrupts;
     return;
   }
+  // Safepoint gate: the runtime is at a point where an up-call would be
+  // unsafe (mid mark phase). The device keeps the entries buffered and
+  // forwards reads from the failed lines, so deferring costs nothing but
+  // latency.
+  if (UpcallGate && UpcallGate()) {
+    ++Stats.DeferredInterrupts;
+    return;
+  }
   InHandler = true;
   ++Stats.Interrupts;
 

@@ -46,6 +46,10 @@ struct OsKernelStats {
   /// Interrupts raised while the handler was already running (failures
   /// raised by the up-call itself; they stay buffered for the loop).
   uint64_t ReentrantInterrupts = 0;
+  /// Interrupts declined by the up-call gate (runtime at an unsafe
+  /// point, e.g. mid mark phase); the entries stay buffered and are
+  /// serviced by a later handleFailures call.
+  uint64_t DeferredInterrupts = 0;
   /// Stalled writes retried by writeWithBackpressure after a drain.
   uint64_t StallRetries = 0;
   /// writeWithBackpressure giving up: the buffer stayed near-full for a
@@ -96,6 +100,17 @@ public:
   /// to the reconciled map before returning.
   DeviceRecovery recoverFromJournal();
 
+  /// Installs a safepoint gate for the up-call: while \p Gate returns
+  /// true, handleFailures leaves the interrupt buffered (counted in
+  /// DeferredInterrupts) instead of up-calling into the runtime. The
+  /// parallel collector sets a gate that is true during the mark phase,
+  /// so a wear interrupt cannot mutate line states under the tracing
+  /// workers; the entries are never lost - the next handleFailures after
+  /// the gate opens services them. Pass an empty function to remove.
+  void setUpcallGate(std::function<bool()> Gate) {
+    UpcallGate = std::move(Gate);
+  }
+
   /// Services the failure interrupt: snapshots pending failures, revokes
   /// page permissions, up-calls (or page-copies), then clears the buffer
   /// entries. Called automatically via the device interrupt; may also be
@@ -124,6 +139,7 @@ public:
 private:
   PcmDevice &Device;
   RuntimeFailureHandler Handler_;
+  std::function<bool()> UpcallGate;
   std::set<PageIndex> ProtectedPages;
   OsKernelStats Stats;
   MetadataJournal *Journal = nullptr;

@@ -15,6 +15,7 @@
 #ifndef WEARMEM_SUPPORT_BITMAP_H
 #define WEARMEM_SUPPORT_BITMAP_H
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstddef>
@@ -47,6 +48,26 @@ public:
     assert(Idx < NumBits && "bitmap index out of range");
     Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
   }
+
+  /// \name Atomic bit updates
+  /// Lock-free set/clear for concurrent writers (the parallel mark phase
+  /// updates per-block epoch bitmaps from several GC workers at once).
+  /// Relaxed ordering suffices: phase barriers publish the results.
+  /// Must not race with the non-atomic mutators or with resizing.
+  /// @{
+  void setAtomic(size_t Idx) {
+    assert(Idx < NumBits && "bitmap index out of range");
+    std::atomic_ref<uint64_t>(Words[Idx / 64])
+        .fetch_or(uint64_t(1) << (Idx % 64), std::memory_order_relaxed);
+  }
+
+  void clearAtomic(size_t Idx) {
+    assert(Idx < NumBits && "bitmap index out of range");
+    std::atomic_ref<uint64_t>(Words[Idx / 64])
+        .fetch_and(~(uint64_t(1) << (Idx % 64)),
+                   std::memory_order_relaxed);
+  }
+  /// @}
 
   void setAll() {
     for (auto &W : Words)

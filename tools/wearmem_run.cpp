@@ -43,6 +43,8 @@ void printUsage() {
       "  --no-compensate          fixed physical footprint\n"
       "  --arraylets              discontiguous large arrays\n"
       "  --dynamic-failures=N     inject N line failures mid-run\n"
+      "  --gc-threads=N           parallel GC workers (default 1; the\n"
+      "                           heap state is identical for any N)\n"
       "  --reps=N                 repetitions (default 3)\n"
       "  --seed=N                 failure-map + workload seed\n");
 }
@@ -74,6 +76,7 @@ int main(int argc, char **argv) {
   bool Compensate = true;
   bool Arraylets = false;
   unsigned DynamicFailures = 0;
+  unsigned GcThreads = 1;
   int Reps = 3;
   uint64_t Seed = 0x5EEDF00DULL;
 
@@ -122,6 +125,8 @@ int main(int argc, char **argv) {
       Arraylets = true;
     } else if (parseFlag(Arg, "--dynamic-failures", Value)) {
       DynamicFailures = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (parseFlag(Arg, "--gc-threads", Value)) {
+      GcThreads = static_cast<unsigned>(std::atoi(Value.c_str()));
     } else if (parseFlag(Arg, "--reps", Value)) {
       Reps = std::atoi(Value.c_str());
     } else if (parseFlag(Arg, "--seed", Value)) {
@@ -162,6 +167,7 @@ int main(int argc, char **argv) {
   Config.LineSize = Line;
   Config.CompensateForFailures = Compensate;
   Config.UseDiscontiguousArrays = Arraylets;
+  Config.GcThreads = GcThreads > 0 ? GcThreads : 1;
   Config.Seed = Seed;
   if (Config.Collector == CollectorKind::MarkSweep ||
       Config.Collector == CollectorKind::StickyMarkSweep)

@@ -26,12 +26,15 @@
 #include "workload/Mutator.h"
 #include "workload/Runner.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace wearmem;
@@ -60,6 +63,16 @@ struct SoakOptions {
   /// Seed the static failure map from a wear simulation run to this
   /// failed fraction (0 = off).
   double WearSimTarget = 0.0;
+  /// Parallel GC workers inside each runtime (heap state is identical
+  /// for any value; see gc/GcWorkers.h).
+  unsigned GcThreads = 1;
+  /// Independent campaign repetitions (seed, seed+1, ...); > 1 switches
+  /// to the multi-rep aggregate JSON.
+  unsigned Reps = 1;
+  /// Worker threads the repetitions are spread across. The aggregate
+  /// JSON is printed serially in rep order after all workers join, so
+  /// it is byte-identical for any --jobs value.
+  unsigned Jobs = 1;
 };
 
 struct CurvePoint {
@@ -107,6 +120,12 @@ void usage(const char *Argv0) {
       "  --crash-campaign N    kill-and-recover mode: N iterations of\n"
       "                        run, crash at a rotating kill point,\n"
       "                        journal recovery, and audit\n"
+      "  --gc-threads N        parallel GC workers (default 1; heap\n"
+      "                        state is identical for any N)\n"
+      "  --reps N              independent campaign repetitions with\n"
+      "                        seeds seed..seed+N-1 (default 1)\n"
+      "  --jobs N              threads to spread the repetitions over;\n"
+      "                        output is byte-identical for any N\n"
       "  --escalate            triggers re-arm at doubled intensity\n"
       "  --verify-determinism  run twice, require identical curves\n"
       "  --with-timing         include wall-clock ms in the JSON\n",
@@ -146,6 +165,15 @@ bool parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       Opt.WearSimTarget = std::atof(V);
     } else if (Arg == "--crash-campaign" && (V = value())) {
       Opt.CrashIters = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    } else if (Arg == "--gc-threads" && (V = value())) {
+      Opt.GcThreads =
+          std::max(1u, static_cast<unsigned>(std::strtoul(V, nullptr, 0)));
+    } else if (Arg == "--reps" && (V = value())) {
+      Opt.Reps =
+          std::max(1u, static_cast<unsigned>(std::strtoul(V, nullptr, 0)));
+    } else if (Arg == "--jobs" && (V = value())) {
+      Opt.Jobs =
+          std::max(1u, static_cast<unsigned>(std::strtoul(V, nullptr, 0)));
     } else if (Arg == "--escalate") {
       Opt.Escalate = true;
     } else if (Arg == "--verify-determinism") {
@@ -168,6 +196,7 @@ RuntimeConfig makeConfig(const SoakOptions &Opt, const Profile &P) {
   Config.FailureRate = Opt.FailureRate;
   Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
   Config.MaxDebtPages = Opt.MaxDebtPages;
+  Config.GcThreads = Opt.GcThreads;
   Config.Seed = Opt.Seed;
   if (Opt.WearSimTarget > 0.0) {
     // Provision from a simulated wear-out instead of the parametric
@@ -384,6 +413,126 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
 }
 
 //===----------------------------------------------------------------------===//
+// Multi-rep mode: independent campaigns across a thread pool
+//===----------------------------------------------------------------------===//
+
+/// Runs Opt.Reps independent campaigns (seed, seed+1, ...) across up to
+/// Opt.Jobs threads. Each repetition owns its Runtime, Mutator, campaign
+/// RNG and auditor, so repetitions share nothing; workers claim rep
+/// indices from an atomic cursor and deposit outcomes into per-rep
+/// slots. All printing happens serially, in rep order, after the pool
+/// joins - the JSON is byte-identical for any --jobs value, which the
+/// CI determinism gate compares directly.
+int runMultiRep(const SoakOptions &Opt, const Profile &P,
+                const std::vector<FaultTrigger> &Triggers) {
+  struct RepResult {
+    SoakOutcome Out;
+    bool DeterminismVerified = true;
+  };
+  std::vector<RepResult> Results(Opt.Reps);
+  std::atomic<unsigned> NextRep{0};
+
+  auto Work = [&]() {
+    for (;;) {
+      unsigned Rep = NextRep.fetch_add(1, std::memory_order_relaxed);
+      if (Rep >= Opt.Reps)
+        return;
+      SoakOptions RepOpt = Opt;
+      RepOpt.Seed = Opt.Seed + Rep;
+      Results[Rep].Out = runSoak(RepOpt, P, Triggers);
+      if (Opt.VerifyDeterminism) {
+        SoakOutcome Again = runSoak(RepOpt, P, Triggers);
+        Results[Rep].DeterminismVerified =
+            sameCurve(Results[Rep].Out, Again);
+      }
+    }
+  };
+
+  unsigned NumThreads = std::min(Opt.Jobs, Opt.Reps);
+  if (NumThreads > 1) {
+    std::vector<std::thread> Pool;
+    Pool.reserve(NumThreads);
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Pool.emplace_back(Work);
+    for (std::thread &Th : Pool)
+      Th.join();
+  } else {
+    Work();
+  }
+
+  unsigned Survived = 0, AuditViolations = 0, Mismatches = 0;
+  for (const RepResult &R : Results) {
+    Survived += R.Out.Survived ? 1 : 0;
+    AuditViolations += static_cast<unsigned>(R.Out.Violations.size());
+    Mismatches += R.DeterminismVerified ? 0 : 1;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"tool\": \"wearmem_soak\",\n");
+  std::printf("  \"mode\": \"multi-rep\",\n");
+  std::printf("  \"profile\": \"%s\",\n", Opt.ProfileName.c_str());
+  std::printf("  \"campaign\": \"%s\",\n", Opt.Schedule.c_str());
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(Opt.Seed));
+  std::printf("  \"reps\": %u,\n", Opt.Reps);
+  std::printf("  \"gc_threads\": %u,\n", Opt.GcThreads);
+  std::printf("  \"rep_outcomes\": [\n");
+  for (unsigned Rep = 0; Rep != Opt.Reps; ++Rep) {
+    const RepResult &R = Results[Rep];
+    const SoakOutcome &Out = R.Out;
+    std::printf(
+        "    {\"rep\": %u, \"seed\": %llu, \"survived\": %s, "
+        "\"dnf_reason\": \"%s\", \"alloc_bytes\": %llu, \"gc_count\": "
+        "%llu, \"lines_failed\": %llu, \"blocks_retired\": %llu, "
+        "\"audits\": %zu, \"violations\": %zu, \"curve_points\": %zu%s}%s\n",
+        Rep, static_cast<unsigned long long>(Opt.Seed + Rep),
+        Out.Survived ? "true" : "false", dnfReasonName(Out.Dnf),
+        static_cast<unsigned long long>(Out.AllocBytes),
+        static_cast<unsigned long long>(Out.Heap.GcCount),
+        static_cast<unsigned long long>(Out.Campaign.LinesFailed),
+        static_cast<unsigned long long>(Out.Heap.BlocksRetired),
+        Out.Audits, Out.Violations.size(), Out.Curve.size(),
+        Opt.VerifyDeterminism
+            ? (R.DeterminismVerified ? ", \"determinism\": \"verified\""
+                                     : ", \"determinism\": \"MISMATCH\"")
+            : "",
+        Rep + 1 == Opt.Reps ? "" : ",");
+  }
+  std::printf("  ],\n");
+
+  // Aggregate survival curve: the fraction of repetitions still alive
+  // as the allocation volume advances, one step per death.
+  std::vector<uint64_t> Deaths;
+  for (const RepResult &R : Results)
+    if (!R.Out.Survived)
+      Deaths.push_back(R.Out.AllocBytes);
+  std::sort(Deaths.begin(), Deaths.end());
+  std::printf("  \"aggregate_survival\": [\n");
+  std::printf("    {\"alloc\": 0, \"surviving_fraction\": 1.0000}%s\n",
+              Deaths.empty() ? "" : ",");
+  for (size_t I = 0; I != Deaths.size(); ++I)
+    std::printf("    {\"alloc\": %llu, \"surviving_fraction\": %.4f}%s\n",
+                static_cast<unsigned long long>(Deaths[I]),
+                static_cast<double>(Opt.Reps - I - 1) /
+                    static_cast<double>(Opt.Reps),
+                I + 1 == Deaths.size() ? "" : ",");
+  std::printf("  ],\n");
+  std::printf("  \"totals\": {\"survived\": %u, \"dnf\": %u, "
+              "\"audit_violations\": %u, \"determinism_mismatches\": "
+              "%u}\n",
+              Survived, Opt.Reps - Survived, AuditViolations, Mismatches);
+  std::printf("}\n");
+
+  if (Mismatches)
+    return 4;
+  if (AuditViolations)
+    return 3;
+  if (Survived != Opt.Reps)
+    return 2;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Crash campaign: kill -> recover -> audit, N times
 //===----------------------------------------------------------------------===//
 
@@ -579,6 +728,9 @@ int main(int Argc, char **Argv) {
 
   if (Opt.CrashIters)
     return runCrashCampaign(Opt, *P, *Triggers);
+
+  if (Opt.Reps > 1)
+    return runMultiRep(Opt, *P, *Triggers);
 
   SoakOutcome Out = runSoak(Opt, *P, *Triggers);
   bool DeterminismVerified = true;
