@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "heap/ImmixSpace.h"
+#include "support/JsonWriter.h"
 #include "support/Random.h"
 
 #include <chrono>
@@ -362,65 +363,92 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
     return 2;
   }
-  std::fprintf(Out, "{\n  \"bench\": \"alloc_path\",\n");
-  std::fprintf(Out, "  \"schema_version\": 1,\n");
-  std::fprintf(Out, "  \"seed\": %llu,\n", (unsigned long long)Seed);
-  std::fprintf(Out, "  \"block_size\": %zu,\n", HeapConfig().BlockSize);
-  std::fprintf(Out, "  \"line_size\": %zu,\n", HeapConfig().LineSize);
-  std::fprintf(Out, "  \"scenarios\": [\n");
+  JsonWriter W(Out);
+  W.openRoot();
+  W.key("bench");
+  W.value("alloc_path");
+  W.key("schema_version");
+  W.value(1);
+  W.key("seed");
+  W.value(Seed);
+  W.key("block_size");
+  W.value(HeapConfig().BlockSize);
+  W.key("line_size");
+  W.value(HeapConfig().LineSize);
+  W.key("scenarios");
+  W.openArray(JsonWriter::Style::Line);
   for (int P = 0; P != 3; ++P) {
     for (int F = 0; F != 3; ++F) {
       const ScenarioResult &R = Results[P][F];
-      std::fprintf(
-          Out,
-          "    {\"name\": \"%s\", \"failed_line_pct\": %d, "
-          "\"allocs\": %llu, \"bytes\": %llu, \"slow_paths\": %llu, "
-          "\"hole_searches\": %llu, \"overflow_searches\": %llu, "
-          "\"word_steps\": %llu, \"lines_swept\": %llu}%s\n",
-          Phases[P], (int)(Rates[F] * 100), (unsigned long long)R.Allocs,
-          (unsigned long long)R.Bytes, (unsigned long long)R.SlowPaths,
-          (unsigned long long)R.HoleSearches,
-          (unsigned long long)R.OverflowSearches,
-          (unsigned long long)R.WordSteps,
-          (unsigned long long)R.LinesSwept,
-          (P == 2 && F == 2) ? "" : ",");
+      W.openObject(JsonWriter::Style::Inline);
+      W.key("name");
+      W.value(Phases[P]);
+      W.key("failed_line_pct");
+      W.value((int)(Rates[F] * 100));
+      W.key("allocs");
+      W.value(R.Allocs);
+      W.key("bytes");
+      W.value(R.Bytes);
+      W.key("slow_paths");
+      W.value(R.SlowPaths);
+      W.key("hole_searches");
+      W.value(R.HoleSearches);
+      W.key("overflow_searches");
+      W.value(R.OverflowSearches);
+      W.key("word_steps");
+      W.value(R.WordSteps);
+      W.key("lines_swept");
+      W.value(R.LinesSwept);
+      W.close();
     }
   }
-  std::fprintf(Out, "  ],\n");
-  std::fprintf(Out, "  \"scan_duel\": [\n");
+  W.close();
+  W.key("scan_duel");
+  W.openArray(JsonWriter::Style::Line);
   for (int F = 0; F != 3; ++F) {
     const char *Names[] = {"findhole", "sweep"};
     const DuelResult *Duels[] = {&FindHoleDuels[F], &SweepDuels[F]};
     for (int K = 0; K != 2; ++K) {
       const DuelResult &D = *Duels[K];
-      std::fprintf(Out,
-                   "    {\"name\": \"%s\", \"failed_line_pct\": %d, "
-                   "\"word_steps\": %llu, \"oracle_byte_steps\": %llu, "
-                   "\"step_speedup_x\": %.3f, \"comparisons\": %llu, "
-                   "\"mismatches\": %llu}%s\n",
-                   Names[K], (int)(Rates[F] * 100),
-                   (unsigned long long)D.WordSteps,
-                   (unsigned long long)D.ByteSteps, stepSpeedup(D),
-                   (unsigned long long)D.Comparisons,
-                   (unsigned long long)D.Mismatches,
-                   (F == 2 && K == 1) ? "" : ",");
+      W.openObject(JsonWriter::Style::Inline);
+      W.key("name");
+      W.value(Names[K]);
+      W.key("failed_line_pct");
+      W.value((int)(Rates[F] * 100));
+      W.key("word_steps");
+      W.value(D.WordSteps);
+      W.key("oracle_byte_steps");
+      W.value(D.ByteSteps);
+      W.key("step_speedup_x");
+      W.valueF(stepSpeedup(D), 3);
+      W.key("comparisons");
+      W.value(D.Comparisons);
+      W.key("mismatches");
+      W.value(D.Mismatches);
+      W.close();
     }
   }
-  std::fprintf(Out, "  ],\n");
-  std::fprintf(Out,
-               "  \"zero_failure_overhead\": {\"aware_allocs\": %llu, "
-               "\"unaware_allocs\": %llu, \"aware_word_steps\": %llu, "
-               "\"unaware_word_steps\": %llu, \"aware_slow_paths\": %llu, "
-               "\"unaware_slow_paths\": %llu, \"work_delta\": %llu},\n",
-               (unsigned long long)AwareOn.Allocs,
-               (unsigned long long)AwareOff.Allocs,
-               (unsigned long long)AwareOn.WordSteps,
-               (unsigned long long)AwareOff.WordSteps,
-               (unsigned long long)AwareOn.SlowPaths,
-               (unsigned long long)AwareOff.SlowPaths,
-               (unsigned long long)(ZeroOverhead ? 0 : 1));
-  std::fprintf(Out, "  \"self_check_mismatches\": %llu\n}\n",
-               (unsigned long long)Mismatches);
+  W.close();
+  W.key("zero_failure_overhead");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("aware_allocs");
+  W.value(AwareOn.Allocs);
+  W.key("unaware_allocs");
+  W.value(AwareOff.Allocs);
+  W.key("aware_word_steps");
+  W.value(AwareOn.WordSteps);
+  W.key("unaware_word_steps");
+  W.value(AwareOff.WordSteps);
+  W.key("aware_slow_paths");
+  W.value(AwareOn.SlowPaths);
+  W.key("unaware_slow_paths");
+  W.value(AwareOff.SlowPaths);
+  W.key("work_delta");
+  W.value(ZeroOverhead ? 0 : 1);
+  W.close();
+  W.key("self_check_mismatches");
+  W.value(Mismatches);
+  W.closeRoot();
   std::fclose(Out);
   std::printf("\nwrote %s\n", OutPath.c_str());
 

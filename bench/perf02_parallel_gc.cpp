@@ -30,6 +30,7 @@
 
 #include "gc/Heap.h"
 #include "gc/HeapAuditor.h"
+#include "support/JsonWriter.h"
 
 #include <chrono>
 #include <cstdio>
@@ -292,37 +293,51 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
     return 1;
   }
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"bench\": \"perf02_parallel_gc\",\n");
-  std::fprintf(Out, "  \"seed\": %llu,\n", (unsigned long long)Seed);
-  std::fprintf(Out, "  \"scale\": %.3f,\n", Scale);
-  std::fprintf(Out, "  \"timed_gcs\": %u,\n", TimedGcs);
-  std::fprintf(Out, "  \"configs\": [\n");
+  JsonWriter W(Out);
+  W.openRoot();
+  W.key("bench");
+  W.value("perf02_parallel_gc");
+  W.key("seed");
+  W.value(Seed);
+  W.key("scale");
+  W.valueF(Scale, 3);
+  W.key("timed_gcs");
+  W.value(TimedGcs);
+  W.key("configs");
+  W.openArray(JsonWriter::Style::Line);
   for (unsigned C = 0; C != NumConfigs; ++C) {
     const ConfigResult &R = Results[C];
-    std::fprintf(Out,
-                 "    {\"gc_threads\": %u, \"gc_count\": %llu, "
-                 "\"full_gc_count\": %llu, \"objects_allocated\": %llu, "
-                 "\"bytes_allocated\": %llu, \"objects_evacuated\": %llu, "
-                 "\"blocks_retired\": %llu, \"lines_swept\": %llu, "
-                 "\"pinned_remaps\": %llu,\n     \"digests\": [",
-                 R.GcThreads, (unsigned long long)R.GcCount,
-                 (unsigned long long)R.FullGcCount,
-                 (unsigned long long)R.ObjectsAllocated,
-                 (unsigned long long)R.BytesAllocated,
-                 (unsigned long long)R.ObjectsEvacuated,
-                 (unsigned long long)R.BlocksRetired,
-                 (unsigned long long)R.LinesSwept,
-                 (unsigned long long)R.PinnedRemaps);
-    for (size_t I = 0; I != R.Digests.size(); ++I)
-      std::fprintf(Out, "%s\"0x%016llx\"", I ? ", " : "",
-                   (unsigned long long)R.Digests[I]);
-    std::fprintf(Out, "]}%s\n", C + 1 == NumConfigs ? "" : ",");
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("gc_threads");
+    W.value(R.GcThreads);
+    W.key("gc_count");
+    W.value(R.GcCount);
+    W.key("full_gc_count");
+    W.value(R.FullGcCount);
+    W.key("objects_allocated");
+    W.value(R.ObjectsAllocated);
+    W.key("bytes_allocated");
+    W.value(R.BytesAllocated);
+    W.key("objects_evacuated");
+    W.value(R.ObjectsEvacuated);
+    W.key("blocks_retired");
+    W.value(R.BlocksRetired);
+    W.key("lines_swept");
+    W.value(R.LinesSwept);
+    W.key("pinned_remaps");
+    W.value(R.PinnedRemaps);
+    W.lineBreak(5); // Digest rows wrap under the counters.
+    W.key("digests");
+    W.openArray(JsonWriter::Style::Inline);
+    for (uint64_t Digest : R.Digests)
+      W.valueHex(Digest);
+    W.close();
+    W.close();
   }
-  std::fprintf(Out, "  ],\n");
-  std::fprintf(Out, "  \"identical_across_worker_counts\": %s\n",
-               Identical ? "true" : "false");
-  std::fprintf(Out, "}\n");
+  W.close();
+  W.key("identical_across_worker_counts");
+  W.value(Identical);
+  W.closeRoot();
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath.c_str());
 

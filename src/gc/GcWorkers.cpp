@@ -7,6 +7,8 @@
 
 #include "gc/GcWorkers.h"
 
+#include "obs/Hooks.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -149,6 +151,8 @@ void MarkWorkList::publish(unsigned Worker, std::vector<Item> Chunk) {
   Overflow.push_back(std::move(Chunk));
   OverflowCount.store(Overflow.size(), std::memory_order_relaxed);
   OverflowPeak = std::max(OverflowPeak, Overflow.size());
+  // Which chunks spill depends on thread scheduling: Timing domain only.
+  WEARMEM_COUNT_TIMING("gc.mark.overflow_spills");
 }
 
 bool MarkWorkList::pop(unsigned Worker, Item &Out) {
@@ -195,6 +199,8 @@ bool MarkWorkList::takeStolen(unsigned Worker, std::vector<Item> &Out) {
     Out = std::move(V.Chunks.front());
     V.Chunks.pop_front();
     V.ChunkCount.store(V.Chunks.size(), std::memory_order_relaxed);
+    // Steal counts vary run to run with scheduling: Timing domain only.
+    WEARMEM_COUNT_TIMING("gc.mark.steals");
     return true;
   }
   return false;

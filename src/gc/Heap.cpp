@@ -7,6 +7,8 @@
 
 #include "gc/Heap.h"
 
+#include "obs/Hooks.h"
+
 #include "gc/HeapAuditor.h"
 
 #include <algorithm>
@@ -190,6 +192,10 @@ void Heap::runCollection(CollectionKind Kind) {
   auto Start = std::chrono::steady_clock::now();
   bool Full = Kind == CollectionKind::Full;
   ++Stats.GcCount;
+  WEARMEM_COUNT_DET("gc.collections");
+  if (Full)
+    WEARMEM_COUNT_DET("gc.collections.full");
+  WEARMEM_TRACE(GcBegin, Stats.GcCount, Full ? 1 : 0);
 
   if (Allocator)
     Allocator->retire();
@@ -222,9 +228,15 @@ void Heap::runCollection(CollectionKind Kind) {
   // Trace, in three phases (see Heap.h): parallel claim-and-mark,
   // serial address-ordered evacuation, parallel reference fixup. Any
   // worker interleaving yields the same post-collection heap state.
+  WEARMEM_TRACE(PhaseBegin, 0, Stats.GcCount);
   markPhase(Kind);
+  WEARMEM_TRACE(PhaseEnd, 0, Stats.GcCount);
+  WEARMEM_TRACE(PhaseBegin, 1, Stats.GcCount);
   evacuatePhase();
+  WEARMEM_TRACE(PhaseEnd, 1, Stats.GcCount);
+  WEARMEM_TRACE(PhaseBegin, 2, Stats.GcCount);
   fixupPhase();
+  WEARMEM_TRACE(PhaseEnd, 2, Stats.GcCount);
 
   // Sweep. The O(lines) per-block recounts and the LOS liveness probe
   // shard across the pool; classification and list building stay serial
@@ -234,8 +246,10 @@ void Heap::runCollection(CollectionKind Kind) {
     Par = [this](size_t Count, const std::function<void(size_t)> &Fn) {
       Workers->parallelChunks(Count, Fn);
     };
+  WEARMEM_TRACE(PhaseBegin, 3, Stats.GcCount);
   if (Immix) {
     ImmixSweepTotals Totals = Immix->sweep(Epoch, Par);
+    WEARMEM_COUNT_DET_N("gc.sweep.lines", Totals.TotalLines);
     Immix->clearDefragCandidates();
     // Return excess empty blocks to the OS pool so page-grained
     // allocators can compete for them (the paper's global block pool).
@@ -260,6 +274,7 @@ void Heap::runCollection(CollectionKind Kind) {
                           static_cast<double>(Totals.TotalBytes);
   }
   Los.sweep(Epoch, Par);
+  WEARMEM_TRACE(PhaseEnd, 3, Stats.GcCount);
 
 #ifdef WEARMEM_EXPENSIVE_CHECKS
   // Evacuation targets within one collection must never overlap. This
@@ -298,6 +313,10 @@ void Heap::runCollection(CollectionKind Kind) {
     FullPausesMs.push_back(Ms);
   else
     NurseryPausesMs.push_back(Ms);
+  // Wall-clock: Timing domain only, never in determinism comparisons.
+  WEARMEM_COUNT_TIMING_N("gc.pause_us_total",
+                         static_cast<uint64_t>(Ms * 1000.0));
+  WEARMEM_TRACE(GcEnd, Stats.GcCount, Full ? 1 : 0);
   InCollection = false;
   MarkWorkers.clear();
   // End-of-cycle safepoint: apply dynamic failures that arrived while
@@ -497,6 +516,10 @@ void Heap::evacuatePhase() {
       forwardObject(Target, NewMem);
       ++Stats.ObjectsEvacuated;
       Stats.BytesEvacuated += Size;
+      WEARMEM_COUNT_DET("gc.evacuations");
+      WEARMEM_OBSERVE_DET("gc.evac_bytes",
+                          ({64, 128, 256, 512, 1024, 4096, 16384}), Size);
+      WEARMEM_TRACE(Evacuation, Size, 0);
       markObjectLines(NewMem, Size);
     } else {
       if (B->hasFreshFailure() && overlapsFailedLine(B, Target, Size))
@@ -663,6 +686,8 @@ void Heap::emergencyPageRemap(Block *B, const uint8_t *Obj) {
       // Clears durable truth for the page, passes the Remap kill point,
       // then appends the PoolTransition/PageRemap record.
       Journal->recordPageRemap(Ids[Page]);
+    WEARMEM_COUNT_DET("gc.pinned_page_remaps");
+    WEARMEM_TRACE(PageRemap, Page < Ids.size() ? Ids[Page] : ~0ull, Page);
     B->unfailPage(static_cast<unsigned>(Page));
     // The failed physical lines are gone from these addresses.
     Ledger.dropPage(reinterpret_cast<uintptr_t>(B->base()), Page);
@@ -713,9 +738,13 @@ void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
     DeferredFailures.insert(DeferredFailures.end(), Addrs.begin(),
                             Addrs.end());
     ++Stats.MarkPhaseDeferredInterrupts;
+    WEARMEM_COUNT_DET("gc.failure_batches_deferred");
+    WEARMEM_TRACE(DynamicFailureBatch, Addrs.size(), 1);
     return;
   }
   ++Stats.DynamicFailureBatches;
+  WEARMEM_COUNT_DET("gc.dynamic_failure_batches");
+  WEARMEM_TRACE(DynamicFailureBatch, Addrs.size(), 0);
   if (!Immix) {
     // Free-list heaps cannot move objects: model the failure-unaware OS
     // handling (copy each affected page to a perfect page).
@@ -782,6 +811,8 @@ void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
 
 void Heap::injectDynamicFailureOnLarge(ObjRef Obj) {
   ++Stats.DynamicFailuresHandled;
+  WEARMEM_COUNT_DET("los.relocations");
+  WEARMEM_TRACE(LosRelocate, objectSize(Obj), 0);
   assert(objectHasFlag(Obj, FlagLarge) && "not a large object");
   if (objectHasFlag(Obj, FlagPinned)) {
     ++Stats.PinnedFailurePageRemaps;

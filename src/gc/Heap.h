@@ -203,6 +203,7 @@ public:
   ImmixSpace *immixSpace() { return Immix.get(); }
   const ImmixSpace *immixSpace() const { return Immix.get(); }
   LargeObjectSpace &largeObjectSpace() { return Los; }
+  const LargeObjectSpace &largeObjectSpace() const { return Los; }
 
   /// Verifies heap invariants via the cross-layer HeapAuditor and aborts
   /// with a diagnostic on the first violation (test-only; O(live set)).

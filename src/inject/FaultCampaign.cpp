@@ -7,6 +7,8 @@
 
 #include "inject/FaultCampaign.h"
 
+#include "obs/Hooks.h"
+
 #include "core/Runtime.h"
 #include "pcm/PcmDevice.h"
 
@@ -296,6 +298,9 @@ bool FaultCampaign::pump() {
 
 void FaultCampaign::fire(ArmedTrigger &A) {
   ++Stats.Firings;
+  WEARMEM_COUNT_DET("inject.firings");
+  WEARMEM_TRACE(CampaignFiring, static_cast<uint64_t>(A.T.Shape),
+                A.FiredCount);
   if (Rt)
     fireHeap(A.T);
   else if (Device)

@@ -1,0 +1,88 @@
+//===- obs/Hooks.h - One-line instrumentation hook macros -------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hook idiom from Metrics.h packaged as macros so instrumenting a
+/// call site stays one line. Macros (not inline functions) because each
+/// expansion owns a function-local static MetricId: the metric registers
+/// lazily the first time the site fires with metrics enabled, and a
+/// disabled run costs exactly one relaxed load and an untaken branch.
+///
+/// These must never appear in a position where they could change control
+/// flow or deterministic state - they expand to observation only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_OBS_HOOKS_H
+#define WEARMEM_OBS_HOOKS_H
+
+#include "obs/FlightRecorder.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+
+/// Adds \p N to a deterministic-domain counter named \p Name.
+#define WEARMEM_COUNT_DET_N(Name, N)                                         \
+  do {                                                                       \
+    if (::wearmem::obs::metricsOn()) {                                       \
+      static const ::wearmem::obs::MetricId WearmemObsId =                   \
+          ::wearmem::obs::MetricsRegistry::instance().counter(               \
+              Name, ::wearmem::obs::MetricDomain::Deterministic);            \
+      ::wearmem::obs::MetricsRegistry::instance().add(WearmemObsId, (N));    \
+    }                                                                        \
+  } while (0)
+
+#define WEARMEM_COUNT_DET(Name) WEARMEM_COUNT_DET_N(Name, 1)
+
+/// Adds \p N to a timing-domain counter (schedule-dependent values).
+#define WEARMEM_COUNT_TIMING_N(Name, N)                                      \
+  do {                                                                       \
+    if (::wearmem::obs::metricsOn()) {                                       \
+      static const ::wearmem::obs::MetricId WearmemObsId =                   \
+          ::wearmem::obs::MetricsRegistry::instance().counter(               \
+              Name, ::wearmem::obs::MetricDomain::Timing);                   \
+      ::wearmem::obs::MetricsRegistry::instance().add(WearmemObsId, (N));    \
+    }                                                                        \
+  } while (0)
+
+#define WEARMEM_COUNT_TIMING(Name) WEARMEM_COUNT_TIMING_N(Name, 1)
+
+/// Records \p Sample in a deterministic-domain histogram; \p Bounds is a
+/// parenthesized brace list, e.g. ({64, 256, 1024}).
+#define WEARMEM_OBSERVE_DET(Name, Bounds, Sample)                            \
+  do {                                                                       \
+    if (::wearmem::obs::metricsOn()) {                                       \
+      static const ::wearmem::obs::MetricId WearmemObsId =                   \
+          ::wearmem::obs::MetricsRegistry::instance().histogram(             \
+              Name, ::wearmem::obs::MetricDomain::Deterministic,             \
+              std::vector<uint64_t> Bounds);                                 \
+      ::wearmem::obs::MetricsRegistry::instance().observe(WearmemObsId,      \
+                                                          (Sample));         \
+    }                                                                        \
+  } while (0)
+
+/// Sets a deterministic-domain gauge.
+#define WEARMEM_GAUGE_DET(Name, Value)                                       \
+  do {                                                                       \
+    if (::wearmem::obs::metricsOn()) {                                       \
+      static const ::wearmem::obs::MetricId WearmemObsId =                   \
+          ::wearmem::obs::MetricsRegistry::instance().gauge(                 \
+              Name, ::wearmem::obs::MetricDomain::Deterministic);            \
+      ::wearmem::obs::MetricsRegistry::instance().set(WearmemObsId,          \
+                                                      (Value));              \
+    }                                                                        \
+  } while (0)
+
+/// Appends a flight-recorder event; \p Kind is a bare EventKind
+/// enumerator name.
+#define WEARMEM_TRACE(Kind, A, B)                                            \
+  do {                                                                       \
+    if (::wearmem::obs::tracingOn())                                         \
+      ::wearmem::obs::FlightRecorder::record(                                \
+          ::wearmem::obs::EventKind::Kind, (A), (B));                        \
+  } while (0)
+
+#endif // WEARMEM_OBS_HOOKS_H

@@ -1,0 +1,260 @@
+//===- obs/Metrics.cpp - Sharded metrics registry -------------------------===//
+
+#include "Metrics.h"
+
+#include "support/JsonWriter.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace wearmem {
+namespace obs {
+
+namespace {
+
+constexpr uint32_t MaxMetrics = 256;
+
+struct Descriptor {
+  std::string Name;
+  MetricDomain Domain = MetricDomain::Deterministic;
+  MetricKind Kind = MetricKind::Counter;
+  uint32_t Slot = 0;
+  uint32_t NumSlots = 1;
+  std::vector<uint64_t> Bounds;
+};
+
+struct Shard {
+  std::array<std::atomic<uint64_t>, MetricsRegistry::MaxSlots> V{};
+};
+
+} // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex Mu;
+  // Fixed-capacity so hot-path readers can index descriptors without the
+  // lock: an entry is fully written under Mu before its MetricId escapes,
+  // and entries are never moved or destroyed.
+  std::array<Descriptor, MaxMetrics> Descriptors;
+  uint32_t NumDescriptors = 0;
+  uint32_t NextSlot = 0;
+  // Shards are created once per thread and never destroyed, so cached
+  // thread_local pointers stay valid across resetValues().
+  std::vector<std::unique_ptr<Shard>> Shards;
+  Shard Gauges;
+
+  Shard &localShard();
+};
+
+namespace {
+thread_local Shard *TlsShard = nullptr;
+} // namespace
+
+Shard &MetricsRegistry::Impl::localShard() {
+  if (!TlsShard) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Shards.push_back(std::make_unique<Shard>());
+    TlsShard = Shards.back().get();
+  }
+  return *TlsShard;
+}
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry R;
+  return R;
+}
+
+MetricsRegistry::Impl &MetricsRegistry::impl() const {
+  static Impl I;
+  return I;
+}
+
+MetricId MetricsRegistry::registerMetric(const char *Name, MetricDomain Domain,
+                                         MetricKind Kind,
+                                         std::vector<uint64_t> Bounds) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  for (uint32_t Idx = 0; Idx < I.NumDescriptors; ++Idx) {
+    Descriptor &D = I.Descriptors[Idx];
+    if (D.Name == Name) {
+      assert(D.Kind == Kind && D.Domain == Domain &&
+             "metric re-registered with a different kind or domain");
+      return MetricId{Idx, D.Slot};
+    }
+  }
+  uint32_t NumSlots =
+      Kind == MetricKind::Histogram ? uint32_t(Bounds.size()) + 1 : 1;
+  assert(I.NumDescriptors < MaxMetrics && "metric descriptor table full");
+  assert(I.NextSlot + NumSlots <= MaxSlots && "metric slot space full");
+  Descriptor &D = I.Descriptors[I.NumDescriptors];
+  D.Name = Name;
+  D.Domain = Domain;
+  D.Kind = Kind;
+  D.Slot = I.NextSlot;
+  D.NumSlots = NumSlots;
+  D.Bounds = std::move(Bounds);
+  I.NextSlot += NumSlots;
+  return MetricId{I.NumDescriptors++, D.Slot};
+}
+
+MetricId MetricsRegistry::counter(const char *Name, MetricDomain Domain) {
+  return registerMetric(Name, Domain, MetricKind::Counter, {});
+}
+
+MetricId MetricsRegistry::gauge(const char *Name, MetricDomain Domain) {
+  return registerMetric(Name, Domain, MetricKind::Gauge, {});
+}
+
+MetricId MetricsRegistry::histogram(const char *Name, MetricDomain Domain,
+                                    std::vector<uint64_t> UpperBounds) {
+  assert(std::is_sorted(UpperBounds.begin(), UpperBounds.end()) &&
+         "histogram bounds must ascend");
+  return registerMetric(Name, Domain, MetricKind::Histogram,
+                        std::move(UpperBounds));
+}
+
+void MetricsRegistry::add(MetricId Id, uint64_t Delta) {
+  if (!Id.valid())
+    return;
+  impl().localShard().V[Id.Slot].fetch_add(Delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(MetricId Id, uint64_t Value) {
+  if (!Id.valid())
+    return;
+  impl().Gauges.V[Id.Slot].store(Value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(MetricId Id, uint64_t Sample) {
+  if (!Id.valid())
+    return;
+  Impl &I = impl();
+  const Descriptor &D = I.Descriptors[Id.Index];
+  uint32_t Bucket = uint32_t(
+      std::lower_bound(D.Bounds.begin(), D.Bounds.end(), Sample) -
+      D.Bounds.begin());
+  I.localShard().V[Id.Slot + Bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::counterValue(MetricId Id) const {
+  if (!Id.valid())
+    return 0;
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  uint64_t Sum = 0;
+  for (const auto &S : I.Shards)
+    Sum += S->V[Id.Slot].load(std::memory_order_relaxed);
+  return Sum;
+}
+
+uint64_t MetricsRegistry::gaugeValue(MetricId Id) const {
+  if (!Id.valid())
+    return 0;
+  return impl().Gauges.V[Id.Slot].load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> MetricsRegistry::histogramCounts(MetricId Id) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  const Descriptor &D = I.Descriptors[Id.Index];
+  std::vector<uint64_t> Counts(D.NumSlots, 0);
+  for (const auto &S : I.Shards)
+    for (uint32_t B = 0; B < D.NumSlots; ++B)
+      Counts[B] += S->V[D.Slot + B].load(std::memory_order_relaxed);
+  return Counts;
+}
+
+void MetricsRegistry::resetValues() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  for (const auto &S : I.Shards)
+    for (auto &Slot : S->V)
+      Slot.store(0, std::memory_order_relaxed);
+  for (auto &Slot : I.Gauges.V)
+    Slot.store(0, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::exportJson(JsonWriter &W, bool IncludeTiming) const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+
+  auto SumSlot = [&](uint32_t Slot) {
+    uint64_t Sum = 0;
+    for (const auto &S : I.Shards)
+      Sum += S->V[Slot].load(std::memory_order_relaxed);
+    return Sum;
+  };
+
+  // Sorted name order makes the export independent of registration order,
+  // which can legitimately differ across thread interleavings.
+  std::vector<const Descriptor *> Sorted;
+  for (uint32_t Idx = 0; Idx < I.NumDescriptors; ++Idx)
+    Sorted.push_back(&I.Descriptors[Idx]);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Descriptor *A, const Descriptor *B) {
+              return A->Name < B->Name;
+            });
+
+  auto EmitDomain = [&](MetricDomain Domain, const char *Key) {
+    W.key(Key);
+    W.openObject(JsonWriter::Style::Line);
+    W.key("counters");
+    W.openObject(JsonWriter::Style::Line);
+    for (const Descriptor *D : Sorted)
+      if (D->Domain == Domain && D->Kind == MetricKind::Counter) {
+        W.key(D->Name.c_str());
+        W.value(SumSlot(D->Slot));
+      }
+    W.close();
+    W.key("gauges");
+    W.openObject(JsonWriter::Style::Line);
+    for (const Descriptor *D : Sorted)
+      if (D->Domain == Domain && D->Kind == MetricKind::Gauge) {
+        W.key(D->Name.c_str());
+        W.value(I.Gauges.V[D->Slot].load(std::memory_order_relaxed));
+      }
+    W.close();
+    W.key("histograms");
+    W.openObject(JsonWriter::Style::Line);
+    for (const Descriptor *D : Sorted)
+      if (D->Domain == Domain && D->Kind == MetricKind::Histogram) {
+        W.key(D->Name.c_str());
+        W.openObject(JsonWriter::Style::Inline);
+        W.key("bounds");
+        W.openArray(JsonWriter::Style::Inline);
+        for (uint64_t Bound : D->Bounds)
+          W.value(Bound);
+        W.close();
+        W.key("counts");
+        W.openArray(JsonWriter::Style::Inline);
+        for (uint32_t B = 0; B < D->NumSlots; ++B)
+          W.value(SumSlot(D->Slot + B));
+        W.close();
+        W.close();
+      }
+    W.close();
+    W.close();
+  };
+
+  EmitDomain(MetricDomain::Deterministic, "deterministic");
+  if (IncludeTiming)
+    EmitDomain(MetricDomain::Timing, "timing");
+}
+
+std::string MetricsRegistry::exportJsonString(bool IncludeTiming) const {
+  JsonWriter W;
+  W.openRoot();
+  W.key("schema");
+  W.value("wearmem-metrics-v1");
+  exportJson(W, IncludeTiming);
+  W.closeRoot();
+  return W.str();
+}
+
+} // namespace obs
+} // namespace wearmem

@@ -1,0 +1,118 @@
+//===- obs/Metrics.h - Sharded metrics registry -----------------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters, gauges, and fixed-bucket histograms over per-thread shards.
+/// Updates touch only the calling thread's shard (one relaxed atomic add),
+/// so GC workers never contend; export sums shards and sorts by name, so
+/// the result is independent of thread interleaving and registration order.
+///
+/// Every metric lives in exactly one domain:
+///
+///  * Deterministic - derived from the allocation/failure history. These
+///    must export byte-identically across repeated runs and across GC
+///    worker counts (enforced by bench/perf03_obs_overhead). A metric may
+///    only go here if its value is a pure function of the workload's
+///    deterministic event stream - never of scheduling (no steal counts,
+///    no wall-clock, nothing per-worker).
+///  * Timing - wall-clock and schedule-dependent values, excluded from
+///    all determinism comparisons.
+///
+/// Hook idiom (registration is lazy and only runs when metrics are on, so
+/// disabled runs never take the registry mutex):
+///
+/// \code
+///   if (obs::metricsOn()) {
+///     static const obs::MetricId C = obs::MetricsRegistry::instance()
+///         .counter("pcm.wear_failures", obs::MetricDomain::Deterministic);
+///     obs::MetricsRegistry::instance().add(C);
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_OBS_METRICS_H
+#define WEARMEM_OBS_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wearmem {
+
+class JsonWriter;
+
+namespace obs {
+
+enum class MetricDomain : uint8_t { Deterministic, Timing };
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+/// Opaque handle returned by registration; cheap to copy and store in a
+/// function-local static at the hook site.
+struct MetricId {
+  uint32_t Index = UINT32_MAX; ///< Descriptor index.
+  uint32_t Slot = UINT32_MAX;  ///< First value slot in each shard.
+  bool valid() const { return Index != UINT32_MAX; }
+};
+
+class MetricsRegistry {
+public:
+  /// Value slots available per shard; registration asserts on overflow.
+  static constexpr uint32_t MaxSlots = 1024;
+
+  static MetricsRegistry &instance();
+
+  /// \name Registration
+  /// Idempotent by name: re-registering returns the existing id (kind and
+  /// domain must match). Thread-safe.
+  /// @{
+  MetricId counter(const char *Name, MetricDomain Domain);
+  MetricId gauge(const char *Name, MetricDomain Domain);
+  MetricId histogram(const char *Name, MetricDomain Domain,
+                     std::vector<uint64_t> UpperBounds);
+  /// @}
+
+  /// \name Updates
+  /// @{
+  void add(MetricId Id, uint64_t Delta = 1);
+  void set(MetricId Id, uint64_t Value);
+  /// Increments the bucket for \p Sample (first bound >= sample; the
+  /// last, implicit bucket catches overflow).
+  void observe(MetricId Id, uint64_t Sample);
+  /// @}
+
+  /// \name Readback (sums shards; meant for quiesced export/tests)
+  /// @{
+  uint64_t counterValue(MetricId Id) const;
+  uint64_t gaugeValue(MetricId Id) const;
+  std::vector<uint64_t> histogramCounts(MetricId Id) const;
+  /// @}
+
+  /// Zeroes every value in every shard. Registrations and shards stay
+  /// alive so cached MetricIds and thread-local shard pointers remain
+  /// valid; this is what the determinism harness calls between runs.
+  void resetValues();
+
+  /// Emits the metrics document in value position on \p W: deterministic
+  /// section always, timing section when \p IncludeTiming. Names are
+  /// sorted, so output is independent of registration order.
+  void exportJson(JsonWriter &W, bool IncludeTiming) const;
+  std::string exportJsonString(bool IncludeTiming) const;
+
+private:
+  MetricsRegistry() = default;
+  MetricId registerMetric(const char *Name, MetricDomain Domain,
+                          MetricKind Kind, std::vector<uint64_t> Bounds);
+
+  struct Impl;
+  Impl &impl() const;
+};
+
+} // namespace obs
+} // namespace wearmem
+
+#endif // WEARMEM_OBS_METRICS_H

@@ -1,0 +1,25 @@
+//===- obs/Obs.cpp - Observability enable gates ---------------------------===//
+
+#include "Obs.h"
+
+namespace wearmem {
+namespace obs {
+
+namespace detail {
+std::atomic<uint32_t> EnabledDomains{0};
+} // namespace detail
+
+uint32_t enable(uint32_t Mask) {
+  return detail::EnabledDomains.fetch_or(Mask, std::memory_order_relaxed);
+}
+
+uint32_t disable(uint32_t Mask) {
+  return detail::EnabledDomains.fetch_and(~Mask, std::memory_order_relaxed);
+}
+
+uint32_t enabledMask() {
+  return detail::EnabledDomains.load(std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace wearmem

@@ -1,0 +1,68 @@
+//===- obs/Obs.h - Observability enable gates -------------------*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global on/off gates for the observability subsystem. Every hook in the
+/// runtime is guarded by one relaxed atomic load through tracingOn() /
+/// metricsOn(); with both domains disabled (the default) an instrumented
+/// call site costs one predictable-untaken branch, which is what lets the
+/// hooks live on the allocator and device hot paths without moving the
+/// perf01/perf02 determinism gates.
+///
+/// The split matters for correctness, not just cost: deterministic gates
+/// compare runs with observability off against committed baselines, so the
+/// hooks must never mutate runtime state. They only read, count, and record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_OBS_OBS_H
+#define WEARMEM_OBS_OBS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace wearmem {
+namespace obs {
+
+/// Independently switchable observability domains.
+enum Domain : uint32_t {
+  /// Flight-recorder event capture.
+  TraceDomain = 1u << 0,
+  /// Metrics registry counting.
+  MetricsDomain = 1u << 1,
+  AllDomains = TraceDomain | MetricsDomain,
+};
+
+namespace detail {
+extern std::atomic<uint32_t> EnabledDomains;
+} // namespace detail
+
+/// True when flight-recorder capture is on.
+inline bool tracingOn() {
+  return (detail::EnabledDomains.load(std::memory_order_relaxed) &
+          TraceDomain) != 0;
+}
+
+/// True when metrics counting is on.
+inline bool metricsOn() {
+  return (detail::EnabledDomains.load(std::memory_order_relaxed) &
+          MetricsDomain) != 0;
+}
+
+/// Turns the domains in \p Mask on; returns the previous mask.
+uint32_t enable(uint32_t Mask);
+
+/// Turns the domains in \p Mask off; returns the previous mask.
+uint32_t disable(uint32_t Mask);
+
+/// Current enabled-domain mask.
+uint32_t enabledMask();
+
+} // namespace obs
+} // namespace wearmem
+
+#endif // WEARMEM_OBS_OBS_H

@@ -7,6 +7,8 @@
 
 #include "os/MetadataJournal.h"
 
+#include "obs/Hooks.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -71,6 +73,10 @@ void MetadataJournal::append(JournalKind Kind, uint16_t Arg16, uint32_t A,
     throw CrashSignal{CrashPoint::JournalAppend};
   }
   DS->Journal.insert(DS->Journal.end(), Cell, Cell + RecordSize);
+  // Observe only full appends: a torn append threw above and must not
+  // read as a committed record.
+  WEARMEM_COUNT_DET("journal.appends");
+  WEARMEM_TRACE(JournalAppend, static_cast<uint64_t>(Kind), CellIndex);
 }
 
 //===----------------------------------------------------------------------===//

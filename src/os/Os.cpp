@@ -8,6 +8,8 @@
 #include "os/Os.h"
 
 #include "os/MetadataJournal.h"
+
+#include "obs/Hooks.h"
 #include "support/Random.h"
 
 #include <cassert>
@@ -103,6 +105,9 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
     if (Journal)
       Journal->recordPoolTransition(PoolTransitionKind::DebtRepay,
                                     static_cast<uint32_t>(Use));
+    WEARMEM_COUNT_DET_N("os.pool.debt_repaid", Use);
+    WEARMEM_TRACE(PoolTransition,
+                  static_cast<uint64_t>(PoolTransitionKind::DebtRepay), Use);
     if (Use == Chunk.NumPages) {
       PerfectFreeList.pop_back();
     } else {
@@ -165,6 +170,9 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
       ++Stats.PerfectDivertedToStock;
       if (Journal)
         Journal->recordPoolTransition(PoolTransitionKind::DebtRepay, 1);
+      WEARMEM_COUNT_DET("os.pool.debt_repaid");
+      WEARMEM_TRACE(PoolTransition,
+                    static_cast<uint64_t>(PoolTransitionKind::DebtRepay), 1);
       continue;
     }
     Chosen.push_back(Page);
@@ -251,6 +259,12 @@ std::optional<PageGrant> FailureAwareOs::allocPerfect(size_t NumPages,
   if (Journal && FromDram)
     Journal->recordPoolTransition(PoolTransitionKind::DramBorrow,
                                   static_cast<uint32_t>(FromDram));
+  if (FromDram) {
+    WEARMEM_COUNT_DET_N("os.pool.dram_borrowed", FromDram);
+    WEARMEM_TRACE(PoolTransition,
+                  static_cast<uint64_t>(PoolTransitionKind::DramBorrow),
+                  FromDram);
+  }
 
   Grant.Mem = mapHostPages(NumPages);
   return Grant;
@@ -262,6 +276,10 @@ void FailureAwareOs::freePerfect(PageGrant &&Grant) {
   if (Journal)
     Journal->recordPoolTransition(PoolTransitionKind::PerfectReturn,
                                   static_cast<uint32_t>(Grant.NumPages));
+  WEARMEM_COUNT_DET_N("os.pool.perfect_returns", Grant.NumPages);
+  WEARMEM_TRACE(PoolTransition,
+                static_cast<uint64_t>(PoolTransitionKind::PerfectReturn),
+                Grant.NumPages);
   PerfectFreeList.push_back(FreeChunk{Grant.Mem, Grant.NumPages});
 }
 

@@ -7,6 +7,8 @@
 
 #include "os/OsKernel.h"
 
+#include "obs/Hooks.h"
+
 #include <cassert>
 
 using namespace wearmem;
@@ -79,6 +81,8 @@ void OsKernel::handleFailures() {
   // these failures until the collector is ready to deal with them".
   if (InHandler) {
     ++Stats.ReentrantInterrupts;
+    WEARMEM_COUNT_DET("os.interrupts.reentrant");
+    WEARMEM_TRACE(ReentrantInterrupt, Device.failureBuffer().size(), 0);
     return;
   }
   // Safepoint gate: the runtime is at a point where an up-call would be
@@ -87,10 +91,14 @@ void OsKernel::handleFailures() {
   // latency.
   if (UpcallGate && UpcallGate()) {
     ++Stats.DeferredInterrupts;
+    WEARMEM_COUNT_DET("os.interrupts.deferred");
+    WEARMEM_TRACE(InterruptDeferred, Device.failureBuffer().size(), 0);
     return;
   }
   InHandler = true;
   ++Stats.Interrupts;
+  WEARMEM_COUNT_DET("os.interrupts");
+  WEARMEM_TRACE(Interrupt, Device.failureBuffer().size(), 0);
 
   while (true) {
     std::vector<FailureRecord> Pending = Device.pendingFailures();

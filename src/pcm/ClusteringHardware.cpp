@@ -7,6 +7,8 @@
 
 #include "pcm/ClusteringHardware.h"
 
+#include "obs/Hooks.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -148,6 +150,17 @@ RedirectOutcome ClusteringHardware::routeFailure(
       Off, [&](unsigned VictimOff) { CaptureBeforeRemap(Base + VictimOff); });
   for (uint64_t &L : Outcome.NewlyFailedLogical)
     L += Base;
+  if (Outcome.Refused) {
+    WEARMEM_COUNT_DET("pcm.cluster.refused");
+    WEARMEM_TRACE(ClusterRefused, Logical, Region);
+  } else if (!Outcome.AlreadyDead) {
+    if (Outcome.InstalledMap) {
+      WEARMEM_COUNT_DET("pcm.cluster.maps_installed");
+      WEARMEM_TRACE(ClusterMapInstalled, Logical, Region);
+    }
+    WEARMEM_COUNT_DET("pcm.cluster.redirects");
+    WEARMEM_TRACE(ClusterRedirect, Logical, Region);
+  }
   return Outcome;
 }
 

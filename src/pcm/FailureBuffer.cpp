@@ -7,6 +7,8 @@
 
 #include "pcm/FailureBuffer.h"
 
+#include "obs/Hooks.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -21,6 +23,9 @@ bool FailureBuffer::push(const FailureRecord &Record) {
     return false;
   Entries.push_back(Record);
   HighWater = std::max(HighWater, Entries.size());
+  WEARMEM_COUNT_DET("pcm.fbuf.pushes");
+  WEARMEM_GAUGE_DET("pcm.fbuf.high_water", HighWater);
+  WEARMEM_TRACE(BufferPush, Record.LineAddr / PcmLineSize, Entries.size());
   return true;
 }
 
@@ -37,6 +42,9 @@ bool FailureBuffer::invalidate(PcmAddr LineAddr) {
   for (auto It = Entries.begin(), E = Entries.end(); It != E; ++It) {
     if (It->LineAddr == LineAddr) {
       Entries.erase(It);
+      // Counts every removal, including push()'s same-address dedup.
+      WEARMEM_COUNT_DET("pcm.fbuf.invalidations");
+      WEARMEM_TRACE(BufferInvalidate, LineAddr / PcmLineSize, 0);
       return true;
     }
   }

@@ -7,6 +7,8 @@
 
 #include "pcm/PcmDevice.h"
 
+#include "obs/Hooks.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -16,6 +18,7 @@ using namespace wearmem;
 PcmDevice::PcmDevice(const PcmDeviceConfig &Config)
     : Config(Config), Storage(Config.NumPages * PcmPageSize, 0),
       Budget(Config.NumPages * PcmLinesPerPage),
+      WearCounts(Config.NumPages * PcmLinesPerPage, 0),
       PhysFailed(Config.NumPages * PcmLinesPerPage),
       SoftwareMap(Config.NumPages * PcmLinesPerPage),
       Buffer(Config.FailureBufferCapacity) {
@@ -65,6 +68,8 @@ WriteResult PcmDevice::writeLine(LineIndex Logical, const uint8_t *Data) {
     return WriteResult::DeadLine;
   if (Buffer.nearFull()) {
     ++Stats.StallEvents;
+    WEARMEM_COUNT_DET("pcm.stall_events");
+    WEARMEM_TRACE(WriteStall, Logical, Buffer.size());
     if (OnStall)
       OnStall();
     return WriteResult::Stalled;
@@ -75,11 +80,14 @@ WriteResult PcmDevice::writeLine(LineIndex Logical, const uint8_t *Data) {
          "a live logical line is backed by a dead physical line");
   ++Stats.LineWrites;
   assert(Budget[Physical] > 0 && "dead line escaped the failure map");
+  ++WearCounts[Physical];
   if (--Budget[Physical] == 0) {
     // The write completed but verification found the cell stuck: the line
     // has permanently failed (Section 2.2). Latch data, route, interrupt.
     PhysFailed.set(Physical);
     ++Stats.WearFailures;
+    WEARMEM_COUNT_DET("pcm.wear_failures");
+    WEARMEM_TRACE(WearFailure, Logical, Physical);
     handleWearFailure(Logical, Data);
     ++Stats.FailureInterrupts;
     if (OnFailure)
@@ -102,6 +110,8 @@ bool PcmDevice::forceFailLine(LineIndex Logical) {
     // Follow the stall protocol a real write would: raise the stall
     // interrupt so the OS can drain, and refuse if it could not.
     ++Stats.StallEvents;
+    WEARMEM_COUNT_DET("pcm.stall_events");
+    WEARMEM_TRACE(WriteStall, Logical, Buffer.size());
     if (OnStall)
       OnStall();
     if (Buffer.nearFull())
@@ -113,10 +123,15 @@ bool PcmDevice::forceFailLine(LineIndex Logical) {
   LineIndex Physical = translate(Logical);
   uint8_t Data[PcmLineSize];
   std::memcpy(Data, lineStorage(Physical), PcmLineSize);
+  // The forcing write is the one that stuck; charge it as wear.
+  ++WearCounts[Physical];
   Budget[Physical] = 0;
   PhysFailed.set(Physical);
   ++Stats.WearFailures;
   ++Stats.ForcedFailures;
+  WEARMEM_COUNT_DET("pcm.wear_failures");
+  WEARMEM_COUNT_DET("pcm.forced_failures");
+  WEARMEM_TRACE(ForcedFailure, Logical, Physical);
   handleWearFailure(Logical, Data);
   ++Stats.FailureInterrupts;
   if (OnFailure)
@@ -192,9 +207,12 @@ void PcmDevice::handleWearFailure(LineIndex Logical, const uint8_t *Data) {
   LineIndex NewPhysical = translate(Logical);
   assert(!PhysFailed.get(NewPhysical) && "remapped onto a dead line");
   ++Stats.LineWrites;
+  ++WearCounts[NewPhysical];
   if (--Budget[NewPhysical] == 0) {
     PhysFailed.set(NewPhysical);
     ++Stats.WearFailures;
+    WEARMEM_COUNT_DET("pcm.wear_failures");
+    WEARMEM_TRACE(WearFailure, Logical, NewPhysical);
     handleWearFailure(Logical, Data);
     return;
   }

@@ -1,0 +1,135 @@
+//===- tests/SwapManagerTest.cpp - Swap placement policy tests ------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "os/SwapManager.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace wearmem;
+
+TEST(SwapManagerTest, PerfectOnlyTakesFirstPerfectPage) {
+  SwapManager M(SwapPolicy::PerfectOnly);
+  std::vector<uint64_t> Pool = {0x3, 0x0, 0x0};
+  auto P = M.place(/*SourceWord=*/0xFF, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+  EXPECT_TRUE(P->UsedPerfectPage);
+  EXPECT_EQ(M.stats().PerfectFallbacks, 1u);
+}
+
+TEST(SwapManagerTest, PerfectOnlyIgnoresCompatibleImperfectPages) {
+  SwapManager M(SwapPolicy::PerfectOnly);
+  // 0x1 is a strict subset of the source, but the policy must not use it.
+  std::vector<uint64_t> Pool = {0x1, 0x3};
+  auto P = M.place(0xFF, Pool);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_EQ(M.stats().Failures, 1u);
+}
+
+TEST(SwapManagerTest, SubsetMatchRequiresDestinationSubset) {
+  SwapManager M(SwapPolicy::SubsetMatch);
+  // Source fails lines {0,1,4}. 0x12 = {1,4} is a subset; 0x22 = {1,5}
+  // fails line 5 where the source has live data, so it is inadmissible.
+  std::vector<uint64_t> Pool = {0x22, 0x12};
+  auto P = M.place(/*SourceWord=*/0x13, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+  EXPECT_FALSE(P->UsedPerfectPage);
+  EXPECT_EQ(M.stats().SubsetMatches, 1u);
+}
+
+TEST(SwapManagerTest, SubsetMatchConservesBetterPages) {
+  SwapManager M(SwapPolicy::SubsetMatch);
+  // Both are subsets of the source; the one with MORE failures wins so
+  // that cleaner pages stay available for pickier future requests.
+  std::vector<uint64_t> Pool = {0x1, 0x7, 0x3};
+  auto P = M.place(/*SourceWord=*/0xF, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+}
+
+TEST(SwapManagerTest, SubsetMatchFallsBackToPerfect) {
+  SwapManager M(SwapPolicy::SubsetMatch);
+  // No imperfect page is a subset of the source (line 7 vs line 0), so
+  // the perfect page absorbs the request.
+  std::vector<uint64_t> Pool = {0x80, 0x0};
+  auto P = M.place(/*SourceWord=*/0x1, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+  EXPECT_TRUE(P->UsedPerfectPage);
+  EXPECT_EQ(M.stats().SubsetMatches, 0u);
+  EXPECT_EQ(M.stats().PerfectFallbacks, 1u);
+}
+
+TEST(SwapManagerTest, ClusteredCountMatchesOnCountNotPosition) {
+  SwapManager M(SwapPolicy::ClusteredCount);
+  // Source has 2 failed lines. 0xC0 also has 2 - different positions,
+  // but clustering makes equal-count pages interchangeable. 0x7 has 3
+  // and is inadmissible.
+  std::vector<uint64_t> Pool = {0x7, 0xC0};
+  auto P = M.place(/*SourceWord=*/0x3, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+  EXPECT_FALSE(P->UsedPerfectPage);
+  EXPECT_EQ(M.stats().ClusteredMatches, 1u);
+}
+
+TEST(SwapManagerTest, ClusteredCountPrefersFullestAdmissibleDestination) {
+  SwapManager M(SwapPolicy::ClusteredCount);
+  // All of these have <= 3 failures; the 3-failure page wins, saving the
+  // 1-failure page for a future 1-failure source it alone could serve.
+  std::vector<uint64_t> Pool = {0x1, 0x15, 0x3};
+  auto P = M.place(/*SourceWord=*/0x7, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+}
+
+TEST(SwapManagerTest, ClusteredCountNeverPlacesOntoWorsePage) {
+  SwapManager M(SwapPolicy::ClusteredCount);
+  // Every imperfect page has more failures than the source and there is
+  // no perfect page: the request must fail rather than lose lines.
+  std::vector<uint64_t> Pool = {0x1F, 0xFF};
+  auto P = M.place(/*SourceWord=*/0x3, Pool);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_EQ(M.stats().Failures, 1u);
+}
+
+TEST(SwapManagerTest, ClusteredCountFallsBackToPerfect) {
+  SwapManager M(SwapPolicy::ClusteredCount);
+  std::vector<uint64_t> Pool = {0xFF, 0x0};
+  auto P = M.place(/*SourceWord=*/0x1, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+  EXPECT_TRUE(P->UsedPerfectPage);
+}
+
+TEST(SwapManagerTest, PerfectSourceStillPlacesSomewhere) {
+  SwapManager M(SwapPolicy::ClusteredCount);
+  // A perfect source (no failed lines) admits no imperfect destination
+  // under either policy - count 0 is the floor - so it needs a perfect
+  // page.
+  std::vector<uint64_t> Pool = {0x1, 0x0};
+  auto P = M.place(/*SourceWord=*/0x0, Pool);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->PoolIndex, 1u);
+  EXPECT_TRUE(P->UsedPerfectPage);
+}
+
+TEST(SwapManagerTest, StatsAccumulateAcrossRequests) {
+  SwapManager M(SwapPolicy::ClusteredCount);
+  std::vector<uint64_t> Pool = {0x3, 0x0};
+  M.place(0x7, Pool);  // clustered match (0x3)
+  M.place(0x1, Pool);  // perfect fallback (0x3 has too many failures)
+  M.place(0x0, std::vector<uint64_t>{0x1}); // failure
+  const SwapStats &S = M.stats();
+  EXPECT_EQ(S.Requests, 3u);
+  EXPECT_EQ(S.ClusteredMatches, 1u);
+  EXPECT_EQ(S.PerfectFallbacks, 1u);
+  EXPECT_EQ(S.Failures, 1u);
+}

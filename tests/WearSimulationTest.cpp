@@ -1,0 +1,162 @@
+//===- tests/WearSimulationTest.cpp - Wear-count telemetry tests ----------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Complements WearTest.cpp (which checks the failure *patterns*): these
+// tests pin down the wear *accounting* that feeds the obs heatmaps -
+// write conservation, determinism, monotonicity under longer runs - and
+// the heatmap JSON round trip built on top of it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Snapshot.h"
+#include "pcm/WearSimulation.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace wearmem;
+
+namespace {
+
+WearSimConfig smallConfig(bool UseStartGap) {
+  WearSimConfig Config;
+  Config.NumLines = 512;
+  Config.MeanLineLifetime = 800;
+  Config.HotFraction = 0.1;
+  Config.HotWeight = 0.9;
+  Config.UseStartGap = UseStartGap;
+  Config.GapInterval = 4;
+  Config.Seed = 0x5EEDULL;
+  return Config;
+}
+
+uint64_t totalWear(const WearSimResult &R) {
+  return std::accumulate(R.WearCounts.begin(), R.WearCounts.end(),
+                         uint64_t{0});
+}
+
+} // namespace
+
+TEST(WearSimulationTest, UnleveledWearConservesWrites) {
+  WearSimResult R = simulateWear(smallConfig(false), 0.08);
+  ASSERT_EQ(R.WearCounts.size(), size_t{512});
+  // Without leveling every write lands on exactly one logical line (dead
+  // cells keep absorbing), so per-line wear must sum to the write total.
+  EXPECT_EQ(totalWear(R), R.TotalWrites);
+}
+
+TEST(WearSimulationTest, LeveledWearAccountsForGapCopies) {
+  // Leveling is not free: every gap movement copies a line, and that
+  // copy wears the destination. Total wear therefore exceeds the demand
+  // write count by roughly one write per GapInterval demand writes (the
+  // current gap slot's history is the only wear the logical view drops).
+  WearSimConfig Config = smallConfig(true);
+  WearSimResult R = simulateWear(Config, 0.08);
+  EXPECT_GT(totalWear(R), R.TotalWrites);
+  uint64_t Surplus = totalWear(R) - R.TotalWrites;
+  EXPECT_LE(Surplus, R.TotalWrites / Config.GapInterval);
+  EXPECT_GT(Surplus, R.TotalWrites / Config.GapInterval / 2);
+}
+
+TEST(WearSimulationTest, SameSeedIsDeterministic) {
+  WearSimResult A = simulateWear(smallConfig(false), 0.08);
+  WearSimResult B = simulateWear(smallConfig(false), 0.08);
+  EXPECT_EQ(A.TotalWrites, B.TotalWrites);
+  EXPECT_EQ(A.WritesAtFirstFailure, B.WritesAtFirstFailure);
+  EXPECT_EQ(A.WearCounts, B.WearCounts);
+  ASSERT_EQ(A.Map.numLines(), B.Map.numLines());
+  for (size_t L = 0; L != A.Map.numLines(); ++L)
+    EXPECT_EQ(A.Map.isFailed(L), B.Map.isFailed(L));
+}
+
+TEST(WearSimulationTest, LongerRunsOnlyGrowWear) {
+  // The same seed replays the same write sequence, so running to a
+  // higher failure target extends the shorter run: every per-line wear
+  // counter is monotonically non-decreasing, as is the write total.
+  WearSimResult Short = simulateWear(smallConfig(false), 0.04);
+  WearSimResult Long = simulateWear(smallConfig(false), 0.12);
+  EXPECT_GE(Long.TotalWrites, Short.TotalWrites);
+  EXPECT_EQ(Long.WritesAtFirstFailure, Short.WritesAtFirstFailure);
+  ASSERT_EQ(Long.WearCounts.size(), Short.WearCounts.size());
+  for (size_t L = 0; L != Short.WearCounts.size(); ++L)
+    EXPECT_GE(Long.WearCounts[L], Short.WearCounts[L]) << "line " << L;
+  // Failures never heal: the short run's failed lines stay failed.
+  for (size_t L = 0; L != Short.Map.numLines(); ++L) {
+    if (Short.Map.isFailed(L)) {
+      EXPECT_TRUE(Long.Map.isFailed(L)) << "line " << L;
+    }
+  }
+}
+
+TEST(WearSimulationTest, LevelingSpreadsWearAcrossLines) {
+  // Under skewed traffic the unleveled hot prefix absorbs most wear;
+  // Start-Gap shuffles the mapping so the hot share shrinks toward the
+  // uniform share.
+  WearSimResult Unleveled = simulateWear(smallConfig(false), 0.08);
+  WearSimConfig Leveled = smallConfig(true);
+  Leveled.GapInterval = 1;
+  WearSimResult Spread = simulateWear(Leveled, 0.08);
+  size_t HotLines = 51; // 10% of 512
+  auto HotShare = [&](const WearSimResult &R) {
+    uint64_t Hot = std::accumulate(R.WearCounts.begin(),
+                                   R.WearCounts.begin() + HotLines,
+                                   uint64_t{0});
+    return static_cast<double>(Hot) / static_cast<double>(totalWear(R));
+  };
+  EXPECT_GT(HotShare(Unleveled), 0.8);
+  EXPECT_LT(HotShare(Spread), 0.5);
+}
+
+TEST(WearSimulationTest, HeatmapConservesTotalsAndFailures) {
+  WearSimResult R = simulateWear(smallConfig(false), 0.08);
+  obs::WearHeatmap Map = obs::WearHeatmap::fromWearSim(R, 64);
+  EXPECT_EQ(Map.LinesPerBucket, 64u);
+  EXPECT_EQ(Map.TotalLines, 512u);
+  EXPECT_EQ(Map.Buckets.size(), 8u);
+  EXPECT_EQ(Map.TotalWear, totalWear(R));
+  EXPECT_EQ(Map.FailedLines, R.Map.failedCount());
+  uint64_t BucketWear = 0, BucketFailed = 0, BucketLines = 0;
+  for (const obs::WearBucket &B : Map.Buckets) {
+    BucketWear += B.Wear;
+    BucketFailed += B.Failed;
+    BucketLines += B.Lines;
+  }
+  EXPECT_EQ(BucketWear, Map.TotalWear);
+  EXPECT_EQ(BucketFailed, Map.FailedLines);
+  EXPECT_EQ(BucketLines, Map.TotalLines);
+}
+
+TEST(WearSimulationTest, HeatmapHandlesShortLastBucket) {
+  // 512 lines in buckets of 100: the sixth bucket covers only 12 lines.
+  WearSimResult R = simulateWear(smallConfig(false), 0.05);
+  obs::WearHeatmap Map = obs::WearHeatmap::fromWearSim(R, 100);
+  ASSERT_EQ(Map.Buckets.size(), 6u);
+  EXPECT_EQ(Map.Buckets.back().Lines, 12u);
+  uint64_t Lines = 0;
+  for (const obs::WearBucket &B : Map.Buckets)
+    Lines += B.Lines;
+  EXPECT_EQ(Lines, 512u);
+}
+
+TEST(WearSimulationTest, HeatmapJsonRoundTrips) {
+  WearSimResult R = simulateWear(smallConfig(false), 0.08);
+  obs::WearHeatmap Map = obs::WearHeatmap::fromWearSim(R, 64);
+  std::string Json = Map.toJsonString();
+  obs::WearHeatmap Back;
+  ASSERT_TRUE(obs::WearHeatmap::fromJsonString(Json, Back));
+  EXPECT_TRUE(Map == Back);
+  // And the round trip is a fixed point at the text level too.
+  EXPECT_EQ(Back.toJsonString(), Json);
+}
+
+TEST(WearSimulationTest, HeatmapJsonRejectsMalformedInput) {
+  obs::WearHeatmap Out;
+  EXPECT_FALSE(obs::WearHeatmap::fromJsonString("", Out));
+  EXPECT_FALSE(obs::WearHeatmap::fromJsonString("{}", Out));
+  EXPECT_FALSE(obs::WearHeatmap::fromJsonString("not json at all", Out));
+}

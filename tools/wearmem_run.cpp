@@ -15,22 +15,34 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/FlightRecorder.h"
+#include "obs/Hooks.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Snapshot.h"
+#include "support/JsonWriter.h"
 #include "support/Table.h"
 #include "workload/Mutator.h"
 #include "workload/Runner.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace wearmem;
 
 namespace {
 
-void printUsage() {
-  std::printf(
+/// BSD sysexits EX_USAGE: bad flags or malformed values.
+constexpr int ExitUsage = 64;
+
+void printUsage(FILE *Out) {
+  std::fprintf(
+      Out,
       "usage: wearmem_run [options]\n"
       "  --list                   list workload profiles and exit\n"
       "  --profile=NAME           workload (default pmd)\n"
@@ -46,7 +58,14 @@ void printUsage() {
       "  --gc-threads=N           parallel GC workers (default 1; the\n"
       "                           heap state is identical for any N)\n"
       "  --reps=N                 repetitions (default 3)\n"
-      "  --seed=N                 failure-map + workload seed\n");
+      "  --seed=N                 failure-map + workload seed\n"
+      "  --trace=FILE             Chrome trace_event JSON of one\n"
+      "                           instrumented run\n"
+      "  --metrics-out=FILE       metrics-registry JSON of one\n"
+      "                           instrumented run\n"
+      "  --snapshot-every=N       heap snapshot every N GCs into the\n"
+      "                           metrics file\n"
+      "  --help                   print this help and exit\n");
 }
 
 bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
@@ -61,6 +80,20 @@ bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
     return false;
   Value = Arg + Len + 1;
   return true;
+}
+
+bool parseU64Flag(const std::string &V, uint64_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoull(V.c_str(), &End, 0);
+  return !V.empty() && End != V.c_str() && *End == '\0' && errno == 0;
+}
+
+bool parseDoubleFlag(const std::string &V, double &Out) {
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtod(V.c_str(), &End);
+  return !V.empty() && End != V.c_str() && *End == '\0' && errno == 0;
 }
 
 } // namespace
@@ -79,10 +112,35 @@ int main(int argc, char **argv) {
   unsigned GcThreads = 1;
   int Reps = 3;
   uint64_t Seed = 0x5EEDF00DULL;
+  std::string TracePath;
+  std::string MetricsOut;
+  unsigned SnapshotEvery = 0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Value;
     const char *Arg = argv[I];
+    auto u64 = [&](uint64_t &Out) {
+      if (parseU64Flag(Value, Out))
+        return true;
+      std::fprintf(stderr, "error: invalid value '%s' in '%s'\n",
+                   Value.c_str(), Arg);
+      return false;
+    };
+    auto uns = [&](unsigned &Out) {
+      uint64_t Wide = 0;
+      if (!u64(Wide) || Wide > UINT32_MAX)
+        return false;
+      Out = static_cast<unsigned>(Wide);
+      return true;
+    };
+    auto dbl = [&](double &Out) {
+      if (parseDoubleFlag(Value, Out))
+        return true;
+      std::fprintf(stderr, "error: invalid value '%s' in '%s'\n",
+                   Value.c_str(), Arg);
+      return false;
+    };
+    bool ValueOk = true;
     if (parseFlag(Arg, "--list", Value)) {
       Table List("Workload profiles");
       List.setHeader({"name", "live set", "alloc volume", "min heap",
@@ -102,7 +160,7 @@ int main(int argc, char **argv) {
       return 0;
     }
     if (parseFlag(Arg, "--help", Value) || parseFlag(Arg, "-h", Value)) {
-      printUsage();
+      printUsage(stdout);
       return 0;
     }
     if (parseFlag(Arg, "--profile", Value)) {
@@ -110,31 +168,50 @@ int main(int argc, char **argv) {
     } else if (parseFlag(Arg, "--collector", Value)) {
       CollectorName = Value;
     } else if (parseFlag(Arg, "--heap-factor", Value)) {
-      HeapFactor = std::atof(Value.c_str());
+      ValueOk = dbl(HeapFactor);
     } else if (parseFlag(Arg, "--heap-mb", Value)) {
-      HeapMb = std::atof(Value.c_str());
+      ValueOk = dbl(HeapMb);
     } else if (parseFlag(Arg, "--failure-rate", Value)) {
-      Rate = std::atof(Value.c_str());
+      ValueOk = dbl(Rate) && Rate >= 0.0 && Rate <= 0.99;
+      if (!ValueOk)
+        std::fprintf(stderr,
+                     "error: --failure-rate must be in 0..0.99\n");
     } else if (parseFlag(Arg, "--cluster", Value)) {
-      Cluster = static_cast<unsigned>(std::atoi(Value.c_str()));
+      ValueOk = uns(Cluster);
     } else if (parseFlag(Arg, "--line", Value)) {
-      Line = static_cast<size_t>(std::atoi(Value.c_str()));
+      uint64_t L = 0;
+      ValueOk = u64(L) && (L == 64 || L == 128 || L == 256);
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --line must be 64, 128, or 256\n");
+      Line = L;
     } else if (parseFlag(Arg, "--no-compensate", Value)) {
       Compensate = false;
     } else if (parseFlag(Arg, "--arraylets", Value)) {
       Arraylets = true;
     } else if (parseFlag(Arg, "--dynamic-failures", Value)) {
-      DynamicFailures = static_cast<unsigned>(std::atoi(Value.c_str()));
+      ValueOk = uns(DynamicFailures);
     } else if (parseFlag(Arg, "--gc-threads", Value)) {
-      GcThreads = static_cast<unsigned>(std::atoi(Value.c_str()));
+      ValueOk = uns(GcThreads);
     } else if (parseFlag(Arg, "--reps", Value)) {
-      Reps = std::atoi(Value.c_str());
+      unsigned R = 0;
+      ValueOk = uns(R) && R >= 1;
+      Reps = static_cast<int>(R);
     } else if (parseFlag(Arg, "--seed", Value)) {
-      Seed = std::strtoull(Value.c_str(), nullptr, 0);
+      ValueOk = u64(Seed);
+    } else if (parseFlag(Arg, "--trace", Value)) {
+      TracePath = Value;
+    } else if (parseFlag(Arg, "--metrics-out", Value)) {
+      MetricsOut = Value;
+    } else if (parseFlag(Arg, "--snapshot-every", Value)) {
+      ValueOk = uns(SnapshotEvery);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
-      printUsage();
-      return 1;
+      printUsage(stderr);
+      return ExitUsage;
+    }
+    if (!ValueOk) {
+      printUsage(stderr);
+      return ExitUsage;
     }
   }
 
@@ -142,7 +219,7 @@ int main(int argc, char **argv) {
   if (!P) {
     std::fprintf(stderr, "error: unknown profile '%s' (try --list)\n",
                  ProfileName.c_str());
-    return 1;
+    return ExitUsage;
   }
 
   RuntimeConfig Config;
@@ -157,7 +234,7 @@ int main(int argc, char **argv) {
   else {
     std::fprintf(stderr, "error: unknown collector '%s'\n",
                  CollectorName.c_str());
-    return 1;
+    return ExitUsage;
   }
   Config.HeapBytes = HeapMb > 0.0
                          ? static_cast<size_t>(HeapMb * 1024 * 1024)
@@ -179,12 +256,26 @@ int main(int argc, char **argv) {
               Arraylets ? ", discontiguous arrays" : "",
               static_cast<unsigned long long>(Seed));
 
-  if (DynamicFailures > 0) {
-    // One instrumented run with evenly spaced mid-run line failures.
+  // Any observability flag switches to one instrumented run: repeated
+  // timing runs would accumulate metrics across repetitions and blur
+  // which events belong to which run.
+  bool ObsRun =
+      !TracePath.empty() || !MetricsOut.empty() || SnapshotEvery != 0;
+  if (!TracePath.empty())
+    obs::enable(obs::TraceDomain);
+  if (!MetricsOut.empty())
+    obs::enable(obs::MetricsDomain);
+
+  if (DynamicFailures > 0 || ObsRun) {
+    // One instrumented run, optionally with evenly spaced mid-run line
+    // failures.
     Runtime Rt(Config);
     Mutator M(Rt, *P, Seed, benchScale());
     Rng FailRand(Seed + 1);
     unsigned Injected = 0;
+    std::vector<obs::HeapSnapshot> Snapshots;
+    uint64_t LastGc = Rt.stats().GcCount;
+    unsigned GcsSinceSnapshot = 0;
     auto Start = std::chrono::steady_clock::now();
     bool Ok = M.setUp();
     if (Ok) {
@@ -197,6 +288,16 @@ int main(int argc, char **argv) {
             ++Injected;
           Next += Step;
         }
+        uint64_t Gc = Rt.stats().GcCount;
+        if (Gc != LastGc) {
+          GcsSinceSnapshot += static_cast<unsigned>(Gc - LastGc);
+          LastGc = Gc;
+          if (SnapshotEvery != 0 && GcsSinceSnapshot >= SnapshotEvery) {
+            GcsSinceSnapshot = 0;
+            Snapshots.push_back(obs::HeapSnapshot::capture(Rt.heap()));
+            WEARMEM_TRACE(SnapshotTaken, Gc, 0);
+          }
+        }
       }
     }
     double Ms = std::chrono::duration<double, std::milli>(
@@ -208,6 +309,31 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Rt.stats().GcCount),
                 static_cast<unsigned long long>(
                     Rt.stats().ObjectsEvacuated));
+    if (!TracePath.empty() &&
+        !obs::FlightRecorder::instance().exportChromeTrace(TracePath))
+      std::fprintf(stderr, "cannot write %s\n", TracePath.c_str());
+    if (!MetricsOut.empty()) {
+      FILE *MOut = std::fopen(MetricsOut.c_str(), "w");
+      if (!MOut) {
+        std::fprintf(stderr, "cannot open %s\n", MetricsOut.c_str());
+        return 1;
+      }
+      JsonWriter W(MOut);
+      W.openRoot();
+      W.key("schema");
+      W.value("wearmem-metrics-v1");
+      obs::MetricsRegistry::instance().exportJson(W,
+                                                  /*IncludeTiming=*/false);
+      if (!Snapshots.empty()) {
+        W.key("snapshots");
+        W.openArray(JsonWriter::Style::Line);
+        for (const obs::HeapSnapshot &S : Snapshots)
+          S.toJson(W);
+        W.close();
+      }
+      W.closeRoot();
+      std::fclose(MOut);
+    }
     return Rt.outOfMemory() ? 2 : 0;
   }
 

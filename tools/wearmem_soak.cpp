@@ -15,16 +15,24 @@
 // timing is opt-in via --with-timing), so a failure storm that kills a
 // run can be reproduced exactly from its command line.
 //
-// Exit codes: 0 survived, 1 usage error, 2 diagnosed did-not-finish,
-// 3 audit violation, 4 determinism mismatch.
+// Exit codes: 0 survived, 2 diagnosed did-not-finish, 3 audit violation,
+// 4 determinism mismatch, 64 usage error.
 //
 //===----------------------------------------------------------------------===//
 
 #include "gc/HeapAuditor.h"
 #include "inject/FaultCampaign.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Hooks.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Snapshot.h"
 #include "pcm/WearSimulation.h"
+#include "support/JsonWriter.h"
 #include "workload/Mutator.h"
 #include "workload/Runner.h"
+
+#include <cerrno>
 
 #include <algorithm>
 #include <atomic>
@@ -40,6 +48,9 @@
 using namespace wearmem;
 
 namespace {
+
+/// BSD sysexits EX_USAGE: bad flags or malformed values.
+constexpr int ExitUsage = 64;
 
 struct SoakOptions {
   std::string ProfileName = "luindex";
@@ -73,6 +84,14 @@ struct SoakOptions {
   /// JSON is printed serially in rep order after all workers join, so
   /// it is byte-identical for any --jobs value.
   unsigned Jobs = 1;
+  /// Chrome trace_event JSON path (empty = tracing off). A DNF also
+  /// dumps the raw rings to PATH.bin for post-mortem inspection.
+  std::string TracePath;
+  /// Metrics-registry JSON path (empty = metrics off).
+  std::string MetricsOut;
+  /// Capture a heap snapshot every N collections into the metrics file
+  /// (0 = off; single-run mode only).
+  unsigned SnapshotEvery = 0;
 };
 
 struct CurvePoint {
@@ -96,11 +115,12 @@ struct SoakOutcome {
   OsStats Os;
   size_t BudgetPages = 0;
   double RunMs = 0.0;
+  std::vector<obs::HeapSnapshot> Snapshots;
 };
 
-void usage(const char *Argv0) {
+void usage(FILE *Out, const char *Argv0) {
   std::fprintf(
-      stderr,
+      Out,
       "usage: %s [options]\n"
       "  --profile NAME        synthetic benchmark (default luindex)\n"
       "  --campaign SCHED      fault schedule, e.g. "
@@ -126,67 +146,129 @@ void usage(const char *Argv0) {
       "                        seeds seed..seed+N-1 (default 1)\n"
       "  --jobs N              threads to spread the repetitions over;\n"
       "                        output is byte-identical for any N\n"
+      "  --trace FILE          write a Chrome trace_event JSON (a DNF\n"
+      "                        also dumps raw rings to FILE.bin)\n"
+      "  --metrics-out FILE    write the metrics-registry JSON\n"
+      "  --snapshot-every N    heap snapshot every N GCs into the\n"
+      "                        metrics file (single-run mode)\n"
       "  --escalate            triggers re-arm at doubled intensity\n"
       "  --verify-determinism  run twice, require identical curves\n"
-      "  --with-timing         include wall-clock ms in the JSON\n",
+      "  --with-timing         include wall-clock ms in the JSON\n"
+      "  --help                print this help and exit\n",
       Argv0);
 }
 
-bool parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
-  for (int I = 1; I < Argc; ++I) {
+bool parseU64Arg(const char *V, uint64_t &Out) {
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtoull(V, &End, 0);
+  return *V != '\0' && End != V && *End == '\0' && errno == 0;
+}
+
+bool parseDoubleArg(const char *V, double &Out) {
+  char *End = nullptr;
+  errno = 0;
+  Out = std::strtod(V, &End);
+  return *V != '\0' && End != V && *End == '\0' && errno == 0;
+}
+
+/// Returns -1 to proceed, otherwise the exit code (0 for --help,
+/// ExitUsage for unknown flags, missing arguments, malformed values).
+int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
+  int Bad = -1;
+  for (int I = 1; I < Argc && Bad < 0; ++I) {
     std::string Arg = Argv[I];
     auto value = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : nullptr;
+      if (I + 1 < Argc)
+        return Argv[++I];
+      std::fprintf(stderr, "option '%s' requires a value\n", Arg.c_str());
+      Bad = ExitUsage;
+      return nullptr;
+    };
+    auto u64 = [&](uint64_t &Out) {
+      const char *V = value();
+      if (V && !parseU64Arg(V, Out)) {
+        std::fprintf(stderr, "invalid value '%s' for %s\n", V,
+                     Arg.c_str());
+        Bad = ExitUsage;
+      }
+    };
+    auto uns = [&](unsigned &Out, unsigned Min = 0) {
+      uint64_t Wide = 0;
+      u64(Wide);
+      if (Bad < 0 && Wide > UINT32_MAX) {
+        std::fprintf(stderr, "value out of range for %s\n", Arg.c_str());
+        Bad = ExitUsage;
+      }
+      Out = std::max(Min, static_cast<unsigned>(Wide));
+    };
+    auto dbl = [&](double &Out) {
+      const char *V = value();
+      if (V && !parseDoubleArg(V, Out)) {
+        std::fprintf(stderr, "invalid value '%s' for %s\n", V,
+                     Arg.c_str());
+        Bad = ExitUsage;
+      }
     };
     const char *V;
-    if (Arg == "--profile" && (V = value())) {
+    if (Arg == "--help" || Arg == "-h") {
+      usage(stdout, Argv[0]);
+      return 0;
+    } else if (Arg == "--profile" && (V = value())) {
       Opt.ProfileName = V;
     } else if (Arg == "--campaign" && (V = value())) {
       Opt.Schedule = V;
       Opt.ScheduleExplicit = true;
-    } else if (Arg == "--seed" && (V = value())) {
-      Opt.Seed = std::strtoull(V, nullptr, 0);
-    } else if (Arg == "--heap-factor" && (V = value())) {
-      Opt.HeapFactor = std::atof(V);
-    } else if (Arg == "--heap-mb" && (V = value())) {
-      Opt.HeapMb = std::strtoull(V, nullptr, 0);
-    } else if (Arg == "--failure-rate" && (V = value())) {
-      Opt.FailureRate = std::atof(V);
-    } else if (Arg == "--clustering" && (V = value())) {
-      Opt.ClusteringRegionPages =
-          static_cast<unsigned>(std::strtoul(V, nullptr, 0));
-    } else if (Arg == "--max-debt-pages" && (V = value())) {
-      Opt.MaxDebtPages = std::strtoull(V, nullptr, 0);
-    } else if (Arg == "--audit-every" && (V = value())) {
-      Opt.AuditEvery = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
-    } else if (Arg == "--volume-scale" && (V = value())) {
-      Opt.VolumeScale = std::atof(V);
-    } else if (Arg == "--wear-sim" && (V = value())) {
-      Opt.WearSimTarget = std::atof(V);
-    } else if (Arg == "--crash-campaign" && (V = value())) {
-      Opt.CrashIters = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
-    } else if (Arg == "--gc-threads" && (V = value())) {
-      Opt.GcThreads =
-          std::max(1u, static_cast<unsigned>(std::strtoul(V, nullptr, 0)));
-    } else if (Arg == "--reps" && (V = value())) {
-      Opt.Reps =
-          std::max(1u, static_cast<unsigned>(std::strtoul(V, nullptr, 0)));
-    } else if (Arg == "--jobs" && (V = value())) {
-      Opt.Jobs =
-          std::max(1u, static_cast<unsigned>(std::strtoul(V, nullptr, 0)));
+    } else if (Arg == "--seed") {
+      u64(Opt.Seed);
+    } else if (Arg == "--heap-factor") {
+      dbl(Opt.HeapFactor);
+    } else if (Arg == "--heap-mb") {
+      uint64_t Mb = 0;
+      u64(Mb);
+      Opt.HeapMb = Mb;
+    } else if (Arg == "--failure-rate") {
+      dbl(Opt.FailureRate);
+    } else if (Arg == "--clustering") {
+      uns(Opt.ClusteringRegionPages);
+    } else if (Arg == "--max-debt-pages") {
+      uint64_t Pages = 0;
+      u64(Pages);
+      Opt.MaxDebtPages = Pages;
+    } else if (Arg == "--audit-every") {
+      uns(Opt.AuditEvery);
+    } else if (Arg == "--volume-scale") {
+      dbl(Opt.VolumeScale);
+    } else if (Arg == "--wear-sim") {
+      dbl(Opt.WearSimTarget);
+    } else if (Arg == "--crash-campaign") {
+      uns(Opt.CrashIters);
+    } else if (Arg == "--gc-threads") {
+      uns(Opt.GcThreads, 1);
+    } else if (Arg == "--reps") {
+      uns(Opt.Reps, 1);
+    } else if (Arg == "--jobs") {
+      uns(Opt.Jobs, 1);
+    } else if (Arg == "--trace" && (V = value())) {
+      Opt.TracePath = V;
+    } else if (Arg == "--metrics-out" && (V = value())) {
+      Opt.MetricsOut = V;
+    } else if (Arg == "--snapshot-every") {
+      uns(Opt.SnapshotEvery);
     } else if (Arg == "--escalate") {
       Opt.Escalate = true;
     } else if (Arg == "--verify-determinism") {
       Opt.VerifyDeterminism = true;
     } else if (Arg == "--with-timing") {
       Opt.WithTiming = true;
-    } else {
-      std::fprintf(stderr, "unknown or incomplete option '%s'\n",
-                   Arg.c_str());
-      return false;
+    } else if (Bad < 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      Bad = ExitUsage;
     }
   }
-  return true;
+  if (Bad >= 0)
+    usage(stderr, Argv[0]);
+  return Bad;
 }
 
 RuntimeConfig makeConfig(const SoakOptions &Opt, const Profile &P) {
@@ -246,6 +328,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   uint64_t LastCurveAt = 0;
   uint64_t LastGc = Rt.stats().GcCount;
   unsigned GcsSinceAudit = 0;
+  unsigned GcsSinceSnapshot = 0;
   bool AuditFailed = false;
 
   auto recordPoint = [&]() {
@@ -265,7 +348,14 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
     uint64_t Gc = Rt.stats().GcCount;
     if (Gc != LastGc) {
       GcsSinceAudit += static_cast<unsigned>(Gc - LastGc);
+      GcsSinceSnapshot += static_cast<unsigned>(Gc - LastGc);
       LastGc = Gc;
+      if (Opt.SnapshotEvery != 0 &&
+          GcsSinceSnapshot >= Opt.SnapshotEvery) {
+        GcsSinceSnapshot = 0;
+        Out.Snapshots.push_back(obs::HeapSnapshot::capture(Rt.heap()));
+        WEARMEM_TRACE(SnapshotTaken, Gc, 0);
+      }
       // Audit between collections, but not mid-recovery: the deferred
       // window legitimately has live objects on failed lines.
       if (Opt.AuditEvery != 0 && GcsSinceAudit >= Opt.AuditEvery &&
@@ -333,83 +423,130 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
                        : static_cast<double>(Out.Heap.FailedLinesDynamic) /
                              static_cast<double>(BudgetLines);
 
-  std::printf("{\n");
-  std::printf("  \"tool\": \"wearmem_soak\",\n");
-  std::printf("  \"profile\": \"%s\",\n", Opt.ProfileName.c_str());
-  std::printf("  \"campaign\": \"%s\",\n", Opt.Schedule.c_str());
-  std::printf("  \"seed\": %llu,\n",
-              static_cast<unsigned long long>(Opt.Seed));
-  std::printf("  \"escalate\": %s,\n", Opt.Escalate ? "true" : "false");
-  std::printf("  \"config\": {\"collector\": \"%s\", \"heap_bytes\": %zu, "
-              "\"budget_pages\": %zu, \"budget_lines\": %llu, "
-              "\"max_debt_pages\": %zu},\n",
-              Config.describe().c_str(), Config.HeapBytes, Out.BudgetPages,
-              static_cast<unsigned long long>(BudgetLines),
-              Opt.MaxDebtPages);
-  std::printf("  \"outcome\": {\"survived\": %s, \"dnf_reason\": \"%s\", "
-              "\"ttf_alloc_bytes\": %llu, \"alloc_bytes\": %llu, "
-              "\"target_bytes\": %llu},\n",
-              Out.Survived ? "true" : "false", dnfReasonName(Out.Dnf),
-              static_cast<unsigned long long>(Out.TtfAllocBytes),
-              static_cast<unsigned long long>(Out.AllocBytes),
-              static_cast<unsigned long long>(Out.TargetBytes));
-  std::printf(
-      "  \"campaign_stats\": {\"firings\": %llu, \"lines_failed\": %llu, "
-      "\"device_lines_failed\": %llu, \"dry_firings\": %llu, "
-      "\"replay_misses\": %llu, \"escalations\": %llu},\n",
-      static_cast<unsigned long long>(Out.Campaign.Firings),
-      static_cast<unsigned long long>(Out.Campaign.LinesFailed),
-      static_cast<unsigned long long>(Out.Campaign.DeviceLinesFailed),
-      static_cast<unsigned long long>(Out.Campaign.DryFirings),
-      static_cast<unsigned long long>(Out.Campaign.ReplayMisses),
-      static_cast<unsigned long long>(Out.Campaign.Escalations));
-  std::printf(
-      "  \"heap\": {\"gc_count\": %llu, \"full_gc_count\": %llu, "
-      "\"dynamic_batches\": %llu, \"deferred_recoveries\": %llu, "
-      "\"emergency_defrags\": %llu, \"blocks_retired\": %llu, "
-      "\"objects_evacuated\": %llu, \"pinned_page_remaps\": %llu},\n",
-      static_cast<unsigned long long>(Out.Heap.GcCount),
-      static_cast<unsigned long long>(Out.Heap.FullGcCount),
-      static_cast<unsigned long long>(Out.Heap.DynamicFailureBatches),
-      static_cast<unsigned long long>(Out.Heap.DeferredFailureRecoveries),
-      static_cast<unsigned long long>(Out.Heap.EmergencyDefrags),
-      static_cast<unsigned long long>(Out.Heap.BlocksRetired),
-      static_cast<unsigned long long>(Out.Heap.ObjectsEvacuated),
-      static_cast<unsigned long long>(Out.Heap.PinnedFailurePageRemaps));
-  std::printf("  \"os\": {\"dram_borrowed\": %llu, \"debt_repaid\": "
-              "%llu},\n",
-              static_cast<unsigned long long>(Out.Os.DramBorrowed),
-              static_cast<unsigned long long>(Out.Os.DebtRepaid));
-  std::printf("  \"wear\": {\"dynamic_failed_lines\": %llu, "
-              "\"dynamic_failed_fraction\": %.4f},\n",
-              static_cast<unsigned long long>(Out.Heap.FailedLinesDynamic),
-              WearFraction);
-  std::printf("  \"audits\": {\"count\": %zu, \"violations\": %zu",
-              Out.Audits, Out.Violations.size());
+  JsonWriter W(stdout);
+  W.openRoot();
+  W.key("tool");
+  W.value("wearmem_soak");
+  W.key("profile");
+  W.value(Opt.ProfileName);
+  W.key("campaign");
+  W.value(Opt.Schedule);
+  W.key("seed");
+  W.value(Opt.Seed);
+  W.key("escalate");
+  W.value(Opt.Escalate);
+  W.key("config");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("collector");
+  W.value(Config.describe());
+  W.key("heap_bytes");
+  W.value(Config.HeapBytes);
+  W.key("budget_pages");
+  W.value(Out.BudgetPages);
+  W.key("budget_lines");
+  W.value(BudgetLines);
+  W.key("max_debt_pages");
+  W.value(Opt.MaxDebtPages);
+  W.close();
+  W.key("outcome");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("survived");
+  W.value(Out.Survived);
+  W.key("dnf_reason");
+  W.value(dnfReasonName(Out.Dnf));
+  W.key("ttf_alloc_bytes");
+  W.value(Out.TtfAllocBytes);
+  W.key("alloc_bytes");
+  W.value(Out.AllocBytes);
+  W.key("target_bytes");
+  W.value(Out.TargetBytes);
+  W.close();
+  W.key("campaign_stats");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("firings");
+  W.value(Out.Campaign.Firings);
+  W.key("lines_failed");
+  W.value(Out.Campaign.LinesFailed);
+  W.key("device_lines_failed");
+  W.value(Out.Campaign.DeviceLinesFailed);
+  W.key("dry_firings");
+  W.value(Out.Campaign.DryFirings);
+  W.key("replay_misses");
+  W.value(Out.Campaign.ReplayMisses);
+  W.key("escalations");
+  W.value(Out.Campaign.Escalations);
+  W.close();
+  W.key("heap");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("gc_count");
+  W.value(Out.Heap.GcCount);
+  W.key("full_gc_count");
+  W.value(Out.Heap.FullGcCount);
+  W.key("dynamic_batches");
+  W.value(Out.Heap.DynamicFailureBatches);
+  W.key("deferred_recoveries");
+  W.value(Out.Heap.DeferredFailureRecoveries);
+  W.key("emergency_defrags");
+  W.value(Out.Heap.EmergencyDefrags);
+  W.key("blocks_retired");
+  W.value(Out.Heap.BlocksRetired);
+  W.key("objects_evacuated");
+  W.value(Out.Heap.ObjectsEvacuated);
+  W.key("pinned_page_remaps");
+  W.value(Out.Heap.PinnedFailurePageRemaps);
+  W.close();
+  W.key("os");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("dram_borrowed");
+  W.value(Out.Os.DramBorrowed);
+  W.key("debt_repaid");
+  W.value(Out.Os.DebtRepaid);
+  W.close();
+  W.key("wear");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("dynamic_failed_lines");
+  W.value(Out.Heap.FailedLinesDynamic);
+  W.key("dynamic_failed_fraction");
+  W.valueF(WearFraction, 4);
+  W.close();
+  W.key("audits");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("count");
+  W.value(Out.Audits);
+  W.key("violations");
+  W.value(Out.Violations.size());
   if (!Out.Violations.empty()) {
-    std::printf(", \"messages\": [");
-    for (size_t I = 0; I != Out.Violations.size(); ++I)
-      std::printf("%s\"%s\"", I ? ", " : "", Out.Violations[I].c_str());
-    std::printf("]");
+    W.key("messages");
+    W.openArray(JsonWriter::Style::Inline);
+    for (const std::string &Msg : Out.Violations)
+      W.value(Msg);
+    W.close();
   }
-  std::printf("},\n");
-  if (Opt.VerifyDeterminism)
-    std::printf("  \"determinism\": \"%s\",\n",
-                DeterminismVerified ? "verified" : "MISMATCH");
-  if (Opt.WithTiming)
-    std::printf("  \"run_ms\": %.2f,\n", Out.RunMs);
-  std::printf("  \"survival_curve\": [\n");
-  for (size_t I = 0; I != Out.Curve.size(); ++I) {
-    const CurvePoint &Pt = Out.Curve[I];
-    std::printf("    {\"alloc\": %llu, \"gc\": %llu, \"failed\": %llu, "
-                "\"retired\": %llu}%s\n",
-                static_cast<unsigned long long>(Pt.AllocBytes),
-                static_cast<unsigned long long>(Pt.GcCount),
-                static_cast<unsigned long long>(Pt.FailedLinesDynamic),
-                static_cast<unsigned long long>(Pt.BlocksRetired),
-                I + 1 == Out.Curve.size() ? "" : ",");
+  W.close();
+  if (Opt.VerifyDeterminism) {
+    W.key("determinism");
+    W.value(DeterminismVerified ? "verified" : "MISMATCH");
   }
-  std::printf("  ]\n}\n");
+  if (Opt.WithTiming) {
+    W.key("run_ms");
+    W.valueF(Out.RunMs, 2);
+  }
+  W.key("survival_curve");
+  W.openArray(JsonWriter::Style::Line);
+  for (const CurvePoint &Pt : Out.Curve) {
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("alloc");
+    W.value(Pt.AllocBytes);
+    W.key("gc");
+    W.value(Pt.GcCount);
+    W.key("failed");
+    W.value(Pt.FailedLinesDynamic);
+    W.key("retired");
+    W.value(Pt.BlocksRetired);
+    W.close();
+  }
+  W.close();
+  W.closeRoot();
 }
 
 //===----------------------------------------------------------------------===//
@@ -467,38 +604,57 @@ int runMultiRep(const SoakOptions &Opt, const Profile &P,
     Mismatches += R.DeterminismVerified ? 0 : 1;
   }
 
-  std::printf("{\n");
-  std::printf("  \"tool\": \"wearmem_soak\",\n");
-  std::printf("  \"mode\": \"multi-rep\",\n");
-  std::printf("  \"profile\": \"%s\",\n", Opt.ProfileName.c_str());
-  std::printf("  \"campaign\": \"%s\",\n", Opt.Schedule.c_str());
-  std::printf("  \"seed\": %llu,\n",
-              static_cast<unsigned long long>(Opt.Seed));
-  std::printf("  \"reps\": %u,\n", Opt.Reps);
-  std::printf("  \"gc_threads\": %u,\n", Opt.GcThreads);
-  std::printf("  \"rep_outcomes\": [\n");
+  JsonWriter W(stdout);
+  W.openRoot();
+  W.key("tool");
+  W.value("wearmem_soak");
+  W.key("mode");
+  W.value("multi-rep");
+  W.key("profile");
+  W.value(Opt.ProfileName);
+  W.key("campaign");
+  W.value(Opt.Schedule);
+  W.key("seed");
+  W.value(Opt.Seed);
+  W.key("reps");
+  W.value(Opt.Reps);
+  W.key("gc_threads");
+  W.value(Opt.GcThreads);
+  W.key("rep_outcomes");
+  W.openArray(JsonWriter::Style::Line);
   for (unsigned Rep = 0; Rep != Opt.Reps; ++Rep) {
     const RepResult &R = Results[Rep];
     const SoakOutcome &Out = R.Out;
-    std::printf(
-        "    {\"rep\": %u, \"seed\": %llu, \"survived\": %s, "
-        "\"dnf_reason\": \"%s\", \"alloc_bytes\": %llu, \"gc_count\": "
-        "%llu, \"lines_failed\": %llu, \"blocks_retired\": %llu, "
-        "\"audits\": %zu, \"violations\": %zu, \"curve_points\": %zu%s}%s\n",
-        Rep, static_cast<unsigned long long>(Opt.Seed + Rep),
-        Out.Survived ? "true" : "false", dnfReasonName(Out.Dnf),
-        static_cast<unsigned long long>(Out.AllocBytes),
-        static_cast<unsigned long long>(Out.Heap.GcCount),
-        static_cast<unsigned long long>(Out.Campaign.LinesFailed),
-        static_cast<unsigned long long>(Out.Heap.BlocksRetired),
-        Out.Audits, Out.Violations.size(), Out.Curve.size(),
-        Opt.VerifyDeterminism
-            ? (R.DeterminismVerified ? ", \"determinism\": \"verified\""
-                                     : ", \"determinism\": \"MISMATCH\"")
-            : "",
-        Rep + 1 == Opt.Reps ? "" : ",");
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("rep");
+    W.value(Rep);
+    W.key("seed");
+    W.value(Opt.Seed + Rep);
+    W.key("survived");
+    W.value(Out.Survived);
+    W.key("dnf_reason");
+    W.value(dnfReasonName(Out.Dnf));
+    W.key("alloc_bytes");
+    W.value(Out.AllocBytes);
+    W.key("gc_count");
+    W.value(Out.Heap.GcCount);
+    W.key("lines_failed");
+    W.value(Out.Campaign.LinesFailed);
+    W.key("blocks_retired");
+    W.value(Out.Heap.BlocksRetired);
+    W.key("audits");
+    W.value(Out.Audits);
+    W.key("violations");
+    W.value(Out.Violations.size());
+    W.key("curve_points");
+    W.value(Out.Curve.size());
+    if (Opt.VerifyDeterminism) {
+      W.key("determinism");
+      W.value(R.DeterminismVerified ? "verified" : "MISMATCH");
+    }
+    W.close();
   }
-  std::printf("  ],\n");
+  W.close();
 
   // Aggregate survival curve: the fraction of repetitions still alive
   // as the allocation volume advances, one step per death.
@@ -507,21 +663,37 @@ int runMultiRep(const SoakOptions &Opt, const Profile &P,
     if (!R.Out.Survived)
       Deaths.push_back(R.Out.AllocBytes);
   std::sort(Deaths.begin(), Deaths.end());
-  std::printf("  \"aggregate_survival\": [\n");
-  std::printf("    {\"alloc\": 0, \"surviving_fraction\": 1.0000}%s\n",
-              Deaths.empty() ? "" : ",");
-  for (size_t I = 0; I != Deaths.size(); ++I)
-    std::printf("    {\"alloc\": %llu, \"surviving_fraction\": %.4f}%s\n",
-                static_cast<unsigned long long>(Deaths[I]),
-                static_cast<double>(Opt.Reps - I - 1) /
-                    static_cast<double>(Opt.Reps),
-                I + 1 == Deaths.size() ? "" : ",");
-  std::printf("  ],\n");
-  std::printf("  \"totals\": {\"survived\": %u, \"dnf\": %u, "
-              "\"audit_violations\": %u, \"determinism_mismatches\": "
-              "%u}\n",
-              Survived, Opt.Reps - Survived, AuditViolations, Mismatches);
-  std::printf("}\n");
+  W.key("aggregate_survival");
+  W.openArray(JsonWriter::Style::Line);
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("alloc");
+  W.value(0);
+  W.key("surviving_fraction");
+  W.valueF(1.0, 4);
+  W.close();
+  for (size_t I = 0; I != Deaths.size(); ++I) {
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("alloc");
+    W.value(Deaths[I]);
+    W.key("surviving_fraction");
+    W.valueF(static_cast<double>(Opt.Reps - I - 1) /
+                 static_cast<double>(Opt.Reps),
+             4);
+    W.close();
+  }
+  W.close();
+  W.key("totals");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("survived");
+  W.value(Survived);
+  W.key("dnf");
+  W.value(Opt.Reps - Survived);
+  W.key("audit_violations");
+  W.value(AuditViolations);
+  W.key("determinism_mismatches");
+  W.value(Mismatches);
+  W.close();
+  W.closeRoot();
 
   if (Mismatches)
     return 4;
@@ -627,70 +799,103 @@ int runCrashCampaign(const SoakOptions &Opt, const Profile &P,
     TotalRetries += R.RecoveryRetries;
   }
 
-  std::printf("{\n");
-  std::printf("  \"tool\": \"wearmem_soak\",\n");
-  std::printf("  \"mode\": \"crash-campaign\",\n");
-  std::printf("  \"profile\": \"%s\",\n", Opt.ProfileName.c_str());
-  std::printf("  \"campaign\": \"%s\",\n", Opt.Schedule.c_str());
-  std::printf("  \"seed\": %llu,\n",
-              static_cast<unsigned long long>(Opt.Seed));
-  std::printf("  \"config\": {\"collector\": \"%s\", \"heap_bytes\": %zu, "
-              "\"budget_pages\": %zu},\n",
-              Config.describe().c_str(), Config.HeapBytes, BudgetPages);
-  std::printf("  \"iterations\": [\n");
+  JsonWriter W(stdout);
+  W.openRoot();
+  W.key("tool");
+  W.value("wearmem_soak");
+  W.key("mode");
+  W.value("crash-campaign");
+  W.key("profile");
+  W.value(Opt.ProfileName);
+  W.key("campaign");
+  W.value(Opt.Schedule);
+  W.key("seed");
+  W.value(Opt.Seed);
+  W.key("config");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("collector");
+  W.value(Config.describe());
+  W.key("heap_bytes");
+  W.value(Config.HeapBytes);
+  W.key("budget_pages");
+  W.value(BudgetPages);
+  W.close();
+  W.key("iterations");
+  W.openArray(JsonWriter::Style::Line);
   for (size_t I = 0; I != Iters.size(); ++I) {
     const CrashIterOutcome &R = Iters[I];
-    std::printf(
-        "    {\"iter\": %zu, \"armed\": \"%s\", \"fired\": %s, "
-        "\"fired_at\": \"%s\", \"completed_run\": %s, \"gc_at_kill\": "
-        "%llu, \"alloc_at_kill\": %llu, \"recovery_retries\": %u,\n",
-        I, crashPointName(R.ArmedAt), R.Fired ? "true" : "false",
-        R.Fired ? crashPointName(R.FiredAt) : "none",
-        R.CompletedRun ? "true" : "false",
-        static_cast<unsigned long long>(R.GcAtKill),
-        static_cast<unsigned long long>(R.AllocAtKill),
-        R.RecoveryRetries);
-    std::printf(
-        "     \"recovery\": {\"records_replayed\": %llu, "
-        "\"journal_bytes\": %llu, \"torn_records\": %llu, "
-        "\"torn_tail_bytes\": %llu, \"checksum_failures\": %llu, "
-        "\"journal_only_lines\": %llu, \"device_only_lines\": %llu, "
-        "\"divergences\": %llu, \"cluster_remaps\": %llu, "
-        "\"pool_transitions\": %llu, \"ledger_entries\": %llu, "
-        "\"audit_passed\": %s, \"audit_violations\": %llu%s}}%s\n",
-        static_cast<unsigned long long>(R.Report.RecordsReplayed),
-        static_cast<unsigned long long>(R.Report.JournalBytes),
-        static_cast<unsigned long long>(R.Report.TornRecords),
-        static_cast<unsigned long long>(R.Report.TornTailBytes),
-        static_cast<unsigned long long>(R.Report.ChecksumFailures),
-        static_cast<unsigned long long>(R.Report.JournalOnlyLines),
-        static_cast<unsigned long long>(R.Report.DeviceOnlyLines),
-        static_cast<unsigned long long>(R.Report.Divergences),
-        static_cast<unsigned long long>(R.Report.ClusterRemaps),
-        static_cast<unsigned long long>(R.Report.PoolTransitions),
-        static_cast<unsigned long long>(R.Report.LedgerEntries),
-        R.Report.AuditPassed ? "true" : "false",
-        static_cast<unsigned long long>(R.Report.AuditViolations),
-        Opt.WithTiming
-            ? (", \"recovery_ms\": " +
-               std::to_string(R.Report.RecoveryMs))
-                  .c_str()
-            : "",
-        I + 1 == Iters.size() ? "" : ",");
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("iter");
+    W.value(I);
+    W.key("armed");
+    W.value(crashPointName(R.ArmedAt));
+    W.key("fired");
+    W.value(R.Fired);
+    W.key("fired_at");
+    W.value(R.Fired ? crashPointName(R.FiredAt) : "none");
+    W.key("completed_run");
+    W.value(R.CompletedRun);
+    W.key("gc_at_kill");
+    W.value(R.GcAtKill);
+    W.key("alloc_at_kill");
+    W.value(R.AllocAtKill);
+    W.key("recovery_retries");
+    W.value(R.RecoveryRetries);
+    W.lineBreak(5); // Recovery verdicts wrap under the kill context.
+    W.key("recovery");
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("records_replayed");
+    W.value(R.Report.RecordsReplayed);
+    W.key("journal_bytes");
+    W.value(R.Report.JournalBytes);
+    W.key("torn_records");
+    W.value(R.Report.TornRecords);
+    W.key("torn_tail_bytes");
+    W.value(R.Report.TornTailBytes);
+    W.key("checksum_failures");
+    W.value(R.Report.ChecksumFailures);
+    W.key("journal_only_lines");
+    W.value(R.Report.JournalOnlyLines);
+    W.key("device_only_lines");
+    W.value(R.Report.DeviceOnlyLines);
+    W.key("divergences");
+    W.value(R.Report.Divergences);
+    W.key("cluster_remaps");
+    W.value(R.Report.ClusterRemaps);
+    W.key("pool_transitions");
+    W.value(R.Report.PoolTransitions);
+    W.key("ledger_entries");
+    W.value(R.Report.LedgerEntries);
+    W.key("audit_passed");
+    W.value(R.Report.AuditPassed);
+    W.key("audit_violations");
+    W.value(R.Report.AuditViolations);
+    if (Opt.WithTiming) {
+      W.key("recovery_ms");
+      W.valueF(R.Report.RecoveryMs, 6);
+    }
+    W.close();
+    W.close();
   }
-  std::printf("  ],\n");
-  std::printf(
-      "  \"totals\": {\"iterations\": %zu, \"crashes_fired\": %llu, "
-      "\"recovery_retries\": %llu, \"records_replayed\": %llu, "
-      "\"torn_records\": %llu, \"divergences\": %llu, "
-      "\"audit_violations\": %llu}\n",
-      Iters.size(), static_cast<unsigned long long>(TotalFired),
-      static_cast<unsigned long long>(TotalRetries),
-      static_cast<unsigned long long>(TotalReplayed),
-      static_cast<unsigned long long>(TotalTornTails),
-      static_cast<unsigned long long>(TotalDivergences),
-      static_cast<unsigned long long>(TotalViolations));
-  std::printf("}\n");
+  W.close();
+  W.key("totals");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("iterations");
+  W.value(Iters.size());
+  W.key("crashes_fired");
+  W.value(TotalFired);
+  W.key("recovery_retries");
+  W.value(TotalRetries);
+  W.key("records_replayed");
+  W.value(TotalReplayed);
+  W.key("torn_records");
+  W.value(TotalTornTails);
+  W.key("divergences");
+  W.value(TotalDivergences);
+  W.key("audit_violations");
+  W.value(TotalViolations);
+  W.close();
+  W.closeRoot();
 
   // Same gate as soak mode: a recovery that does not audit clean is a
   // hard failure.
@@ -699,17 +904,44 @@ int runCrashCampaign(const SoakOptions &Opt, const Profile &P,
 
 } // namespace
 
-int main(int Argc, char **Argv) {
-  SoakOptions Opt;
-  if (!parseArgs(Argc, Argv, Opt)) {
-    usage(Argv[0]);
+/// Writes the metrics-registry JSON (plus any heap snapshots) to
+/// Opt.MetricsOut. Timing metrics are opt-in via --with-timing so the
+/// default file stays byte-identical across runs, --jobs values, and GC
+/// worker counts.
+int writeMetricsFile(const SoakOptions &Opt,
+                     const std::vector<obs::HeapSnapshot> &Snapshots) {
+  FILE *Out = std::fopen(Opt.MetricsOut.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", Opt.MetricsOut.c_str());
     return 1;
   }
+  JsonWriter W(Out);
+  W.openRoot();
+  W.key("schema");
+  W.value("wearmem-metrics-v1");
+  obs::MetricsRegistry::instance().exportJson(W, Opt.WithTiming);
+  if (!Snapshots.empty()) {
+    W.key("snapshots");
+    W.openArray(JsonWriter::Style::Line);
+    for (const obs::HeapSnapshot &S : Snapshots)
+      S.toJson(W);
+    W.close();
+  }
+  W.closeRoot();
+  std::fclose(Out);
+  return 0;
+}
+
+int main(int Argc, char **Argv) {
+  SoakOptions Opt;
+  int ParseRc = parseArgs(Argc, Argv, Opt);
+  if (ParseRc >= 0)
+    return ParseRc;
   const Profile *P = findProfile(Opt.ProfileName);
   if (!P) {
     std::fprintf(stderr, "unknown profile '%s'\n",
                  Opt.ProfileName.c_str());
-    return 1;
+    return ExitUsage;
   }
   // The soak default storm starts at gc 6, past the end of a short
   // crash-campaign run; wear must land *while a kill point is armed*
@@ -723,29 +955,45 @@ int main(int Argc, char **Argv) {
   if (!Triggers) {
     std::fprintf(stderr, "bad campaign schedule: %s\n",
                  ParseError.c_str());
+    return ExitUsage;
+  }
+
+  if (!Opt.TracePath.empty())
+    obs::enable(obs::TraceDomain);
+  if (!Opt.MetricsOut.empty())
+    obs::enable(obs::MetricsDomain);
+
+  int Rc;
+  std::vector<obs::HeapSnapshot> Snapshots;
+  if (Opt.CrashIters) {
+    Rc = runCrashCampaign(Opt, *P, *Triggers);
+  } else if (Opt.Reps > 1) {
+    Rc = runMultiRep(Opt, *P, *Triggers);
+  } else {
+    SoakOutcome Out = runSoak(Opt, *P, *Triggers);
+    bool DeterminismVerified = true;
+    if (Opt.VerifyDeterminism) {
+      SoakOutcome Again = runSoak(Opt, *P, *Triggers);
+      DeterminismVerified = sameCurve(Out, Again);
+    }
+    printJson(Opt, Out, makeConfig(Opt, *P), DeterminismVerified);
+    Snapshots = std::move(Out.Snapshots);
+    Rc = !DeterminismVerified      ? 4
+         : !Out.Violations.empty() ? 3
+         : !Out.Survived           ? 2
+                                   : 0;
+  }
+
+  if (!Opt.TracePath.empty()) {
+    obs::FlightRecorder &FR = obs::FlightRecorder::instance();
+    if (!FR.exportChromeTrace(Opt.TracePath))
+      std::fprintf(stderr, "cannot write %s\n", Opt.TracePath.c_str());
+    // A did-not-finish keeps the raw rings too: the cheap dump survives
+    // even when pretty-printing would be the wrong place to spend time.
+    if (Rc == 2 && !FR.dumpBinary(Opt.TracePath + ".bin"))
+      std::fprintf(stderr, "cannot write %s.bin\n", Opt.TracePath.c_str());
+  }
+  if (!Opt.MetricsOut.empty() && writeMetricsFile(Opt, Snapshots) != 0)
     return 1;
-  }
-
-  if (Opt.CrashIters)
-    return runCrashCampaign(Opt, *P, *Triggers);
-
-  if (Opt.Reps > 1)
-    return runMultiRep(Opt, *P, *Triggers);
-
-  SoakOutcome Out = runSoak(Opt, *P, *Triggers);
-  bool DeterminismVerified = true;
-  if (Opt.VerifyDeterminism) {
-    SoakOutcome Again = runSoak(Opt, *P, *Triggers);
-    DeterminismVerified = sameCurve(Out, Again);
-  }
-
-  printJson(Opt, Out, makeConfig(Opt, *P), DeterminismVerified);
-
-  if (!DeterminismVerified)
-    return 4;
-  if (!Out.Violations.empty())
-    return 3;
-  if (!Out.Survived)
-    return 2;
-  return 0;
+  return Rc;
 }
