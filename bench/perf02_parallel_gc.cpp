@@ -13,6 +13,13 @@
 // bit-identical for ANY worker count, so every digest and every counter
 // must match the serial heap exactly - any difference exits 2.
 //
+// A second gate drives the multi-threaded mutator engine: four logical
+// mutator lanes (workload/MutatorPool.h) are run under every (mutator
+// threads x GC workers) combination in {1,2,4} x {1,2,4,8}; the lane
+// turnstile - not thread scheduling - owns the allocation order, so the
+// post-run digest and deterministic counters must be identical across
+// all twelve cells. Any divergence exits 2.
+//
 // The emitted BENCH_parallel_gc.json contains only deterministic values
 // (counters and hex digests): the same seed produces a byte-identical
 // file, so CI diffs two runs to prove run-to-run determinism. Wall-clock
@@ -28,9 +35,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Runtime.h"
 #include "gc/Heap.h"
 #include "gc/HeapAuditor.h"
 #include "support/JsonWriter.h"
+#include "workload/MutatorPool.h"
+#include "workload/Profile.h"
 
 #include <chrono>
 #include <cstdio>
@@ -47,6 +57,13 @@ namespace {
 constexpr unsigned WorkerCounts[] = {1, 2, 4, 8};
 constexpr unsigned NumConfigs = 4;
 constexpr unsigned TimedGcs = 3;
+
+// Mutator matrix: L lanes fix one allocation schedule; the matrix proves
+// the post-run digest depends on neither the mutator thread count nor
+// the GC worker count.
+constexpr unsigned MutatorLanes = 4;
+constexpr unsigned MutatorThreadCounts[] = {1, 2, 4};
+constexpr unsigned NumMutatorThreadCounts = 3;
 
 /// FNV-1a over a few words: address-free payload stamps, so digests with
 /// payload hashing compare equal across address spaces.
@@ -222,6 +239,72 @@ bool countersEqual(const ConfigResult &A, const ConfigResult &B) {
          A.LinesSwept == B.LinesSwept && A.PinnedRemaps == B.PinnedRemaps;
 }
 
+/// One (mutator threads x GC workers) cell: the post-run digest plus the
+/// deterministic heap counters. Schedule-dependent values (safepoint
+/// stops, parks) are Timing-domain and deliberately absent.
+struct MutatorResult {
+  unsigned MutatorThreads = 0;
+  unsigned GcThreads = 0;
+  bool Completed = false;
+  uint64_t Digest = 0;
+  uint64_t GcCount = 0;
+  uint64_t FullGcCount = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t BytesAllocated = 0;
+  uint64_t ObjectsEvacuated = 0;
+  uint64_t BlocksRetired = 0;
+  uint64_t LinesSwept = 0;
+};
+
+MutatorResult runMutatorConfig(unsigned MutatorThreads, unsigned GcThreads,
+                               uint64_t Seed, double Scale) {
+  MutatorResult R;
+  R.MutatorThreads = MutatorThreads;
+  R.GcThreads = GcThreads;
+
+  const Profile *P = findProfile("luindex");
+  RuntimeConfig Config;
+  Config.Collector = CollectorKind::StickyImmix;
+  // Every lane carries a full live set, so the heap scales with lanes.
+  Config.HeapBytes = P->LiveSetBytes * 4 * MutatorLanes;
+  Config.GcThreads = GcThreads;
+  Runtime Rt(Config);
+
+  MutatorPoolOptions PoolOpts;
+  PoolOpts.Lanes = MutatorLanes;
+  PoolOpts.Threads = MutatorThreads;
+  PoolOpts.Seed = Seed;
+  PoolOpts.VolumeScale = Scale;
+  MutatorPool Pool(Rt, *P, PoolOpts);
+  R.Completed = Pool.run();
+
+  // Settle on a full-collection fixed point before digesting, so the
+  // digest reflects the heap the lane schedule built, not whatever churn
+  // the last slice left unreclaimed.
+  Rt.collect(true);
+  HeapAuditor Auditor(Rt.heap());
+  R.Digest = Auditor.digest(/*HashPayload=*/true);
+
+  const HeapStats &S = Rt.stats();
+  R.GcCount = S.GcCount;
+  R.FullGcCount = S.FullGcCount;
+  R.ObjectsAllocated = S.ObjectsAllocated;
+  R.BytesAllocated = S.BytesAllocated;
+  R.ObjectsEvacuated = S.ObjectsEvacuated;
+  R.BlocksRetired = S.BlocksRetired;
+  R.LinesSwept = S.LinesSwept;
+  return R;
+}
+
+bool mutatorCellsEqual(const MutatorResult &A, const MutatorResult &B) {
+  return A.Completed == B.Completed && A.Digest == B.Digest &&
+         A.GcCount == B.GcCount && A.FullGcCount == B.FullGcCount &&
+         A.ObjectsAllocated == B.ObjectsAllocated &&
+         A.BytesAllocated == B.BytesAllocated &&
+         A.ObjectsEvacuated == B.ObjectsEvacuated &&
+         A.BlocksRetired == B.BlocksRetired && A.LinesSwept == B.LinesSwept;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -273,6 +356,32 @@ int main(int argc, char **argv) {
       Identical = false;
       std::printf("MISMATCH: %u-worker heap differs from serial\n",
                   Results[C].GcThreads);
+    }
+
+  // Mutator matrix: L lanes driven by every (mutator threads x GC
+  // workers) combination must converge on one digest and one set of
+  // deterministic counters - the turnstile schedule, not the thread
+  // interleaving, owns the heap's evolution.
+  std::printf("\n%-12s %-10s %10s %10s %18s\n", "mut-threads",
+              "gc-threads", "gcs", "evacuated", "digest");
+  std::vector<MutatorResult> Matrix;
+  for (unsigned M = 0; M != NumMutatorThreadCounts; ++M)
+    for (unsigned C = 0; C != NumConfigs; ++C) {
+      Matrix.push_back(runMutatorConfig(MutatorThreadCounts[M],
+                                        WorkerCounts[C], Seed, Scale));
+      const MutatorResult &R = Matrix.back();
+      std::printf("%-12u %-10u %10llu %10llu   %016llx\n",
+                  R.MutatorThreads, R.GcThreads,
+                  (unsigned long long)R.GcCount,
+                  (unsigned long long)R.ObjectsEvacuated,
+                  (unsigned long long)R.Digest);
+    }
+  bool MutatorIdentical = true;
+  for (const MutatorResult &R : Matrix)
+    if (!mutatorCellsEqual(Matrix.front(), R) || !R.Completed) {
+      MutatorIdentical = false;
+      std::printf("MISMATCH: %u mutator threads x %u workers diverges\n",
+                  R.MutatorThreads, R.GcThreads);
     }
 
   double Speedup =
@@ -337,11 +446,42 @@ int main(int argc, char **argv) {
   W.close();
   W.key("identical_across_worker_counts");
   W.value(Identical);
+  W.key("mutator_lanes");
+  W.value(MutatorLanes);
+  W.key("mutator_matrix");
+  W.openArray(JsonWriter::Style::Line);
+  for (const MutatorResult &R : Matrix) {
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("mutator_threads");
+    W.value(R.MutatorThreads);
+    W.key("gc_threads");
+    W.value(R.GcThreads);
+    W.key("gc_count");
+    W.value(R.GcCount);
+    W.key("full_gc_count");
+    W.value(R.FullGcCount);
+    W.key("objects_allocated");
+    W.value(R.ObjectsAllocated);
+    W.key("bytes_allocated");
+    W.value(R.BytesAllocated);
+    W.key("objects_evacuated");
+    W.value(R.ObjectsEvacuated);
+    W.key("blocks_retired");
+    W.value(R.BlocksRetired);
+    W.key("lines_swept");
+    W.value(R.LinesSwept);
+    W.key("digest");
+    W.valueHex(R.Digest);
+    W.close();
+  }
+  W.close();
+  W.key("identical_across_mutator_threads");
+  W.value(MutatorIdentical);
   W.closeRoot();
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath.c_str());
 
-  if (!Identical)
+  if (!Identical || !MutatorIdentical)
     return 2;
   if (GateArmed && Speedup < 1.8) {
     std::printf("SPEEDUP GATE FAILED: %.2fx < 1.80x\n", Speedup);

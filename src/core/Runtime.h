@@ -187,6 +187,19 @@ public:
   bool outOfMemory() const { return Heap_.outOfMemory(); }
 
   //===--------------------------------------------------------------===//
+  // Multi-threaded mutators
+  //===--------------------------------------------------------------===//
+
+  /// Provisions \p Lanes logical mutator lanes, each with its own TLAB
+  /// (see gc/Heap.h). Drive them with a workload MutatorPool.
+  void setMutatorLanes(unsigned Lanes) { Heap_.setMutatorLanes(Lanes); }
+  unsigned mutatorLanes() const { return Heap_.mutatorLanes(); }
+
+  /// The stop-the-world handshake coordinator (thread registration,
+  /// polling, watchdog budget and fail-stop handler).
+  SafepointCoordinator &safepoints() { return Heap_.safepoints(); }
+
+  //===--------------------------------------------------------------===//
   // Dynamic failures
   //===--------------------------------------------------------------===//
 

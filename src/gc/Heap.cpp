@@ -58,6 +58,142 @@ void Heap::setGcThreads(unsigned Threads) {
     Workers.reset();
 }
 
+//===----------------------------------------------------------------------===//
+// Mutator lanes
+//===----------------------------------------------------------------------===//
+
+void Heap::setMutatorLanes(unsigned Lanes) {
+  assert(!InCollection && "cannot reconfigure lanes during collection");
+  Lanes = std::max(1u, Lanes);
+  assert((Lanes == 1 || Immix) &&
+         "multi-lane mutators require an Immix collector");
+  MutatorLanes = Lanes;
+  ActiveLane = 0;
+  ExtraLaneAllocators.clear();
+  for (unsigned Lane = 1; Lane < Lanes; ++Lane) {
+    auto A = std::make_unique<ImmixAllocator>(*Immix, Config, Stats);
+    A->setHoleEpochs(Epoch, Epoch);
+    A->setLane(static_cast<int>(Lane));
+    ExtraLaneAllocators.push_back(std::move(A));
+  }
+  if (Allocator)
+    Allocator->setLane(Lanes > 1 ? 0 : -1);
+  {
+    std::lock_guard<std::mutex> Lock(MailboxMu);
+    LaneMailboxes.assign(Lanes, {});
+  }
+}
+
+void Heap::setActiveLane(unsigned Lane) {
+  assert(Lane < MutatorLanes && "lane out of range");
+  ActiveLane = Lane;
+}
+
+ImmixAllocator &Heap::laneAllocator(unsigned Lane) {
+  assert(Lane < MutatorLanes && "lane out of range");
+  return Lane == 0 ? *Allocator : *ExtraLaneAllocators[Lane - 1];
+}
+
+void Heap::forEachLaneAllocator(
+    const std::function<void(ImmixAllocator &)> &Fn) {
+  if (Allocator)
+    Fn(*Allocator);
+  for (auto &A : ExtraLaneAllocators)
+    Fn(*A);
+}
+
+Block *Heap::mutatorTlabBlock(unsigned Lane) const {
+  if (Lane >= MutatorLanes)
+    return nullptr;
+  const ImmixAllocator &A =
+      Lane == 0 ? *Allocator : *ExtraLaneAllocators[Lane - 1];
+  return A.currentBlock();
+}
+
+void Heap::routeDynamicFailureBatch(const std::vector<uint8_t *> &Addrs) {
+  if (Addrs.empty() || OutOfMemory)
+    return;
+  if (MutatorLanes <= 1 || !Immix) {
+    injectDynamicFailureBatch(Addrs, /*DeferRecovery=*/true);
+    return;
+  }
+  Stats.InterruptsRouted += Addrs.size();
+  std::vector<uint8_t *> Mine;
+  std::vector<uint8_t *> Orphans;
+  for (uint8_t *Addr : Addrs) {
+    Block *B = Immix->blockOf(Addr);
+    int Owner = B ? B->ownerLane() : -1;
+    if (Owner >= 0 && static_cast<unsigned>(Owner) < MutatorLanes) {
+      if (static_cast<unsigned>(Owner) == ActiveLane) {
+        Mine.push_back(Addr);
+      } else {
+        std::lock_guard<std::mutex> Lock(MailboxMu);
+        LaneMailboxes[static_cast<size_t>(Owner)].push_back(Addr);
+        WEARMEM_TRACE(InterruptRouted, static_cast<uint64_t>(Owner), 1);
+      }
+    } else {
+      Orphans.push_back(Addr);
+    }
+  }
+  if (!Mine.empty()) {
+    Stats.InterruptsDelivered += Mine.size();
+    WEARMEM_TRACE(InterruptRouted, ActiveLane, Mine.size());
+    injectDynamicFailureBatch(Mine, /*DeferRecovery=*/true);
+  }
+  if (!Orphans.empty()) {
+    // No owning thread: fall back to the deferred queue drained at the
+    // next end-of-collection safepoint. Flag recovery so a collection
+    // arrives promptly even if no allocation slow path does.
+    Stats.InterruptsOrphaned += Orphans.size();
+    WEARMEM_COUNT_DET_N("gc.interrupts_orphaned", Orphans.size());
+    WEARMEM_TRACE(InterruptRouted, ~0ull, Orphans.size());
+    {
+      std::lock_guard<std::mutex> Lock(DeferredFailureMu);
+      DeferredFailures.insert(DeferredFailures.end(), Orphans.begin(),
+                              Orphans.end());
+    }
+    if (!PendingFailureRecovery) {
+      PendingFailureRecovery = true;
+      ++Stats.DeferredFailureRecoveries;
+    }
+  }
+}
+
+size_t Heap::drainLaneMailbox(unsigned Lane) {
+  assert(Lane < MutatorLanes && "lane out of range");
+  assert(Lane == ActiveLane && "mailboxes drain on the owning lane's turn");
+  std::vector<uint8_t *> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(MailboxMu);
+    if (Lane < LaneMailboxes.size())
+      Batch.swap(LaneMailboxes[Lane]);
+  }
+  if (Batch.empty())
+    return 0;
+  // Every parked address counts as delivered to this lane (the routing
+  // ledger balances on Routed == Delivered + Orphaned), even if the
+  // filter below drops some because a collection since routing released
+  // their containing block back to the OS pool (those failures are no
+  // longer the heap's concern: their failure words traveled with the
+  // grant).
+  size_t Drained = Batch.size();
+  Stats.InterruptsDelivered += Drained;
+  if (Immix)
+    Batch.erase(std::remove_if(Batch.begin(), Batch.end(),
+                               [this](uint8_t *Addr) {
+                                 return Immix->blockOf(Addr) == nullptr;
+                               }),
+                Batch.end());
+  if (!Batch.empty())
+    injectDynamicFailureBatch(Batch, /*DeferRecovery=*/true);
+  return Drained;
+}
+
+size_t Heap::laneMailboxDepth(unsigned Lane) const {
+  std::lock_guard<std::mutex> Lock(MailboxMu);
+  return Lane < LaneMailboxes.size() ? LaneMailboxes[Lane].size() : 0;
+}
+
 size_t Heap::pagesHeld() const {
   size_t Pages = Los.pagesHeld();
   if (Immix)
@@ -111,7 +247,8 @@ ObjRef Heap::allocate(uint32_t PayloadBytes, uint16_t NumRefs,
     Flags |= FlagLarge;
   } else if (Immix) {
     uint64_t GcsBefore = Stats.GcCount;
-    Mem = allocWithGcRetry([&] { return Allocator->alloc(Size); });
+    ImmixAllocator &Lane = laneAllocator(ActiveLane);
+    Mem = allocWithGcRetry([&] { return Lane.alloc(Size); });
     Stats.GcTriggerSmallMedium += Stats.GcCount - GcsBefore;
   } else {
     assert(Size <= FreeListSpace::maxCellSize() &&
@@ -188,6 +325,16 @@ void Heap::runCollection(CollectionKind Kind) {
   // (and journaled), the defragmenting collection has not started.
   if (Journal && PendingFailureRecovery)
     Journal->crashPoint(CrashPoint::RecoveryPhase);
+  // Stop-the-world handshake: peer mutator threads (if any registered)
+  // park or sit in a blocked region before the trace may touch the
+  // heap. The kill point lands *inside* the handshake window - the
+  // world is stopped, the trace has not begun.
+  size_t Stopped = Safepoints.stopTheWorld();
+  if (Stopped) {
+    ++Stats.SafepointStops;
+    if (Journal)
+      Journal->crashPoint(CrashPoint::SafepointHandshake);
+  }
   InCollection = true;
   auto Start = std::chrono::steady_clock::now();
   bool Full = Kind == CollectionKind::Full;
@@ -197,8 +344,8 @@ void Heap::runCollection(CollectionKind Kind) {
     WEARMEM_COUNT_DET("gc.collections.full");
   WEARMEM_TRACE(GcBegin, Stats.GcCount, Full ? 1 : 0);
 
-  if (Allocator)
-    Allocator->retire();
+  // Every lane TLAB lapses; the sweep reclassifies their blocks.
+  forEachLaneAllocator([](ImmixAllocator &A) { A.retire(); });
 
   if (Full) {
     ++Stats.FullGcCount;
@@ -295,9 +442,9 @@ void Heap::runCollection(CollectionKind Kind) {
   }
 #endif
 
-  // The mutator allocator resumes under the (possibly bumped) epoch.
-  if (Allocator)
-    Allocator->setHoleEpochs(Epoch, Epoch);
+  // The mutator allocators resume under the (possibly bumped) epoch.
+  forEachLaneAllocator(
+      [this](ImmixAllocator &A) { A.setHoleEpochs(Epoch, Epoch); });
 
   if (Full) {
     // The defragmenting trace evacuated (or page-remapped) everything
@@ -319,8 +466,12 @@ void Heap::runCollection(CollectionKind Kind) {
   WEARMEM_TRACE(GcEnd, Stats.GcCount, Full ? 1 : 0);
   InCollection = false;
   MarkWorkers.clear();
+  if (Stopped)
+    Safepoints.resumeTheWorld();
   // End-of-cycle safepoint: apply dynamic failures that arrived while
-  // the mark phase was running.
+  // the mark phase was running (or were orphaned by the interrupt
+  // router). Runs after the resume so an emergency re-collection it
+  // triggers can perform its own handshake.
   drainDeferredFailures();
 }
 
@@ -688,7 +839,11 @@ void Heap::emergencyPageRemap(Block *B, const uint8_t *Obj) {
       Journal->recordPageRemap(Ids[Page]);
     WEARMEM_COUNT_DET("gc.pinned_page_remaps");
     WEARMEM_TRACE(PageRemap, Page < Ids.size() ? Ids[Page] : ~0ull, Page);
-    B->unfailPage(static_cast<unsigned>(Page));
+    // Restored lines come back marked live for this epoch: a non-pinned
+    // live object may straddle into a line that failed under it, and
+    // until the next full collection re-marks the block, a free mark
+    // would let the allocator clobber its tail.
+    B->unfailPage(static_cast<unsigned>(Page), Epoch);
     // The failed physical lines are gone from these addresses.
     Ledger.dropPage(reinterpret_cast<uintptr_t>(B->base()), Page);
   }
@@ -776,14 +931,15 @@ void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
         ++Stats.UnjournaledFailures;
       }
     }
-    B->failPcmLineAt(Offset);
+    B->failPcmLineAt(Offset,
+                     /*PreserveSpill=*/Config.ConservativeLineMarking);
     B->setFreshFailure(true);
     Ledger.record(reinterpret_cast<uintptr_t>(B->base()), Offset);
     ++Stats.DynamicFailuresHandled;
     ++Stats.FailedLinesDynamic;
   }
-  // The fenced lines may sit inside cached bump regions.
-  Allocator->invalidateCache();
+  // The fenced lines may sit inside any lane's cached bump regions.
+  forEachLaneAllocator([](ImmixAllocator &A) { A.invalidateCache(); });
   DynamicFailedSinceGc += static_cast<unsigned>(Addrs.size());
 
   if (!DeferRecovery) {

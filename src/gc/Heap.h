@@ -30,6 +30,7 @@
 
 #include "gc/FailureLedger.h"
 #include "gc/GcWorkers.h"
+#include "gc/Safepoint.h"
 #include "heap/FreeListSpace.h"
 #include "heap/HeapConfig.h"
 #include "heap/ImmixSpace.h"
@@ -125,6 +126,50 @@ public:
   void setMarkPhaseHook(std::function<void()> Hook) {
     MarkPhaseHook = std::move(Hook);
   }
+
+  //===--------------------------------------------------------------===//
+  // Multi-threaded mutators: lanes, safepoints, interrupt routing
+  //===--------------------------------------------------------------===//
+
+  /// Mutator work is organized into logical *lanes*: each lane owns a
+  /// private TLAB (an ImmixAllocator) whose blocks are tagged with the
+  /// lane, plus a failure mailbox. OS threads execute lane steps; the
+  /// heap's evolution depends only on the lane schedule, never on the
+  /// thread count, which is what keeps post-collection digests
+  /// bit-identical across (mutator threads x GC workers).
+
+  /// Configures \p Lanes mutator lanes (>= 1). Lane 0 is the default
+  /// allocator every legacy single-mutator path already uses. Must not
+  /// be called during a collection.
+  void setMutatorLanes(unsigned Lanes);
+  unsigned mutatorLanes() const { return MutatorLanes; }
+
+  /// Selects the lane subsequent allocations bump from. Callers (the
+  /// mutator pool's turnstile) guarantee exclusive heap access while a
+  /// lane is active.
+  void setActiveLane(unsigned Lane);
+  unsigned activeLane() const { return ActiveLane; }
+
+  /// The block lane \p Lane's small-object TLAB currently bumps into
+  /// (nullptr between refills). Thread-targeted fault shapes aim here.
+  Block *mutatorTlabBlock(unsigned Lane) const;
+
+  /// The stop-the-world handshake coordinator. Mutator threads register
+  /// themselves; collections stop registered peers before tracing.
+  SafepointCoordinator &safepoints() { return Safepoints; }
+
+  /// Routes a dynamic-failure batch by block ownership: addresses in
+  /// blocks owned by the active lane are injected immediately, addresses
+  /// owned by another lane land in that lane's mailbox (drained at its
+  /// next turn), and orphaned addresses fall back to the deferred queue
+  /// drained at the next end-of-collection safepoint. With a single lane
+  /// this is exactly injectDynamicFailureBatch(Addrs, true).
+  void routeDynamicFailureBatch(const std::vector<uint8_t *> &Addrs);
+
+  /// Injects every address parked in \p Lane's mailbox. Must run at the
+  /// start of the lane's turn. Returns the number of addresses injected.
+  size_t drainLaneMailbox(unsigned Lane);
+  size_t laneMailboxDepth(unsigned Lane) const;
 
   /// Mark-frontier bounds for the work-list chunking (see
   /// MarkWorkList): per-worker deques never exceed MarkMaxDequeChunks
@@ -248,8 +293,15 @@ private:
   FailureAwareOs Os_;
   MetadataJournal *Journal = nullptr;
 
+  /// The lane allocator for \p Lane (lane 0 is *Allocator).
+  ImmixAllocator &laneAllocator(unsigned Lane);
+  /// Applies \p Fn to every mutator-lane allocator.
+  void forEachLaneAllocator(const std::function<void(ImmixAllocator &)> &Fn);
+
   std::unique_ptr<ImmixSpace> Immix;
   std::unique_ptr<ImmixAllocator> Allocator;
+  /// TLAB allocators for lanes 1..MutatorLanes-1 (lane 0 = Allocator).
+  std::vector<std::unique_ptr<ImmixAllocator>> ExtraLaneAllocators;
   std::unique_ptr<ImmixAllocator> EvacAllocator;
   std::unique_ptr<FreeListSpace> FreeList;
   LargeObjectSpace Los;
@@ -276,6 +328,16 @@ private:
   std::vector<uint8_t *> DeferredFailures;
 
   FailureLedger Ledger;
+
+  /// Stop-the-world handshake state for registered mutator threads.
+  SafepointCoordinator Safepoints;
+  unsigned MutatorLanes = 1;
+  unsigned ActiveLane = 0;
+  /// Per-lane parked failure addresses, delivered at the owning lane's
+  /// next turn. Guarded by MailboxMu (the fault campaign fires from
+  /// whichever thread holds the turn; the drain runs on another).
+  mutable std::mutex MailboxMu;
+  std::vector<std::vector<uint8_t *>> LaneMailboxes;
 
   uint8_t Epoch = 1;
   unsigned NurseryGcsSinceFull = 0;

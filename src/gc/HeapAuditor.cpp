@@ -38,6 +38,7 @@ AuditReport HeapAuditor::audit() {
   if (H.Immix) {
     checkLineStateVsFailureWords(Report);
     checkLedgerAndOsMaps(Report);
+    checkTlabInvariants(Report);
   }
   checkPinStability(Report);
   return Report;
@@ -414,6 +415,103 @@ void HeapAuditor::checkLedgerAndOsMaps(AuditReport &Report) {
       }
     }
   });
+}
+
+//===----------------------------------------------------------------------===//
+// Per-lane TLAB invariants (multi-threaded mutators)
+//===----------------------------------------------------------------------===//
+
+void HeapAuditor::checkTlabInvariants(AuditReport &Report) {
+  char Buf[160];
+  // Collect each lane's TLAB blocks: (lane, block, bump cursor, limit).
+  struct Tlab {
+    unsigned Lane;
+    const Block *B;
+    const uint8_t *Cursor;
+    const uint8_t *Limit;
+    const char *Kind;
+  };
+  std::vector<Tlab> Tlabs;
+  auto add = [&](unsigned Lane, const ImmixAllocator &A) {
+    if (A.currentBlock())
+      Tlabs.push_back(
+          {Lane, A.currentBlock(), A.cursor(), A.limit(), "small"});
+    if (A.overflowBlock())
+      Tlabs.push_back({Lane, A.overflowBlock(), A.ovfCursor(),
+                       A.ovfLimit(), "overflow"});
+  };
+  if (H.Allocator)
+    add(0, *H.Allocator);
+  for (size_t I = 0; I != H.ExtraLaneAllocators.size(); ++I)
+    add(static_cast<unsigned>(I + 1), *H.ExtraLaneAllocators[I]);
+
+  for (const Tlab &T : Tlabs) {
+    // Owner tags: a lane's live TLAB block must carry that lane's tag
+    // (single-lane mode never tags; the router falls back to the
+    // orphan path there, which is correct because there is no one else
+    // to deliver to).
+    if (H.MutatorLanes > 1 &&
+        T.B->ownerLane() != static_cast<int>(T.Lane)) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "lane %u %s TLAB block %p carries owner tag %d",
+                    T.Lane, T.Kind, static_cast<const void *>(T.B->base()),
+                    T.B->ownerLane());
+      note(Report, Buf);
+    }
+    // An active TLAB must be an in-use block, never free/recycled where
+    // another lane's refill could hand it out again.
+    if (T.B->state() != BlockState::InUse) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "lane %u %s TLAB block %p is in state %u, not InUse",
+                    T.Lane, T.Kind, static_cast<const void *>(T.B->base()),
+                    static_cast<unsigned>(T.B->state()));
+      note(Report, Buf);
+    }
+    // Bump extent sanity: cursor and limit inside the block, ordered.
+    // A null cursor is an invalidated bump region (dynamic failures
+    // dropped it); the block stays owned with nothing to check.
+    if (!T.Cursor)
+      continue;
+    const uint8_t *Base = T.B->base();
+    const uint8_t *End = Base + T.B->sizeBytes();
+    if (T.Cursor > T.Limit || T.Cursor < Base || T.Limit > End) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "lane %u %s TLAB cursor [%p, %p) outside block %p",
+                    T.Lane, T.Kind, static_cast<const void *>(T.Cursor),
+                    static_cast<const void *>(T.Limit),
+                    static_cast<const void *>(Base));
+      note(Report, Buf);
+      continue;
+    }
+    // The remaining bump region must cover no failed line: the hole was
+    // carved from free lines and a fresh failure inside it invalidates
+    // every lane's cache before the audit can run.
+    for (const uint8_t *P = T.Cursor; P < T.Limit;
+         P += T.B->lineSize()) {
+      unsigned Line = T.B->lineOf(P);
+      if (T.B->lineIsFailed(Line)) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "lane %u %s TLAB bump region covers failed line %u "
+                      "of block %p",
+                      T.Lane, T.Kind, Line,
+                      static_cast<const void *>(Base));
+        note(Report, Buf);
+        break;
+      }
+    }
+  }
+
+  // No two lanes may share a TLAB block (a shared bump target means two
+  // threads would allocate over each other).
+  for (size_t I = 0; I != Tlabs.size(); ++I)
+    for (size_t J = I + 1; J != Tlabs.size(); ++J)
+      if (Tlabs[I].B == Tlabs[J].B && Tlabs[I].Lane != Tlabs[J].Lane) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "lanes %u and %u share TLAB block %p",
+                      Tlabs[I].Lane, Tlabs[J].Lane,
+                      static_cast<const void *>(Tlabs[I].B->base()));
+        note(Report, Buf);
+      }
 }
 
 //===----------------------------------------------------------------------===//

@@ -97,6 +97,7 @@ private:
   void checkObjectGraph(AuditReport &Report);
   void checkLineStateVsFailureWords(AuditReport &Report);
   void checkLedgerAndOsMaps(AuditReport &Report);
+  void checkTlabInvariants(AuditReport &Report);
   void checkPinStability(AuditReport &Report);
 
   const Heap &H;

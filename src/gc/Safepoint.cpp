@@ -1,0 +1,231 @@
+//===- gc/Safepoint.cpp - Stop-the-world safepoint handshake --------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Safepoint.h"
+
+#include "obs/Hooks.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace wearmem;
+
+namespace {
+
+/// One watchdog round: long enough that a healthy thread's park is never
+/// charged more than a round or two, short enough that the default
+/// budget fail-stops in seconds, not minutes.
+constexpr std::chrono::microseconds WaitRoundSlice{100};
+
+const char *stateName(int S) {
+  switch (S) {
+  case 0:
+    return "running";
+  case 1:
+    return "parked";
+  case 2:
+    return "blocked";
+  }
+  return "?";
+}
+
+} // namespace
+
+SafepointCoordinator::SafepointCoordinator() {
+  FailStop = [](const std::string &Dump) {
+    std::fprintf(stderr,
+                 "wearmem: safepoint watchdog fail-stop: a mutator thread "
+                 "failed to reach a safepoint within budget\n%s",
+                 Dump.c_str());
+    std::abort();
+  };
+}
+
+SafepointCoordinator::Slot *
+SafepointCoordinator::findSlotLocked(std::thread::id Tid) {
+  for (Slot &S : Slots)
+    if (S.Tid == Tid)
+      return &S;
+  return nullptr;
+}
+
+const SafepointCoordinator::Slot *
+SafepointCoordinator::findSlotLocked(std::thread::id Tid) const {
+  for (const Slot &S : Slots)
+    if (S.Tid == Tid)
+      return &S;
+  return nullptr;
+}
+
+void SafepointCoordinator::registerThread(int Lane) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  assert(!findSlotLocked(std::this_thread::get_id()) &&
+         "thread registered twice");
+  Slot S;
+  S.Tid = std::this_thread::get_id();
+  S.Lane = Lane;
+  Slots.push_back(S);
+}
+
+void SafepointCoordinator::unregisterThread() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (size_t I = 0; I != Slots.size(); ++I) {
+    if (Slots[I].Tid == std::this_thread::get_id()) {
+      Slots.erase(Slots.begin() + static_cast<ptrdiff_t>(I));
+      // A collector waiting on this thread's ack is satisfied by its
+      // departure.
+      StateChanged.notify_all();
+      return;
+    }
+  }
+  assert(false && "unregistering a thread that never registered");
+}
+
+size_t SafepointCoordinator::registeredThreads() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Slots.size();
+}
+
+bool SafepointCoordinator::allStoppedLocked(std::thread::id Self) const {
+  for (const Slot &S : Slots)
+    if (S.Tid != Self && S.State == ThreadState::Running)
+      return false;
+  return true;
+}
+
+size_t SafepointCoordinator::stopTheWorld() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  std::thread::id Self = std::this_thread::get_id();
+  size_t Peers = 0;
+  for (const Slot &S : Slots)
+    Peers += S.Tid != Self ? 1 : 0;
+  if (Peers == 0)
+    return 0;
+  assert(!StopRequested.load(std::memory_order_relaxed) &&
+         "nested stop-the-world");
+  StopRequested.store(true, std::memory_order_seq_cst);
+  ++Stats.Stops;
+  WEARMEM_TRACE(SafepointBegin, Slots.size(), Peers);
+
+  uint64_t Rounds = 0;
+  while (!allStoppedLocked(Self)) {
+    if (StateChanged.wait_for(Lock, WaitRoundSlice) ==
+        std::cv_status::timeout) {
+      ++Rounds;
+      ++Stats.WaitRounds;
+      if (Rounds >= WatchdogBudget) {
+        size_t Unacked = 0;
+        for (const Slot &S : Slots)
+          Unacked += S.Tid != Self && S.State == ThreadState::Running ? 1 : 0;
+        ++Stats.WatchdogFired;
+        WEARMEM_TRACE(WatchdogFired, Unacked, WatchdogBudget);
+        std::string Dump = threadDumpLocked();
+        // The handler may throw (tests) or abort (default). Release the
+        // lock and withdraw the request first so a throwing handler
+        // leaves the coordinator consistent.
+        StopRequested.store(false, std::memory_order_seq_cst);
+        Resumed.notify_all();
+        Lock.unlock();
+        FailStop(Dump);
+        return 0; // Handler returned: abandon this handshake.
+      }
+    }
+  }
+  for (const Slot &S : Slots)
+    Stats.BlockedAcks += S.Tid != Self && S.State == ThreadState::Blocked;
+  WEARMEM_TRACE(SafepointEnd, Slots.size(), Rounds);
+  WEARMEM_COUNT_TIMING_N("safepoint.wait_rounds", Rounds);
+  WEARMEM_COUNT_TIMING("safepoint.stops");
+  return Peers;
+}
+
+void SafepointCoordinator::resumeTheWorld() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!StopRequested.load(std::memory_order_relaxed))
+      return; // Watchdog already withdrew the request, or no stop active.
+    StopRequested.store(false, std::memory_order_seq_cst);
+  }
+  Resumed.notify_all();
+}
+
+void SafepointCoordinator::parkLocked(std::unique_lock<std::mutex> &Lock,
+                                      Slot &S) {
+  S.State = ThreadState::Parked;
+  ++S.Parks;
+  ++Stats.Parks;
+  StateChanged.notify_all();
+  Resumed.wait(Lock, [this] {
+    return !StopRequested.load(std::memory_order_relaxed);
+  });
+  S.State = ThreadState::Running;
+  WEARMEM_COUNT_TIMING("safepoint.parks");
+}
+
+bool SafepointCoordinator::pollAndPark() {
+  if (!StopRequested.load(std::memory_order_relaxed))
+    return false;
+  std::unique_lock<std::mutex> Lock(Mu);
+  if (!StopRequested.load(std::memory_order_relaxed))
+    return false;
+  Slot *S = findSlotLocked(std::this_thread::get_id());
+  if (!S)
+    return false;
+  parkLocked(Lock, *S);
+  return true;
+}
+
+void SafepointCoordinator::enterBlockedRegion() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Slot *S = findSlotLocked(std::this_thread::get_id());
+  if (!S)
+    return;
+  assert(S->State == ThreadState::Running && "nested blocked region");
+  S->State = ThreadState::Blocked;
+  // A pending collector can now count this thread as stopped.
+  StateChanged.notify_all();
+}
+
+void SafepointCoordinator::leaveBlockedRegion() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Slot *S = findSlotLocked(std::this_thread::get_id());
+  if (!S)
+    return;
+  if (S->State != ThreadState::Blocked)
+    return;
+  // Re-check the stop flag: if a handshake counted us as blocked, we may
+  // not re-enter Running (and touch the heap) until the world resumes.
+  if (StopRequested.load(std::memory_order_relaxed)) {
+    parkLocked(Lock, *S);
+    return;
+  }
+  S->State = ThreadState::Running;
+}
+
+std::string SafepointCoordinator::threadDumpLocked() const {
+  std::ostringstream Os;
+  Os << "=== safepoint thread dump (" << Slots.size() << " threads) ===\n";
+  for (size_t I = 0; I != Slots.size(); ++I) {
+    const Slot &S = Slots[I];
+    std::ostringstream Tid;
+    Tid << S.Tid;
+    Os << "  thread " << I << " tid=" << Tid.str() << " lane=" << S.Lane
+       << " state=" << stateName(static_cast<int>(S.State))
+       << " parks=" << S.Parks
+       << (S.Tid == std::this_thread::get_id() ? " (collector)" : "")
+       << "\n";
+  }
+  return Os.str();
+}
+
+std::string SafepointCoordinator::threadDump() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return threadDumpLocked();
+}

@@ -64,17 +64,18 @@ void Block::applyFailureWords(const uint64_t *FailWords, size_t NumPages) {
   FreeLineCount = lineCount() - FailedLineCount;
 }
 
-unsigned Block::unfailPage(unsigned PageWithinBlock) {
+unsigned Block::unfailPage(unsigned PageWithinBlock, uint8_t LiveEpoch) {
   assert(PageWithinBlock < BlockBytes / PcmPageSize && "page out of range");
+  assert(LiveEpoch != LineFailed && "live epochs never alias LineFailed");
   unsigned LinesPerPage =
       static_cast<unsigned>(PcmPageSize / LineBytes);
   unsigned First = PageWithinBlock * LinesPerPage;
   unsigned Restored = 0;
   for (unsigned Line = First; Line != First + LinesPerPage; ++Line) {
     if (LineMarks[Line] == LineFailed) {
-      LineMarks[Line] = 0;
+      LineMarks[Line] = LiveEpoch;
       FailedBits.clear(Line);
-      updateSlotsForLine(Line, 0);
+      updateSlotsForLine(Line, LiveEpoch);
       --FailedLineCount;
       ++Restored;
     }

@@ -145,15 +145,35 @@ public:
   /// Records a *dynamic* failure of the 64 B PCM line at byte offset
   /// \p ByteOffset: updates the page failure word and retires the
   /// covering Immix line.
-  void failPcmLineAt(size_t ByteOffset) {
+  ///
+  /// With \p PreserveSpill (conservative line marking), a live mark on
+  /// the dying line first transfers to the following line. Conservative
+  /// marking protects a small object's spilled tail only *implicitly* -
+  /// "the line after a live line is unavailable" - and the hole scans
+  /// exempt failed lines from that carry on the assumption that nothing
+  /// was ever allocated into them. A dynamically failed line was live a
+  /// moment ago, so overwriting its mark with the failed sentinel would
+  /// silently strip the next line's protection and let the allocator
+  /// clobber the tail. The explicit transfer is at worst one line
+  /// over-conservative and lapses at the next collection's re-marking.
+  void failPcmLineAt(size_t ByteOffset, bool PreserveSpill = false) {
     assert(ByteOffset < BlockBytes && "offset out of range");
     size_t Page = ByteOffset / PcmPageSize;
     size_t Bit = (ByteOffset % PcmPageSize) / PcmLineSize;
     if (!PageFailWords.empty())
       PageFailWords[Page] |= uint64_t(1) << Bit;
     unsigned Line = static_cast<unsigned>(ByteOffset / LineBytes);
-    if (LineMarks[Line] != LineFailed)
+    uint8_t Old = LineMarks[Line];
+    if (Old != LineFailed)
       ++DynamicFailedLineCount;
+    if (PreserveSpill && Old != LineFailed && Old != 0 &&
+        Line + 1 < lineCount()) {
+      uint8_t Next = LineMarks[Line + 1];
+      if (Next != LineFailed && Next != Old) {
+        LineMarks[Line + 1] = Old;
+        updateSlotsForLine(Line + 1, Old);
+      }
+    }
     failLine(Line);
   }
 
@@ -166,7 +186,16 @@ public:
   /// physical page (the pinned-object escape hatch of Section 3.3.3):
   /// every failed line within that page becomes usable again. Returns the
   /// number of lines restored.
-  unsigned unfailPage(unsigned PageWithinBlock);
+  ///
+  /// Restored lines take the mark \p LiveEpoch. A line that failed under
+  /// live data keeps that data (the failure fenced writes, not reads),
+  /// but live objects straddling into it never marked it - marking a
+  /// failed line is a no-op - so restoring it as free would hand the
+  /// allocator a hole that still contains a live object's tail. Passing
+  /// the current mark epoch quarantines restored lines as live until the
+  /// next full collection re-derives their true status; pass 0 only when
+  /// no live data can overlap the page (intake, tests).
+  unsigned unfailPage(unsigned PageWithinBlock, uint8_t LiveEpoch);
 
   /// Imports the OS page failure words covering this block: any Immix
   /// line overlapping a failed 64 B PCM line is retired (false failures
@@ -290,6 +319,13 @@ public:
   bool hasFreshFailure() const { return FreshFailure; }
   void setFreshFailure(bool V) { FreshFailure = V; }
 
+  /// The mutator lane whose TLAB currently bump-allocates from this
+  /// block, or -1. Dynamic-failure interrupts for an owned block are
+  /// routed to the owning lane's mailbox; unowned ("orphaned") blocks
+  /// fall back to the deferred queue drained at the next safepoint.
+  int ownerLane() const { return OwnerLane; }
+  void setOwnerLane(int Lane) { OwnerLane = Lane; }
+
 private:
   /// A cached bitmap of the lines whose mark byte equals Value. Two slots
   /// suffice: queries name at most two epochs (sweep epoch + mark epoch),
@@ -361,6 +397,7 @@ private:
   BlockState State = BlockState::Free;
   bool Evacuating = false;
   bool FreshFailure = false;
+  int OwnerLane = -1;
 };
 
 } // namespace wearmem

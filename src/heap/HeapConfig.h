@@ -214,6 +214,16 @@ struct HeapStats {
   /// already remapped to perfect physical pages). They still fence and
   /// recover normally; they are just invisible to crash recovery.
   uint64_t UnjournaledFailures = 0;
+
+  /// Thread-targeted interrupt routing (multi-lane mutators). All three
+  /// are deterministic - they depend only on the lane schedule - and the
+  /// no-lost-interrupts ledger check is Routed == Delivered + Orphaned
+  /// with every lane mailbox empty.
+  uint64_t InterruptsRouted = 0;    ///< Addresses entering the router.
+  uint64_t InterruptsDelivered = 0; ///< Delivered to an owning lane.
+  uint64_t InterruptsOrphaned = 0;  ///< Unowned; deferred to a safepoint.
+  /// Stop-the-world handshakes that actually had peer threads to stop.
+  uint64_t SafepointStops = 0;
 };
 
 } // namespace wearmem

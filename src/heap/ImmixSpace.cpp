@@ -17,6 +17,16 @@ using namespace wearmem;
 // ImmixAllocator
 //===----------------------------------------------------------------------===//
 
+void ImmixAllocator::tagOwner(Block *B) {
+  if (B && Lane >= 0)
+    B->setOwnerLane(Lane);
+}
+
+void ImmixAllocator::untagOwner(Block *B) {
+  if (B && B->ownerLane() == Lane && Lane >= 0)
+    B->setOwnerLane(-1);
+}
+
 uint8_t *ImmixAllocator::allocFast(size_t Size) {
   if (Cursor && Cursor + Size <= Limit) {
     uint8_t *Result = Cursor;
@@ -64,6 +74,7 @@ uint8_t *ImmixAllocator::allocSmallSlow(size_t Size) {
           return Fast;
         continue; // Hole smaller than the object; keep searching.
       }
+      untagOwner(Cur);
       Cur = nullptr;
     }
     // Steady state prefers recycled blocks; completely free blocks are a
@@ -74,6 +85,7 @@ uint8_t *ImmixAllocator::allocSmallSlow(size_t Size) {
     if (!Next)
       return nullptr; // Collection required.
     Next->setState(BlockState::InUse);
+    tagOwner(Next);
     Cur = Next;
     CurSearchLine = 0;
     Cursor = Limit = nullptr;
@@ -106,11 +118,13 @@ uint8_t *ImmixAllocator::allocOverflow(size_t Size) {
         return Result;
       }
     }
+    untagOwner(Ovf);
     Ovf = nullptr;
   }
   // A fresh (possibly imperfect) free block.
   if (Block *Next = Space.takeFree()) {
     Next->setState(BlockState::InUse);
+    tagOwner(Next);
     Ovf = Next;
     OvfSearchLine = 0;
     OvfCursor = OvfLimit = nullptr;
@@ -140,6 +154,7 @@ uint8_t *ImmixAllocator::allocOverflow(size_t Size) {
             Space.takeRecyclableFitting(NeedLines, SweepEpoch, MarkEpoch,
                                         H)) {
       Recycled->setState(BlockState::InUse);
+      tagOwner(Recycled);
       Ovf = Recycled;
       OvfSearchLine = H.EndLine;
       installHole(Ovf, H, OvfCursor, OvfLimit);
@@ -158,6 +173,7 @@ uint8_t *ImmixAllocator::allocOverflow(size_t Size) {
   if (!Perfect)
     return nullptr; // Collection required.
   Perfect->setState(BlockState::InUse);
+  tagOwner(Perfect);
   Ovf = Perfect;
   Hole H;
   bool Found = Ovf->findHole(0, SweepEpoch, MarkEpoch, Config.ConservativeLineMarking,
@@ -174,6 +190,8 @@ uint8_t *ImmixAllocator::allocOverflow(size_t Size) {
 
 void ImmixAllocator::retire() {
   // Ownership lapses; the sweep will reclassify the blocks.
+  untagOwner(Cur);
+  untagOwner(Ovf);
   Cur = Ovf = nullptr;
   Cursor = Limit = OvfCursor = OvfLimit = nullptr;
   CurSearchLine = OvfSearchLine = 0;
@@ -182,11 +200,19 @@ void ImmixAllocator::retire() {
 void ImmixAllocator::invalidateCache() {
   // Dynamic failures may have retired lines inside the cached bump
   // regions; drop the regions (the blocks remain owned and are re-swept
-  // at the next collection). Hole searches restart from the cursor line.
+  // at the next collection). Hole searches resume at the next line
+  // *boundary*, not the cursor's line: a line the cursor has partially
+  // consumed holds objects born since the last collection, whose line
+  // marks are still clear - re-finding it as a hole would zero a live
+  // object's tail and hand out its memory.
+  auto NextLine = [](const Block *B, const uint8_t *At) {
+    size_t Off = static_cast<size_t>(At - B->base());
+    return static_cast<unsigned>(divCeil(Off, B->lineSize()));
+  };
   if (Cur && Cursor)
-    CurSearchLine = Cur->lineOf(Cursor);
+    CurSearchLine = NextLine(Cur, Cursor);
   if (Ovf && OvfCursor)
-    OvfSearchLine = Ovf->lineOf(OvfCursor);
+    OvfSearchLine = NextLine(Ovf, OvfCursor);
   Cursor = Limit = nullptr;
   OvfCursor = OvfLimit = nullptr;
 }
@@ -221,6 +247,7 @@ Block *ImmixSpace::createBlock(PageGrant &&Grant) {
 }
 
 Block *ImmixSpace::takeRecyclable() {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   Block *Found = nullptr;
   size_t Skipped = 0;
   while (!RecycleList.empty()) {
@@ -246,6 +273,7 @@ Block *ImmixSpace::takeRecyclable() {
 Block *ImmixSpace::takeRecyclableFitting(unsigned NeedLines,
                                          uint8_t SweepEpoch,
                                          uint8_t MarkEpoch, Hole &Out) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   // Bounded scan: a long fruitless walk would make every medium
   // allocation O(heap) under heavy fragmentation.
   constexpr size_t MaxProbes = 16;
@@ -292,6 +320,7 @@ Block *ImmixSpace::takeRecyclableFitting(unsigned NeedLines,
 }
 
 Block *ImmixSpace::takeFree() {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   size_t Scanned = 0;
   size_t ListSize = FreeList.size();
   std::vector<Block *> SkippedEvacuating;
@@ -323,6 +352,7 @@ Block *ImmixSpace::takeFree() {
 
 size_t ImmixSpace::releaseExcessFreeBlocks(
     size_t KeepFree, const std::function<void(const Block &)> &OnRelease) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   if (FreeList.size() <= KeepFree)
     return 0;
   std::unordered_map<uintptr_t, Block *> Victims;
@@ -362,6 +392,7 @@ size_t ImmixSpace::releaseExcessFreeBlocks(
 }
 
 Block *ImmixSpace::takePerfectFree() {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   // Prefer a perfect block already in the local free list. Unsuitable
   // blocks (evacuating or imperfect) are skipped *in place* - only the
   // chosen block is erased - so unlike the pop-and-drop paths above this
@@ -387,6 +418,9 @@ Block *ImmixSpace::takePerfectFree() {
 }
 
 Block *ImmixSpace::blockOf(const uint8_t *Addr) const {
+  // Locked: a lookup from the failure-routing path may race another
+  // lane's TLAB refill growing ByBase.
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   uintptr_t Base =
       reinterpret_cast<uintptr_t>(Addr) & ~(Config.BlockSize - 1);
   auto It = ByBase.find(Base);

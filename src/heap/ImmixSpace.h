@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -76,6 +77,23 @@ public:
   /// Invalidates cached bump regions after lines failed dynamically.
   void invalidateCache();
 
+  /// The mutator lane this allocator serves. Blocks acquired for the
+  /// small-object TLAB are tagged with the lane so dynamic-failure
+  /// interrupts can be routed to the owning thread; -1 (the evacuation
+  /// allocator, legacy single-mutator paths) leaves blocks untagged.
+  void setLane(int Lane) { this->Lane = Lane; }
+  int lane() const { return Lane; }
+
+  /// \name TLAB introspection (auditor, thread-targeted fault shapes)
+  /// @{
+  Block *currentBlock() const { return Cur; }
+  Block *overflowBlock() const { return Ovf; }
+  const uint8_t *cursor() const { return Cursor; }
+  const uint8_t *limit() const { return Limit; }
+  const uint8_t *ovfCursor() const { return OvfCursor; }
+  const uint8_t *ovfLimit() const { return OvfLimit; }
+  /// @}
+
 private:
   uint8_t *allocFast(size_t Size);
   uint8_t *allocSmallSlow(size_t Size);
@@ -83,12 +101,18 @@ private:
   bool installHole(Block *B, const Hole &H, uint8_t *&Cursor,
                    uint8_t *&Limit);
 
+  /// Tags \p B as owned by this allocator's lane (no-op for lane -1).
+  void tagOwner(Block *B);
+  /// Clears the owner tag when a TLAB block is abandoned.
+  void untagOwner(Block *B);
+
   ImmixSpace &Space;
   const HeapConfig &Config;
   HeapStats &Stats;
   uint8_t SweepEpoch = 1;
   uint8_t MarkEpoch = 1;
   bool AllowPerfectFallback = true;
+  int Lane = -1;
 
   Block *Cur = nullptr;
   unsigned CurSearchLine = 0;
@@ -203,6 +227,13 @@ private:
   const HeapConfig &Config;
   HeapStats &Stats;
   BudgetGate Gate;
+
+  /// Guards the block registry (free/recycle lists, ByBase, Blocks)
+  /// against concurrent TLAB refills from multiple mutator lanes and
+  /// against blockOf lookups racing a registry grow. Collection-time
+  /// paths (sweep, defrag selection) run at a safepoint and stay
+  /// lock-free.
+  mutable std::mutex RegistryMu;
 
   std::vector<std::unique_ptr<Block>> Blocks;
   std::vector<Block *> FreeList;

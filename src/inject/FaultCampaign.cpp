@@ -171,11 +171,33 @@ bool parseOneTrigger(const std::string &Entry, FaultTrigger &T,
         T.CrashAt = CrashPoint::InterruptUpcall;
       } else if (Point == "recovery") {
         T.CrashAt = CrashPoint::RecoveryPhase;
+      } else if (Point == "handshake") {
+        T.CrashAt = CrashPoint::SafepointHandshake;
       } else {
         Error = "unknown kill point '" + Point +
-                "' (append, remap, upcall, recovery) in '" + Entry + "'";
+                "' (append, remap, upcall, recovery, handshake) in '" +
+                Entry + "'";
         return false;
       }
+      continue;
+    }
+    if (Key == "thread") {
+      // Lane selector for thread-targeted storms. Lane 0 is valid, so
+      // this cannot go through the generic parser below (it rejects 0).
+      if (T.Shape != FaultShape::Storm) {
+        Error =
+            "option 'thread' requires the storm shape in '" + Entry + "'";
+        return false;
+      }
+      std::string ValStr = Opt.substr(Eq + 1);
+      size_t ValPos = 0;
+      uint64_t Lane = 0;
+      if (ValStr.empty() || !parseScaled(ValStr, ValPos, Lane) ||
+          ValPos != ValStr.size() || Lane > 0x7FFFFFFF) {
+        Error = "bad option '" + Opt + "' in '" + Entry + "'";
+        return false;
+      }
+      T.ThreadTarget = static_cast<int>(Lane);
       continue;
     }
     uint64_t Val = 0;
@@ -364,6 +386,27 @@ void FaultCampaign::fireHeap(const FaultTrigger &T) {
   }
 
   case FaultShape::Storm: {
+    if (T.ThreadTarget >= 0) {
+      // Thread-targeted burst: hit the victim lane's current TLAB block,
+      // where that thread's next writes land. Dry-fires (empty batch)
+      // when the lane has no TLAB yet - before its first refill - or
+      // the block has since been retired.
+      Block *B = Rt->heap().mutatorTlabBlock(
+          static_cast<unsigned>(T.ThreadTarget));
+      if (!B || B->state() == BlockState::Retired)
+        break;
+      std::vector<unsigned> Working;
+      for (unsigned Line = 0; Line != B->lineCount(); ++Line)
+        if (B->lineMark(Line) != LineFailed)
+          Working.push_back(Line);
+      size_t Want = std::min<size_t>(T.Lines, Working.size());
+      for (size_t I = 0; I != Want; ++I) {
+        size_t J = I + Rand.nextBelow(Working.size() - I);
+        std::swap(Working[I], Working[J]);
+        Addrs.push_back(pcmLineWithin(*B, Working[I]));
+      }
+      break;
+    }
     // A correlated burst into one block - the hottest (most live lines)
     // when Hot, else a random occupied one.
     std::vector<std::pair<Block *, std::vector<unsigned>>> Occupied;
@@ -561,5 +604,10 @@ void FaultCampaign::injectHeapBatch(std::vector<uint8_t *> &&Addrs,
     }
   }
   Stats.LinesFailed += Addrs.size();
-  Rt->heap().injectDynamicFailureBatch(Addrs, /*DeferRecovery=*/true);
+  // The router is the multi-lane-aware front door: with one lane it is
+  // exactly injectDynamicFailureBatch(DeferRecovery=true); with several
+  // it delivers each failure to the lane owning the hit block (active
+  // lane immediately, others via their mailbox) and defers unowned
+  // addresses to the next safepoint.
+  Rt->heap().routeDynamicFailureBatch(Addrs);
 }

@@ -109,8 +109,12 @@ struct FaultTrigger {
   /// Storm only: target the hottest block (most lines marked live)
   /// instead of a random one.
   bool Hot = false;
+  /// Storm only: target mutator lane K's current TLAB block (schedule
+  /// option thread=K), where that thread's next writes land. -1 = no
+  /// lane targeting. Dry-fires when the lane has no TLAB yet.
+  int ThreadTarget = -1;
   /// Crash only: which kill point to arm (schedule option
-  /// at=append|remap|upcall|recovery).
+  /// at=append|remap|upcall|recovery|handshake).
   CrashPoint CrashAt = CrashPoint::JournalAppend;
 };
 

@@ -62,6 +62,13 @@ const char *eventKindName(EventKind K) {
     return "campaign_firing";
   case EventKind::SnapshotTaken:
     return "snapshot";
+  case EventKind::SafepointBegin:
+  case EventKind::SafepointEnd:
+    return "safepoint";
+  case EventKind::WatchdogFired:
+    return "watchdog_fired";
+  case EventKind::InterruptRouted:
+    return "interrupt_routed";
   }
   return "unknown";
 }

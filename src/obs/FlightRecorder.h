@@ -64,6 +64,11 @@ enum class EventKind : uint16_t {
   // Fault injection. A = campaign shape, B = cumulative firings.
   CampaignFiring,
   SnapshotTaken, ///< A = gc count at capture.
+  // Safepoint handshake. A = registered threads, B = threads to stop.
+  SafepointBegin,
+  SafepointEnd,   ///< A = registered threads, B = wait rounds spent.
+  WatchdogFired,  ///< A = unacked threads, B = wait-round budget.
+  InterruptRouted, ///< A = owner lane (or ~0 for orphan), B = batch size.
 };
 
 const char *eventKindName(EventKind K);

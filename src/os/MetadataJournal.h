@@ -64,6 +64,9 @@ enum class CrashPoint : uint8_t {
   InterruptUpcall,
   /// Between batch-recovery phases: lines fenced, defrag not yet run.
   RecoveryPhase,
+  /// Inside the stop-the-world handshake window: peer mutator threads
+  /// parked, the trace not yet started.
+  SafepointHandshake,
 };
 
 inline const char *crashPointName(CrashPoint P) {
@@ -76,6 +79,8 @@ inline const char *crashPointName(CrashPoint P) {
     return "interrupt-upcall";
   case CrashPoint::RecoveryPhase:
     return "recovery-phase";
+  case CrashPoint::SafepointHandshake:
+    return "safepoint-handshake";
   }
   return "?";
 }

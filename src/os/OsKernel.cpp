@@ -78,8 +78,11 @@ void OsKernel::handleFailures() {
   // The up-call may perform PCM writes that themselves fail and re-raise
   // the interrupt; those failures stay buffered until this invocation
   // loops back around, mirroring the paper's "the hardware and OS handle
-  // these failures until the collector is ready to deal with them".
-  if (InHandler) {
+  // these failures until the collector is ready to deal with them". Only
+  // the owning thread short-circuits: a different thread arriving here
+  // has a batch of its own to service and waits for the mutex below.
+  if (HandlerOwner.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
     ++Stats.ReentrantInterrupts;
     WEARMEM_COUNT_DET("os.interrupts.reentrant");
     WEARMEM_TRACE(ReentrantInterrupt, Device.failureBuffer().size(), 0);
@@ -95,7 +98,15 @@ void OsKernel::handleFailures() {
     WEARMEM_TRACE(InterruptDeferred, Device.failureBuffer().size(), 0);
     return;
   }
-  InHandler = true;
+  std::lock_guard<std::mutex> Lock(HandlerMu);
+  HandlerOwner.store(std::this_thread::get_id(), std::memory_order_release);
+  // A kill point inside the loop unwinds through here (CrashSignal); the
+  // guard keeps the owner id from surviving into a recovered incarnation
+  // that happens to reuse this thread.
+  struct OwnerReset {
+    std::atomic<std::thread::id> &Owner;
+    ~OwnerReset() { Owner.store(std::thread::id(), std::memory_order_release); }
+  } Reset{HandlerOwner};
   ++Stats.Interrupts;
   WEARMEM_COUNT_DET("os.interrupts");
   WEARMEM_TRACE(Interrupt, Device.failureBuffer().size(), 0);
@@ -140,13 +151,29 @@ void OsKernel::handleFailures() {
     for (const FailureRecord &Record : Pending)
       ProtectedPages.erase(pageOfAddr(Record.LineAddr));
   }
-  InHandler = false;
 }
 
 WriteResult OsKernel::writeWithBackpressure(PcmAddr Addr,
                                             const uint8_t *Data,
                                             size_t Size) {
   WriteResult Result = Device.write(Addr, Data, Size);
+  if (Result != WriteResult::Stalled)
+    return Result;
+  // The retry loop can spend a long time draining a storm; to the
+  // safepoint coordinator this thread counts as stopped for its whole
+  // duration (and parks on exit if a handshake arrived meanwhile). RAII
+  // so a kill point unwinding out of handleFailures still leaves.
+  struct BlockedRegion {
+    OsKernel &K;
+    explicit BlockedRegion(OsKernel &K) : K(K) {
+      if (K.BlockedEnter)
+        K.BlockedEnter();
+    }
+    ~BlockedRegion() {
+      if (K.BlockedLeave)
+        K.BlockedLeave();
+    }
+  } Region{*this};
   for (unsigned Retry = 0;
        Result == WriteResult::Stalled && Retry != MaxStallRetries;
        ++Retry) {

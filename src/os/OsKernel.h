@@ -23,9 +23,12 @@
 #include "os/MetadataJournal.h"
 #include "pcm/PcmDevice.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 namespace wearmem {
@@ -111,6 +114,18 @@ public:
     UpcallGate = std::move(Gate);
   }
 
+  /// Installs safepoint blocked-region hooks around the backpressure
+  /// retry loop: \p Enter runs before the first stalled retry and
+  /// \p Leave after the loop ends. A mutator thread stuck draining a
+  /// failure storm counts as at-safepoint for the whole stall, so a
+  /// storm that pins one thread in backpressure can never deadlock a
+  /// stop-the-world handshake. Pass empty functions to remove.
+  void setBlockedRegionHooks(std::function<void()> Enter,
+                             std::function<void()> Leave) {
+    BlockedEnter = std::move(Enter);
+    BlockedLeave = std::move(Leave);
+  }
+
   /// Services the failure interrupt: snapshots pending failures, revokes
   /// page permissions, up-calls (or page-copies), then clears the buffer
   /// entries. Called automatically via the device interrupt; may also be
@@ -140,10 +155,21 @@ private:
   PcmDevice &Device;
   RuntimeFailureHandler Handler_;
   std::function<bool()> UpcallGate;
+  std::function<void()> BlockedEnter;
+  std::function<void()> BlockedLeave;
   std::set<PageIndex> ProtectedPages;
   OsKernelStats Stats;
   MetadataJournal *Journal = nullptr;
-  bool InHandler = false;
+
+  // Handler re-entrancy state. The owner id distinguishes the two ways a
+  // second handleFailures can arrive while one runs: the *same* thread
+  // re-entering through an up-call's own failed writes stays buffered
+  // (counted in ReentrantInterrupts, exactly the old single-thread
+  // semantics), while a *different* thread waits on HandlerMu and then
+  // services whatever is still pending. A plain bool cannot tell those
+  // apart and would drop the cross-thread batch on the floor.
+  std::mutex HandlerMu;
+  std::atomic<std::thread::id> HandlerOwner{};
 };
 
 } // namespace wearmem

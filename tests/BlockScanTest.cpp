@@ -161,7 +161,10 @@ TEST(BlockScanTest, DifferentialFuzzIncrementalMutations) {
         B.failLine(Line);
         break;
       case 1:
-        B.unfailPage(static_cast<unsigned>(R.nextBelow(Pages)));
+        // Both restore flavors: free (intake) and live-quarantined (the
+        // collector's pinned-page remap).
+        B.unfailPage(static_cast<unsigned>(R.nextBelow(Pages)),
+                     R.nextBelow(2) ? MarkEpoch : 0);
         break;
       case 2:
         B.markLine(Line, SweepEpoch);
@@ -250,7 +253,7 @@ TEST(BlockScanTest, FittingCursorInvariants) {
   B.noteNoFittingHole(8);
   B.failLine(20);
   EXPECT_EQ(B.fittingScanStart(8), B.lineCount()); // Failing only shrinks.
-  B.unfailPage(1);
+  B.unfailPage(1, /*LiveEpoch=*/0);
   EXPECT_EQ(B.fittingScanStart(8), 0u);
   // ...and zeroing a mark.
   B.noteNoFittingHole(8);

@@ -156,7 +156,7 @@ TEST(BlockTest, UnfailPageRestoresLines) {
   Words[3] = 0xFF; // 8 failed PCM lines in page 3 -> 2 Immix lines.
   B.applyFailureWords(Words, 8);
   EXPECT_EQ(B.failedLines(), 2u);
-  unsigned Restored = B.unfailPage(3);
+  unsigned Restored = B.unfailPage(3, /*LiveEpoch=*/0);
   EXPECT_EQ(Restored, 2u);
   EXPECT_EQ(B.failedLines(), 0u);
   EXPECT_EQ(B.pageFailureWords()[3], 0u);
@@ -169,4 +169,44 @@ TEST(BlockTest, MarkLineNeverOverwritesFailed) {
   B.failLine(5);
   B.markLine(5, 9);
   EXPECT_TRUE(B.lineIsFailed(5));
+}
+
+TEST(BlockTest, DynamicFailureTransfersSpillMark) {
+  // Under conservative marking a small object marks only its first
+  // line; the tail spilling into the next line is protected by the
+  // "line after a live line" rule. When the first line dies
+  // dynamically its live mark must transfer to the next line, or the
+  // hole scan would hand out the tail.
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  uint64_t Words[8] = {};
+  B.applyFailureWords(Words, 8);
+  B.markLine(20, 7); // A small object's head line; tail spills into 21.
+  B.failPcmLineAt(20 * 256, /*PreserveSpill=*/true);
+  EXPECT_TRUE(B.lineIsFailed(20));
+  EXPECT_EQ(B.lineMark(21), 7u); // Protection now explicit.
+  Hole H;
+  ASSERT_TRUE(B.findHole(21, 7, 7, /*Conservative=*/true, H));
+  EXPECT_EQ(H.StartLine, 23u); // 21 live, 22 implicitly live.
+
+  // An explicitly live next line is left alone.
+  B.markLine(40, 7);
+  B.markLine(41, 7);
+  B.failPcmLineAt(40 * 256, /*PreserveSpill=*/true);
+  EXPECT_EQ(B.lineMark(41), 7u);
+
+  // Without PreserveSpill (exact marking) no transfer happens.
+  B.markLine(60, 7);
+  B.failPcmLineAt(60 * 256);
+  EXPECT_EQ(B.lineMark(61), 0u);
+
+  // A dead line (mark 0) transfers nothing.
+  B.failPcmLineAt(80 * 256, /*PreserveSpill=*/true);
+  EXPECT_EQ(B.lineMark(81), 0u);
+
+  // The transfer never resurrects a failed next line.
+  B.failLine(91);
+  B.markLine(90, 7);
+  B.failPcmLineAt(90 * 256, /*PreserveSpill=*/true);
+  EXPECT_TRUE(B.lineIsFailed(91));
 }

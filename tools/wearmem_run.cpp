@@ -23,7 +23,10 @@
 #include "support/JsonWriter.h"
 #include "support/Table.h"
 #include "workload/Mutator.h"
+#include "workload/MutatorPool.h"
 #include "workload/Runner.h"
+
+#include "gc/HeapAuditor.h"
 
 #include <cerrno>
 #include <chrono>
@@ -57,6 +60,11 @@ void printUsage(FILE *Out) {
       "  --dynamic-failures=N     inject N line failures mid-run\n"
       "  --gc-threads=N           parallel GC workers (default 1; the\n"
       "                           heap state is identical for any N)\n"
+      "  --mutator-threads=N      OS threads driving the mutator lanes\n"
+      "                           (default 1)\n"
+      "  --mutator-lanes=L        logical mutator lanes; fixes the\n"
+      "                           allocation schedule and the heap\n"
+      "                           digest (default: --mutator-threads)\n"
       "  --reps=N                 repetitions (default 3)\n"
       "  --seed=N                 failure-map + workload seed\n"
       "  --trace=FILE             Chrome trace_event JSON of one\n"
@@ -110,6 +118,8 @@ int main(int argc, char **argv) {
   bool Arraylets = false;
   unsigned DynamicFailures = 0;
   unsigned GcThreads = 1;
+  unsigned MutatorThreads = 1;
+  unsigned MutatorLanes = 0;
   int Reps = 3;
   uint64_t Seed = 0x5EEDF00DULL;
   std::string TracePath;
@@ -192,6 +202,10 @@ int main(int argc, char **argv) {
       ValueOk = uns(DynamicFailures);
     } else if (parseFlag(Arg, "--gc-threads", Value)) {
       ValueOk = uns(GcThreads);
+    } else if (parseFlag(Arg, "--mutator-threads", Value)) {
+      ValueOk = uns(MutatorThreads) && MutatorThreads >= 1;
+    } else if (parseFlag(Arg, "--mutator-lanes", Value)) {
+      ValueOk = uns(MutatorLanes);
     } else if (parseFlag(Arg, "--reps", Value)) {
       unsigned R = 0;
       ValueOk = uns(R) && R >= 1;
@@ -265,6 +279,57 @@ int main(int argc, char **argv) {
     obs::enable(obs::TraceDomain);
   if (!MetricsOut.empty())
     obs::enable(obs::MetricsDomain);
+
+  if (MutatorThreads > 1 || MutatorLanes > 1) {
+    // Multi-threaded mutator run: N threads over L lanes through the
+    // round-robin turnstile. The digest depends only on L, so two runs
+    // with different --mutator-threads but the same --mutator-lanes must
+    // report the same digest (the determinism gate compares exactly
+    // that).
+    unsigned L = MutatorLanes != 0 ? MutatorLanes : MutatorThreads;
+    // Each lane carries a full live set; scale the heap with the lane
+    // count so per-lane headroom matches the single-lane run.
+    Config.HeapBytes *= L;
+    Runtime Rt(Config);
+    MutatorPoolOptions PoolOpts;
+    PoolOpts.Lanes = L;
+    PoolOpts.Threads = MutatorThreads;
+    PoolOpts.Seed = Seed;
+    PoolOpts.VolumeScale = benchScale();
+    MutatorPool Pool(Rt, *P, PoolOpts);
+    auto Start = std::chrono::steady_clock::now();
+    bool Ok = Pool.run();
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    HeapAuditor Auditor(Rt.heap());
+    AuditReport Audit = Auditor.audit();
+    for (const std::string &V : Audit.Violations)
+      std::fprintf(stderr, "audit violation: %s\n", V.c_str());
+    uint64_t Digest = Auditor.digest();
+    const HeapStats &S = Rt.stats();
+    const SafepointStats &Sp = Rt.safepoints().stats();
+    std::printf(
+        "%u threads x %u lanes: %s in %.1f ms, %llu turns, %llu "
+        "collections\n"
+        "safepoints: %llu stops, %llu parks, %llu blocked acks\n"
+        "interrupts: %llu routed = %llu delivered + %llu orphaned\n"
+        "heap digest: %016llx (audit %s)\n",
+        Pool.threads(), Pool.lanes(), Ok ? "ok" : "DID NOT FINISH", Ms,
+        static_cast<unsigned long long>(Pool.totalTurns()),
+        static_cast<unsigned long long>(S.GcCount),
+        static_cast<unsigned long long>(Sp.Stops),
+        static_cast<unsigned long long>(Sp.Parks),
+        static_cast<unsigned long long>(Sp.BlockedAcks),
+        static_cast<unsigned long long>(S.InterruptsRouted),
+        static_cast<unsigned long long>(S.InterruptsDelivered),
+        static_cast<unsigned long long>(S.InterruptsOrphaned),
+        static_cast<unsigned long long>(Digest),
+        Audit.passed() ? "clean" : "FAILED");
+    if (!Audit.passed())
+      return 3;
+    return Ok ? 0 : 2;
+  }
 
   if (DynamicFailures > 0 || ObsRun) {
     // One instrumented run, optionally with evenly spaced mid-run line

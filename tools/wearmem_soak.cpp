@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gc/HeapAuditor.h"
+#include "gc/Safepoint.h"
 #include "inject/FaultCampaign.h"
 #include "obs/FlightRecorder.h"
 #include "obs/Hooks.h"
@@ -30,6 +31,7 @@
 #include "pcm/WearSimulation.h"
 #include "support/JsonWriter.h"
 #include "workload/Mutator.h"
+#include "workload/MutatorPool.h"
 #include "workload/Runner.h"
 
 #include <cerrno>
@@ -77,6 +79,12 @@ struct SoakOptions {
   /// Parallel GC workers inside each runtime (heap state is identical
   /// for any value; see gc/GcWorkers.h).
   unsigned GcThreads = 1;
+  /// OS threads driving the mutator lanes (workload/MutatorPool.h);
+  /// heap state is identical for any value at a fixed lane count.
+  unsigned MutatorThreads = 1;
+  /// Logical mutator lanes; 0 = same as MutatorThreads. The lane count
+  /// fixes the allocation schedule (and the digest/curve).
+  unsigned MutatorLanes = 0;
   /// Independent campaign repetitions (seed, seed+1, ...); > 1 switches
   /// to the multi-rep aggregate JSON.
   unsigned Reps = 1;
@@ -116,6 +124,13 @@ struct SoakOutcome {
   size_t BudgetPages = 0;
   double RunMs = 0.0;
   std::vector<obs::HeapSnapshot> Snapshots;
+  /// Multi-threaded mutator mode only (keeps legacy JSON unchanged).
+  bool PoolMode = false;
+  unsigned PoolThreads = 1;
+  unsigned PoolLanes = 1;
+  uint64_t PoolTurns = 0;
+  uint64_t MailboxBacklog = 0;
+  SafepointStats Safepoints;
 };
 
 void usage(FILE *Out, const char *Argv0) {
@@ -142,6 +157,11 @@ void usage(FILE *Out, const char *Argv0) {
       "                        journal recovery, and audit\n"
       "  --gc-threads N        parallel GC workers (default 1; heap\n"
       "                        state is identical for any N)\n"
+      "  --mutator-threads N   OS threads driving the mutator lanes\n"
+      "                        (default 1)\n"
+      "  --mutator-lanes L     logical mutator lanes; fixes the\n"
+      "                        allocation schedule and the survival\n"
+      "                        curve (default: --mutator-threads)\n"
       "  --reps N              independent campaign repetitions with\n"
       "                        seeds seed..seed+N-1 (default 1)\n"
       "  --jobs N              threads to spread the repetitions over;\n"
@@ -245,6 +265,10 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       uns(Opt.CrashIters);
     } else if (Arg == "--gc-threads") {
       uns(Opt.GcThreads, 1);
+    } else if (Arg == "--mutator-threads") {
+      uns(Opt.MutatorThreads, 1);
+    } else if (Arg == "--mutator-lanes") {
+      uns(Opt.MutatorLanes);
     } else if (Arg == "--reps") {
       uns(Opt.Reps, 1);
     } else if (Arg == "--jobs") {
@@ -271,10 +295,24 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
   return Bad;
 }
 
+/// Lanes the pool will run: an explicit --mutator-lanes wins, else one
+/// lane per mutator thread.
+unsigned poolLanes(const SoakOptions &Opt) {
+  return Opt.MutatorLanes != 0 ? Opt.MutatorLanes : Opt.MutatorThreads;
+}
+
+bool poolMode(const SoakOptions &Opt) {
+  return poolLanes(Opt) > 1 || Opt.MutatorThreads > 1;
+}
+
 RuntimeConfig makeConfig(const SoakOptions &Opt, const Profile &P) {
   RuntimeConfig Config;
   Config.HeapBytes = Opt.HeapMb ? Opt.HeapMb * MiB
                                 : heapBytesFor(P, Opt.HeapFactor);
+  if (poolMode(Opt))
+    // Each lane carries a full live set; scale the heap with the lane
+    // count so per-lane headroom matches the single-lane run.
+    Config.HeapBytes *= poolLanes(Opt);
   Config.FailureRate = Opt.FailureRate;
   Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
   Config.MaxDebtPages = Opt.MaxDebtPages;
@@ -303,6 +341,15 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
 
   Runtime Rt(Config);
   Mutator M(Rt, P, Opt.Seed, Opt.VolumeScale);
+  std::unique_ptr<MutatorPool> Pool;
+  if (poolMode(Opt)) {
+    MutatorPoolOptions PoolOpts;
+    PoolOpts.Lanes = poolLanes(Opt);
+    PoolOpts.Threads = Opt.MutatorThreads;
+    PoolOpts.Seed = Opt.Seed;
+    PoolOpts.VolumeScale = Opt.VolumeScale;
+    Pool = std::make_unique<MutatorPool>(Rt, P, PoolOpts);
+  }
   FaultCampaign Campaign(Triggers, Opt.Seed);
   Campaign.attachRuntime(Rt);
   Campaign.setEscalation(Opt.Escalate);
@@ -319,12 +366,16 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
     return false;
   };
 
+  auto steadyBytes = [&]() {
+    return Pool ? Pool->steadyAllocatedBytes() : M.steadyAllocatedBytes();
+  };
+  uint64_t TargetBytes = Pool ? Pool->targetBytes() : M.targetBytes();
+
   auto T0 = std::chrono::steady_clock::now();
-  bool Alive = M.setUp();
+  bool Alive = true;
   // Curve points land on campaign firings plus fixed allocation
   // intervals, so quiet stretches still chart.
-  uint64_t CurveInterval =
-      std::max<uint64_t>(M.targetBytes() / 192, 64 * KiB);
+  uint64_t CurveInterval = std::max<uint64_t>(TargetBytes / 192, 64 * KiB);
   uint64_t LastCurveAt = 0;
   uint64_t LastGc = Rt.stats().GcCount;
   unsigned GcsSinceAudit = 0;
@@ -332,18 +383,17 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   bool AuditFailed = false;
 
   auto recordPoint = [&]() {
-    Out.Curve.push_back(CurvePoint{
-        M.steadyAllocatedBytes(), Rt.stats().GcCount,
-        Rt.stats().FailedLinesDynamic, Rt.stats().BlocksRetired});
-    LastCurveAt = M.steadyAllocatedBytes();
+    Out.Curve.push_back(CurvePoint{steadyBytes(), Rt.stats().GcCount,
+                                   Rt.stats().FailedLinesDynamic,
+                                   Rt.stats().BlocksRetired});
+    LastCurveAt = Out.Curve.back().AllocBytes;
   };
   recordPoint();
 
-  while (Alive && M.steadyAllocatedBytes() < M.targetBytes()) {
-    if (!M.step()) {
-      Alive = false;
-      break;
-    }
+  // Per-step campaign/audit/curve bookkeeping, shared by the legacy
+  // single-mutator loop and the pool's turn hook. Returns false to stop
+  // the run (audit violation).
+  auto onStep = [&]() -> bool {
     bool Fired = Campaign.pump();
     uint64_t Gc = Rt.stats().GcCount;
     if (Gc != LastGc) {
@@ -363,13 +413,33 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
         GcsSinceAudit = 0;
         if (!audit()) {
           AuditFailed = true;
-          break;
+          return false;
         }
       }
     }
-    if (Fired ||
-        M.steadyAllocatedBytes() - LastCurveAt >= CurveInterval)
+    if (Fired || steadyBytes() - LastCurveAt >= CurveInterval)
       recordPoint();
+    return true;
+  };
+
+  if (Pool) {
+    // The hook runs on whichever thread holds the turn, with the heap
+    // handed to that lane; the turnstile serializes it against every
+    // other lane, so the bookkeeping above needs no extra locking.
+    Pool->setTurnHook([&](unsigned, uint64_t) { return onStep(); });
+    Alive = Pool->run();
+    if (AuditFailed)
+      Alive = true; // The hook aborted the pool; DNF verdicts are Survived's.
+  } else {
+    Alive = M.setUp();
+    while (Alive && M.steadyAllocatedBytes() < M.targetBytes()) {
+      if (!M.step()) {
+        Alive = false;
+        break;
+      }
+      if (!onStep())
+        break;
+    }
   }
 
   // Flush any pending recovery so the final audit sees a settled heap,
@@ -383,8 +453,28 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   recordPoint();
   auto T1 = std::chrono::steady_clock::now();
 
-  Out.AllocBytes = M.steadyAllocatedBytes();
-  Out.TargetBytes = M.targetBytes();
+  Out.AllocBytes = steadyBytes();
+  Out.TargetBytes = TargetBytes;
+  if (Pool) {
+    Out.PoolMode = true;
+    Out.PoolThreads = Pool->threads();
+    Out.PoolLanes = Pool->lanes();
+    Out.PoolTurns = Pool->totalTurns();
+    Out.Safepoints = Rt.safepoints().stats();
+    for (unsigned Lane = 0; Lane != Pool->lanes(); ++Lane)
+      Out.MailboxBacklog += Rt.heap().laneMailboxDepth(Lane);
+    // The routing ledger must balance: every interrupt entering the
+    // router was delivered to its owning lane or deferred as an orphan,
+    // with no mailbox still holding one. An imbalance is a lost
+    // interrupt, which counts as an audit violation.
+    const HeapStats &HS = Rt.stats();
+    if (HS.InterruptsRouted !=
+            HS.InterruptsDelivered + HS.InterruptsOrphaned ||
+        Out.MailboxBacklog != 0) {
+      Out.Violations.push_back("interrupt routing ledger imbalance");
+      AuditFailed = true;
+    }
+  }
   Out.Survived = !AuditFailed && Alive && !Rt.outOfMemory() &&
                  Out.AllocBytes >= Out.TargetBytes;
   Out.Dnf = Rt.heap().dnfReason();
@@ -523,6 +613,33 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
     W.close();
   }
   W.close();
+  if (Out.PoolMode) {
+    // Multi-threaded mutator mode only: legacy single-mutator JSON stays
+    // byte-identical. Safepoint counters are Timing-domain (schedule
+    // dependent); everything else here is deterministic at a fixed lane
+    // count.
+    W.key("mutators");
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("threads");
+    W.value(Out.PoolThreads);
+    W.key("lanes");
+    W.value(Out.PoolLanes);
+    W.key("turns");
+    W.value(Out.PoolTurns);
+    W.key("interrupts_routed");
+    W.value(Out.Heap.InterruptsRouted);
+    W.key("interrupts_delivered");
+    W.value(Out.Heap.InterruptsDelivered);
+    W.key("interrupts_orphaned");
+    W.value(Out.Heap.InterruptsOrphaned);
+    W.key("mailbox_backlog");
+    W.value(Out.MailboxBacklog);
+    W.key("safepoint_stops");
+    W.value(Out.Safepoints.Stops);
+    W.key("watchdog_fired");
+    W.value(Out.Safepoints.WatchdogFired);
+    W.close();
+  }
   if (Opt.VerifyDeterminism) {
     W.key("determinism");
     W.value(DeterminismVerified ? "verified" : "MISMATCH");
