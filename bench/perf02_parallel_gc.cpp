@@ -18,7 +18,10 @@
 // threads x GC workers) combination in {1,2,4} x {1,2,4,8}; the lane
 // turnstile - not thread scheduling - owns the allocation order, so the
 // post-run digest and deterministic counters must be identical across
-// all twelve cells. Any divergence exits 2.
+// all twelve cells. Any divergence exits 2. Four corner cells
+// ({1,4} mutator threads x {1,8} workers) repeat the matrix under the
+// frag adversary - the lane schedule must stay deterministic even when
+// every lane runs the pathological cross-line churn strategy.
 //
 // The emitted BENCH_parallel_gc.json contains only deterministic values
 // (counters and hex digests): the same seed produces a byte-identical
@@ -39,6 +42,7 @@
 #include "gc/Heap.h"
 #include "gc/HeapAuditor.h"
 #include "support/JsonWriter.h"
+#include "workload/Adversary.h"
 #include "workload/MutatorPool.h"
 #include "workload/Profile.h"
 
@@ -257,7 +261,8 @@ struct MutatorResult {
 };
 
 MutatorResult runMutatorConfig(unsigned MutatorThreads, unsigned GcThreads,
-                               uint64_t Seed, double Scale) {
+                               uint64_t Seed, double Scale,
+                               AdversaryKind Adversary) {
   MutatorResult R;
   R.MutatorThreads = MutatorThreads;
   R.GcThreads = GcThreads;
@@ -266,7 +271,10 @@ MutatorResult runMutatorConfig(unsigned MutatorThreads, unsigned GcThreads,
   RuntimeConfig Config;
   Config.Collector = CollectorKind::StickyImmix;
   // Every lane carries a full live set, so the heap scales with lanes.
-  Config.HeapBytes = P->LiveSetBytes * 4 * MutatorLanes;
+  // Adversarial lanes inflate it further (the frag ladder pads every
+  // small object to a line-straddling size), so they get more headroom.
+  unsigned Factor = Adversary == AdversaryKind::None ? 4 : 12;
+  Config.HeapBytes = P->LiveSetBytes * Factor * MutatorLanes;
   Config.GcThreads = GcThreads;
   Runtime Rt(Config);
 
@@ -275,6 +283,7 @@ MutatorResult runMutatorConfig(unsigned MutatorThreads, unsigned GcThreads,
   PoolOpts.Threads = MutatorThreads;
   PoolOpts.Seed = Seed;
   PoolOpts.VolumeScale = Scale;
+  PoolOpts.Adversary = Adversary;
   MutatorPool Pool(Rt, *P, PoolOpts);
   R.Completed = Pool.run();
 
@@ -368,7 +377,8 @@ int main(int argc, char **argv) {
   for (unsigned M = 0; M != NumMutatorThreadCounts; ++M)
     for (unsigned C = 0; C != NumConfigs; ++C) {
       Matrix.push_back(runMutatorConfig(MutatorThreadCounts[M],
-                                        WorkerCounts[C], Seed, Scale));
+                                        WorkerCounts[C], Seed, Scale,
+                                        AdversaryKind::None));
       const MutatorResult &R = Matrix.back();
       std::printf("%-12u %-10u %10llu %10llu   %016llx\n",
                   R.MutatorThreads, R.GcThreads,
@@ -381,6 +391,34 @@ int main(int argc, char **argv) {
     if (!mutatorCellsEqual(Matrix.front(), R) || !R.Completed) {
       MutatorIdentical = false;
       std::printf("MISMATCH: %u mutator threads x %u workers diverges\n",
+                  R.MutatorThreads, R.GcThreads);
+    }
+
+  // Adversary corner cells: lane determinism must also hold when every
+  // lane runs an adversarial strategy (the frag ladder maximizes
+  // cross-line churn, the worst case for schedule-dependent bugs). The
+  // digest legitimately differs from the benign matrix; the gate is
+  // that all four corner cells agree with each other.
+  std::printf("\n%-12s %-10s %10s %10s %18s  (frag adversary)\n",
+              "mut-threads", "gc-threads", "gcs", "evacuated", "digest");
+  std::vector<MutatorResult> AdvMatrix;
+  for (unsigned MutThreads : {1u, 4u})
+    for (unsigned GcThreads : {1u, 8u}) {
+      AdvMatrix.push_back(runMutatorConfig(MutThreads, GcThreads, Seed,
+                                           Scale, AdversaryKind::Frag));
+      const MutatorResult &R = AdvMatrix.back();
+      std::printf("%-12u %-10u %10llu %10llu   %016llx\n",
+                  R.MutatorThreads, R.GcThreads,
+                  (unsigned long long)R.GcCount,
+                  (unsigned long long)R.ObjectsEvacuated,
+                  (unsigned long long)R.Digest);
+    }
+  bool AdversaryIdentical = true;
+  for (const MutatorResult &R : AdvMatrix)
+    if (!mutatorCellsEqual(AdvMatrix.front(), R) || !R.Completed) {
+      AdversaryIdentical = false;
+      std::printf("MISMATCH: frag %u mutator threads x %u workers "
+                  "diverges\n",
                   R.MutatorThreads, R.GcThreads);
     }
 
@@ -477,11 +515,42 @@ int main(int argc, char **argv) {
   W.close();
   W.key("identical_across_mutator_threads");
   W.value(MutatorIdentical);
+  W.key("adversary");
+  W.value(adversaryName(AdversaryKind::Frag));
+  W.key("adversary_matrix");
+  W.openArray(JsonWriter::Style::Line);
+  for (const MutatorResult &R : AdvMatrix) {
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("mutator_threads");
+    W.value(R.MutatorThreads);
+    W.key("gc_threads");
+    W.value(R.GcThreads);
+    W.key("gc_count");
+    W.value(R.GcCount);
+    W.key("full_gc_count");
+    W.value(R.FullGcCount);
+    W.key("objects_allocated");
+    W.value(R.ObjectsAllocated);
+    W.key("bytes_allocated");
+    W.value(R.BytesAllocated);
+    W.key("objects_evacuated");
+    W.value(R.ObjectsEvacuated);
+    W.key("blocks_retired");
+    W.value(R.BlocksRetired);
+    W.key("lines_swept");
+    W.value(R.LinesSwept);
+    W.key("digest");
+    W.valueHex(R.Digest);
+    W.close();
+  }
+  W.close();
+  W.key("identical_across_adversary_cells");
+  W.value(AdversaryIdentical);
   W.closeRoot();
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath.c_str());
 
-  if (!Identical || !MutatorIdentical)
+  if (!Identical || !MutatorIdentical || !AdversaryIdentical)
     return 2;
   if (GateArmed && Speedup < 1.8) {
     std::printf("SPEEDUP GATE FAILED: %.2fx < 1.80x\n", Speedup);

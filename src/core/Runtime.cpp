@@ -34,6 +34,11 @@ HeapConfig RuntimeConfig::toHeapConfig() const {
   Heap.EmergencyDefragFailedLines = EmergencyDefragFailedLines;
   Heap.RetireBlockFailedFraction = RetireBlockFailedFraction;
   Heap.StormOverloadFraction = StormOverloadFraction;
+  Heap.ThrottlePerfectFraction = ThrottlePerfectFraction;
+  Heap.ThrottleRetiredBlocks = ThrottleRetiredBlocks;
+  Heap.EmergencyPerfectFraction = EmergencyPerfectFraction;
+  Heap.EmergencyRetiredFraction = EmergencyRetiredFraction;
+  Heap.ThrottleRetryBudget = ThrottleRetryBudget;
 
   // Space compensation (Section 6.2): given heap size h used in the
   // absence of failure and failure rate f, use h / (1 - f) so the bytes

@@ -98,6 +98,15 @@ struct RuntimeConfig {
   double RetireBlockFailedFraction = 0.75;
   double StormOverloadFraction = 0.5;
 
+  /// Pass-through degradation-ladder knobs (see HeapConfig): when the
+  /// ladder enters Throttled / Emergency and how many admission-control
+  /// retries Throttled may spend.
+  double ThrottlePerfectFraction = 0.25;
+  unsigned ThrottleRetiredBlocks = 4;
+  double EmergencyPerfectFraction = 0.05;
+  double EmergencyRetiredFraction = 0.25;
+  unsigned ThrottleRetryBudget = 2;
+
   /// Derives the internal heap configuration (compensated budget,
   /// injector setup).
   HeapConfig toHeapConfig() const;

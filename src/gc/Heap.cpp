@@ -227,16 +227,54 @@ uint8_t *Heap::allocWithGcRetry(AllocFn Fn, bool WantPerfect) {
   collect(CollectionKind::Full);
   if (uint8_t *Mem = Fn())
     return Mem;
+  // Admission control under capacity pressure (Throttled and above):
+  // spend a bounded extra full-collection retry budget before declaring
+  // exhaustion, stopping as soon as a retry stops improving the yield -
+  // two identical fruitless collections prove backing off is futile.
+  if (Degradation == DegradationMode::Throttled ||
+      Degradation == DegradationMode::Emergency) {
+    double PrevYield = LastYield;
+    for (unsigned Retry = 0; Retry != Config.ThrottleRetryBudget; ++Retry) {
+      ++Stats.ThrottleRetries;
+      WEARMEM_COUNT_DET("heap.throttle_retries");
+      collect(CollectionKind::Full);
+      if (uint8_t *Mem = Fn())
+        return Mem;
+      if (LastYield <= PrevYield)
+        break;
+      PrevYield = LastYield;
+    }
+  }
   // Diagnosed fail-stop, not an abort: classify what ran out so the run
   // result can report it (RunResult::Dnf).
   OutOfMemory = true;
   Dnf = classifyExhaustion(WantPerfect);
+  updateDegradationMode();
   return nullptr;
 }
 
 ObjRef Heap::allocate(uint32_t PayloadBytes, uint16_t NumRefs,
                       bool Pinned) {
   uint32_t Size = objectBytesFor(PayloadBytes, NumRefs);
+  LastRefusal = AllocRefusal::None;
+  // Emergency admission control: refuse page-hungry requests (large
+  // objects and multi-line mediums) with a typed error instead of
+  // burning the last perfect pages or spiralling into a premature
+  // fail-stop. Small allocations continue; callers shed the refused
+  // load and keep running.
+  if (Degradation == DegradationMode::Emergency && !OutOfMemory &&
+      Size > Config.LineSize) {
+    if (Size >= Config.LargeObjectThreshold) {
+      LastRefusal = AllocRefusal::EmergencyLarge;
+      ++Stats.RefusedLargeAllocs;
+      WEARMEM_COUNT_DET("heap.refused_large_allocs");
+    } else {
+      LastRefusal = AllocRefusal::EmergencyMedium;
+      ++Stats.RefusedMediumAllocs;
+      WEARMEM_COUNT_DET("heap.refused_medium_allocs");
+    }
+    return nullptr;
+  }
   uint8_t Flags = Pinned ? FlagPinned : 0;
   uint8_t *Mem = nullptr;
   if (Size >= Config.LargeObjectThreshold) {
@@ -466,6 +504,9 @@ void Heap::runCollection(CollectionKind Kind) {
   WEARMEM_TRACE(GcEnd, Stats.GcCount, Full ? 1 : 0);
   InCollection = false;
   MarkWorkers.clear();
+  // Collection boundaries are the ladder's refresh points: sweep just
+  // recounted retirement and the OS pools are quiescent.
+  updateDegradationMode();
   if (Stopped)
     Safepoints.resumeTheWorld();
   // End-of-cycle safepoint: apply dynamic failures that arrived while
@@ -963,6 +1004,9 @@ void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
     PendingFailureRecovery = true;
     ++Stats.DeferredFailureRecoveries;
   }
+  // Fresh wear may have crossed a ladder threshold even without a
+  // collection (the collect paths above refresh inside runCollection).
+  updateDegradationMode();
 }
 
 void Heap::injectDynamicFailureOnLarge(ObjRef Obj) {
@@ -980,12 +1024,112 @@ void Heap::injectDynamicFailureOnLarge(ObjRef Obj) {
     NewObj = Los.relocate(Obj);
     if (!NewObj) {
       OutOfMemory = true;
+      Dnf = classifyExhaustion(/*WantedPerfect=*/true);
+      updateDegradationMode();
       return;
     }
   }
   // Fix every reference to the relocated object; the zombie pages return
   // at this collection's sweep.
   collect(CollectionKind::Full);
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation ladder
+//===----------------------------------------------------------------------===//
+
+DegradationMode Heap::computeDegradationMode() const {
+  if (OutOfMemory)
+    return DegradationMode::FailStop;
+  // Every escalation requires *wear* evidence - retired blocks, dynamic
+  // line failures, or perfect-pool pressure under outstanding DRAM debt.
+  // A healthy heap that merely grew into its page budget consumes most
+  // of the unconsumed perfect stream, so raw pool levels alone must
+  // never escalate the mode.
+  size_t Blocks = Immix ? Immix->blockCount() : 0;
+  size_t Retired = Immix ? Immix->retiredBlockCount() : 0;
+  double RetiredFrac =
+      Blocks == 0 ? 0.0
+                  : static_cast<double>(Retired) / static_cast<double>(Blocks);
+  size_t Initial = Os_.initialPerfectPages();
+  size_t PerfectLeft =
+      Os_.remainingPerfectPages() + Os_.perfectStockPages();
+  double PerfectFrac = Initial == 0 ? 1.0
+                                    : static_cast<double>(PerfectLeft) /
+                                          static_cast<double>(Initial);
+  // Outstanding DRAM debt alone is routine near a full heap (fussy
+  // requests legitimately borrow once the unconsumed stream is spent);
+  // it only signals end-of-life pressure when the device is actually
+  // wearing out underneath.
+  bool Wearing = Retired != 0 || Stats.FailedLinesDynamic != 0;
+  bool PerfectPressure = Wearing && Os_.outstandingDebt() > 0;
+  // Dynamically failed line fraction, measured against the storm
+  // fail-stop threshold: the ladder arms at a quarter of it and goes to
+  // Emergency at half, so a storm walks Normal -> Throttled -> Emergency
+  // -> FailStop(storm) instead of jumping straight off the cliff.
+  double FailedFrac = 0.0;
+  if (Immix && Stats.FailedLinesDynamic != 0) {
+    size_t Failed = 0;
+    size_t Total = 0;
+    Immix->forEachBlock([&](const Block &B) {
+      Failed += B.dynamicFailedLines();
+      Total += B.lineCount();
+    });
+    if (Total != 0)
+      FailedFrac =
+          static_cast<double>(Failed) / static_cast<double>(Total);
+  }
+  if ((PerfectPressure && PerfectFrac <= Config.EmergencyPerfectFraction) ||
+      (Retired >= Config.ThrottleRetiredBlocks &&
+       RetiredFrac >= Config.EmergencyRetiredFraction) ||
+      FailedFrac >= 0.5 * Config.StormOverloadFraction)
+    return DegradationMode::Emergency;
+  if ((PerfectPressure && PerfectFrac <= Config.ThrottlePerfectFraction) ||
+      Retired >= Config.ThrottleRetiredBlocks ||
+      FailedFrac >= 0.25 * Config.StormOverloadFraction)
+    return DegradationMode::Throttled;
+  return DegradationMode::Normal;
+}
+
+void Heap::updateDegradationMode() {
+  DegradationMode Next = computeDegradationMode();
+  if (Next == Degradation)
+    return;
+  bool Recovery = Next < Degradation;
+  DegradationTransition T;
+  T.GcCount = Stats.GcCount;
+  T.AllocBytes = Stats.BytesAllocated;
+  T.From = Degradation;
+  T.To = Next;
+  T.Recovery = Recovery;
+  if (DegradationLog.size() < DegradationLogCapacity)
+    DegradationLog.push_back(T);
+  else
+    ++DegradationLogDropped;
+  ++Stats.DegradationTransitions;
+  if (Recovery)
+    ++Stats.DegradationRecoveries;
+  if (Journal)
+    Journal->recordDegradationTransition(static_cast<uint8_t>(Degradation),
+                                         static_cast<uint8_t>(Next),
+                                         static_cast<uint32_t>(Stats.GcCount),
+                                         Recovery);
+  WEARMEM_COUNT_DET("heap.degradation_transitions");
+  if (Recovery)
+    WEARMEM_COUNT_DET("heap.degradation_recoveries");
+  WEARMEM_GAUGE_DET("heap.degradation_mode",
+                    static_cast<uint64_t>(Next));
+  WEARMEM_TRACE(DegradationTransition, static_cast<uint64_t>(Next),
+                Recovery ? 1 : 0);
+  Degradation = Next;
+  if (Next == DegradationMode::Emergency && !PendingFailureRecovery &&
+      !InCollection) {
+    // Entering Emergency arms a defragmenting full collection at the
+    // next opportunity: compaction is the last lever that can pull the
+    // heap back from the edge.
+    PendingFailureRecovery = true;
+    ++Stats.EmergencyDefrags;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -224,6 +224,34 @@ public:
   MetadataJournal *journal() const { return Journal; }
 
   //===--------------------------------------------------------------===//
+  // Degradation ladder
+  //===--------------------------------------------------------------===//
+
+  /// The current degradation mode. Recomputed at collection boundaries,
+  /// dynamic-failure batches and the fail-stop site - never per
+  /// allocation - so it is a pure function of the deterministic heap
+  /// evolution.
+  DegradationMode degradationMode() const { return Degradation; }
+
+  /// Recomputes the mode from live heap state (the cached mode may lag
+  /// until the next refresh point; the auditor checks consistency rules
+  /// rather than strict equality for exactly that reason).
+  DegradationMode computeDegradationMode() const;
+
+  /// Why the most recent allocate() returned nullptr without declaring
+  /// the heap exhausted; AllocRefusal::None after a success or a genuine
+  /// out-of-memory. Emergency-mode callers shed load on a refusal
+  /// instead of treating it as a did-not-finish.
+  AllocRefusal lastRefusal() const { return LastRefusal; }
+
+  /// Bounded in-memory transition log (the journal holds the durable
+  /// copy); Dropped counts transitions past the capacity.
+  const std::vector<DegradationTransition> &degradationLog() const {
+    return DegradationLog;
+  }
+  uint64_t degradationLogDropped() const { return DegradationLogDropped; }
+
+  //===--------------------------------------------------------------===//
   // Introspection
   //===--------------------------------------------------------------===//
 
@@ -274,6 +302,7 @@ private:
   template <typename AllocFn>
   uint8_t *allocWithGcRetry(AllocFn Fn, bool WantPerfect = false);
   DnfReason classifyExhaustion(bool WantedPerfect) const;
+  void updateDegradationMode();
   void runCollection(CollectionKind Kind);
   void markPhase(CollectionKind Kind);
   void evacuatePhase();
@@ -346,6 +375,12 @@ private:
   unsigned DynamicFailedSinceGc = 0;
   bool OutOfMemory = false;
   DnfReason Dnf = DnfReason::None;
+  /// Degradation-ladder state (see degradationMode()).
+  static constexpr size_t DegradationLogCapacity = 64;
+  DegradationMode Degradation = DegradationMode::Normal;
+  AllocRefusal LastRefusal = AllocRefusal::None;
+  std::vector<DegradationTransition> DegradationLog;
+  uint64_t DegradationLogDropped = 0;
   bool PendingFailureRecovery = false;
   bool InCollection = false;
   /// Nursery survivors are opportunistically copied (Sticky Immix).

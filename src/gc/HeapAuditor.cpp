@@ -41,7 +41,65 @@ AuditReport HeapAuditor::audit() {
     checkTlabInvariants(Report);
   }
   checkPinStability(Report);
+  checkDegradationMode(Report);
   return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation-ladder consistency
+//===----------------------------------------------------------------------===//
+
+void HeapAuditor::checkDegradationMode(AuditReport &Report) {
+  // The cached mode refreshes at collection boundaries, so between
+  // refreshes the live inputs (block count, OS debt) may drift; the
+  // audit therefore checks consistency *rules* that hold at any instant
+  // rather than strict equality with a recomputation.
+  DegradationMode Mode = H.Degradation;
+  // Rule 1: FailStop and OutOfMemory imply each other (the fail-stop
+  // site refreshes the mode synchronously).
+  if (H.OutOfMemory && Mode != DegradationMode::FailStop)
+    note(Report, std::string("degradation: heap is out of memory but "
+                             "mode is ") +
+                     degradationModeName(Mode));
+  if (!H.OutOfMemory && Mode == DegradationMode::FailStop)
+    note(Report,
+         "degradation: mode is fail-stop but the heap is not out of "
+         "memory");
+  // Rule 2: escalation requires wear or pool-pressure evidence - a
+  // Throttled/Emergency mode on a heap with no retired blocks, no
+  // dynamic line failures and no DRAM debt is inconsistent with the
+  // live perfect-page budget and retirement counts.
+  if (Mode == DegradationMode::Throttled ||
+      Mode == DegradationMode::Emergency) {
+    size_t Retired = H.Immix ? H.Immix->retiredBlockCount() : 0;
+    bool Evidence = Retired != 0 || H.Stats.FailedLinesDynamic != 0 ||
+                    H.Os_.outstandingDebt() != 0;
+    if (!Evidence)
+      note(Report, std::string("degradation: mode is ") +
+                       degradationModeName(Mode) +
+                       " without retired blocks, dynamic failures, or "
+                       "outstanding debt");
+  }
+  // Rule 3: the transition log must be internally consistent - every
+  // downward step flagged as a recovery, every entry an actual change,
+  // and consecutive entries chained (entry N+1 starts where N ended).
+  const std::vector<DegradationTransition> &Log = H.DegradationLog;
+  for (size_t I = 0; I != Log.size(); ++I) {
+    const DegradationTransition &T = Log[I];
+    if (T.From == T.To)
+      note(Report, "degradation: logged transition with From == To");
+    if ((T.To < T.From) != T.Recovery)
+      note(Report, std::string("degradation: ") +
+                       degradationModeName(T.From) + " -> " +
+                       degradationModeName(T.To) +
+                       " has a mislabelled recovery flag");
+    if (I + 1 < Log.size() && Log[I + 1].From != T.To)
+      note(Report, "degradation: transition log is not chained");
+  }
+  if (!Log.empty() && H.DegradationLogDropped == 0 &&
+      Log.back().To != Mode)
+    note(Report, "degradation: cached mode disagrees with the last "
+                 "logged transition");
 }
 
 //===----------------------------------------------------------------------===//

@@ -99,6 +99,7 @@ private:
   void checkLedgerAndOsMaps(AuditReport &Report);
   void checkTlabInvariants(AuditReport &Report);
   void checkPinStability(AuditReport &Report);
+  void checkDegradationMode(AuditReport &Report);
 
   const Heap &H;
   /// Pinned addresses under watch, with a content stamp taken when first

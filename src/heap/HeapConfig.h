@@ -98,6 +98,82 @@ inline const char *dnfReasonName(DnfReason Reason) {
   return "?";
 }
 
+/// End-of-life degradation ladder. As dynamic wear retires blocks and
+/// the perfect-page pool drains, the runtime steps through explicit,
+/// observable modes instead of degrading silently until a crash. The
+/// mode is recomputed from heap state at collection boundaries and
+/// dynamic-failure batches (never per-allocation), so it is a pure
+/// function of the deterministic heap evolution and the auditor can
+/// recompute and assert it.
+enum class DegradationMode : uint8_t {
+  /// Full capacity: allocation proceeds without admission control.
+  Normal,
+  /// Capacity pressure: the perfect-page pool or the block budget is
+  /// running low. Allocation admission control arms - the slow path
+  /// spends a bounded extra full-collection retry budget before
+  /// declaring exhaustion.
+  Throttled,
+  /// Near end-of-life: defragmentation is forced at the next collection
+  /// and page-hungry allocations (large objects, medium overflow) are
+  /// refused with a typed error instead of burning the last perfect
+  /// pages.
+  Emergency,
+  /// Diagnosed fail-stop: OutOfMemory with a DnfReason attached.
+  FailStop,
+};
+
+inline const char *degradationModeName(DegradationMode Mode) {
+  switch (Mode) {
+  case DegradationMode::Normal:
+    return "normal";
+  case DegradationMode::Throttled:
+    return "throttled";
+  case DegradationMode::Emergency:
+    return "emergency";
+  case DegradationMode::FailStop:
+    return "fail-stop";
+  }
+  return "?";
+}
+
+/// Typed allocation refusal. In Emergency mode the heap refuses
+/// page-hungry requests with one of these instead of crashing or
+/// spiralling into a DNF; callers observe the reason via
+/// Heap::lastRefusal() and may shed load or retry smaller.
+enum class AllocRefusal : uint8_t {
+  None,
+  /// A large-object allocation was refused in Emergency mode.
+  EmergencyLarge,
+  /// A medium (overflow-prone) allocation was refused in Emergency mode.
+  EmergencyMedium,
+};
+
+inline const char *allocRefusalName(AllocRefusal Refusal) {
+  switch (Refusal) {
+  case AllocRefusal::None:
+    return "none";
+  case AllocRefusal::EmergencyLarge:
+    return "emergency-large";
+  case AllocRefusal::EmergencyMedium:
+    return "emergency-medium";
+  }
+  return "?";
+}
+
+/// One logged ladder transition. The heap keeps a bounded in-memory log
+/// (DegradationLogCapacity) alongside the journal record so tools and
+/// the rob01 gate can check monotonicity without replaying the journal.
+struct DegradationTransition {
+  uint64_t GcCount = 0;
+  uint64_t AllocBytes = 0;
+  DegradationMode From = DegradationMode::Normal;
+  DegradationMode To = DegradationMode::Normal;
+  /// True when the transition steps *down* the ladder (recovery): a
+  /// backward mode change without this flag set is an invariant
+  /// violation the rob01 gate rejects.
+  bool Recovery = false;
+};
+
 /// Static heap configuration.
 struct HeapConfig {
   CollectorKind Collector = CollectorKind::StickyImmix;
@@ -156,6 +232,22 @@ struct HeapConfig {
   /// Immix lines is failed, the fail-stop is classified as a failure
   /// storm rather than ordinary heap exhaustion.
   double StormOverloadFraction = 0.5;
+
+  /// Degradation ladder thresholds. The heap enters Throttled when the
+  /// perfect-page pool (unconsumed + recycled stock) drops below this
+  /// fraction of its initial size, or when at least ThrottleRetiredBlocks
+  /// blocks have been retired.
+  double ThrottlePerfectFraction = 0.25;
+  unsigned ThrottleRetiredBlocks = 4;
+  /// Emergency arms when the perfect pool drops below this fraction of
+  /// its initial size, or when the retired-block fraction reaches
+  /// EmergencyRetiredFraction of all blocks.
+  double EmergencyPerfectFraction = 0.05;
+  double EmergencyRetiredFraction = 0.25;
+  /// Extra full-collection retries the Throttled admission-control path
+  /// may spend before declaring exhaustion (each retry stops early when
+  /// a collection frees nothing).
+  unsigned ThrottleRetryBudget = 2;
 
   /// Number of GC worker threads for the parallel collection engine.
   /// 1 (the default) collects inline on the mutator thread with no pool;
@@ -224,6 +316,14 @@ struct HeapStats {
   uint64_t InterruptsOrphaned = 0;  ///< Unowned; deferred to a safepoint.
   /// Stop-the-world handshakes that actually had peer threads to stop.
   uint64_t SafepointStops = 0;
+
+  /// Degradation-ladder activity. All deterministic: the mode is a pure
+  /// function of heap state recomputed at collection boundaries.
+  uint64_t DegradationTransitions = 0; ///< Mode changes (either way).
+  uint64_t DegradationRecoveries = 0;  ///< Downward (recovery) changes.
+  uint64_t ThrottleRetries = 0;        ///< Extra admission-control GCs.
+  uint64_t RefusedLargeAllocs = 0;     ///< Emergency large refusals.
+  uint64_t RefusedMediumAllocs = 0;    ///< Emergency medium refusals.
 };
 
 } // namespace wearmem

@@ -69,6 +69,8 @@ const char *eventKindName(EventKind K) {
     return "watchdog_fired";
   case EventKind::InterruptRouted:
     return "interrupt_routed";
+  case EventKind::DegradationTransition:
+    return "degradation_transition";
   }
   return "unknown";
 }

@@ -69,6 +69,9 @@ enum class EventKind : uint16_t {
   SafepointEnd,   ///< A = registered threads, B = wait rounds spent.
   WatchdogFired,  ///< A = unacked threads, B = wait-round budget.
   InterruptRouted, ///< A = owner lane (or ~0 for orphan), B = batch size.
+  // Degradation ladder. A = new mode (DegradationMode value), B = 1 for
+  // a recovery (downward) transition.
+  DegradationTransition,
 };
 
 const char *eventKindName(EventKind K);

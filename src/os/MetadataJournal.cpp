@@ -130,6 +130,14 @@ void MetadataJournal::recordPoolTransition(PoolTransitionKind K,
   append(JournalKind::PoolTransition, static_cast<uint16_t>(K), Count, 0);
 }
 
+void MetadataJournal::recordDegradationTransition(uint8_t From, uint8_t To,
+                                                  uint32_t GcCount,
+                                                  bool Recovery) {
+  append(JournalKind::DegradationTransition,
+         static_cast<uint16_t>((static_cast<uint16_t>(From) << 8) | To),
+         GcCount, Recovery ? 1 : 0);
+}
+
 //===----------------------------------------------------------------------===//
 // Scan, reconcile, compact
 //===----------------------------------------------------------------------===//
@@ -188,6 +196,10 @@ ReconcileResult wearmem::reconcileJournal(const JournalScan &Scan,
           if (First + I < R.JournalView.numLines())
             R.JournalView.clear(First + I);
       }
+      break;
+    case JournalKind::DegradationTransition:
+      // Informational: no failure-map delta to replay.
+      ++R.DegradationTransitions;
       break;
     }
   }

@@ -108,6 +108,11 @@ enum class JournalKind : uint8_t {
   /// Perfect/imperfect pool transition: Arg16 = PoolTransitionKind,
   /// A = page index or page count.
   PoolTransition = 4,
+  /// Degradation-ladder mode change: Arg16 = (From << 8) | To
+  /// (DegradationMode values), A = GC count at the transition, B = 1 for
+  /// a recovery (downward) step. Informational: carries no failure-map
+  /// delta, so reconciliation replays nothing from it.
+  DegradationTransition = 5,
 };
 
 /// Sub-kinds of PoolTransition records.
@@ -182,6 +187,7 @@ struct ReconcileResult {
   uint64_t ClusterRemaps = 0;
   uint64_t PoolTransitions = 0;
   uint64_t LedgerEntries = 0;
+  uint64_t DegradationTransitions = 0;
 };
 
 /// Replays \p Scan over \p Baseline and reconciles against \p DeviceTruth
@@ -244,6 +250,11 @@ public:
   /// Perfect/imperfect pool transition (DRAM borrow, debt repayment,
   /// stock return).
   void recordPoolTransition(PoolTransitionKind K, uint32_t Count);
+
+  /// Degradation-ladder mode change (From -> To at GC number GcCount;
+  /// Recovery marks a downward step).
+  void recordDegradationTransition(uint8_t From, uint8_t To,
+                                   uint32_t GcCount, bool Recovery);
 
   /// Raw append (tests; the record* helpers are the commit protocol). An
   /// armed JournalAppend kill tears the record at a deterministic partial

@@ -54,8 +54,12 @@ FailureAwareOs::FailureAwareOs(size_t PcmPages,
       GrantAlignment(GrantAlignment) {
   assert(isPowerOfTwo(GrantAlignment) &&
          "grant alignment must be a power of two");
-  for (size_t Page = 0; Page != PcmPages; ++Page)
+  for (size_t Page = 0; Page != PcmPages; ++Page) {
     PageWords[Page] = BudgetMap.pageWord(Page);
+    if (PageWords[Page] == 0)
+      ++PerfectUnconsumed;
+  }
+  InitialPerfect = PerfectUnconsumed;
 }
 
 FailureAwareOs::~FailureAwareOs() = default;
@@ -74,21 +78,6 @@ size_t FailureAwareOs::remainingPages() const {
   return PageWords.size() - ConsumedCount;
 }
 
-size_t FailureAwareOs::remainingPerfectPages() const {
-  size_t N = 0;
-  for (size_t Page = 0; Page != PageWords.size(); ++Page)
-    if (!Consumed[Page] && PageWords[Page] == 0)
-      ++N;
-  return N;
-}
-
-size_t FailureAwareOs::perfectStockPages() const {
-  size_t N = 0;
-  for (const FreeChunk &Chunk : PerfectFreeList)
-    N += Chunk.NumPages;
-  return N;
-}
-
 std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
   assert(NumPages > 0 && "empty grant");
 
@@ -100,6 +89,7 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
     FreeChunk &Chunk = PerfectFreeList.back();
     size_t Use = std::min(Debt, Chunk.NumPages);
     Debt -= Use;
+    PerfectStock -= Use;
     Stats.DebtRepaid += Use;
     Stats.PerfectDivertedToStock += Use;
     if (Journal)
@@ -141,6 +131,7 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
       Recycled.NumPages = NumPages;
       Recycled.FailWords.assign(NumPages, 0);
       // Chunk splitting and coalescing lose page identity.
+      PerfectStock -= NumPages;
       PerfectFreeList.erase(PerfectFreeList.begin() +
                             static_cast<ptrdiff_t>(I));
       Stats.RelaxedPagesGranted += NumPages;
@@ -165,6 +156,7 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
       // page; the relaxed allocator pays by not receiving this page.
       Consumed[Page] = true;
       ++ConsumedCount;
+      --PerfectUnconsumed;
       --Debt;
       ++Stats.DebtRepaid;
       ++Stats.PerfectDivertedToStock;
@@ -188,6 +180,8 @@ std::optional<PageGrant> FailureAwareOs::allocRelaxed(size_t NumPages) {
   for (size_t Page : Chosen) {
     Consumed[Page] = true;
     ++ConsumedCount;
+    if (PageWords[Page] == 0)
+      --PerfectUnconsumed;
     Grant.FailWords.push_back(PageWords[Page]);
     Grant.PageIds.push_back(static_cast<uint32_t>(Page));
   }
@@ -229,6 +223,7 @@ std::optional<PageGrant> FailureAwareOs::allocPerfect(size_t NumPages,
   if (BestIdx != PerfectFreeList.size()) {
     FreeChunk &Chunk = PerfectFreeList[BestIdx];
     Grant.Mem = Chunk.Mem;
+    PerfectStock -= NumPages;
     Stats.PerfectRecycledServed += NumPages;
     if (Chunk.NumPages == NumPages) {
       PerfectFreeList.erase(PerfectFreeList.begin() +
@@ -249,6 +244,7 @@ std::optional<PageGrant> FailureAwareOs::allocPerfect(size_t NumPages,
     if (!Consumed[Page] && PageWords[Page] == 0) {
       Consumed[Page] = true;
       ++ConsumedCount;
+      --PerfectUnconsumed;
       ++FromPcm;
     }
   }
@@ -280,6 +276,7 @@ void FailureAwareOs::freePerfect(PageGrant &&Grant) {
   WEARMEM_TRACE(PoolTransition,
                 static_cast<uint64_t>(PoolTransitionKind::PerfectReturn),
                 Grant.NumPages);
+  PerfectStock += Grant.NumPages;
   PerfectFreeList.push_back(FreeChunk{Grant.Mem, Grant.NumPages});
 }
 

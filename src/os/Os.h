@@ -135,12 +135,18 @@ public:
   /// Pages not yet granted or diverted.
   size_t remainingPages() const;
 
-  /// Unconsumed pages that are failure-free.
-  size_t remainingPerfectPages() const;
+  /// Unconsumed pages that are failure-free. O(1): maintained as a
+  /// cached counter at every consume site (the degradation ladder polls
+  /// this at collection boundaries).
+  size_t remainingPerfectPages() const { return PerfectUnconsumed; }
 
   /// Pages sitting in the recycled perfect stock (already charged to the
-  /// budget, immediately grantable to fussy requests).
-  size_t perfectStockPages() const;
+  /// budget, immediately grantable to fussy requests). O(1) cached.
+  size_t perfectStockPages() const { return PerfectStock; }
+
+  /// Perfect pages the budget started with; the denominator for the
+  /// degradation ladder's capacity fractions.
+  size_t initialPerfectPages() const { return InitialPerfect; }
 
   size_t outstandingDebt() const { return Debt; }
 
@@ -165,6 +171,10 @@ private:
   size_t Cursor = 0;
   size_t Debt = 0;
   size_t ConsumedCount = 0;
+  /// Cached pool gauges (see remainingPerfectPages / perfectStockPages).
+  size_t PerfectUnconsumed = 0;
+  size_t PerfectStock = 0;
+  size_t InitialPerfect = 0;
   size_t GrantAlignment;
   OsStats Stats;
   MetadataJournal *Journal = nullptr;

@@ -1,0 +1,55 @@
+//===- support/CliArgs.h - Shared command-line parsing helpers --*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flag-parsing primitives both command-line tools share:
+/// strict numeric parsing (the whole token must parse; trailing junk,
+/// overflow, and empty values are errors, never silently clamped),
+/// "--name=value" splitting, and collector-name parsing. Validation
+/// failures exit with BSD sysexits EX_USAGE (64) in every tool, so CI
+/// can tell a usage error from a runtime verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_SUPPORT_CLIARGS_H
+#define WEARMEM_SUPPORT_CLIARGS_H
+
+#include "heap/HeapConfig.h"
+
+#include <cstdint>
+#include <string>
+
+namespace wearmem {
+namespace cli {
+
+/// BSD sysexits EX_USAGE: bad flags or malformed values.
+constexpr int ExitUsage = 64;
+
+/// Matches "--name" or "--name=value" style arguments. Returns true when
+/// \p Arg is exactly \p Name (Value cleared) or starts with "Name=" (the
+/// remainder lands in \p Value).
+bool splitEqFlag(const char *Arg, const char *Name, std::string &Value);
+
+/// Strict strtoull: the entire token must be a valid number.
+bool parseU64(const char *V, uint64_t &Out);
+
+/// Strict strtod: the entire token must be a valid number.
+bool parseDouble(const char *V, double &Out);
+
+/// Parses a collector short name: "ms", "ix", "s-ms", "s-ix".
+bool parseCollector(const std::string &Name, CollectorKind &Out);
+
+/// The short flag name for a collector (inverse of parseCollector).
+const char *collectorFlagName(CollectorKind Kind);
+
+/// Comma-separated collector names for usage messages.
+const char *collectorNameList();
+
+} // namespace cli
+} // namespace wearmem
+
+#endif // WEARMEM_SUPPORT_CLIARGS_H

@@ -1,0 +1,46 @@
+//===- workload/Adversary.cpp - Adversarial mutator strategies ------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Adversary.h"
+
+using namespace wearmem;
+
+const char *wearmem::adversaryName(AdversaryKind Kind) {
+  switch (Kind) {
+  case AdversaryKind::None:
+    return "none";
+  case AdversaryKind::Frag:
+    return "frag";
+  case AdversaryKind::Pin:
+    return "pin";
+  case AdversaryKind::Medium:
+    return "medium";
+  case AdversaryKind::Buffer:
+    return "buffer";
+  }
+  return "?";
+}
+
+AdversaryKind wearmem::adversaryFromName(const std::string &Name, bool &Ok) {
+  Ok = true;
+  if (Name == "none")
+    return AdversaryKind::None;
+  if (Name == "frag")
+    return AdversaryKind::Frag;
+  if (Name == "pin")
+    return AdversaryKind::Pin;
+  if (Name == "medium")
+    return AdversaryKind::Medium;
+  if (Name == "buffer")
+    return AdversaryKind::Buffer;
+  Ok = false;
+  return AdversaryKind::None;
+}
+
+const char *wearmem::adversaryNameList() {
+  return "none, frag, pin, medium, buffer";
+}

@@ -1,0 +1,61 @@
+//===- workload/Adversary.h - Adversarial mutator strategies ----*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial mutator strategies: profile-shaped workloads bent toward a
+/// runtime weak point. The paper's DaCapo stand-ins are *average* shapes;
+/// an end-of-life study needs worst cases. Each adversary deterministically
+/// rewrites the sampled allocation stream of a Mutator (using only that
+/// lane's own RNG, so the lane-determinism invariant - heap digest a
+/// function of lane count only - holds for adversarial runs too):
+///
+///  * frag   - pathological size ladder: every object straddles a line
+///             boundary by a handful of bytes, and survivors evict along
+///             a striding cursor so live data interleaves with garbage at
+///             line granularity. Maximizes fragmentation and hole-search
+///             work.
+///  * pin    - every survivor is pinned. Maximizes pin density, which
+///             blocks evacuation and forces pinned-page remaps when
+///             failures strike.
+///  * medium - every non-large object lands in the multi-line overflow
+///             range. Maximizes medium-object overflow pressure (the
+///             paper's most failure-sensitive shape, cranked to 100%).
+///  * buffer - low survival, full-payload writes, and a mutation storm.
+///             Maximizes write traffic and allocation churn so fault
+///             campaigns find a dense carpet of live lines to fail -
+///             worst case for failure-buffer occupancy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_WORKLOAD_ADVERSARY_H
+#define WEARMEM_WORKLOAD_ADVERSARY_H
+
+#include <cstdint>
+#include <string>
+
+namespace wearmem {
+
+enum class AdversaryKind : uint8_t {
+  None,
+  Frag,
+  Pin,
+  Medium,
+  Buffer,
+};
+
+const char *adversaryName(AdversaryKind Kind);
+
+/// Parses an --adversary flag value ("none", "frag", "pin", "medium",
+/// "buffer"); \p Ok reports whether the name was recognized.
+AdversaryKind adversaryFromName(const std::string &Name, bool &Ok);
+
+/// Comma-separated list of valid names for usage messages.
+const char *adversaryNameList();
+
+} // namespace wearmem
+
+#endif // WEARMEM_WORKLOAD_ADVERSARY_H

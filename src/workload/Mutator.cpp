@@ -16,8 +16,8 @@
 using namespace wearmem;
 
 Mutator::Mutator(Runtime &Rt, const Profile &P, uint64_t Seed,
-                 double VolumeScale)
-    : Rt(Rt), P(P), Rand(Seed) {
+                 double VolumeScale, AdversaryKind Adversary)
+    : Rt(Rt), P(P), Rand(Seed), Adversary(Adversary) {
   double Mean = meanObjectBytes(P.Mix);
   NumSlots = std::max<size_t>(
       64, static_cast<size_t>(static_cast<double>(P.LiveSetBytes) / Mean));
@@ -25,6 +25,47 @@ Mutator::Mutator(Runtime &Rt, const Profile &P, uint64_t Seed,
   NumSlots = NumChunks * SlotsPerChunk;
   TargetBytes = static_cast<uint64_t>(
       static_cast<double>(P.AllocVolumeBytes) * VolumeScale);
+}
+
+SampledObject Mutator::sampleNext() {
+  SampledObject S = sampleObject(P.Mix, Rand);
+  switch (Adversary) {
+  case AdversaryKind::None:
+  case AdversaryKind::Pin:
+  case AdversaryKind::Buffer:
+    break;
+  case AdversaryKind::Frag: {
+    // Pathological size ladder: each object spans k full lines plus one
+    // word of the next, so under conservative line marking every object
+    // poisons a line it barely uses. Cycling through the ladder keeps
+    // hole shapes maximally mismatched with request sizes.
+    static constexpr uint32_t Ladder[] = {264, 520, 776, 1032, 1288, 1544};
+    if (!S.Large) {
+      S.PayloadBytes = Ladder[LadderStep % (sizeof(Ladder) / sizeof(Ladder[0]))];
+      ++LadderStep;
+    }
+    break;
+  }
+  case AdversaryKind::Medium:
+    // Force every non-large object into the multi-line overflow range,
+    // the paper's most failure-sensitive allocation shape.
+    if (!S.Large)
+      S.PayloadBytes = static_cast<uint32_t>(
+          Rand.nextInRange(272, 7800) & ~static_cast<uint64_t>(7));
+    break;
+  }
+  return S;
+}
+
+size_t Mutator::evictionSlot() {
+  if (Adversary == AdversaryKind::Frag) {
+    // Stride-2 cursor: even slots churn in allocation order while odd
+    // slots age in place, interleaving fresh garbage with permanent
+    // survivors at line granularity.
+    EvictCursor = (EvictCursor + 2) % NumSlots;
+    return EvictCursor;
+  }
+  return Rand.nextBelow(NumSlots);
 }
 
 ObjRef Mutator::allocateSampled(const SampledObject &S, bool Pinned) {
@@ -69,8 +110,10 @@ bool Mutator::setUp() {
 
   // Populate every slot so the live set starts at its steady-state size.
   for (size_t Slot = 0; Slot != NumSlots; ++Slot) {
-    SampledObject S = sampleObject(P.Mix, Rand);
-    bool Pinned = !S.Large && Rand.nextBool(P.PinnedFraction);
+    SampledObject S = sampleNext();
+    bool Pinned = Adversary == AdversaryKind::Pin
+                      ? !S.Large && Rand.nextBool(0.5)
+                      : !S.Large && Rand.nextBool(P.PinnedFraction);
     ObjRef Obj = allocateSampled(S, Pinned);
     if (!Obj)
       return false;
@@ -89,28 +132,47 @@ bool Mutator::setUp() {
 
 bool Mutator::step() {
   assert(SetUpDone && "setUp must run first");
-  SampledObject S = sampleObject(P.Mix, Rand);
-  bool Survives = Rand.nextBool(P.SurvivalRate);
-  bool Pinned = !S.Large && Survives && Rand.nextBool(P.PinnedFraction);
+  SampledObject S = sampleNext();
+  double SurvivalRate = P.SurvivalRate;
+  if (Adversary == AdversaryKind::Pin)
+    SurvivalRate = std::max(SurvivalRate, 0.5);
+  else if (Adversary == AdversaryKind::Buffer)
+    SurvivalRate = std::min(SurvivalRate, 0.05);
+  bool Survives = Rand.nextBool(SurvivalRate);
+  bool Pinned = Adversary == AdversaryKind::Pin
+                    ? !S.Large && Survives
+                    : !S.Large && Survives && Rand.nextBool(P.PinnedFraction);
 
   ObjRef Obj = allocateSampled(S, Pinned);
-  if (!Obj)
+  if (!Obj) {
+    if (Rt.heap().lastRefusal() != AllocRefusal::None) {
+      // Emergency admission control shed the request: a typed refusal,
+      // not exhaustion. Count it and keep the offered-traffic clock
+      // moving so degraded runs still terminate.
+      ++RefusedAllocs;
+      SteadyAllocated += S.PayloadBytes;
+      return true;
+    }
     return false;
+  }
   SteadyAllocated += S.Large && Rt.config().UseDiscontiguousArrays
                          ? S.PayloadBytes
                          : objectSize(Obj);
 
   // Initialize a little of the payload (programs write what they
-  // allocate; full-object writes would swamp the measurement).
+  // allocate; full-object writes would swamp the measurement). The
+  // buffer adversary writes whole payloads on purpose.
   if (S.Large && Rt.config().UseDiscontiguousArrays) {
     uint8_t Pattern[32];
     std::memset(Pattern, 0xAB, sizeof(Pattern));
     copyToDiscontiguous(Obj, 0, Pattern, sizeof(Pattern));
   } else {
     size_t PayloadBytes = objectPayloadSize(Obj);
-    if (PayloadBytes > 0)
-      std::memset(objectPayload(Obj), 0xAB,
-                  std::min<size_t>(32, PayloadBytes));
+    size_t WriteBytes = Adversary == AdversaryKind::Buffer
+                            ? PayloadBytes
+                            : std::min<size_t>(32, PayloadBytes);
+    if (WriteBytes > 0)
+      std::memset(objectPayload(Obj), 0xAB, WriteBytes);
   }
 
   // Wire outgoing references to random live objects.
@@ -120,10 +182,12 @@ bool Mutator::step() {
   }
 
   if (Survives)
-    slotSet(Rand.nextBelow(NumSlots), Obj); // Evicts the old occupant.
+    slotSet(evictionSlot(), Obj); // Evicts the old occupant.
 
   // Pointer mutations over the existing graph (write-barrier load).
   double Mutations = P.MutationRate;
+  if (Adversary == AdversaryKind::Buffer)
+    Mutations = std::max(Mutations, 8.0);
   while (Mutations > 0.0 &&
          (Mutations >= 1.0 || Rand.nextBool(Mutations))) {
     Mutations -= 1.0;

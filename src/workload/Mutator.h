@@ -27,6 +27,7 @@
 #define WEARMEM_WORKLOAD_MUTATOR_H
 
 #include "core/Runtime.h"
+#include "workload/Adversary.h"
 #include "workload/Profile.h"
 
 #include <cstdint>
@@ -36,9 +37,12 @@ namespace wearmem {
 class Mutator {
 public:
   /// \p VolumeScale scales the steady-state allocation volume (the live
-  /// set is never scaled).
+  /// set is never scaled). \p Adversary bends the sampled stream toward
+  /// a runtime weak point (see workload/Adversary.h); None reproduces
+  /// the profile faithfully.
   Mutator(Runtime &Rt, const Profile &P, uint64_t Seed,
-          double VolumeScale = 1.0);
+          double VolumeScale = 1.0,
+          AdversaryKind Adversary = AdversaryKind::None);
 
   /// Builds the backbone (spine, chunks, initial live objects). Returns
   /// false on heap exhaustion.
@@ -54,8 +58,16 @@ public:
   uint64_t steadyAllocatedBytes() const { return SteadyAllocated; }
   uint64_t targetBytes() const { return TargetBytes; }
   size_t backboneSlots() const { return NumSlots; }
+  AdversaryKind adversary() const { return Adversary; }
+  /// Allocations refused by Emergency-mode admission control (shed, not
+  /// treated as exhaustion; the offered-traffic clock keeps moving).
+  uint64_t refusedAllocs() const { return RefusedAllocs; }
 
 private:
+  /// One profile sample, bent through the active adversary.
+  SampledObject sampleNext();
+  /// The backbone slot a surviving object evicts into.
+  size_t evictionSlot();
   ObjRef allocateSampled(const SampledObject &S, bool Pinned);
   ObjRef slotGet(size_t Slot);
   void slotSet(size_t Slot, ObjRef Obj);
@@ -70,6 +82,10 @@ private:
   uint64_t SteadyAllocated = 0;
   uint64_t TargetBytes = 0;
   bool SetUpDone = false;
+  AdversaryKind Adversary = AdversaryKind::None;
+  size_t EvictCursor = 0;
+  size_t LadderStep = 0;
+  uint64_t RefusedAllocs = 0;
 
   static constexpr size_t SlotsPerChunk = 30;
 };

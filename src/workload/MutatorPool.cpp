@@ -28,8 +28,8 @@ MutatorPool::MutatorPool(Runtime &Rt, const Profile &P,
     // lane keeps the churn-to-heap ratio (and thus GC pressure) equal to
     // a single-lane run.
     uint64_t LaneSeed = Opts.Seed + 0x9E3779B97F4A7C15ULL * (Lane + 1);
-    Lanes[Lane].M =
-        std::make_unique<Mutator>(Rt, P, LaneSeed, Opts.VolumeScale);
+    Lanes[Lane].M = std::make_unique<Mutator>(Rt, P, LaneSeed,
+                                              Opts.VolumeScale, Opts.Adversary);
   }
 }
 

@@ -51,6 +51,9 @@ struct MutatorPoolOptions {
   /// profile's full (scaled) volume; with the heap also scaled by the
   /// lane count, GC pressure per heap byte matches a single-lane run.
   double VolumeScale = 1.0;
+  /// Adversarial strategy applied by every lane (workload/Adversary.h).
+  /// Uses only each lane's own RNG, so lane determinism is preserved.
+  AdversaryKind Adversary = AdversaryKind::None;
 };
 
 /// Per-lane outcome for reporting.

@@ -16,10 +16,10 @@
 using namespace wearmem;
 
 RunResult wearmem::runOnce(const Profile &P, const RuntimeConfig &Config,
-                           uint64_t WorkloadSeed) {
+                           uint64_t WorkloadSeed, AdversaryKind Adversary) {
   RunResult Result;
   Runtime Rt(Config);
-  Mutator M(Rt, P, WorkloadSeed, benchScale());
+  Mutator M(Rt, P, WorkloadSeed, benchScale(), Adversary);
 
   auto T0 = std::chrono::steady_clock::now();
   bool SetupOk = M.setUp();
@@ -53,7 +53,8 @@ RunResult wearmem::runOnce(const Profile &P, const RuntimeConfig &Config,
 
 AggregateResult wearmem::runRepeated(const Profile &P,
                                      const RuntimeConfig &Config, int Reps,
-                                     uint64_t WorkloadSeed) {
+                                     uint64_t WorkloadSeed,
+                                     AdversaryKind Adversary) {
   AggregateResult Agg;
   RunningStat Times;
   Agg.Completed = true;
@@ -62,7 +63,7 @@ AggregateResult wearmem::runRepeated(const Profile &P,
   // first (the paper's replay methodology measures the second, warmed
   // iteration for the same reason).
   {
-    RunResult Warmup = runOnce(P, Config, WorkloadSeed);
+    RunResult Warmup = runOnce(P, Config, WorkloadSeed, Adversary);
     if (!Warmup.Completed) {
       Agg.Completed = false;
       Agg.Last = std::move(Warmup);
@@ -70,7 +71,7 @@ AggregateResult wearmem::runRepeated(const Profile &P,
     }
   }
   for (int Rep = 0; Rep != Reps; ++Rep) {
-    RunResult R = runOnce(P, Config, WorkloadSeed);
+    RunResult R = runOnce(P, Config, WorkloadSeed, Adversary);
     if (!R.Completed) {
       Agg.Completed = false;
       Agg.Last = std::move(R);

@@ -20,6 +20,7 @@
 
 #include "core/Runtime.h"
 #include "support/Stats.h"
+#include "workload/Adversary.h"
 #include "workload/Profile.h"
 
 #include <optional>
@@ -52,12 +53,14 @@ struct AggregateResult {
 /// Executes one profile under \p Config once. Config.HeapBytes must
 /// already be set (see heapBytesFor).
 RunResult runOnce(const Profile &P, const RuntimeConfig &Config,
-                  uint64_t WorkloadSeed = 0xDACA90ULL);
+                  uint64_t WorkloadSeed = 0xDACA90ULL,
+                  AdversaryKind Adversary = AdversaryKind::None);
 
 /// Repeats runOnce \p Reps times and aggregates wall time.
 AggregateResult runRepeated(const Profile &P, const RuntimeConfig &Config,
                             int Reps = 3,
-                            uint64_t WorkloadSeed = 0xDACA90ULL);
+                            uint64_t WorkloadSeed = 0xDACA90ULL,
+                            AdversaryKind Adversary = AdversaryKind::None);
 
 /// The heap size for a profile at a multiple of its calibrated minimum.
 inline size_t heapBytesFor(const Profile &P, double HeapFactor) {

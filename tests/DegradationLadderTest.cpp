@@ -1,0 +1,234 @@
+//===- tests/DegradationLadderTest.cpp - Capacity-pressure ladder tests ---===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The degradation ladder (Normal -> Throttled -> Emergency -> FailStop)
+// and the fail-stop diagnosis behind it: every way the heap can give up
+// must surface the matching DnfReason, every escalation must walk the
+// rungs in order, and Emergency must refuse page-hungry allocations
+// with a typed error instead of crashing or burning the last capacity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace wearmem;
+
+namespace {
+
+RuntimeConfig testConfig() {
+  RuntimeConfig Config;
+  Config.HeapBytes = 4 * MiB;
+  Config.Seed = 0x1ADDE4;
+  return Config;
+}
+
+std::vector<Handle> populate(Runtime &Rt, size_t Bytes) {
+  std::vector<Handle> Roots;
+  for (size_t Allocated = 0; Allocated < Bytes; Allocated += 80) {
+    Roots.push_back(Rt.allocateRooted(48, 2));
+    EXPECT_NE(Roots.back().get(), nullptr);
+  }
+  return Roots;
+}
+
+/// Fails the lines under one contiguous span of live roots through the
+/// ordinary dynamic-failure interrupt path. Re-reads every handle so the
+/// batch stays valid across the evacuating recovery collections earlier
+/// batches trigger.
+void failSpan(Runtime &Rt, std::vector<Handle> &Roots, size_t Begin,
+              size_t End) {
+  std::vector<uint8_t *> Addrs;
+  for (size_t I = Begin; I < End && I < Roots.size(); ++I)
+    if (uint8_t *P = Roots[I].get())
+      Addrs.push_back(P);
+  Rt.heap().injectDynamicFailureBatch(Addrs, /*DeferRecovery=*/true);
+}
+
+} // namespace
+
+TEST(DegradationLadderTest, HealthyHeapStaysNormal) {
+  Runtime Rt(testConfig());
+  auto Roots = populate(Rt, MiB);
+  Rt.collect(true);
+
+  EXPECT_EQ(Rt.heap().degradationMode(), DegradationMode::Normal);
+  EXPECT_EQ(Rt.heap().computeDegradationMode(), DegradationMode::Normal);
+  EXPECT_EQ(Rt.heap().dnfReason(), DnfReason::None);
+  EXPECT_TRUE(Rt.heap().degradationLog().empty());
+  EXPECT_EQ(Rt.stats().DegradationTransitions, 0u);
+}
+
+TEST(DegradationLadderTest, DynamicWearWalksTheRungsInOrder) {
+  RuntimeConfig Config = testConfig();
+  // A lower storm ceiling widens each rung's window (Throttled arms at a
+  // quarter of it, Emergency at half), so small failure batches cannot
+  // hop over a rung.
+  Config.StormOverloadFraction = 0.4;
+  Runtime Rt(Config);
+  auto Roots = populate(Rt, 3 * MiB / 2);
+  Rt.collect(true);
+
+  std::vector<DegradationMode> Seen = {Rt.heap().degradationMode()};
+  for (size_t I = 0; I < Roots.size() &&
+                     Rt.heap().degradationMode() < DegradationMode::Emergency;
+       I += 192) {
+    failSpan(Rt, Roots, I, I + 192);
+    if (Rt.heap().degradationMode() != Seen.back())
+      Seen.push_back(Rt.heap().degradationMode());
+  }
+
+  ASSERT_EQ(Seen.size(), 3u) << "expected Normal -> Throttled -> Emergency";
+  EXPECT_EQ(Seen[0], DegradationMode::Normal);
+  EXPECT_EQ(Seen[1], DegradationMode::Throttled);
+  EXPECT_EQ(Seen[2], DegradationMode::Emergency);
+
+  // The transition log must tell the same story: every non-recovery
+  // transition escalates, and the count matches the stats counter.
+  const std::vector<DegradationTransition> &Log = Rt.heap().degradationLog();
+  ASSERT_GE(Log.size(), 2u);
+  for (const DegradationTransition &T : Log) {
+    if (!T.Recovery) {
+      EXPECT_LT(T.From, T.To);
+    }
+  }
+  EXPECT_EQ(Rt.stats().DegradationTransitions,
+            Log.size() + Rt.heap().degradationLogDropped());
+}
+
+TEST(DegradationLadderTest, EmergencyRefusesPageHungryAllocationsTyped) {
+  RuntimeConfig Config = testConfig();
+  Config.StormOverloadFraction = 0.4;
+  Runtime Rt(Config);
+  auto Roots = populate(Rt, 3 * MiB / 2);
+  Rt.collect(true);
+  for (size_t I = 0; I < Roots.size() &&
+                     Rt.heap().degradationMode() < DegradationMode::Emergency;
+       I += 192)
+    failSpan(Rt, Roots, I, I + 192);
+  ASSERT_EQ(Rt.heap().degradationMode(), DegradationMode::Emergency);
+
+  // A medium overflow request (multi-line, below the LOS threshold) is
+  // refused with a typed error: no crash, no OutOfMemory, no DnfReason.
+  EXPECT_EQ(Rt.heap().allocate(600, 0), nullptr);
+  EXPECT_EQ(Rt.heap().lastRefusal(), AllocRefusal::EmergencyMedium);
+  EXPECT_EQ(Rt.stats().RefusedMediumAllocs, 1u);
+
+  // Same for a large-object request.
+  EXPECT_EQ(Rt.heap().allocate(16 * KiB, 0), nullptr);
+  EXPECT_EQ(Rt.heap().lastRefusal(), AllocRefusal::EmergencyLarge);
+  EXPECT_EQ(Rt.stats().RefusedLargeAllocs, 1u);
+
+  EXPECT_FALSE(Rt.heap().outOfMemory());
+  EXPECT_EQ(Rt.heap().dnfReason(), DnfReason::None);
+
+  // Small allocations are still admitted, and success clears the typed
+  // refusal marker.
+  EXPECT_NE(Rt.heap().allocate(48, 0), nullptr);
+  EXPECT_EQ(Rt.heap().lastRefusal(), AllocRefusal::None);
+}
+
+TEST(DegradationLadderTest, StormOverloadDiagnosedAtFailStop) {
+  RuntimeConfig Config = testConfig();
+  Config.StormOverloadFraction = 0.2;
+  Runtime Rt(Config);
+  auto Roots = populate(Rt, MiB);
+  Rt.collect(true);
+
+  // Fail well past the storm ceiling (evacuations relocate survivors to
+  // fresh lines, so repeated sweeps over the same roots keep retiring
+  // new lines), then drive small allocations until the heap gives up.
+  size_t TotalLines = 0;
+  Rt.heap().immixSpace()->forEachBlock(
+      [&](const Block &B) { TotalLines += B.lineCount(); });
+  for (int Sweep = 0; Sweep != 4 && !Rt.heap().outOfMemory() &&
+                      Rt.stats().FailedLinesDynamic < TotalLines / 4;
+       ++Sweep)
+    for (size_t I = 0; I < Roots.size() && !Rt.heap().outOfMemory();
+         I += 192)
+      failSpan(Rt, Roots, I, I + 192);
+
+  // Grow the live set into what the storm left standing; the eventual
+  // exhaustion must be blamed on the storm, not on the growth.
+  for (int I = 0; I != 200000 && !Rt.heap().outOfMemory(); ++I)
+    Roots.push_back(Rt.allocateRooted(48, 2));
+
+  ASSERT_TRUE(Rt.heap().outOfMemory());
+  EXPECT_EQ(Rt.heap().dnfReason(), DnfReason::FailureStormOverload);
+  EXPECT_EQ(Rt.heap().degradationMode(), DegradationMode::FailStop);
+  EXPECT_EQ(Rt.heap().computeDegradationMode(), DegradationMode::FailStop);
+}
+
+TEST(DegradationLadderTest, PlainExhaustionDiagnosedHeapExhausted) {
+  RuntimeConfig Config = testConfig();
+  Config.HeapBytes = 2 * MiB;
+  Runtime Rt(Config);
+
+  // No wear anywhere: growing the live set past the budget is ordinary
+  // exhaustion, and must never be blamed on a storm or the perfect pool.
+  std::vector<Handle> Roots;
+  for (int I = 0; I != 200000 && !Rt.heap().outOfMemory(); ++I)
+    Roots.push_back(Rt.allocateRooted(48, 2));
+
+  ASSERT_TRUE(Rt.heap().outOfMemory());
+  EXPECT_EQ(Rt.heap().dnfReason(), DnfReason::HeapExhausted);
+  EXPECT_EQ(Rt.heap().degradationMode(), DegradationMode::FailStop);
+  EXPECT_EQ(Rt.heap().computeDegradationMode(), DegradationMode::FailStop);
+}
+
+TEST(DegradationLadderTest, PerfectPoolExhaustionDiagnosed) {
+  RuntimeConfig Config = testConfig();
+  // Disarm every ladder rung so Emergency admission control never
+  // intercepts the large requests: this test pins down classification
+  // at the fail-stop site, not the ladder.
+  Config.StormOverloadFraction = 1.1;
+  Config.ThrottlePerfectFraction = 0.0;
+  Config.EmergencyPerfectFraction = 0.0;
+  Config.ThrottleRetiredBlocks = 1000000;
+  Config.EmergencyRetiredFraction = 1.1;
+  // Static failures make perfect pages scarce (a page is perfect only
+  // if every line intook clean), and a tight DRAM debt cap stops
+  // borrowing almost immediately - so the fussy pool runs dry while the
+  // imperfect heap is still mostly empty.
+  Config.FailureRate = 0.05;
+  Config.MaxDebtPages = 2;
+  Runtime Rt(Config);
+
+  // Page-hungry (perfect-wanting) requests until the pool runs dry.
+  std::vector<Handle> Roots;
+  for (int I = 0; I != 4096 && !Rt.heap().outOfMemory(); ++I)
+    Roots.push_back(Rt.allocateRooted(16 * KiB, 0));
+
+  ASSERT_TRUE(Rt.heap().outOfMemory());
+  EXPECT_EQ(Rt.heap().dnfReason(), DnfReason::PerfectPagesExhausted);
+  EXPECT_EQ(Rt.heap().degradationMode(), DegradationMode::FailStop);
+}
+
+TEST(DegradationLadderTest, DiagnosticNamesAreStable) {
+  // The JSON emitters and the CI greps key on these exact strings.
+  EXPECT_STREQ(dnfReasonName(DnfReason::None), "none");
+  EXPECT_STREQ(dnfReasonName(DnfReason::HeapExhausted), "heap-exhausted");
+  EXPECT_STREQ(dnfReasonName(DnfReason::PerfectPagesExhausted),
+               "perfect-pages-exhausted");
+  EXPECT_STREQ(dnfReasonName(DnfReason::FailureStormOverload),
+               "failure-storm-overload");
+  EXPECT_STREQ(degradationModeName(DegradationMode::Normal), "normal");
+  EXPECT_STREQ(degradationModeName(DegradationMode::Throttled),
+               "throttled");
+  EXPECT_STREQ(degradationModeName(DegradationMode::Emergency),
+               "emergency");
+  EXPECT_STREQ(degradationModeName(DegradationMode::FailStop),
+               "fail-stop");
+  EXPECT_STREQ(allocRefusalName(AllocRefusal::EmergencyLarge),
+               "emergency-large");
+  EXPECT_STREQ(allocRefusalName(AllocRefusal::EmergencyMedium),
+               "emergency-medium");
+}

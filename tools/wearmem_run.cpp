@@ -20,6 +20,7 @@
 #include "obs/Metrics.h"
 #include "obs/Obs.h"
 #include "obs/Snapshot.h"
+#include "support/CliArgs.h"
 #include "support/JsonWriter.h"
 #include "support/Table.h"
 #include "workload/Mutator.h"
@@ -28,10 +29,8 @@
 
 #include "gc/HeapAuditor.h"
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -40,8 +39,7 @@ using namespace wearmem;
 
 namespace {
 
-/// BSD sysexits EX_USAGE: bad flags or malformed values.
-constexpr int ExitUsage = 64;
+using cli::ExitUsage;
 
 void printUsage(FILE *Out) {
   std::fprintf(
@@ -50,6 +48,8 @@ void printUsage(FILE *Out) {
       "  --list                   list workload profiles and exit\n"
       "  --profile=NAME           workload (default pmd)\n"
       "  --collector=KIND         ms | ix | s-ms | s-ix (default s-ix)\n"
+      "  --adversary=NAME         adversarial mutator strategy: none |\n"
+      "                           frag | pin | medium | buffer\n"
       "  --heap-factor=F          heap = F x profile min (default 2.0)\n"
       "  --heap-mb=N              absolute heap size in MiB\n"
       "  --failure-rate=F         failed line fraction 0..0.99\n"
@@ -76,39 +76,12 @@ void printUsage(FILE *Out) {
       "  --help                   print this help and exit\n");
 }
 
-bool parseFlag(const char *Arg, const char *Name, std::string &Value) {
-  size_t Len = std::strlen(Name);
-  if (std::strncmp(Arg, Name, Len) != 0)
-    return false;
-  if (Arg[Len] == '\0') {
-    Value.clear();
-    return true;
-  }
-  if (Arg[Len] != '=')
-    return false;
-  Value = Arg + Len + 1;
-  return true;
-}
-
-bool parseU64Flag(const std::string &V, uint64_t &Out) {
-  char *End = nullptr;
-  errno = 0;
-  Out = std::strtoull(V.c_str(), &End, 0);
-  return !V.empty() && End != V.c_str() && *End == '\0' && errno == 0;
-}
-
-bool parseDoubleFlag(const std::string &V, double &Out) {
-  char *End = nullptr;
-  errno = 0;
-  Out = std::strtod(V.c_str(), &End);
-  return !V.empty() && End != V.c_str() && *End == '\0' && errno == 0;
-}
-
 } // namespace
 
 int main(int argc, char **argv) {
   std::string ProfileName = "pmd";
   std::string CollectorName = "s-ix";
+  std::string AdversaryName = "none";
   double HeapFactor = 2.0;
   double HeapMb = 0.0;
   double Rate = 0.0;
@@ -129,8 +102,11 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Value;
     const char *Arg = argv[I];
+    auto parseFlag = [&](const char *Name, std::string &Out) {
+      return cli::splitEqFlag(Arg, Name, Out);
+    };
     auto u64 = [&](uint64_t &Out) {
-      if (parseU64Flag(Value, Out))
+      if (cli::parseU64(Value.c_str(), Out))
         return true;
       std::fprintf(stderr, "error: invalid value '%s' in '%s'\n",
                    Value.c_str(), Arg);
@@ -144,14 +120,14 @@ int main(int argc, char **argv) {
       return true;
     };
     auto dbl = [&](double &Out) {
-      if (parseDoubleFlag(Value, Out))
+      if (cli::parseDouble(Value.c_str(), Out))
         return true;
       std::fprintf(stderr, "error: invalid value '%s' in '%s'\n",
                    Value.c_str(), Arg);
       return false;
     };
     bool ValueOk = true;
-    if (parseFlag(Arg, "--list", Value)) {
+    if (parseFlag("--list", Value)) {
       Table List("Workload profiles");
       List.setHeader({"name", "live set", "alloc volume", "min heap",
                       "small/medium/large bytes"});
@@ -169,54 +145,65 @@ int main(int argc, char **argv) {
       List.print();
       return 0;
     }
-    if (parseFlag(Arg, "--help", Value) || parseFlag(Arg, "-h", Value)) {
+    if (parseFlag("--help", Value) || parseFlag("-h", Value)) {
       printUsage(stdout);
       return 0;
     }
-    if (parseFlag(Arg, "--profile", Value)) {
+    if (parseFlag("--profile", Value)) {
       ProfileName = Value;
-    } else if (parseFlag(Arg, "--collector", Value)) {
+    } else if (parseFlag("--collector", Value)) {
       CollectorName = Value;
-    } else if (parseFlag(Arg, "--heap-factor", Value)) {
+    } else if (parseFlag("--adversary", Value)) {
+      AdversaryName = Value;
+    } else if (parseFlag("--heap-factor", Value)) {
       ValueOk = dbl(HeapFactor);
-    } else if (parseFlag(Arg, "--heap-mb", Value)) {
+    } else if (parseFlag("--heap-mb", Value)) {
       ValueOk = dbl(HeapMb);
-    } else if (parseFlag(Arg, "--failure-rate", Value)) {
+    } else if (parseFlag("--failure-rate", Value)) {
       ValueOk = dbl(Rate) && Rate >= 0.0 && Rate <= 0.99;
       if (!ValueOk)
         std::fprintf(stderr,
                      "error: --failure-rate must be in 0..0.99\n");
-    } else if (parseFlag(Arg, "--cluster", Value)) {
+    } else if (parseFlag("--cluster", Value)) {
       ValueOk = uns(Cluster);
-    } else if (parseFlag(Arg, "--line", Value)) {
+    } else if (parseFlag("--line", Value)) {
       uint64_t L = 0;
       ValueOk = u64(L) && (L == 64 || L == 128 || L == 256);
       if (!ValueOk)
         std::fprintf(stderr, "error: --line must be 64, 128, or 256\n");
       Line = L;
-    } else if (parseFlag(Arg, "--no-compensate", Value)) {
+    } else if (parseFlag("--no-compensate", Value)) {
       Compensate = false;
-    } else if (parseFlag(Arg, "--arraylets", Value)) {
+    } else if (parseFlag("--arraylets", Value)) {
       Arraylets = true;
-    } else if (parseFlag(Arg, "--dynamic-failures", Value)) {
+    } else if (parseFlag("--dynamic-failures", Value)) {
       ValueOk = uns(DynamicFailures);
-    } else if (parseFlag(Arg, "--gc-threads", Value)) {
-      ValueOk = uns(GcThreads);
-    } else if (parseFlag(Arg, "--mutator-threads", Value)) {
+    } else if (parseFlag("--gc-threads", Value)) {
+      ValueOk = uns(GcThreads) && GcThreads >= 1;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --gc-threads must be >= 1\n");
+    } else if (parseFlag("--mutator-threads", Value)) {
       ValueOk = uns(MutatorThreads) && MutatorThreads >= 1;
-    } else if (parseFlag(Arg, "--mutator-lanes", Value)) {
-      ValueOk = uns(MutatorLanes);
-    } else if (parseFlag(Arg, "--reps", Value)) {
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --mutator-threads must be >= 1\n");
+    } else if (parseFlag("--mutator-lanes", Value)) {
+      // An explicit lane count of zero is rejected, not defaulted: the
+      // lane count fixes the heap digest, so a silent fallback would
+      // change the result the caller asked to pin down.
+      ValueOk = uns(MutatorLanes) && MutatorLanes >= 1;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --mutator-lanes must be >= 1\n");
+    } else if (parseFlag("--reps", Value)) {
       unsigned R = 0;
       ValueOk = uns(R) && R >= 1;
       Reps = static_cast<int>(R);
-    } else if (parseFlag(Arg, "--seed", Value)) {
+    } else if (parseFlag("--seed", Value)) {
       ValueOk = u64(Seed);
-    } else if (parseFlag(Arg, "--trace", Value)) {
+    } else if (parseFlag("--trace", Value)) {
       TracePath = Value;
-    } else if (parseFlag(Arg, "--metrics-out", Value)) {
+    } else if (parseFlag("--metrics-out", Value)) {
       MetricsOut = Value;
-    } else if (parseFlag(Arg, "--snapshot-every", Value)) {
+    } else if (parseFlag("--snapshot-every", Value)) {
       ValueOk = uns(SnapshotEvery);
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
@@ -237,17 +224,16 @@ int main(int argc, char **argv) {
   }
 
   RuntimeConfig Config;
-  if (CollectorName == "ms")
-    Config.Collector = CollectorKind::MarkSweep;
-  else if (CollectorName == "ix")
-    Config.Collector = CollectorKind::Immix;
-  else if (CollectorName == "s-ms")
-    Config.Collector = CollectorKind::StickyMarkSweep;
-  else if (CollectorName == "s-ix")
-    Config.Collector = CollectorKind::StickyImmix;
-  else {
-    std::fprintf(stderr, "error: unknown collector '%s'\n",
-                 CollectorName.c_str());
+  if (!cli::parseCollector(CollectorName, Config.Collector)) {
+    std::fprintf(stderr, "error: unknown collector '%s' (valid: %s)\n",
+                 CollectorName.c_str(), cli::collectorNameList());
+    return ExitUsage;
+  }
+  bool AdversaryOk = false;
+  AdversaryKind Adversary = adversaryFromName(AdversaryName, AdversaryOk);
+  if (!AdversaryOk) {
+    std::fprintf(stderr, "error: unknown adversary '%s' (valid: %s)\n",
+                 AdversaryName.c_str(), adversaryNameList());
     return ExitUsage;
   }
   Config.HeapBytes = HeapMb > 0.0
@@ -258,16 +244,19 @@ int main(int argc, char **argv) {
   Config.LineSize = Line;
   Config.CompensateForFailures = Compensate;
   Config.UseDiscontiguousArrays = Arraylets;
-  Config.GcThreads = GcThreads > 0 ? GcThreads : 1;
+  Config.GcThreads = GcThreads;
   Config.Seed = Seed;
   if (Config.Collector == CollectorKind::MarkSweep ||
       Config.Collector == CollectorKind::StickyMarkSweep)
     Config.FreeListFailureAware = Rate > 0.0;
 
-  std::printf("running %s on %s, heap %s%s, seed %llu\n",
+  std::printf("running %s on %s, heap %s%s%s%s, seed %llu\n",
               Config.describe().c_str(), P->Name,
               Table::bytes(Config.HeapBytes).c_str(),
               Arraylets ? ", discontiguous arrays" : "",
+              Adversary != AdversaryKind::None ? ", adversary " : "",
+              Adversary != AdversaryKind::None ? adversaryName(Adversary)
+                                               : "",
               static_cast<unsigned long long>(Seed));
 
   // Any observability flag switches to one instrumented run: repeated
@@ -296,6 +285,7 @@ int main(int argc, char **argv) {
     PoolOpts.Threads = MutatorThreads;
     PoolOpts.Seed = Seed;
     PoolOpts.VolumeScale = benchScale();
+    PoolOpts.Adversary = Adversary;
     MutatorPool Pool(Rt, *P, PoolOpts);
     auto Start = std::chrono::steady_clock::now();
     bool Ok = Pool.run();
@@ -335,7 +325,7 @@ int main(int argc, char **argv) {
     // One instrumented run, optionally with evenly spaced mid-run line
     // failures.
     Runtime Rt(Config);
-    Mutator M(Rt, *P, Seed, benchScale());
+    Mutator M(Rt, *P, Seed, benchScale(), Adversary);
     Rng FailRand(Seed + 1);
     unsigned Injected = 0;
     std::vector<obs::HeapSnapshot> Snapshots;
@@ -402,7 +392,7 @@ int main(int argc, char **argv) {
     return Rt.outOfMemory() ? 2 : 0;
   }
 
-  AggregateResult Agg = runRepeated(*P, Config, Reps, Seed);
+  AggregateResult Agg = runRepeated(*P, Config, Reps, Seed, Adversary);
   if (!Agg.Completed) {
     std::printf("DID NOT FINISH: the workload exhausted this heap "
                 "(the paper's terminated-curve case)\n");

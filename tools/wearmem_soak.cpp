@@ -29,12 +29,12 @@
 #include "obs/Obs.h"
 #include "obs/Snapshot.h"
 #include "pcm/WearSimulation.h"
+#include "support/CliArgs.h"
 #include "support/JsonWriter.h"
+#include "workload/Lifetime.h"
 #include "workload/Mutator.h"
 #include "workload/MutatorPool.h"
 #include "workload/Runner.h"
-
-#include <cerrno>
 
 #include <algorithm>
 #include <atomic>
@@ -51,12 +51,16 @@ using namespace wearmem;
 
 namespace {
 
-/// BSD sysexits EX_USAGE: bad flags or malformed values.
-constexpr int ExitUsage = 64;
+using cli::ExitUsage;
 
 struct SoakOptions {
   std::string ProfileName = "luindex";
   std::string Schedule = "storm@gc:6+2:lines=24,hot";
+  CollectorKind Collector = CollectorKind::StickyImmix;
+  /// --collector was given; lifetime mode then runs one cell instead of
+  /// sweeping all four collectors.
+  bool CollectorExplicit = false;
+  AdversaryKind Adversary = AdversaryKind::None;
   uint64_t Seed = 42;
   double HeapFactor = 2.5;
   size_t HeapMb = 0; ///< Overrides HeapFactor when nonzero.
@@ -100,6 +104,12 @@ struct SoakOptions {
   /// Capture a heap snapshot every N collections into the metrics file
   /// (0 = off; single-run mode only).
   unsigned SnapshotEvery = 0;
+  /// Fast-forward device-lifetime mode (workload/Lifetime.h).
+  bool Lifetime = false;
+  unsigned LifetimeCheckpoints = 20;
+  double LifetimeYearsPer = 0.5;
+  unsigned LifetimeBaseLines = 16;
+  double LifetimeGrowth = 1.6;
 };
 
 struct CurvePoint {
@@ -121,6 +131,7 @@ struct SoakOutcome {
   CampaignStats Campaign;
   HeapStats Heap;
   OsStats Os;
+  DegradationMode FinalMode = DegradationMode::Normal;
   size_t BudgetPages = 0;
   double RunMs = 0.0;
   std::vector<obs::HeapSnapshot> Snapshots;
@@ -138,6 +149,10 @@ void usage(FILE *Out, const char *Argv0) {
       Out,
       "usage: %s [options]\n"
       "  --profile NAME        synthetic benchmark (default luindex)\n"
+      "  --collector KIND      ms | ix | s-ms | s-ix (default s-ix;\n"
+      "                        lifetime mode sweeps all four unless set)\n"
+      "  --adversary NAME      adversarial mutator strategy: none |\n"
+      "                        frag | pin | medium | buffer\n"
       "  --campaign SCHED      fault schedule, e.g. "
       "'storm@gc:6+2:lines=24,hot;drip@alloc:1m+256k'\n"
       "  --seed N              campaign + workload seed (default 42)\n"
@@ -171,25 +186,21 @@ void usage(FILE *Out, const char *Argv0) {
       "  --metrics-out FILE    write the metrics-registry JSON\n"
       "  --snapshot-every N    heap snapshot every N GCs into the\n"
       "                        metrics file (single-run mode)\n"
+      "  --lifetime            fast-forward device-lifetime mode:\n"
+      "                        checkpointed traffic slices with a\n"
+      "                        geometrically accelerating wear clock;\n"
+      "                        prints survival curves and milestone\n"
+      "                        ages as JSON\n"
+      "  --lifetime-checkpoints N  wear checkpoints (default 20)\n"
+      "  --lifetime-years F    simulated years per checkpoint (0.5)\n"
+      "  --lifetime-base-lines N  lines failed at the first checkpoint\n"
+      "                        (default 16)\n"
+      "  --lifetime-growth F   wear dose growth per checkpoint (1.6)\n"
       "  --escalate            triggers re-arm at doubled intensity\n"
       "  --verify-determinism  run twice, require identical curves\n"
       "  --with-timing         include wall-clock ms in the JSON\n"
       "  --help                print this help and exit\n",
       Argv0);
-}
-
-bool parseU64Arg(const char *V, uint64_t &Out) {
-  char *End = nullptr;
-  errno = 0;
-  Out = std::strtoull(V, &End, 0);
-  return *V != '\0' && End != V && *End == '\0' && errno == 0;
-}
-
-bool parseDoubleArg(const char *V, double &Out) {
-  char *End = nullptr;
-  errno = 0;
-  Out = std::strtod(V, &End);
-  return *V != '\0' && End != V && *End == '\0' && errno == 0;
 }
 
 /// Returns -1 to proceed, otherwise the exit code (0 for --help,
@@ -207,24 +218,29 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
     };
     auto u64 = [&](uint64_t &Out) {
       const char *V = value();
-      if (V && !parseU64Arg(V, Out)) {
+      if (V && !cli::parseU64(V, Out)) {
         std::fprintf(stderr, "invalid value '%s' for %s\n", V,
                      Arg.c_str());
         Bad = ExitUsage;
       }
     };
+    // Out-of-range values are rejected with a usage error, never
+    // silently clamped: a clamp would quietly run a different
+    // experiment than the one named on the command line.
     auto uns = [&](unsigned &Out, unsigned Min = 0) {
       uint64_t Wide = 0;
       u64(Wide);
-      if (Bad < 0 && Wide > UINT32_MAX) {
-        std::fprintf(stderr, "value out of range for %s\n", Arg.c_str());
+      if (Bad < 0 && (Wide > UINT32_MAX || Wide < Min)) {
+        std::fprintf(stderr, "value out of range for %s (min %u)\n",
+                     Arg.c_str(), Min);
         Bad = ExitUsage;
+        return;
       }
-      Out = std::max(Min, static_cast<unsigned>(Wide));
+      Out = static_cast<unsigned>(Wide);
     };
     auto dbl = [&](double &Out) {
       const char *V = value();
-      if (V && !parseDoubleArg(V, Out)) {
+      if (V && !cli::parseDouble(V, Out)) {
         std::fprintf(stderr, "invalid value '%s' for %s\n", V,
                      Arg.c_str());
         Bad = ExitUsage;
@@ -236,6 +252,21 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       return 0;
     } else if (Arg == "--profile" && (V = value())) {
       Opt.ProfileName = V;
+    } else if (Arg == "--collector" && (V = value())) {
+      if (!cli::parseCollector(V, Opt.Collector)) {
+        std::fprintf(stderr, "unknown collector '%s' (valid: %s)\n", V,
+                     cli::collectorNameList());
+        Bad = ExitUsage;
+      }
+      Opt.CollectorExplicit = true;
+    } else if (Arg == "--adversary" && (V = value())) {
+      bool Ok = false;
+      Opt.Adversary = adversaryFromName(V, Ok);
+      if (!Ok) {
+        std::fprintf(stderr, "unknown adversary '%s' (valid: %s)\n", V,
+                     adversaryNameList());
+        Bad = ExitUsage;
+      }
     } else if (Arg == "--campaign" && (V = value())) {
       Opt.Schedule = V;
       Opt.ScheduleExplicit = true;
@@ -261,6 +292,12 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       dbl(Opt.VolumeScale);
     } else if (Arg == "--wear-sim") {
       dbl(Opt.WearSimTarget);
+      if (Bad < 0 &&
+          (Opt.WearSimTarget < 0.0 || Opt.WearSimTarget >= 1.0)) {
+        std::fprintf(stderr,
+                     "--wear-sim must be a failed fraction in [0, 1)\n");
+        Bad = ExitUsage;
+      }
     } else if (Arg == "--crash-campaign") {
       uns(Opt.CrashIters);
     } else if (Arg == "--gc-threads") {
@@ -268,7 +305,10 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
     } else if (Arg == "--mutator-threads") {
       uns(Opt.MutatorThreads, 1);
     } else if (Arg == "--mutator-lanes") {
-      uns(Opt.MutatorLanes);
+      // Explicit zero is rejected, not defaulted: the lane count fixes
+      // the survival curve, so a silent fallback would change the
+      // result the caller asked to pin down.
+      uns(Opt.MutatorLanes, 1);
     } else if (Arg == "--reps") {
       uns(Opt.Reps, 1);
     } else if (Arg == "--jobs") {
@@ -279,6 +319,24 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       Opt.MetricsOut = V;
     } else if (Arg == "--snapshot-every") {
       uns(Opt.SnapshotEvery);
+    } else if (Arg == "--lifetime") {
+      Opt.Lifetime = true;
+    } else if (Arg == "--lifetime-checkpoints") {
+      uns(Opt.LifetimeCheckpoints, 1);
+    } else if (Arg == "--lifetime-years") {
+      dbl(Opt.LifetimeYearsPer);
+      if (Bad < 0 && Opt.LifetimeYearsPer <= 0.0) {
+        std::fprintf(stderr, "--lifetime-years must be > 0\n");
+        Bad = ExitUsage;
+      }
+    } else if (Arg == "--lifetime-base-lines") {
+      uns(Opt.LifetimeBaseLines, 1);
+    } else if (Arg == "--lifetime-growth") {
+      dbl(Opt.LifetimeGrowth);
+      if (Bad < 0 && Opt.LifetimeGrowth < 1.0) {
+        std::fprintf(stderr, "--lifetime-growth must be >= 1\n");
+        Bad = ExitUsage;
+      }
     } else if (Arg == "--escalate") {
       Opt.Escalate = true;
     } else if (Arg == "--verify-determinism") {
@@ -307,6 +365,7 @@ bool poolMode(const SoakOptions &Opt) {
 
 RuntimeConfig makeConfig(const SoakOptions &Opt, const Profile &P) {
   RuntimeConfig Config;
+  Config.Collector = Opt.Collector;
   Config.HeapBytes = Opt.HeapMb ? Opt.HeapMb * MiB
                                 : heapBytesFor(P, Opt.HeapFactor);
   if (poolMode(Opt))
@@ -340,7 +399,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   RuntimeConfig Config = makeConfig(Opt, P);
 
   Runtime Rt(Config);
-  Mutator M(Rt, P, Opt.Seed, Opt.VolumeScale);
+  Mutator M(Rt, P, Opt.Seed, Opt.VolumeScale, Opt.Adversary);
   std::unique_ptr<MutatorPool> Pool;
   if (poolMode(Opt)) {
     MutatorPoolOptions PoolOpts;
@@ -348,6 +407,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
     PoolOpts.Threads = Opt.MutatorThreads;
     PoolOpts.Seed = Opt.Seed;
     PoolOpts.VolumeScale = Opt.VolumeScale;
+    PoolOpts.Adversary = Opt.Adversary;
     Pool = std::make_unique<MutatorPool>(Rt, P, PoolOpts);
   }
   FaultCampaign Campaign(Triggers, Opt.Seed);
@@ -483,6 +543,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   Out.Campaign = Campaign.stats();
   Out.Heap = Rt.stats();
   Out.Os = Rt.osStats();
+  Out.FinalMode = Rt.heap().degradationMode();
   Out.RunMs =
       std::chrono::duration<double, std::milli>(T1 - T0).count();
   return Out;
@@ -584,6 +645,21 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
   W.value(Out.Heap.ObjectsEvacuated);
   W.key("pinned_page_remaps");
   W.value(Out.Heap.PinnedFailurePageRemaps);
+  W.close();
+  W.key("degradation");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("final_mode");
+  W.value(degradationModeName(Out.FinalMode));
+  W.key("transitions");
+  W.value(Out.Heap.DegradationTransitions);
+  W.key("recoveries");
+  W.value(Out.Heap.DegradationRecoveries);
+  W.key("throttle_retries");
+  W.value(Out.Heap.ThrottleRetries);
+  W.key("refused_large_allocs");
+  W.value(Out.Heap.RefusedLargeAllocs);
+  W.key("refused_medium_allocs");
+  W.value(Out.Heap.RefusedMediumAllocs);
   W.close();
   W.key("os");
   W.openObject(JsonWriter::Style::Inline);
@@ -864,7 +940,7 @@ int runCrashCampaign(const SoakOptions &Opt, const Profile &P,
     Triggers.push_back(CrashT);
 
     {
-      Mutator M(*Rt, P, Opt.Seed + Iter, Opt.VolumeScale);
+      Mutator M(*Rt, P, Opt.Seed + Iter, Opt.VolumeScale, Opt.Adversary);
       FaultCampaign Campaign(Triggers, Opt.Seed + Iter);
       Campaign.attachRuntime(*Rt);
       try {
@@ -1019,6 +1095,131 @@ int runCrashCampaign(const SoakOptions &Opt, const Profile &P,
   return TotalViolations != 0 ? 3 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// Lifetime mode: fast-forward wear clock, survival curves per collector
+//===----------------------------------------------------------------------===//
+
+LifetimeOptions makeLifetimeOptions(const SoakOptions &Opt,
+                                    CollectorKind Collector) {
+  LifetimeOptions L;
+  L.Collector = Collector;
+  L.Adversary = Opt.Adversary;
+  L.Seed = Opt.Seed;
+  L.HeapFactor = Opt.HeapFactor;
+  // --volume-scale scales the per-checkpoint traffic slice around the
+  // harness default.
+  L.VolumeScale = 0.05 * Opt.VolumeScale;
+  L.Checkpoints = Opt.LifetimeCheckpoints;
+  L.YearsPerCheckpoint = Opt.LifetimeYearsPer;
+  L.BaseFailLines = Opt.LifetimeBaseLines;
+  L.WearGrowth = Opt.LifetimeGrowth;
+  L.GcThreads = Opt.GcThreads;
+  return L;
+}
+
+bool sameLifetime(const LifetimeResult &A, const LifetimeResult &B) {
+  if (A.Survived != B.Survived || A.Dnf != B.Dnf ||
+      A.WearLinesInjected != B.WearLinesInjected ||
+      A.Curve.size() != B.Curve.size())
+    return false;
+  for (size_t I = 0; I != A.Curve.size(); ++I) {
+    const LifetimeCheckpoint &X = A.Curve[I];
+    const LifetimeCheckpoint &Y = B.Curve[I];
+    if (X.AllocBytes != Y.AllocBytes || X.GcCount != Y.GcCount ||
+        X.FailedLinesDynamic != Y.FailedLinesDynamic ||
+        X.BlocksRetired != Y.BlocksRetired ||
+        X.RefusedAllocs != Y.RefusedAllocs || X.Mode != Y.Mode)
+      return false;
+  }
+  return true;
+}
+
+int runLifetimeMode(const SoakOptions &Opt, const Profile &P) {
+  std::vector<CollectorKind> Collectors;
+  if (Opt.CollectorExplicit)
+    Collectors = {Opt.Collector};
+  else
+    Collectors = {CollectorKind::MarkSweep, CollectorKind::Immix,
+                  CollectorKind::StickyMarkSweep,
+                  CollectorKind::StickyImmix};
+
+  struct Cell {
+    LifetimeOptions LOpt;
+    LifetimeResult R;
+    bool DeterminismVerified = true;
+  };
+  std::vector<Cell> Cells;
+  for (CollectorKind Collector : Collectors) {
+    Cell C;
+    C.LOpt = makeLifetimeOptions(Opt, Collector);
+    C.R = runLifetime(P, C.LOpt);
+    if (Opt.VerifyDeterminism)
+      C.DeterminismVerified = sameLifetime(C.R, runLifetime(P, C.LOpt));
+    Cells.push_back(std::move(C));
+  }
+
+  unsigned Survived = 0, Undiagnosed = 0, NonMonotone = 0, Mismatches = 0;
+  for (const Cell &C : Cells) {
+    Survived += C.R.Survived ? 1 : 0;
+    // A did-not-finish must carry a diagnosis; dying with DnfReason::None
+    // is the one outcome the ladder forbids.
+    if (!C.R.Survived && C.R.Dnf == DnfReason::None)
+      ++Undiagnosed;
+    NonMonotone += C.R.MonotoneDegradation ? 0 : 1;
+    Mismatches += C.DeterminismVerified ? 0 : 1;
+  }
+
+  JsonWriter W(stdout);
+  W.openRoot();
+  W.key("tool");
+  W.value("wearmem_soak");
+  W.key("mode");
+  W.value("lifetime");
+  W.key("profile");
+  W.value(Opt.ProfileName);
+  W.key("adversary");
+  W.value(adversaryName(Opt.Adversary));
+  W.key("seed");
+  W.value(Opt.Seed);
+  W.key("checkpoints");
+  W.value(Opt.LifetimeCheckpoints);
+  W.key("years_per_checkpoint");
+  W.valueF(Opt.LifetimeYearsPer, 3);
+  W.key("wear_growth");
+  W.valueF(Opt.LifetimeGrowth, 3);
+  W.key("cells");
+  W.openArray(JsonWriter::Style::Line);
+  for (const Cell &C : Cells)
+    lifetimeToJson(W, P, C.LOpt, C.R);
+  W.close();
+  W.key("totals");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("cells");
+  W.value(Cells.size());
+  W.key("survived");
+  W.value(Survived);
+  W.key("undiagnosed_failstops");
+  W.value(Undiagnosed);
+  W.key("non_monotone");
+  W.value(NonMonotone);
+  if (Opt.VerifyDeterminism) {
+    W.key("determinism_mismatches");
+    W.value(Mismatches);
+  }
+  W.close();
+  W.closeRoot();
+
+  // A diagnosed DNF is an expected end-of-life outcome, not a failure;
+  // the gates are determinism, monotonicity, and diagnosis.
+  if (Mismatches)
+    return 4;
+  if (NonMonotone)
+    return 3;
+  if (Undiagnosed)
+    return 2;
+  return 0;
+}
+
 } // namespace
 
 /// Writes the metrics-registry JSON (plus any heap snapshots) to
@@ -1082,7 +1283,9 @@ int main(int Argc, char **Argv) {
 
   int Rc;
   std::vector<obs::HeapSnapshot> Snapshots;
-  if (Opt.CrashIters) {
+  if (Opt.Lifetime) {
+    Rc = runLifetimeMode(Opt, *P);
+  } else if (Opt.CrashIters) {
     Rc = runCrashCampaign(Opt, *P, *Triggers);
   } else if (Opt.Reps > 1) {
     Rc = runMultiRep(Opt, *P, *Triggers);
