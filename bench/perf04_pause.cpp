@@ -1,0 +1,455 @@
+//===- bench/perf04_pause.cpp - Incremental marking pause gate ------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Perf and correctness gate for incremental SATB marking. Two contracts,
+// in the two domains the obs subsystem separates:
+//
+//  1. Determinism (virtual time): a write storm interleaved with
+//     budgeted mark steps - including a dynamic line failure landing
+//     mid-cycle - must end in a heap bit-identical to stop-the-world
+//     marking at the same point in the mutation history, across GC
+//     worker counts 1/2/4/8, with every deterministic counter equal.
+//     Exit 2 on any divergence.
+//  2. Pause SLO (wall clock): at 4 GC worker lanes, the longest pause an
+//     incremental cycle imposes (open, any budgeted step, or the closing
+//     rescan+sweep) must be <= 20% of the stop-the-world full-mark pause
+//     over the identical heap. Median of paired back-to-back ratios,
+//     re-measured up to two extra rounds against noise; exit 3.
+//     --no-timing-gate disarms (sanitizers).
+//
+// The emitted BENCH_pause.json contains only deterministic values; wall
+// times go to stdout. Exit 0 ok, 64 usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Heap.h"
+#include "gc/HeapAuditor.h"
+#include "support/JsonWriter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace wearmem;
+
+namespace {
+
+constexpr unsigned WorkerCounts[] = {1, 2, 4, 8};
+constexpr unsigned NumWorkerCounts = 4;
+constexpr unsigned PauseWorkers = 4; // The SLO's "4 lanes" configuration.
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism legs: the IncrementalMarkTest storm, gate-sized
+//===----------------------------------------------------------------------===//
+
+HeapConfig legConfig(unsigned GcThreads, bool Incremental,
+                     unsigned MarkBudget) {
+  HeapConfig Config;
+  Config.Collector = CollectorKind::StickyImmix;
+  Config.BudgetPages = (32 * MiB) / PcmPageSize;
+  Config.GcThreads = GcThreads;
+  Config.Failures.Rate = 0.02;
+  Config.Failures.Seed = 7;
+  Config.DefragFreeFraction = 0.35;
+  Config.IncrementalMark = Incremental;
+  Config.MarkBudget = MarkBudget;
+  return Config;
+}
+
+/// Rooted linked lists; every fourth node carries a satellite object
+/// reachable only through that node's cross-link slot. Payloads are
+/// seed-stamped so the payload-hashing digest covers them.
+std::vector<unsigned> buildLists(Heap &Hp, unsigned NumLists,
+                                 unsigned ListLen, uint64_t Seed) {
+  std::vector<unsigned> Heads;
+  for (unsigned L = 0; L != NumLists; ++L) {
+    unsigned HeadRoot = Hp.createRoot(nullptr);
+    for (unsigned I = 0; I != ListLen; ++I) {
+      ObjRef Node = Hp.allocate(/*PayloadBytes=*/48, /*NumRefs=*/2);
+      if (!Node)
+        break;
+      *reinterpret_cast<uint64_t *>(objectPayload(Node)) =
+          Seed ^ ((uint64_t(L) << 32) | I);
+      if (I % 4 == 0) {
+        ObjRef Sat = Hp.allocate(/*PayloadBytes=*/32, /*NumRefs=*/0);
+        if (Sat) {
+          *reinterpret_cast<uint64_t *>(objectPayload(Sat)) =
+              Seed ^ (0x5A7ull << 32 | (uint64_t(L) << 16) | I);
+          Hp.writeRef(Node, 1, Sat);
+        }
+      }
+      if (ObjRef Head = Hp.root(HeadRoot))
+        Hp.writeRef(Node, 0, Head);
+      Hp.setRoot(HeadRoot, Node);
+    }
+    Heads.push_back(HeadRoot);
+  }
+  return Heads;
+}
+
+ObjRef walk(ObjRef Node, unsigned Steps) {
+  for (unsigned I = 0; I != Steps && Node; ++I) {
+    ObjRef Next = Heap::readRef(Node, 0);
+    if (!Next)
+      break;
+    Node = Next;
+  }
+  return Node;
+}
+
+/// One deterministic reference store: swap two nodes' cross links, or
+/// rewrite a head root with its own value. Swaps permute the satellites
+/// without dropping any, so the live set (and the physical heap the
+/// digest hashes) evolves identically under incremental and
+/// stop-the-world marking - while still opening the classic SATB window
+/// where a satellite survives only in the deletion log.
+void mutationOp(Heap &Hp, const std::vector<unsigned> &Heads,
+                uint64_t I) {
+  uint64_t H = (I + 1) * 0x9E3779B97F4A7C15ull;
+  unsigned L1 = static_cast<unsigned>((H >> 8) % Heads.size());
+  unsigned L2 = static_cast<unsigned>((H >> 24) % Heads.size());
+  if ((H & 7) == 0) {
+    Hp.setRoot(Heads[L1], Hp.root(Heads[L1]));
+    return;
+  }
+  ObjRef A =
+      walk(Hp.root(Heads[L1]), static_cast<unsigned>((H >> 40) % 37));
+  ObjRef B =
+      walk(Hp.root(Heads[L2]), static_cast<unsigned>((H >> 48) % 37));
+  if (!A || !B || A == B)
+    return;
+  ObjRef Ta = Heap::readRef(A, 1);
+  ObjRef Tb = Heap::readRef(B, 1);
+  Hp.writeRef(A, 1, Tb);
+  Hp.writeRef(B, 1, Ta);
+}
+
+struct LegResult {
+  bool AuditPassed = false;
+  uint64_t Digest = 0;
+  uint64_t GcCount = 0;
+  uint64_t FullGcCount = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t BytesAllocated = 0;
+  uint64_t ObjectsMarked = 0;
+  uint64_t BytesTraced = 0;
+  uint64_t ObjectsEvacuated = 0;
+  uint64_t FailedLinesDynamic = 0;
+  uint64_t MarkIncrements = 0;
+  uint64_t SatbLogged = 0;
+  uint64_t SatbDrained = 0;
+};
+
+/// One equivalence leg: build, write storm (one budgeted step per batch
+/// on the incremental side, a pinned-line failure landing mid-cycle),
+/// the cycle's full collection at a fixed point in the mutation history,
+/// and a settling collection. Digest hashes payload bytes too.
+LegResult runLeg(bool Incremental, unsigned GcThreads,
+                 unsigned MarkBudget, uint64_t Seed, double Scale) {
+  Heap Hp(legConfig(GcThreads, Incremental, MarkBudget));
+  unsigned ListLen = static_cast<unsigned>(2500 * Scale);
+  std::vector<unsigned> Heads = buildLists(Hp, 4, ListLen, Seed);
+  ObjRef Pinned = Hp.allocate(64, 0, /*Pinned=*/true);
+  Hp.createRoot(Pinned);
+
+  const unsigned StormBatches = 40;
+  const unsigned OpsPerBatch = 50;
+  if (Incremental)
+    Hp.beginIncrementalMarkCycle();
+  for (unsigned Batch = 0; Batch != StormBatches; ++Batch) {
+    for (unsigned I = 0; I != OpsPerBatch; ++I)
+      mutationOp(Hp, Heads, uint64_t(Batch) * OpsPerBatch + I);
+    if (Batch == StormBatches / 2 && Incremental && Pinned)
+      // Mid-cycle failure: parked for the whole cycle, drained at the
+      // close - the stop-the-world leg injects at that drain point.
+      Hp.injectDynamicFailureBatch({Pinned});
+    if (Incremental)
+      Hp.incrementalMarkStep();
+  }
+  if (Incremental) {
+    Hp.finishIncrementalMarkCycle();
+  } else {
+    Hp.collect(CollectionKind::Full);
+    if (Pinned)
+      Hp.injectDynamicFailureBatch({Pinned});
+  }
+  Hp.collect(CollectionKind::Full); // Settle.
+
+  HeapAuditor Auditor(Hp);
+  LegResult R;
+  R.AuditPassed = Auditor.audit().passed();
+  R.Digest = Auditor.digest(/*HashPayload=*/true);
+  const HeapStats &S = Hp.stats();
+  R.GcCount = S.GcCount;
+  R.FullGcCount = S.FullGcCount;
+  R.ObjectsAllocated = S.ObjectsAllocated;
+  R.BytesAllocated = S.BytesAllocated;
+  R.ObjectsMarked = S.ObjectsMarked;
+  R.BytesTraced = S.BytesTraced;
+  R.ObjectsEvacuated = S.ObjectsEvacuated;
+  R.FailedLinesDynamic = S.FailedLinesDynamic;
+  R.MarkIncrements = S.MarkIncrements;
+  R.SatbLogged = S.SatbLogged;
+  R.SatbDrained = S.SatbDrained;
+  return R;
+}
+
+bool sameDeterministic(const LegResult &A, const LegResult &B) {
+  return A.Digest == B.Digest && A.GcCount == B.GcCount &&
+         A.FullGcCount == B.FullGcCount &&
+         A.ObjectsAllocated == B.ObjectsAllocated &&
+         A.BytesAllocated == B.BytesAllocated &&
+         A.ObjectsMarked == B.ObjectsMarked &&
+         A.BytesTraced == B.BytesTraced &&
+         A.ObjectsEvacuated == B.ObjectsEvacuated &&
+         A.FailedLinesDynamic == B.FailedLinesDynamic;
+}
+
+//===----------------------------------------------------------------------===//
+// Pause legs: identical heaps, stop-the-world vs incremental pauses
+//===----------------------------------------------------------------------===//
+
+/// A clean (no-failure) config so the pause comparison measures marking
+/// and its sweep tail, not failure recovery.
+HeapConfig pauseConfig(bool Incremental, unsigned MarkBudget) {
+  HeapConfig Config;
+  Config.Collector = CollectorKind::StickyImmix;
+  Config.BudgetPages = (48 * MiB) / PcmPageSize;
+  Config.GcThreads = PauseWorkers;
+  Config.IncrementalMark = Incremental;
+  Config.MarkBudget = MarkBudget;
+  return Config;
+}
+
+struct PausePair {
+  double StwMs = 0.0;    ///< The full stop-the-world collection pause.
+  double MaxIncMs = 0.0; ///< Longest of open / any step / close.
+  unsigned Steps = 0;
+};
+
+/// One paired measurement: the same live set is built twice; one heap
+/// takes a single stop-the-world full collection, the other runs a full
+/// incremental cycle with every pause timed individually. Back-to-back
+/// pairing makes the ratio robust to machine-load drift.
+PausePair measurePausePair(uint64_t Seed, double Scale,
+                           unsigned MarkBudget) {
+  PausePair P;
+  unsigned ListLen = static_cast<unsigned>(12000 * Scale);
+  {
+    Heap Hp(pauseConfig(/*Incremental=*/false, MarkBudget));
+    buildLists(Hp, 4, ListLen, Seed);
+    auto T0 = std::chrono::steady_clock::now();
+    Hp.collect(CollectionKind::Full);
+    P.StwMs = msSince(T0);
+  }
+  {
+    Heap Hp(pauseConfig(/*Incremental=*/true, MarkBudget));
+    buildLists(Hp, 4, ListLen, Seed);
+    auto T0 = std::chrono::steady_clock::now();
+    Hp.beginIncrementalMarkCycle();
+    P.MaxIncMs = msSince(T0);
+    bool More = true;
+    while (More) {
+      T0 = std::chrono::steady_clock::now();
+      More = Hp.incrementalMarkStep();
+      P.MaxIncMs = std::max(P.MaxIncMs, msSince(T0));
+      ++P.Steps;
+    }
+    T0 = std::chrono::steady_clock::now();
+    Hp.finishIncrementalMarkCycle();
+    P.MaxIncMs = std::max(P.MaxIncMs, msSince(T0));
+  }
+  return P;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Seed = 42;
+  double Scale = 1.0;
+  unsigned Reps = 7;
+  unsigned MarkBudget = 512;
+  bool NoTimingGate = false;
+  std::string OutPath = "BENCH_pause.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--seed") == 0 && I + 1 < argc)
+      Seed = std::strtoull(argv[++I], nullptr, 10);
+    else if (std::strcmp(argv[I], "--scale") == 0 && I + 1 < argc)
+      Scale = std::atof(argv[++I]);
+    else if (std::strcmp(argv[I], "--reps") == 0 && I + 1 < argc)
+      Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(argv[I], "--mark-budget") == 0 && I + 1 < argc)
+      MarkBudget =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (std::strcmp(argv[I], "--no-timing-gate") == 0)
+      NoTimingGate = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--scale F] [--reps N] "
+                   "[--mark-budget N] [--no-timing-gate] [--out FILE]\n",
+                   argv[0]);
+      return 64;
+    }
+  }
+  if (Reps == 0)
+    Reps = 1;
+
+  // Determinism: stop-the-world reference leg, then incremental legs at
+  // every worker count. The increments and SATB totals must also agree
+  // *between* incremental legs (the step schedule is fixed, so they are
+  // pure functions of the mutation history).
+  LegResult Stw =
+      runLeg(/*Incremental=*/false, 1, MarkBudget, Seed, Scale);
+  bool Identical = Stw.AuditPassed;
+  if (!Stw.AuditPassed)
+    std::printf("AUDIT FAILED: stop-the-world leg\n");
+  LegResult IncFirst;
+  for (unsigned C = 0; C != NumWorkerCounts; ++C) {
+    LegResult Inc = runLeg(/*Incremental=*/true, WorkerCounts[C],
+                           MarkBudget, Seed, Scale);
+    if (!Inc.AuditPassed) {
+      Identical = false;
+      std::printf("AUDIT FAILED: incremental leg, %u workers\n",
+                  WorkerCounts[C]);
+    }
+    if (!sameDeterministic(Inc, Stw)) {
+      Identical = false;
+      std::printf("MISMATCH: incremental(%u workers) digest "
+                  "0x%016llx vs stop-the-world 0x%016llx\n",
+                  WorkerCounts[C], (unsigned long long)Inc.Digest,
+                  (unsigned long long)Stw.Digest);
+    }
+    if (C == 0)
+      IncFirst = Inc;
+    else if (Inc.MarkIncrements != IncFirst.MarkIncrements ||
+             Inc.SatbLogged != IncFirst.SatbLogged ||
+             Inc.SatbDrained != IncFirst.SatbDrained) {
+      Identical = false;
+      std::printf("MISMATCH: incremental internals diverge at %u "
+                  "workers\n",
+                  WorkerCounts[C]);
+    }
+  }
+  std::printf("determinism: incremental vs stop-the-world across "
+              "%u worker counts: %s\n",
+              NumWorkerCounts, Identical ? "IDENTICAL" : "DIVERGED");
+  std::printf("satb: %llu logged / %llu drained over %llu increments\n",
+              (unsigned long long)IncFirst.SatbLogged,
+              (unsigned long long)IncFirst.SatbDrained,
+              (unsigned long long)IncFirst.MarkIncrements);
+
+  // Pause SLO: median of paired max-incremental-pause / stop-the-world
+  // ratios at the 4-worker configuration; up to two re-measure rounds
+  // soak up transient machine noise (a genuine regression fails every
+  // round).
+  measurePausePair(Seed, Scale, MarkBudget); // Warm the allocator pools.
+  std::vector<double> Ratios;
+  double Ratio = 0.0;
+  double BestStw = -1.0, BestInc = -1.0;
+  unsigned Steps = 0;
+  constexpr unsigned MaxRounds = 3;
+  for (unsigned Round = 0; Round != MaxRounds; ++Round) {
+    for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+      PausePair P = measurePausePair(Seed + Rep, Scale, MarkBudget);
+      if (BestStw < 0.0 || P.StwMs < BestStw)
+        BestStw = P.StwMs;
+      if (BestInc < 0.0 || P.MaxIncMs < BestInc)
+        BestInc = P.MaxIncMs;
+      Steps = P.Steps;
+      if (P.StwMs > 0.0)
+        Ratios.push_back(P.MaxIncMs / P.StwMs);
+    }
+    std::sort(Ratios.begin(), Ratios.end());
+    Ratio = Ratios.empty() ? 0.0 : Ratios[Ratios.size() / 2];
+    if (NoTimingGate || Ratio <= 0.20)
+      break;
+    std::printf("round %u over threshold (%.1f%%), re-measuring\n",
+                Round + 1, Ratio * 100.0);
+  }
+  std::printf("pauses at %u workers: stop-the-world best %.3f ms, max "
+              "incremental best %.3f ms over %u steps, median paired "
+              "ratio %.1f%% (gate %s: need <= 20%%)\n",
+              PauseWorkers, BestStw, BestInc, Steps, Ratio * 100.0,
+              NoTimingGate ? "disarmed by flag" : "armed");
+
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", OutPath.c_str());
+    return 1;
+  }
+  JsonWriter W(Out);
+  W.openRoot();
+  W.key("bench");
+  W.value("pause");
+  W.key("seed");
+  W.value(Seed);
+  W.key("scale");
+  W.valueF(Scale, 3);
+  W.key("mark_budget");
+  W.value(MarkBudget);
+  W.key("digest");
+  W.valueHex(Stw.Digest);
+  W.key("counters");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("gc_count");
+  W.value(Stw.GcCount);
+  W.key("full_gc_count");
+  W.value(Stw.FullGcCount);
+  W.key("objects_allocated");
+  W.value(Stw.ObjectsAllocated);
+  W.key("bytes_allocated");
+  W.value(Stw.BytesAllocated);
+  W.key("objects_marked");
+  W.value(Stw.ObjectsMarked);
+  W.key("bytes_traced");
+  W.value(Stw.BytesTraced);
+  W.key("objects_evacuated");
+  W.value(Stw.ObjectsEvacuated);
+  W.key("failed_lines_dynamic");
+  W.value(Stw.FailedLinesDynamic);
+  W.close();
+  W.key("incremental");
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("mark_increments");
+  W.value(IncFirst.MarkIncrements);
+  W.key("satb_logged");
+  W.value(IncFirst.SatbLogged);
+  W.key("satb_drained");
+  W.value(IncFirst.SatbDrained);
+  W.close();
+  W.key("identical");
+  W.value(Identical);
+  W.closeRoot();
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  if (!Identical) {
+    std::fprintf(stderr, "FAIL: incremental marking changed the final "
+                         "heap or a deterministic counter\n");
+    return 2;
+  }
+  if (!NoTimingGate && Ratio > 0.20) {
+    std::fprintf(stderr,
+                 "FAIL: max incremental pause is %.1f%% of the "
+                 "stop-the-world pause (need <= 20%%)\n",
+                 Ratio * 100.0);
+    return 3;
+  }
+  return 0;
+}

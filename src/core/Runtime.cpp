@@ -27,6 +27,8 @@ HeapConfig RuntimeConfig::toHeapConfig() const {
   Heap.FailureAware = FailureAware;
   Heap.FreeListFailureAware = FreeListFailureAware;
   Heap.GcThreads = GcThreads;
+  Heap.IncrementalMark = IncrementalMark;
+  Heap.MarkBudget = MarkBudget;
   Heap.NurseryYieldThreshold = NurseryYieldThreshold;
   Heap.FullGcEvery = FullGcEvery;
   Heap.DefragFreeFraction = DefragFreeFraction;

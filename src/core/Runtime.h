@@ -85,6 +85,17 @@ struct RuntimeConfig {
   /// bit-identical under any value (see gc/GcWorkers.h).
   unsigned GcThreads = 1;
 
+  /// Enables incremental SATB marking (Immix collectors only): full mark
+  /// phases may run as fixed-budget increments interleaved with
+  /// mutation, bounding pauses (see gc/Heap.h). Off by default; the
+  /// cycles are driven explicitly via beginIncrementalMarkCycle() /
+  /// incrementalMarkStep() / finishIncrementalMarkCycle().
+  bool IncrementalMark = false;
+  /// Objects traced per incremental mark step (0 = unbounded). The final
+  /// heap is bit-identical under any budget or GC worker count; drive
+  /// steps on a fixed schedule when deterministic step counts matter.
+  unsigned MarkBudget = 512;
+
   /// Pass-through GC policy knobs.
   double NurseryYieldThreshold = 0.10;
   unsigned FullGcEvery = 16;
@@ -188,10 +199,23 @@ public:
     return Heap::readRef(Src, Slot);
   }
 
-  /// Forces a collection.
+  /// Forces a collection. With an incremental mark cycle open this
+  /// closes the cycle (the closing pause is the full collection).
   void collect(bool Full = true) {
     Heap_.collect(Full ? CollectionKind::Full : CollectionKind::Nursery);
   }
+
+  /// \name Incremental SATB marking
+  /// Bounded-pause mark cycles (requires RuntimeConfig::IncrementalMark
+  /// and an Immix collector; see gc/Heap.h for the full contract).
+  /// @{
+  bool beginIncrementalMarkCycle() {
+    return Heap_.beginIncrementalMarkCycle();
+  }
+  bool incrementalMarkStep() { return Heap_.incrementalMarkStep(); }
+  void finishIncrementalMarkCycle() { Heap_.finishIncrementalMarkCycle(); }
+  bool incrementalCycleOpen() const { return Heap_.incrementalCycleOpen(); }
+  /// @}
 
   bool outOfMemory() const { return Heap_.outOfMemory(); }
 

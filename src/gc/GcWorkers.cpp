@@ -156,14 +156,33 @@ void MarkWorkList::publish(unsigned Worker, std::vector<Item> Chunk) {
 }
 
 bool MarkWorkList::pop(unsigned Worker, Item &Out) {
+  // Budgeted increments debit the quota up front and refund on failure,
+  // so successful pops match debits exactly: an increment scans
+  // min(quota, available work) under any worker schedule.
+  bool Debited = Quota.load(std::memory_order_relaxed) >= 0;
+  if (Debited && Quota.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+    Quota.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   WorkerState &S = *W[Worker];
   if (!S.Local.empty()) {
     Out = S.Local.back();
     S.Local.pop_back();
     return true;
   }
-  if (!refill(Worker))
+  if (!refill(Worker)) {
+    // Refund the held debit - unless the quota reads spent, in which
+    // case refill bailed on the quota escape and the refund would
+    // revive a quota that other workers already observed as spent and
+    // exited on (debit-failed workers never count toward NumIdle, so
+    // the all-idle termination path is closed; a revived quota would
+    // strand the remaining spinners). The dropped debit only means
+    // this increment scans slightly under budget; the shortfall stays
+    // queued for the next one.
+    if (Debited && Quota.load(std::memory_order_acquire) != 0)
+      Quota.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
   Out = S.Local.back();
   S.Local.pop_back();
   return true;
@@ -244,6 +263,12 @@ bool MarkWorkList::refill(unsigned Worker) {
     NumIdle.fetch_add(1, std::memory_order_acq_rel);
     for (;;) {
       if (Done.load(std::memory_order_acquire))
+        return false;
+      // A spent quota ends the increment for spinners too: the workers
+      // holding the last debits drain their own publications before
+      // idling, so leaving here never strands work. (NumIdle stays
+      // incremented; reopen() resets it between increments.)
+      if (Quota.load(std::memory_order_acquire) == 0)
         return false;
       if (anyWorkVisible()) {
         NumIdle.fetch_sub(1, std::memory_order_acq_rel);

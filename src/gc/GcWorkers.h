@@ -123,9 +123,45 @@ public:
 
   /// Pops the next item for \p Worker, refilling from its own deque, a
   /// victim's deque, or the overflow list; blocks (spinning) while other
-  /// workers might still publish work. Returns false only when the
-  /// whole phase is complete.
+  /// workers might still publish work. Returns false when the whole
+  /// phase is complete - or, with an armed quota, when the step's pop
+  /// budget is spent.
   bool pop(unsigned Worker, Item &Out);
+
+  /// \name Budgeted (incremental) draining
+  /// An incremental mark step arms a quota of successful pops; once it
+  /// is spent every pop returns false while the remaining frontier stays
+  /// queued for the next increment. Pops debit the quota up front and
+  /// refund on failure, except when the quota reads spent at refund time:
+  /// then the debit is dropped, because reviving a quota that other
+  /// workers already exited on would strand the remaining idle spinners
+  /// (see pop()). An increment therefore scans *at most* quota objects -
+  /// possibly a few under, with the shortfall left queued - and the final
+  /// marked set is independent of budget and worker schedule either way.
+  /// reopen() rearms the list between increments: it clears the sticky
+  /// termination state a drained step leaves behind and must only be
+  /// called at a barrier (no worker inside pop).
+  /// @{
+  void setQuota(int64_t Limit) {
+    Quota.store(Limit, std::memory_order_relaxed);
+  }
+  void reopen() {
+    Done.store(false, std::memory_order_relaxed);
+    NumIdle.store(0, std::memory_order_relaxed);
+    Quota.store(-1, std::memory_order_relaxed);
+  }
+  /// Barrier-only emptiness probe across every queue - private Local
+  /// buffers included, since a spent quota strands items there. Decides
+  /// between increments whether the frontier has converged; must not
+  /// race pop().
+  bool quiesced() const {
+    for (const auto &S : W)
+      if (!S->Local.empty() ||
+          S->ChunkCount.load(std::memory_order_acquire) != 0)
+        return false;
+    return OverflowCount.load(std::memory_order_acquire) == 0;
+  }
+  /// @}
 
   /// \name Instrumentation
   /// Peak chunk counts observed during the phase, for the bounded-growth
@@ -164,6 +200,9 @@ private:
   size_t OverflowPeak = 0;
   std::atomic<unsigned> NumIdle{0};
   std::atomic<bool> Done{false};
+  /// Remaining successful pops this increment; negative = unlimited
+  /// (the stop-the-world phases never arm it).
+  std::atomic<int64_t> Quota{-1};
 };
 
 } // namespace wearmem

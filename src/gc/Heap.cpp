@@ -51,6 +51,8 @@ Heap::Heap(const HeapConfig &Config)
 
 void Heap::setGcThreads(unsigned Threads) {
   assert(!InCollection && "cannot reconfigure workers during collection");
+  assert(!IncCycle &&
+         "cannot reconfigure workers while a mark cycle is open");
   Config.GcThreads = std::max(1u, Threads);
   if (Config.GcThreads > 1)
     Workers = std::make_unique<GcWorkerPool>(Config.GcThreads);
@@ -64,6 +66,8 @@ void Heap::setGcThreads(unsigned Threads) {
 
 void Heap::setMutatorLanes(unsigned Lanes) {
   assert(!InCollection && "cannot reconfigure lanes during collection");
+  assert(!IncCycle &&
+         "cannot reconfigure lanes while a mark cycle is open");
   Lanes = std::max(1u, Lanes);
   assert((Lanes == 1 || Immix) &&
          "multi-lane mutators require an Immix collector");
@@ -296,21 +300,46 @@ ObjRef Heap::allocate(uint32_t PayloadBytes, uint16_t NumRefs,
   if (!Mem)
     return nullptr;
   initObject(Mem, Size, NumRefs, Flags);
+  if (IncCycle) {
+    // Allocate black: objects born during an open mark cycle are
+    // implicitly live for it. The mark keeps the closing sweep from
+    // reclaiming them, the line marks keep their lines out of the hole
+    // search, and NewObjects routes them through the closing fixup so
+    // evacuations rewrite their reference slots.
+    setObjectMark(Mem, Epoch);
+    if (Immix && !(Flags & FlagLarge))
+      markObjectLines(Mem, Size);
+    IncCycle->NewObjects.push_back(Mem);
+  }
   ++Stats.ObjectsAllocated;
   Stats.BytesAllocated += Size;
   return Mem;
 }
 
 void Heap::writeRef(ObjRef Src, unsigned Slot, ObjRef Dst) {
-  // Object-remembering barrier: the first mutation of an *old* object
-  // logs it, so nursery collections can find old-to-new references.
-  if (isSticky(Config.Collector) && objectMark(Src) == Epoch &&
-      !objectHasFlag(Src, FlagLogged)) {
+  ObjRef *SlotP = refSlot(Src, Slot);
+  if (IncCycle) {
+    // SATB deletion barrier: the overwritten reference belongs to the
+    // snapshot the open mark cycle promised to trace, so it joins the
+    // deletion log before the store lands. Logged unconditionally - the
+    // tracer deduplicates via mark claims - so the log contents are a
+    // pure function of the mutation history, not of drain timing. The
+    // sticky object-remembering barrier is suppressed meanwhile: the
+    // open cycle is a full trace, which supersedes the mutation log
+    // exactly the way a stop-the-world full collection clears it.
+    if (ObjRef Old = *SlotP) {
+      Satb.push(Old);
+      ++Stats.SatbLogged;
+    }
+  } else if (isSticky(Config.Collector) && objectMark(Src) == Epoch &&
+             !objectHasFlag(Src, FlagLogged)) {
+    // Object-remembering barrier: the first mutation of an *old* object
+    // logs it, so nursery collections can find old-to-new references.
     setObjectFlag(Src, FlagLogged);
     ModBuf.push_back(Src);
     ++Stats.WriteBarrierLogs;
   }
-  *refSlot(Src, Slot) = Dst;
+  *SlotP = Dst;
 }
 
 //===----------------------------------------------------------------------===//
@@ -330,8 +359,22 @@ unsigned Heap::createRoot(ObjRef Initial) {
 
 void Heap::releaseRoot(unsigned Idx) {
   assert(Idx < Roots.size() && "root index out of range");
+  // Dropping a root overwrites a reference slot: SATB barrier applies.
+  if (IncCycle && Roots[Idx]) {
+    Satb.push(Roots[Idx]);
+    ++Stats.SatbLogged;
+  }
   Roots[Idx] = nullptr;
   FreeRootSlots.push_back(Idx);
+}
+
+void Heap::setRoot(unsigned Idx, ObjRef Obj) {
+  assert(Idx < Roots.size() && "root index out of range");
+  if (IncCycle && Roots[Idx]) {
+    Satb.push(Roots[Idx]);
+    ++Stats.SatbLogged;
+  }
+  Roots[Idx] = Obj;
 }
 
 //===----------------------------------------------------------------------===//
@@ -340,6 +383,13 @@ void Heap::releaseRoot(unsigned Idx) {
 
 double Heap::collect(CollectionKind Kind) {
   assert(!InCollection && "re-entrant collection");
+  if (IncCycle) {
+    // A collection demand while a mark cycle is open closes the cycle:
+    // the closing pause *is* the full defragmenting collection the
+    // trigger asked for (deferred failure recovery included).
+    finishIncrementalMarkCycle();
+    return LastYield;
+  }
   if (Kind == CollectionKind::Nursery &&
       !isSticky(Config.Collector))
     Kind = CollectionKind::Full; // Non-generational: everything is full.
@@ -399,9 +449,16 @@ void Heap::runCollection(CollectionKind Kind) {
       Immix->selectDefragCandidates();
       EvacAllocator->setHoleEpochs(Prev, Epoch);
     }
-    // The mutation log is superseded by the full trace.
-    for (ObjRef Logged : ModBuf)
+    // The mutation log is superseded by the full trace. Entries are
+    // chased through forwarding before the flag clear: a large-object
+    // relocation between collections forwards the logged husk, and
+    // clearing only the husk would strand a set logged flag on the live
+    // copy - silently disabling its write barrier for good.
+    for (ObjRef Logged : ModBuf) {
+      while (isForwarded(Logged))
+        Logged = forwardee(Logged);
       clearObjectFlag(Logged, FlagLogged);
+    }
     ModBuf.clear();
   } else {
     ++Stats.NurseryGcCount;
@@ -414,7 +471,15 @@ void Heap::runCollection(CollectionKind Kind) {
   // serial address-ordered evacuation, parallel reference fixup. Any
   // worker interleaving yields the same post-collection heap state.
   WEARMEM_TRACE(PhaseBegin, 0, Stats.GcCount);
+  auto MarkStart = std::chrono::steady_clock::now();
   markPhase(Kind);
+  // Mark-phase wall time: Timing domain only (perf04 compares it
+  // against the incremental steps' bounded pauses).
+  WEARMEM_COUNT_TIMING_N(
+      "gc.mark_us_total",
+      static_cast<uint64_t>(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - MarkStart)
+                                .count()));
   WEARMEM_TRACE(PhaseEnd, 0, Stats.GcCount);
   WEARMEM_TRACE(PhaseBegin, 1, Stats.GcCount);
   evacuatePhase();
@@ -423,62 +488,7 @@ void Heap::runCollection(CollectionKind Kind) {
   fixupPhase();
   WEARMEM_TRACE(PhaseEnd, 2, Stats.GcCount);
 
-  // Sweep. The O(lines) per-block recounts and the LOS liveness probe
-  // shard across the pool; classification and list building stay serial
-  // in canonical order.
-  GcParallelFor Par;
-  if (Workers && Workers->workers() > 1)
-    Par = [this](size_t Count, const std::function<void(size_t)> &Fn) {
-      Workers->parallelChunks(Count, Fn);
-    };
-  WEARMEM_TRACE(PhaseBegin, 3, Stats.GcCount);
-  if (Immix) {
-    ImmixSweepTotals Totals = Immix->sweep(Epoch, Par);
-    WEARMEM_COUNT_DET_N("gc.sweep.lines", Totals.TotalLines);
-    Immix->clearDefragCandidates();
-    // Return excess empty blocks to the OS pool so page-grained
-    // allocators can compete for them (the paper's global block pool).
-    // The ledger forgets released blocks: their failure words travel
-    // with the grant from here on.
-    Immix->releaseExcessFreeBlocks(
-        std::max<size_t>(4, Immix->blockCount() / 16),
-        [this](const Block &B) {
-          Ledger.dropBlock(reinterpret_cast<uintptr_t>(B.base()));
-        });
-    LastYield =
-        Totals.TotalLines == 0
-            ? 1.0
-            : static_cast<double>(Totals.FreeLines) /
-                  static_cast<double>(Totals.TotalLines);
-    EvacAllocator->retire();
-  } else {
-    FreeListSpace::SweepTotals Totals = FreeList->sweep(Epoch);
-    LastYield = Totals.TotalBytes == 0
-                    ? 1.0
-                    : static_cast<double>(Totals.FreeBytes) /
-                          static_cast<double>(Totals.TotalBytes);
-  }
-  Los.sweep(Epoch, Par);
-  WEARMEM_TRACE(PhaseEnd, 3, Stats.GcCount);
-
-#ifdef WEARMEM_EXPENSIVE_CHECKS
-  // Evacuation targets within one collection must never overlap. This
-  // caught the sweep-epoch/mark-epoch hole aliasing bug once; keep it
-  // available for -DWEARMEM_EXPENSIVE_CHECKS builds.
-  if (!DebugCopies.empty()) {
-    std::sort(DebugCopies.begin(), DebugCopies.end());
-    for (size_t I = 1; I < DebugCopies.size(); ++I) {
-      if (DebugCopies[I - 1].first + DebugCopies[I - 1].second >
-          DebugCopies[I].first) {
-        std::fprintf(stderr, "evac overlap: [%lx +%zu] vs [%lx +%zu]\n",
-                     DebugCopies[I - 1].first, DebugCopies[I - 1].second,
-                     DebugCopies[I].first, DebugCopies[I].second);
-        std::abort();
-      }
-    }
-    DebugCopies.clear();
-  }
-#endif
+  sweepPhase();
 
   // The mutator allocators resume under the (possibly bumped) epoch.
   forEachLaneAllocator(
@@ -499,8 +509,15 @@ void Heap::runCollection(CollectionKind Kind) {
   else
     NurseryPausesMs.push_back(Ms);
   // Wall-clock: Timing domain only, never in determinism comparisons.
-  WEARMEM_COUNT_TIMING_N("gc.pause_us_total",
-                         static_cast<uint64_t>(Ms * 1000.0));
+  // Kinds split under distinct macro expansions (the function-local
+  // static metric id binds to whichever name fires first).
+  uint64_t PauseUs = static_cast<uint64_t>(Ms * 1000.0);
+  WEARMEM_COUNT_TIMING_N("gc.pause_us_total", PauseUs);
+  if (Full) {
+    WEARMEM_COUNT_TIMING_N("gc.pause_full_us_total", PauseUs);
+  } else {
+    WEARMEM_COUNT_TIMING_N("gc.pause_nursery_us_total", PauseUs);
+  }
   WEARMEM_TRACE(GcEnd, Stats.GcCount, Full ? 1 : 0);
   InCollection = false;
   MarkWorkers.clear();
@@ -514,6 +531,70 @@ void Heap::runCollection(CollectionKind Kind) {
   // router). Runs after the resume so an emergency re-collection it
   // triggers can perform its own handshake.
   drainDeferredFailures();
+}
+
+// Claims Target for this epoch, categorizes it, and queues it for
+// scanning. Racing claims CAS the same header word, so every header
+// read in here decodes from an atomic snapshot (see Object.h). Shared
+// verbatim between the stop-the-world mark phase and the incremental
+// steps - one tracer, two pacings - which is what keeps the final
+// marked set identical between them.
+void Heap::claimEdge(ObjRef Target, unsigned Wk, bool Full,
+                     MarkWorkList &WorkList) {
+  uint64_t Word = objectWord0Acquire(Target);
+  // Reachable slots never point at forwarded objects when the phase
+  // starts; chase defensively anyway (word1 is stable all phase).
+  while (word0Flags(Word) & FlagForwarded) {
+    Target = forwardee(Target);
+    Word = objectWord0Acquire(Target);
+  }
+  uint64_t ClaimedWord;
+  if (!tryClaimObjectMark(Target, Epoch, ClaimedWord))
+    return;
+  MarkWorker &MW = MarkWorkers[Wk];
+  ++MW.ObjectsMarked;
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+  MW.Claimed.push_back(Target);
+#endif
+  uint8_t Flags = word0Flags(ClaimedWord);
+  if (Immix && !(Flags & FlagLarge)) {
+    Block *B = Immix->blockOf(Target);
+    assert(B && "unmanaged address reached the tracer");
+    size_t Size = word0Size(ClaimedWord);
+    bool Pinned = (Flags & FlagPinned) != 0;
+    bool WantCopy =
+        Full ? B->evacuating()
+             : CopyNurserySurvivors; // Every nursery survivor is a
+                                     // copy candidate (Sticky Immix).
+    if (WantCopy && !Pinned) {
+      // Copying allocates, which is order-dependent; deferred to the
+      // serial evacuation phase. The old lines stay unmarked, exactly
+      // as the serial collector leaves them on a successful copy.
+      MW.EvacCandidates.push_back(Target);
+    } else if (Pinned && B->hasFreshFailure() &&
+               overlapsFailedLine(B, Target, Size)) {
+      // A pinned object on a failed line cannot move; the OS will
+      // remap the page (Section 3.3.3). Deferred: the remap must
+      // precede the line marking (marking a failed line is a no-op),
+      // and it mutates OS/journal state serially.
+      MW.RemapCandidates.push_back(Target);
+    } else {
+      markObjectLines(Target, Size);
+    }
+  }
+  WorkList.push(Wk, Target);
+}
+
+void Heap::scanMarked(ObjRef Obj, unsigned Wk, bool Full,
+                      MarkWorkList &WorkList) {
+  MarkWorker &MW = MarkWorkers[Wk];
+  uint64_t Word = objectWord0Acquire(Obj);
+  MW.BytesTraced += word0Size(Word);
+  MW.Scanned.push_back(Obj);
+  ObjRef *Slots = reinterpret_cast<ObjRef *>(Obj + ObjectHeaderBytes);
+  for (unsigned Slot = 0, E = word0NumRefs(Word); Slot != E; ++Slot)
+    if (ObjRef Target = Slots[Slot])
+      claimEdge(Target, Wk, Full, WorkList);
 }
 
 void Heap::markPhase(CollectionKind Kind) {
@@ -535,65 +616,6 @@ void Heap::markPhase(CollectionKind Kind) {
   // on are parked and drained at the end of the collection.
   InMarkPhase.store(true, std::memory_order_release);
 
-  // Claims Target for this epoch, categorizes it, and queues it for
-  // scanning. Racing claims CAS the same header word, so every header
-  // read in here decodes from an atomic snapshot (see Object.h).
-  auto ClaimEdge = [&](ObjRef Target, unsigned Wk) {
-    uint64_t Word = objectWord0Acquire(Target);
-    // Reachable slots never point at forwarded objects when the phase
-    // starts; chase defensively anyway (word1 is stable all phase).
-    while (word0Flags(Word) & FlagForwarded) {
-      Target = forwardee(Target);
-      Word = objectWord0Acquire(Target);
-    }
-    uint64_t ClaimedWord;
-    if (!tryClaimObjectMark(Target, Epoch, ClaimedWord))
-      return;
-    MarkWorker &MW = MarkWorkers[Wk];
-    ++MW.ObjectsMarked;
-#ifdef WEARMEM_EXPENSIVE_CHECKS
-    MW.Claimed.push_back(Target);
-#endif
-    uint8_t Flags = word0Flags(ClaimedWord);
-    if (Immix && !(Flags & FlagLarge)) {
-      Block *B = Immix->blockOf(Target);
-      assert(B && "unmanaged address reached the tracer");
-      size_t Size = word0Size(ClaimedWord);
-      bool Pinned = (Flags & FlagPinned) != 0;
-      bool WantCopy =
-          Full ? B->evacuating()
-               : CopyNurserySurvivors; // Every nursery survivor is a
-                                       // copy candidate (Sticky Immix).
-      if (WantCopy && !Pinned) {
-        // Copying allocates, which is order-dependent; deferred to the
-        // serial evacuation phase. The old lines stay unmarked, exactly
-        // as the serial collector leaves them on a successful copy.
-        MW.EvacCandidates.push_back(Target);
-      } else if (Pinned && B->hasFreshFailure() &&
-                 overlapsFailedLine(B, Target, Size)) {
-        // A pinned object on a failed line cannot move; the OS will
-        // remap the page (Section 3.3.3). Deferred: the remap must
-        // precede the line marking (marking a failed line is a no-op),
-        // and it mutates OS/journal state serially.
-        MW.RemapCandidates.push_back(Target);
-      } else {
-        markObjectLines(Target, Size);
-      }
-    }
-    WorkList.push(Wk, Target);
-  };
-
-  auto ScanMarked = [&](ObjRef Obj, unsigned Wk) {
-    MarkWorker &MW = MarkWorkers[Wk];
-    uint64_t Word = objectWord0Acquire(Obj);
-    MW.BytesTraced += word0Size(Word);
-    MW.Scanned.push_back(Obj);
-    ObjRef *Slots = reinterpret_cast<ObjRef *>(Obj + ObjectHeaderBytes);
-    for (unsigned Slot = 0, E = word0NumRefs(Word); Slot != E; ++Slot)
-      if (ObjRef Target = Slots[Slot])
-        ClaimEdge(Target, Wk);
-  };
-
   auto WorkerFn = [&](unsigned Wk) {
     if (Wk == 0 && MarkPhaseHook)
       MarkPhaseHook();
@@ -606,7 +628,7 @@ void Heap::markPhase(CollectionKind Kind) {
                 E = NumRoots * (Wk + 1) / NumWorkers;
          I != E; ++I)
       if (Roots[I])
-        ClaimEdge(Roots[I], Wk);
+        claimEdge(Roots[I], Wk, Full, WorkList);
     if (!Full) {
       size_t NumLogged = ModBuf.size();
       for (size_t I = NumLogged * Wk / NumWorkers,
@@ -618,12 +640,12 @@ void Heap::markPhase(CollectionKind Kind) {
         // Logged old objects already carry this epoch's mark (that is
         // what made them old), so claiming would skip them: they are
         // scan-only seeds.
-        ScanMarked(Logged, Wk);
+        scanMarked(Logged, Wk, Full, WorkList);
       }
     }
     ObjRef Obj;
     while (WorkList.pop(Wk, Obj))
-      ScanMarked(Obj, Wk);
+      scanMarked(Obj, Wk, Full, WorkList);
   };
   if (Workers)
     Workers->runOnAll(WorkerFn);
@@ -705,6 +727,12 @@ void Heap::evacuatePhase() {
       // The mark phase claimed the old copy's mark byte, so the copy is
       // born marked; the forwarding flag lands on the old copy only.
       std::memcpy(NewMem, Target, Size);
+      // The mutation log was emptied before any evacuation can run
+      // (full: at the prologue; nursery: at mark-phase end), so a
+      // logged flag on the copy could only be stale - strip it rather
+      // than let it disable the copy's write barrier.
+      if (objectHasFlag(NewMem, FlagLogged))
+        clearObjectFlag(NewMem, FlagLogged);
       forwardObject(Target, NewMem);
       ++Stats.ObjectsEvacuated;
       Stats.BytesEvacuated += Size;
@@ -765,6 +793,287 @@ void Heap::fixupPhase() {
     while (isForwarded(Root))
       Root = forwardee(Root);
   }
+}
+
+void Heap::sweepPhase() {
+  // Sweep. The O(lines) per-block recounts and the LOS liveness probe
+  // shard across the pool; classification and list building stay serial
+  // in canonical order.
+  GcParallelFor Par;
+  if (Workers && Workers->workers() > 1)
+    Par = [this](size_t Count, const std::function<void(size_t)> &Fn) {
+      Workers->parallelChunks(Count, Fn);
+    };
+  WEARMEM_TRACE(PhaseBegin, 3, Stats.GcCount);
+  if (Immix) {
+    ImmixSweepTotals Totals = Immix->sweep(Epoch, Par);
+    WEARMEM_COUNT_DET_N("gc.sweep.lines", Totals.TotalLines);
+    Immix->clearDefragCandidates();
+    // Return excess empty blocks to the OS pool so page-grained
+    // allocators can compete for them (the paper's global block pool).
+    // The ledger forgets released blocks: their failure words travel
+    // with the grant from here on.
+    Immix->releaseExcessFreeBlocks(
+        std::max<size_t>(4, Immix->blockCount() / 16),
+        [this](const Block &B) {
+          Ledger.dropBlock(reinterpret_cast<uintptr_t>(B.base()));
+        });
+    LastYield =
+        Totals.TotalLines == 0
+            ? 1.0
+            : static_cast<double>(Totals.FreeLines) /
+                  static_cast<double>(Totals.TotalLines);
+    EvacAllocator->retire();
+  } else {
+    FreeListSpace::SweepTotals Totals = FreeList->sweep(Epoch);
+    LastYield = Totals.TotalBytes == 0
+                    ? 1.0
+                    : static_cast<double>(Totals.FreeBytes) /
+                          static_cast<double>(Totals.TotalBytes);
+  }
+  Los.sweep(Epoch, Par);
+  WEARMEM_TRACE(PhaseEnd, 3, Stats.GcCount);
+
+#ifdef WEARMEM_EXPENSIVE_CHECKS
+  // Evacuation targets within one collection must never overlap. This
+  // caught the sweep-epoch/mark-epoch hole aliasing bug once; keep it
+  // available for -DWEARMEM_EXPENSIVE_CHECKS builds.
+  if (!DebugCopies.empty()) {
+    std::sort(DebugCopies.begin(), DebugCopies.end());
+    for (size_t I = 1; I < DebugCopies.size(); ++I) {
+      if (DebugCopies[I - 1].first + DebugCopies[I - 1].second >
+          DebugCopies[I].first) {
+        std::fprintf(stderr, "evac overlap: [%lx +%zu] vs [%lx +%zu]\n",
+                     DebugCopies[I - 1].first, DebugCopies[I - 1].second,
+                     DebugCopies[I].first, DebugCopies[I].second);
+        std::abort();
+      }
+    }
+    DebugCopies.clear();
+  }
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental SATB marking
+//===----------------------------------------------------------------------===//
+
+bool Heap::beginIncrementalMarkCycle() {
+  if (!Config.IncrementalMark || !Immix || IncCycle || InCollection ||
+      OutOfMemory)
+    return false;
+  size_t Stopped = Safepoints.stopTheWorld();
+  if (Stopped)
+    ++Stats.SafepointStops;
+  auto Start = std::chrono::steady_clock::now();
+  // The open counts as the cycle's (single) full collection: the epoch
+  // bumps here and never again until the next cycle, so counter and
+  // epoch evolution match a stop-the-world full collection triggered at
+  // the same point in the mutation history.
+  ++Stats.GcCount;
+  ++Stats.FullGcCount;
+  NurseryGcsSinceFull = 0;
+  ++Stats.IncrementalCyclesOpened;
+  WEARMEM_COUNT_DET("gc.collections");
+  WEARMEM_COUNT_DET("gc.collections.full");
+  WEARMEM_COUNT_DET("gc.inc.cycles_opened");
+  WEARMEM_TRACE(GcBegin, Stats.GcCount, 1);
+
+  // Every lane TLAB lapses: in-cycle allocation restarts under the new
+  // epoch's hole rules installed below.
+  forEachLaneAllocator([](ImmixAllocator &A) { A.retire(); });
+
+  uint8_t Prev = Epoch;
+  Epoch = nextEpoch(Epoch);
+  if (Epoch == 1)
+    remapMarksOnWrap(Prev);
+  // Defragmentation candidates come from the previous sweep's
+  // statistics, exactly as in the stop-the-world prologue.
+  Immix->selectDefragCandidates();
+  EvacAllocator->setHoleEpochs(Prev, Epoch);
+  // The mutator keeps allocating while the cycle is open, so the lane
+  // allocators also search holes against the *previous* sweep: a live
+  // line the trace has not re-marked yet must not be mistaken for free.
+  // In-cycle allocation marks its lines at the new epoch (allocate
+  // black), so freshly filled lines stay protected either way.
+  forEachLaneAllocator(
+      [&](ImmixAllocator &A) { A.setHoleEpochs(Prev, Epoch); });
+  // The mutation log is superseded by the full trace (with the same
+  // forwarding chase as the stop-the-world prologue).
+  for (ObjRef Logged : ModBuf) {
+    while (isForwarded(Logged))
+      Logged = forwardee(Logged);
+    clearObjectFlag(Logged, FlagLogged);
+  }
+  ModBuf.clear();
+
+  unsigned NumWorkers = Workers ? Workers->workers() : 1;
+  MarkWorkers.clear();
+  MarkWorkers.resize(NumWorkers);
+  IncCycle = std::make_unique<IncrementalCycle>();
+  IncCycle->WorkList = std::make_unique<MarkWorkList>(
+      NumWorkers, MarkChunkItems, MarkMaxDequeChunks);
+  // The mark-phase safepoint holds for the whole cycle: dynamic-failure
+  // batches park in the deferred queue and drain after the close, so
+  // fenced-line bookkeeping never races the (incremental) trace.
+  InMarkPhase.store(true, std::memory_order_release);
+  // Seed the snapshot's roots; the opening pause is O(roots), not
+  // O(heap).
+  for (ObjRef Root : Roots)
+    if (Root)
+      claimEdge(Root, 0, /*Full=*/true, *IncCycle->WorkList);
+  WEARMEM_COUNT_TIMING_N(
+      "gc.inc.open_us_total",
+      static_cast<uint64_t>(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - Start)
+                                .count()));
+  if (Stopped)
+    Safepoints.resumeTheWorld();
+  return true;
+}
+
+bool Heap::incrementalMarkStep() {
+  if (!IncCycle)
+    return false;
+  assert(!InCollection && "mark increment inside a collection");
+  size_t Stopped = Safepoints.stopTheWorld();
+  if (Stopped)
+    ++Stats.SafepointStops;
+  auto Start = std::chrono::steady_clock::now();
+  ++Stats.MarkIncrements;
+  // Timing domain, not deterministic: with a budget armed, a parallel
+  // step may retire a few objects under quota (see MarkWorkList's
+  // refund-drop rule), so the number of steps a drain-to-convergence
+  // driver issues varies with the worker count - like steal counts,
+  // it is a schedule artifact, not a function of the mutation history.
+  WEARMEM_COUNT_TIMING("gc.inc.mark_steps");
+  MarkWorkList &WorkList = *IncCycle->WorkList;
+  WorkList.reopen();
+  // Deletions first: references overwritten since the last pause rejoin
+  // the frontier (mark claims deduplicate re-logged objects). The drain
+  // itself is not budgeted - it is bounded by mutation since the last
+  // step, which the driver controls - only scanning is.
+  Stats.SatbDrained += Satb.drain(
+      [&](ObjRef Old) { claimEdge(Old, 0, /*Full=*/true, WorkList); });
+  if (Config.MarkBudget != 0)
+    WorkList.setQuota(static_cast<int64_t>(Config.MarkBudget));
+  auto StepFn = [&](unsigned Wk) {
+    ObjRef Obj;
+    while (WorkList.pop(Wk, Obj))
+      scanMarked(Obj, Wk, /*Full=*/true, WorkList);
+  };
+  if (Workers)
+    Workers->runOnAll(StepFn);
+  else
+    StepFn(0);
+  // A spent quota leaves the rest of the frontier queued; the quiesced
+  // probe across every queue decides whether more increments are needed.
+  WorkList.reopen();
+  bool More = !WorkList.quiesced();
+  WEARMEM_COUNT_TIMING_N(
+      "gc.inc.step_us_total",
+      static_cast<uint64_t>(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - Start)
+                                .count()));
+  if (Stopped)
+    Safepoints.resumeTheWorld();
+  return More;
+}
+
+void Heap::finishIncrementalMarkCycle() {
+  if (!IncCycle)
+    return;
+  assert(!InCollection && "closing pause inside a collection");
+  size_t Stopped = Safepoints.stopTheWorld();
+  if (Stopped)
+    ++Stats.SafepointStops;
+  InCollection = true;
+  auto Start = std::chrono::steady_clock::now();
+  ++Stats.IncrementalCyclesClosed;
+  WEARMEM_COUNT_DET("gc.inc.cycles_closed");
+
+  // TLABs lapse again: the sweep below reclassifies their blocks.
+  forEachLaneAllocator([](ImmixAllocator &A) { A.retire(); });
+
+  // Closing marking: rescan the roots (the *current* root values must
+  // be live regardless of barrier history), drain the deletion log, and
+  // run the frontier dry with no budget - the short final pause.
+  WEARMEM_TRACE(PhaseBegin, 0, Stats.GcCount);
+  MarkWorkList &WorkList = *IncCycle->WorkList;
+  WorkList.reopen();
+  for (ObjRef Root : Roots)
+    if (Root)
+      claimEdge(Root, 0, /*Full=*/true, WorkList);
+  do {
+    Stats.SatbDrained += Satb.drain(
+        [&](ObjRef Old) { claimEdge(Old, 0, /*Full=*/true, WorkList); });
+    auto DrainFn = [&](unsigned Wk) {
+      ObjRef Obj;
+      while (WorkList.pop(Wk, Obj))
+        scanMarked(Obj, Wk, /*Full=*/true, WorkList);
+    };
+    if (Workers)
+      Workers->runOnAll(DrainFn);
+    else
+      DrainFn(0);
+    WorkList.reopen();
+  } while (!Satb.empty());
+  InMarkPhase.store(false, std::memory_order_release);
+
+  // Deterministic merge, in worker order.
+  for (MarkWorker &MW : MarkWorkers) {
+    Stats.ObjectsMarked += MW.ObjectsMarked;
+    Stats.BytesTraced += MW.BytesTraced;
+  }
+  MarkDebug.DequePeakChunks = WorkList.dequePeakChunks();
+  MarkDebug.OverflowPeakChunks = WorkList.overflowPeakChunks();
+  // Objects born during the cycle were never scanned (allocate black:
+  // their stores all ran through the barrier), but evacuation may move
+  // what they reference - route them through worker 0's fixup
+  // partition.
+  MarkWorkers[0].Scanned.insert(MarkWorkers[0].Scanned.end(),
+                                IncCycle->NewObjects.begin(),
+                                IncCycle->NewObjects.end());
+  WEARMEM_TRACE(PhaseEnd, 0, Stats.GcCount);
+
+  WEARMEM_TRACE(PhaseBegin, 1, Stats.GcCount);
+  evacuatePhase();
+  WEARMEM_TRACE(PhaseEnd, 1, Stats.GcCount);
+  WEARMEM_TRACE(PhaseBegin, 2, Stats.GcCount);
+  fixupPhase();
+  WEARMEM_TRACE(PhaseEnd, 2, Stats.GcCount);
+
+  sweepPhase();
+
+  forEachLaneAllocator(
+      [this](ImmixAllocator &A) { A.setHoleEpochs(Epoch, Epoch); });
+  // The closing collection is a full defragmenting one: the recovery
+  // debt for fenced lines is paid (batches parked mid-cycle drain below
+  // and open a fresh debt).
+  PendingFailureRecovery = false;
+  DynamicFailedSinceGc = 0;
+
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  FullPausesMs.push_back(Ms);
+  // Wall-clock: Timing domain only, never in determinism comparisons.
+  uint64_t PauseUs = static_cast<uint64_t>(Ms * 1000.0);
+  WEARMEM_COUNT_TIMING_N("gc.pause_us_total", PauseUs);
+  WEARMEM_COUNT_TIMING_N("gc.pause_full_us_total", PauseUs);
+  WEARMEM_COUNT_TIMING_N("gc.inc.close_us_total", PauseUs);
+  WEARMEM_TRACE(GcEnd, Stats.GcCount, 1);
+  InCollection = false;
+  MarkWorkers.clear();
+  IncCycle.reset();
+  Satb.reset();
+  // Collection boundaries are the ladder's refresh points.
+  updateDegradationMode();
+  if (Stopped)
+    Safepoints.resumeTheWorld();
+  // End-of-cycle safepoint: apply dynamic failures parked during the
+  // open cycle (InMarkPhase held for its whole duration).
+  drainDeferredFailures();
 }
 
 void Heap::drainDeferredFailures() {
@@ -973,7 +1282,8 @@ void Heap::injectDynamicFailureBatch(const std::vector<uint8_t *> &Addrs,
       }
     }
     B->failPcmLineAt(Offset,
-                     /*PreserveSpill=*/Config.ConservativeLineMarking);
+                     /*PreserveSpill=*/Config.ConservativeLineMarking,
+                     /*LiveEpoch=*/Epoch);
     B->setFreshFailure(true);
     Ledger.record(reinterpret_cast<uintptr_t>(B->base()), Offset);
     ++Stats.DynamicFailuresHandled;
@@ -1029,6 +1339,17 @@ void Heap::injectDynamicFailureOnLarge(ObjRef Obj) {
       return;
     }
   }
+  // The relocation memcpy carries the whole header, logged flag
+  // included: retarget the mutation-log entry at the live copy so the
+  // flag and the log stay in sync. Left alone, the full collection
+  // below would chase-and-clear the husk's entry while the copy kept a
+  // set flag with no log entry - permanently disabling its write
+  // barrier, so a later old-to-young store would be invisible to
+  // nursery collections.
+  if (objectHasFlag(NewObj, FlagLogged))
+    for (ObjRef &Logged : ModBuf)
+      if (Logged == Obj)
+        Logged = NewObj;
   // Fix every reference to the relocated object; the zombie pages return
   // at this collection's sweep.
   collect(CollectionKind::Full);

@@ -31,6 +31,7 @@
 #include "gc/FailureLedger.h"
 #include "gc/GcWorkers.h"
 #include "gc/Safepoint.h"
+#include "gc/SatbLog.h"
 #include "heap/FreeListSpace.h"
 #include "heap/HeapConfig.h"
 #include "heap/ImmixSpace.h"
@@ -87,7 +88,10 @@ public:
   unsigned createRoot(ObjRef Initial);
   void releaseRoot(unsigned Idx);
   ObjRef root(unsigned Idx) const { return Roots[Idx]; }
-  void setRoot(unsigned Idx, ObjRef Obj) { Roots[Idx] = Obj; }
+  /// Root store. Root slots are reference slots too: while an
+  /// incremental mark cycle is open, the overwritten root joins the SATB
+  /// deletion log exactly like an overwritten object field.
+  void setRoot(unsigned Idx, ObjRef Obj);
 
   //===--------------------------------------------------------------===//
   // Collection
@@ -99,6 +103,52 @@ public:
   /// True while a collection is running (mutator-visible safepoint
   /// query; fault campaigns use it to hold their triggers).
   bool inCollection() const { return InCollection; }
+
+  //===--------------------------------------------------------------===//
+  // Incremental SATB marking (bounded pauses)
+  //===--------------------------------------------------------------===//
+
+  /// The full mark phase can instead run as a sequence of short,
+  /// fixed-budget increments interleaved with mutation:
+  ///
+  ///  * beginIncrementalMarkCycle() opens a cycle in an O(roots) pause:
+  ///    it bumps the epoch, selects defragmentation candidates, and seeds
+  ///    the trace from the root set. While the cycle is open, writeRef
+  ///    logs every overwritten reference into the SATB deletion log and
+  ///    new objects are allocated black, so the set the cycle eventually
+  ///    marks is exactly what was reachable at the snapshot (plus
+  ///    in-cycle births) - independent of mutation order, worker count,
+  ///    and budget. Dynamic-failure batches arriving mid-cycle park in
+  ///    the deferred queue (InMarkPhase stays true for the whole cycle)
+  ///    and drain after the close, exactly like batches landing inside a
+  ///    stop-the-world mark phase.
+  ///  * incrementalMarkStep() drains the deletion log and traces at most
+  ///    Config.MarkBudget objects (0 = unbounded); anything over budget
+  ///    stays queued for the next step. Returns true while frontier work
+  ///    remains. The final marked set is independent of the budget, the
+  ///    step schedule, and the worker count.
+  ///  * finishIncrementalMarkCycle() is the short closing pause: rescan
+  ///    roots, drain the log, finish the trace, then run the normal
+  ///    evacuate / fixup / sweep tail. The closing counts as the cycle's
+  ///    full defragmenting collection - final heap state is bit-identical
+  ///    to a stop-the-world full collection at the same point in the
+  ///    mutation history, provided the in-cycle mutation was reference
+  ///    stores only (in-cycle allocation survives as floating newborns a
+  ///    stop-the-world run would not retain).
+  ///
+  /// collect() with a cycle open simply closes it: the trigger that
+  /// would have forced a collection gets the closing pause instead.
+  ///
+  /// Requires Config.IncrementalMark and an Immix heap; returns false
+  /// (and does nothing) otherwise, or when a cycle is already open.
+  bool beginIncrementalMarkCycle();
+  /// Runs one bounded mark increment; returns true while work remains.
+  bool incrementalMarkStep();
+  /// Closes the open cycle with the final short pause + collection tail.
+  void finishIncrementalMarkCycle();
+  bool incrementalCycleOpen() const { return IncCycle != nullptr; }
+  /// Entries currently parked in the SATB deletion log (tests/tools).
+  size_t satbLogDepth() const { return Satb.size(); }
 
   //===--------------------------------------------------------------===//
   // Parallel collection engine
@@ -266,6 +316,12 @@ public:
   size_t pagesHeld() const;
   uint8_t epoch() const { return Epoch; }
 
+  /// Wall-clock pause histories. These are *Timing-domain* quantities:
+  /// they vary run to run with the host scheduler, so they must never
+  /// feed deterministic stats, digests, or Deterministic-domain metrics.
+  /// The obs mirror lives in the Timing domain ("gc.pause_full_us_total"
+  /// / "gc.pause_nursery_us_total"), alongside HeapStats which stays
+  /// purely deterministic.
   const std::vector<double> &fullGcPausesMs() const {
     return FullPausesMs;
   }
@@ -307,6 +363,15 @@ private:
   void markPhase(CollectionKind Kind);
   void evacuatePhase();
   void fixupPhase();
+  void sweepPhase();
+  /// Claims \p Target for the trace (chasing forwarding, CAS-marking,
+  /// recording evacuation/remap candidacy) and queues it for scanning.
+  /// Shared by the stop-the-world mark phase and the incremental steps.
+  void claimEdge(ObjRef Target, unsigned Wk, bool Full,
+                 MarkWorkList &WorkList);
+  /// Scans a claimed object's reference slots through claimEdge.
+  void scanMarked(ObjRef Obj, unsigned Wk, bool Full,
+                  MarkWorkList &WorkList);
   void drainDeferredFailures();
 #ifdef WEARMEM_EXPENSIVE_CHECKS
   void verifyMarkOracle(const std::vector<ObjRef> &LoggedSeeds);
@@ -340,6 +405,20 @@ private:
 
   /// Sticky write-barrier log: old objects whose fields were mutated.
   std::vector<ObjRef> ModBuf;
+
+  /// State of the open incremental mark cycle (null = no cycle open).
+  struct IncrementalCycle {
+    /// The cycle-long work list; survives across increments so a spent
+    /// budget just leaves the frontier queued.
+    std::unique_ptr<MarkWorkList> WorkList;
+    /// Objects allocated black during the cycle: never scanned (their
+    /// fields were written through the barrier), but routed through the
+    /// closing fixup so evacuations rewrite their slots.
+    std::vector<ObjRef> NewObjects;
+  };
+  std::unique_ptr<IncrementalCycle> IncCycle;
+  /// SATB deletion log, fed by writeRef/setRoot while IncCycle is open.
+  SatbLog Satb;
 
   /// The GC worker pool (absent when GcThreads <= 1: phases run inline).
   std::unique_ptr<GcWorkerPool> Workers;

@@ -28,7 +28,8 @@ uint64_t HeapAuditor::stampOf(const uint8_t *Obj) {
 }
 
 void HeapAuditor::expectPinned(const uint8_t *Obj) {
-  PinnedWatch[Obj] = PinRecord{stampOf(Obj), /*External=*/true};
+  PinnedWatch[Obj] =
+      PinRecord{stampOf(Obj), /*External=*/true, H.stats().GcCount};
 }
 
 AuditReport HeapAuditor::audit() {
@@ -269,9 +270,19 @@ void HeapAuditor::checkObjectGraph(AuditReport &Report) {
           }
           // A traced object's first covering line must carry the same
           // epoch (conservative marking may skip the rest). A line that
-          // failed after the trace legitimately lost its mark.
+          // failed after the trace legitimately lost its mark. While an
+          // incremental cycle is open the lag is legitimate too:
+          // evacuation candidates (and pinned objects awaiting a page
+          // remap) are claimed at the cycle's epoch but keep their old
+          // lines unmarked until the closing pause decides copy versus
+          // re-mark - exactly the state a stop-the-world mark phase
+          // holds privately and an open cycle exposes to audits.
+          bool LineMarkDeferred =
+              H.incrementalCycleOpen() &&
+              (B->evacuating() ||
+               (objectHasFlag(Obj, FlagPinned) && B->hasFreshFailure()));
           if (objectMark(Obj) == H.Epoch && !B->lineIsFailed(First) &&
-              B->lineMark(First) != H.Epoch) {
+              !LineMarkDeferred && B->lineMark(First) != H.Epoch) {
             std::snprintf(
                 Buf, sizeof(Buf),
                 "object %p marked at epoch %u but its line mark is %u",
@@ -583,15 +594,31 @@ void HeapAuditor::checkPinStability(AuditReport &Report) {
   for (const uint8_t *Obj : Reachable) {
     if (!objectHasFlag(Obj, FlagPinned))
       continue;
-    auto [It, Inserted] =
-        PinnedWatch.insert({Obj, PinRecord{stampOf(Obj), false}});
-    if (!Inserted && It->second.Stamp != stampOf(Obj)) {
-      std::snprintf(Buf, sizeof(Buf),
-                    "pinned object at %p changed identity between "
-                    "audits (was it moved and its slot reused?)",
-                    static_cast<const void *>(Obj));
-      note(Report, Buf);
-      It->second.Stamp = stampOf(Obj);
+    auto [It, Inserted] = PinnedWatch.insert(
+        {Obj, PinRecord{stampOf(Obj), false, H.stats().GcCount}});
+    if (!Inserted) {
+      PinRecord &R = It->second;
+      if (R.Stamp != stampOf(Obj)) {
+        // A collection between audits legitimizes a changed stamp for
+        // an auto-tracked pin: the old object can have died, had its
+        // line swept free, and the slot been handed to a fresh pinned
+        // allocation before any audit could observe the gap (storms
+        // defer recovery, which skips the between-GC audits; SATB
+        // cycles keep floating garbage alive past the drop, shifting
+        // the reuse into exactly such a window). Without a collection
+        // there is no legitimate path to a different object at the
+        // same address, and an external registration means native code
+        // still holds the pointer either way.
+        if (R.External || H.stats().GcCount == R.ConfirmedAtGc) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "pinned object at %p changed identity between "
+                        "audits (was it moved and its slot reused?)",
+                        static_cast<const void *>(Obj));
+          note(Report, Buf);
+        }
+        R.Stamp = stampOf(Obj);
+      }
+      R.ConfirmedAtGc = H.stats().GcCount;
     }
   }
   for (auto It = PinnedWatch.begin(); It != PinnedWatch.end();) {

@@ -90,6 +90,12 @@ private:
   struct PinRecord {
     uint64_t Stamp;
     bool External; ///< Registered via expectPinned, not auto-tracked.
+    /// Heap GcCount when the entry was last seen reachable with a
+    /// matching stamp. An auto-tracked pin whose stamp changes is only
+    /// a violation if no collection ran since then: a sweep in between
+    /// can have legitimately freed the slot for a fresh pinned
+    /// allocation faster than the audit cadence could observe it.
+    uint64_t ConfirmedAtGc = 0;
   };
 
   static uint64_t stampOf(const uint8_t *Obj);

@@ -1,0 +1,110 @@
+//===- gc/SatbLog.h - SATB deletion log for incremental marking -*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The snapshot-at-the-beginning deletion log. While an incremental mark
+/// cycle is open, Heap::writeRef records every *overwritten* non-null
+/// reference here; each mark increment (and the final closing pause)
+/// drains the log into the tracer, which is what preserves the SATB
+/// invariant: everything reachable when the cycle opened gets marked,
+/// no matter how the mutator rewires the graph in between.
+///
+/// The push path is the write barrier's hot path, so it follows the
+/// fixed-budget, no-allocation discipline: entries live in fixed-size
+/// chunks linked into a list, a fresh chunk is carved only when the
+/// current one fills (amortized one allocation per ChunkEntries pushes),
+/// and drained chunks are recycled onto a free list so a steady-state
+/// cycle stops allocating entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_GC_SATBLOG_H
+#define WEARMEM_GC_SATBLOG_H
+
+#include "heap/Object.h"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace wearmem {
+
+/// Chunked LIFO log of overwritten references.
+class SatbLog {
+public:
+  static constexpr size_t ChunkEntries = 1024;
+
+  /// Appends \p Ref. Never reallocates existing storage; allocates a new
+  /// chunk only when the head chunk is full and the free list is empty.
+  void push(ObjRef Ref) {
+    if (!Head || Head->Count == ChunkEntries)
+      pushChunk();
+    Head->Entries[Head->Count++] = Ref;
+    ++Size_;
+  }
+
+  bool empty() const { return Size_ == 0; }
+  size_t size() const { return Size_; }
+
+  /// Drains every logged entry through \p Fn (newest first; order is
+  /// irrelevant to the tracer, which deduplicates via mark claims) and
+  /// recycles the chunks. Returns the number of entries drained.
+  template <typename Fn> size_t drain(Fn F) {
+    size_t Drained = Size_;
+    while (Head) {
+      Chunk *C = Head;
+      for (size_t I = C->Count; I != 0; --I)
+        F(C->Entries[I - 1]);
+      Head = C->Next;
+      C->Count = 0;
+      C->Next = Free;
+      Free = C;
+    }
+    Size_ = 0;
+    return Drained;
+  }
+
+  /// Drops all entries and recycled chunks (end of cycle teardown).
+  void reset() {
+    drain([](ObjRef) {});
+    while (Free) {
+      Chunk *C = Free;
+      Free = C->Next;
+      delete C;
+    }
+  }
+
+  ~SatbLog() { reset(); }
+
+private:
+  struct Chunk {
+    ObjRef Entries[ChunkEntries];
+    size_t Count = 0;
+    Chunk *Next = nullptr;
+  };
+
+  void pushChunk() {
+    Chunk *C;
+    if (Free) {
+      C = Free;
+      Free = C->Next;
+    } else {
+      C = new Chunk();
+    }
+    C->Next = Head;
+    Head = C;
+  }
+
+  Chunk *Head = nullptr;
+  Chunk *Free = nullptr;
+  size_t Size_ = 0;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_GC_SATBLOG_H

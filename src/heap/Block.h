@@ -156,7 +156,17 @@ public:
   /// silently strip the next line's protection and let the allocator
   /// clobber the tail. The explicit transfer is at worst one line
   /// over-conservative and lapses at the next collection's re-marking.
-  void failPcmLineAt(size_t ByteOffset, bool PreserveSpill = false) {
+  ///
+  /// The transfer happens only when the dying line's mark equals
+  /// \p LiveEpoch, the one epoch the hole scans currently honor. Sweep
+  /// leaves dead lines' mark bytes stale rather than zeroing them, so a
+  /// dying line can carry an *old* epoch: its data is dead, there is no
+  /// tail to protect, and copying that stale byte over a successor
+  /// marked for the current epoch would silently downgrade a live line
+  /// into a hole (a batch of failures drained after an incremental
+  /// close is the classic producer of stale dying lines).
+  void failPcmLineAt(size_t ByteOffset, bool PreserveSpill = false,
+                     uint8_t LiveEpoch = 0) {
     assert(ByteOffset < BlockBytes && "offset out of range");
     size_t Page = ByteOffset / PcmPageSize;
     size_t Bit = (ByteOffset % PcmPageSize) / PcmLineSize;
@@ -167,7 +177,7 @@ public:
     if (Old != LineFailed)
       ++DynamicFailedLineCount;
     if (PreserveSpill && Old != LineFailed && Old != 0 &&
-        Line + 1 < lineCount()) {
+        Old == LiveEpoch && Line + 1 < lineCount()) {
       uint8_t Next = LineMarks[Line + 1];
       if (Next != LineFailed && Next != Old) {
         LineMarks[Line + 1] = Old;

@@ -254,6 +254,18 @@ struct HeapConfig {
   /// any value produces bit-identical post-collection heap state.
   unsigned GcThreads = 1;
 
+  /// Incremental (SATB) marking: full-collection mark work may be split
+  /// into fixed-budget increments that interleave with mutation (see
+  /// Heap::beginIncrementalMarkCycle). Off by default; the stop-the-world
+  /// paths are untouched when disabled. Requires an Immix collector.
+  bool IncrementalMark = false;
+  /// Objects scanned per mark increment when a cycle is stepped
+  /// (Heap::incrementalMarkStep); 0 means unbounded (one step finishes
+  /// the trace). An increment scans at most this many objects (see
+  /// gc/GcWorkers.h on the quota accounting); the final marked set is
+  /// the snapshot closure under any budget.
+  unsigned MarkBudget = 512;
+
   size_t linesPerBlock() const { return BlockSize / LineSize; }
   size_t pagesPerBlock() const { return BlockSize / PcmPageSize; }
   size_t maxDebtPages() const {
@@ -290,6 +302,18 @@ struct HeapStats {
   uint64_t DynamicFailurePageCopies = 0;
   uint64_t PinnedFailurePageRemaps = 0;
   uint64_t WriteBarrierLogs = 0;
+
+  /// Incremental (SATB) marking activity. Opened/closed counts and the
+  /// increment count are driven by the caller's schedule; SatbLogged
+  /// counts overwritten references recorded by the deletion barrier and
+  /// SatbDrained the entries handed to the tracer - all deterministic
+  /// functions of the mutation history (claim deduplication makes the
+  /// *marked set* schedule-independent, so these totals are too).
+  uint64_t IncrementalCyclesOpened = 0;
+  uint64_t IncrementalCyclesClosed = 0;
+  uint64_t MarkIncrements = 0;
+  uint64_t SatbLogged = 0;
+  uint64_t SatbDrained = 0;
 
   uint64_t DynamicFailureBatches = 0;
   /// Dynamic-failure batches that arrived while a (parallel) mark phase

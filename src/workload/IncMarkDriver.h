@@ -1,0 +1,75 @@
+//===- workload/IncMarkDriver.h - Incremental-mark driving policy -*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tools' shared driving policy for bounded-pause SATB marking
+/// (RuntimeConfig::IncrementalMark). A cycle opens each time the steady
+/// allocation volume crosses a fixed interval of the workload's target;
+/// while a cycle is open, every turn takes one budgeted mark step; the
+/// step that reports an empty frontier closes the cycle. Everything is
+/// keyed to virtual time (allocated bytes and turn order, never the
+/// wall clock), so two runs with the same seed and lane count open,
+/// step, and close the same cycles at the same points - the digest and
+/// the survival curve stay byte-for-byte reproducible with incremental
+/// marking on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_WORKLOAD_INCMARKDRIVER_H
+#define WEARMEM_WORKLOAD_INCMARKDRIVER_H
+
+#include "core/Runtime.h"
+#include "support/Units.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace wearmem {
+
+class IncMarkDriver {
+public:
+  /// Sizes the open interval from the run's total allocation target:
+  /// roughly one cycle per sixteenth of the run, floored so tiny smoke
+  /// runs still exercise at least a cycle or two.
+  IncMarkDriver(Runtime &Rt, uint64_t TargetBytes)
+      : Rt(Rt),
+        Interval(std::max<uint64_t>(TargetBytes / 16, 64 * KiB)),
+        NextOpen(Interval) {}
+
+  /// Advances the policy one turn. SteadyBytes is the mutator's steady
+  /// allocation volume, the run's virtual clock.
+  void pump(uint64_t SteadyBytes) {
+    if (Rt.incrementalCycleOpen()) {
+      if (!Rt.incrementalMarkStep())
+        Rt.finishIncrementalMarkCycle();
+      return;
+    }
+    if (SteadyBytes >= NextOpen) {
+      // An allocation-triggered collection (which force-closes any open
+      // cycle) may have landed since the last open; the next window
+      // simply restarts from here.
+      Rt.beginIncrementalMarkCycle();
+      NextOpen = SteadyBytes + Interval;
+    }
+  }
+
+  /// Closes a cycle the end of the run left open, so final audits and
+  /// accounting see a settled heap.
+  void flush() {
+    if (Rt.incrementalCycleOpen())
+      Rt.finishIncrementalMarkCycle();
+  }
+
+private:
+  Runtime &Rt;
+  uint64_t Interval;
+  uint64_t NextOpen;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_WORKLOAD_INCMARKDRIVER_H

@@ -182,7 +182,7 @@ TEST(BlockTest, DynamicFailureTransfersSpillMark) {
   uint64_t Words[8] = {};
   B.applyFailureWords(Words, 8);
   B.markLine(20, 7); // A small object's head line; tail spills into 21.
-  B.failPcmLineAt(20 * 256, /*PreserveSpill=*/true);
+  B.failPcmLineAt(20 * 256, /*PreserveSpill=*/true, /*LiveEpoch=*/7);
   EXPECT_TRUE(B.lineIsFailed(20));
   EXPECT_EQ(B.lineMark(21), 7u); // Protection now explicit.
   Hole H;
@@ -192,7 +192,7 @@ TEST(BlockTest, DynamicFailureTransfersSpillMark) {
   // An explicitly live next line is left alone.
   B.markLine(40, 7);
   B.markLine(41, 7);
-  B.failPcmLineAt(40 * 256, /*PreserveSpill=*/true);
+  B.failPcmLineAt(40 * 256, /*PreserveSpill=*/true, /*LiveEpoch=*/7);
   EXPECT_EQ(B.lineMark(41), 7u);
 
   // Without PreserveSpill (exact marking) no transfer happens.
@@ -201,12 +201,39 @@ TEST(BlockTest, DynamicFailureTransfersSpillMark) {
   EXPECT_EQ(B.lineMark(61), 0u);
 
   // A dead line (mark 0) transfers nothing.
-  B.failPcmLineAt(80 * 256, /*PreserveSpill=*/true);
+  B.failPcmLineAt(80 * 256, /*PreserveSpill=*/true, /*LiveEpoch=*/7);
   EXPECT_EQ(B.lineMark(81), 0u);
 
   // The transfer never resurrects a failed next line.
   B.failLine(91);
   B.markLine(90, 7);
-  B.failPcmLineAt(90 * 256, /*PreserveSpill=*/true);
+  B.failPcmLineAt(90 * 256, /*PreserveSpill=*/true, /*LiveEpoch=*/7);
   EXPECT_TRUE(B.lineIsFailed(91));
+}
+
+TEST(BlockTest, StaleDyingLineNeverDowngradesSuccessor) {
+  // Sweep leaves dead lines' mark bytes stale, so a dynamically failed
+  // line can carry an *old* epoch. Its data is dead - there is no
+  // spilled tail to protect - and transferring the stale byte would
+  // downgrade a successor that the current epoch marked live, handing
+  // the hole scan a line that still holds a live object.
+  BlockFixture F(256);
+  Block &B = *F.TheBlock;
+  uint64_t Words[8] = {};
+  B.applyFailureWords(Words, 8);
+
+  B.markLine(20, 6); // Stale: the hole scans honor epoch 7 now.
+  B.markLine(21, 7); // Live at the current epoch.
+  B.failPcmLineAt(20 * 256, /*PreserveSpill=*/true, /*LiveEpoch=*/7);
+  EXPECT_TRUE(B.lineIsFailed(20));
+  EXPECT_EQ(B.lineMark(21), 7u); // Not downgraded to 6.
+  Hole H;
+  EXPECT_FALSE(B.findHole(21, 7, 7, /*Conservative=*/true, H) &&
+               H.StartLine == 21u);
+
+  // A stale dying line next to a dead successor transfers nothing
+  // either: stale protection would be ignored by the hole scan anyway.
+  B.markLine(40, 6);
+  B.failPcmLineAt(40 * 256, /*PreserveSpill=*/true, /*LiveEpoch=*/7);
+  EXPECT_EQ(B.lineMark(41), 0u);
 }

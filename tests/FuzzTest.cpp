@@ -252,3 +252,183 @@ INSTANTIATE_TEST_SUITE_P(
                     static_cast<unsigned long long>(Info.param.Seed));
       return std::string(Buf);
     });
+
+//===----------------------------------------------------------------------===//
+// Incremental SATB marking vs stop-the-world
+//===----------------------------------------------------------------------===//
+//
+// Differential fuzz for the incremental mark cycle: a seeded schedule of
+// reference-swap storms, root rewrites, and dynamic line failures runs
+// once interleaved with budgeted mark increments and once as plain
+// mutation closed by a stop-the-world full collection. The swaps permute
+// satellite objects without dropping any (each transiently survives only
+// in the SATB deletion log), so both legs must converge to bit-identical
+// physical heaps; failures landing mid-increment park until the close in
+// the incremental leg and are injected at the matching post-collection
+// point in the stop-the-world leg.
+
+#include "gc/HeapAuditor.h"
+
+namespace {
+
+struct SatbOp {
+  enum Kind : uint8_t { Swap, RootStore, Fail, StepBoundary } K;
+  unsigned A, B, C, D;
+};
+
+/// One leg of the differential run. The schedule is precomputed so both
+/// legs perform byte-identical mutation; only the marking mode differs.
+uint64_t runSatbLeg(bool Incremental, unsigned GcThreads, uint64_t Seed,
+                    const std::vector<SatbOp> &Schedule) {
+  HeapConfig Cfg;
+  Cfg.Collector = CollectorKind::StickyImmix;
+  Cfg.BudgetPages = (24 * MiB) / PcmPageSize;
+  Cfg.GcThreads = GcThreads;
+  Cfg.Failures.Rate = 0.05;
+  Cfg.Failures.Seed = Seed;
+  Cfg.IncrementalMark = Incremental;
+  Cfg.MarkBudget = 128;
+  Heap Hp(Cfg);
+
+  constexpr unsigned NumLists = 4;
+  constexpr unsigned ListLen = 1200;
+  constexpr unsigned NumVictims = 6;
+  std::vector<unsigned> Heads;
+  for (unsigned L = 0; L != NumLists; ++L) {
+    unsigned HeadRoot = Hp.createRoot(nullptr);
+    for (unsigned I = 0; I != ListLen; ++I) {
+      ObjRef Node = Hp.allocate(40, 2);
+      if (!Node)
+        break;
+      *reinterpret_cast<uint64_t *>(objectPayload(Node)) =
+          (uint64_t(L) << 32) | I;
+      if (I % 3 == 0) {
+        if (ObjRef Sat = Hp.allocate(24, 0)) {
+          *reinterpret_cast<uint64_t *>(objectPayload(Sat)) =
+              0xFA7ull << 40 | (uint64_t(L) << 20) | I;
+          Hp.writeRef(Node, 1, Sat);
+        }
+      }
+      if (ObjRef Head = Hp.root(HeadRoot))
+        Hp.writeRef(Node, 0, Head);
+      Hp.setRoot(HeadRoot, Node);
+    }
+    Heads.push_back(HeadRoot);
+  }
+  // Pinned fail targets, one per simulated mutator lane: they never
+  // move, so the same addresses fail in both legs.
+  std::vector<ObjRef> Victims;
+  for (unsigned V = 0; V != NumVictims; ++V) {
+    ObjRef Obj = Hp.allocate(64, 0, /*Pinned=*/true);
+    EXPECT_NE(Obj, nullptr);
+    Hp.createRoot(Obj);
+    Victims.push_back(Obj);
+  }
+  EXPECT_FALSE(Hp.outOfMemory());
+
+  auto walkList = [&](unsigned L, unsigned Depth) {
+    ObjRef Node = Hp.root(Heads[L]);
+    for (unsigned I = 0; I != Depth && Node; ++I) {
+      ObjRef Next = Heap::readRef(Node, 0);
+      if (!Next)
+        break;
+      Node = Next;
+    }
+    return Node;
+  };
+
+  if (Incremental)
+    EXPECT_TRUE(Hp.beginIncrementalMarkCycle());
+  std::vector<ObjRef> Parked; // STW leg: failures held to the close point.
+  for (const SatbOp &Op : Schedule) {
+    switch (Op.K) {
+    case SatbOp::Swap: {
+      ObjRef X = walkList(Op.A % NumLists, Op.C);
+      ObjRef Y = walkList(Op.B % NumLists, Op.D);
+      if (!X || !Y || X == Y)
+        break;
+      ObjRef Tx = Heap::readRef(X, 1);
+      ObjRef Ty = Heap::readRef(Y, 1);
+      Hp.writeRef(X, 1, Ty);
+      Hp.writeRef(Y, 1, Tx);
+      break;
+    }
+    case SatbOp::RootStore:
+      Hp.setRoot(Heads[Op.A % NumLists], Hp.root(Heads[Op.A % NumLists]));
+      break;
+    case SatbOp::Fail:
+      // Mid-increment line death. Incremental: parks until the drain
+      // after the close. Stop-the-world: recorded and injected at the
+      // equivalent point (right after the closing collection).
+      if (Incremental)
+        Hp.injectDynamicFailureBatch({Victims[Op.A % NumVictims]});
+      else
+        Parked.push_back(Victims[Op.A % NumVictims]);
+      break;
+    case SatbOp::StepBoundary:
+      if (Incremental)
+        Hp.incrementalMarkStep();
+      break;
+    }
+  }
+  if (Incremental) {
+    Hp.finishIncrementalMarkCycle();
+  } else {
+    Hp.collect(CollectionKind::Full);
+    for (ObjRef V : Parked)
+      Hp.injectDynamicFailureBatch({V});
+  }
+  Hp.collect(CollectionKind::Full); // Settle.
+  HeapAuditor Auditor(Hp);
+  EXPECT_TRUE(Auditor.audit().passed());
+  return Auditor.digest(/*HashPayload=*/true);
+}
+
+} // namespace
+
+class SatbFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatbFuzz, IncrementalMatchesStopTheWorld) {
+  uint64_t Seed = GetParam();
+  Rng Rand(Seed * 131 + 17);
+  // Precompute the schedule: ~30 batches of swap/root-store storms, a
+  // step boundary between batches (occasionally several, occasionally
+  // none - increments must tolerate both), and a handful of mid-cycle
+  // failures on distinct victims.
+  std::vector<SatbOp> Schedule;
+  std::vector<unsigned> FreshVictims{0, 1, 2, 3, 4, 5};
+  for (unsigned Batch = 0; Batch != 30; ++Batch) {
+    unsigned Ops = 20 + static_cast<unsigned>(Rand.nextBelow(30));
+    for (unsigned I = 0; I != Ops; ++I) {
+      if (Rand.nextBool(0.12)) {
+        Schedule.push_back(
+            {SatbOp::RootStore,
+             static_cast<unsigned>(Rand.nextBelow(4)), 0, 0, 0});
+      } else {
+        Schedule.push_back(
+            {SatbOp::Swap, static_cast<unsigned>(Rand.nextBelow(4)),
+             static_cast<unsigned>(Rand.nextBelow(4)),
+             static_cast<unsigned>(Rand.nextBelow(41)),
+             static_cast<unsigned>(Rand.nextBelow(41))});
+      }
+    }
+    if (!FreshVictims.empty() && Rand.nextBool(0.15)) {
+      unsigned Pick =
+          static_cast<unsigned>(Rand.nextBelow(FreshVictims.size()));
+      Schedule.push_back({SatbOp::Fail, FreshVictims[Pick], 0, 0, 0});
+      FreshVictims.erase(FreshVictims.begin() + Pick);
+    }
+    unsigned Steps = static_cast<unsigned>(Rand.nextBelow(3));
+    for (unsigned S = 0; S != Steps; ++S)
+      Schedule.push_back({SatbOp::StepBoundary, 0, 0, 0, 0});
+  }
+
+  uint64_t Stw = runSatbLeg(/*Incremental=*/false, 1, Seed, Schedule);
+  uint64_t Inc1 = runSatbLeg(/*Incremental=*/true, 1, Seed, Schedule);
+  uint64_t Inc4 = runSatbLeg(/*Incremental=*/true, 4, Seed, Schedule);
+  EXPECT_EQ(Inc1, Stw) << "seed " << Seed;
+  EXPECT_EQ(Inc4, Stw) << "seed " << Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatbFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));

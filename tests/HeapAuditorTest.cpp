@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace wearmem;
 
 namespace {
@@ -117,6 +119,72 @@ TEST(HeapAuditorTest, PinnedObjectsStayPutAcrossCollections) {
   Rt.collect(true);
   Report = Auditor.audit();
   EXPECT_TRUE(Report.passed()) << firstViolation(Report);
+}
+
+namespace {
+
+/// Drops a batch of pinned objects, collects so their lines sweep free,
+/// then reallocates pinned objects of a different shape until one lands
+/// on a previously watched address. Returns that address (nullptr if the
+/// allocator never reused one - the caller should ASSERT).
+uint8_t *reusePinnedSlot(Runtime &Rt, HeapAuditor &Auditor,
+                         std::vector<Handle> &Keep, bool External) {
+  std::vector<uint8_t *> Old;
+  {
+    std::vector<Handle> Doomed;
+    for (unsigned I = 0; I != 64; ++I) {
+      Doomed.push_back(Rt.allocateRooted(48, 2, /*Pinned=*/true));
+      Old.push_back(Doomed.back().get());
+    }
+    if (External)
+      for (uint8_t *Addr : Old)
+        Auditor.expectPinned(Addr);
+    else {
+      AuditReport Seen = Auditor.audit(); // Auto-track the pins.
+      EXPECT_TRUE(Seen.passed()) << firstViolation(Seen);
+    }
+  } // All dropped.
+  Rt.collect(true); // Sweep frees their lines.
+  for (unsigned I = 0; I != 256; ++I) {
+    Keep.push_back(Rt.allocateRooted(48, 3, /*Pinned=*/true));
+    uint8_t *Addr = Keep.back().get();
+    if (std::find(Old.begin(), Old.end(), Addr) != Old.end())
+      return Addr;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+TEST(HeapAuditorTest, PinnedSlotReuseAcrossCollectionIsNotAMove) {
+  // An auto-tracked pinned object can die, have its line swept free,
+  // and the slot handed to a fresh pinned allocation before the next
+  // audit runs (deferred recovery skips the between-GC audits in soak
+  // mode, and SATB cycles shift reuse into exactly such gaps). With a
+  // collection in between, the changed stamp is legitimate reuse, not
+  // evidence of a moved pin.
+  Runtime Rt(testConfig());
+  auto Roots = populate(Rt, MiB / 2);
+  HeapAuditor Auditor(Rt.heap());
+  std::vector<Handle> Keep;
+  uint8_t *Addr = reusePinnedSlot(Rt, Auditor, Keep, /*External=*/false);
+  ASSERT_NE(Addr, nullptr) << "allocator never reused a watched slot";
+  AuditReport Report = Auditor.audit();
+  EXPECT_TRUE(Report.passed()) << firstViolation(Report);
+}
+
+TEST(HeapAuditorTest, ExternalPinSlotReuseStillFlags) {
+  // Native code holds the registered address, so reuse after death is
+  // exactly as much a violation as the object vanishing: either the
+  // stamp mismatch or the lost registration must surface.
+  Runtime Rt(testConfig());
+  auto Roots = populate(Rt, MiB / 2);
+  HeapAuditor Auditor(Rt.heap());
+  std::vector<Handle> Keep;
+  uint8_t *Addr = reusePinnedSlot(Rt, Auditor, Keep, /*External=*/true);
+  ASSERT_NE(Addr, nullptr) << "allocator never reused a watched slot";
+  AuditReport Report = Auditor.audit();
+  EXPECT_FALSE(Report.passed());
 }
 
 TEST(HeapAuditorTest, FlagsVanishedExternalPin) {

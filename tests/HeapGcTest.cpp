@@ -245,6 +245,42 @@ TEST(StickyTest, NurserySurvivorsAreCopied) {
   EXPECT_GT(Rt.stats().ObjectsEvacuated, 0u);
 }
 
+TEST(StickyTest, RelocatedLargeObjectKeepsWriteBarrierLive) {
+  // Regression: LOS relocation memcpys the whole header, FlagLogged
+  // included. The mutation-log entry used to keep pointing at the husk,
+  // so the full collection inside injectDynamicFailureOnLarge cleared
+  // the husk's flag while the live copy kept a set flag with no log
+  // entry - permanently disabling its write barrier and making a later
+  // old-to-young store invisible to nursery collections.
+  Runtime Rt(baseConfig(CollectorKind::StickyImmix));
+  Handle Large = Rt.allocateRooted(8 * KiB, 1);
+  ASSERT_NE(Large.get(), nullptr);
+  ASSERT_TRUE(objectHasFlag(Large.get(), FlagLarge));
+  Rt.collect(true); // Make it old.
+  // Mutating the old object logs it (FlagLogged + mutation buffer).
+  Rt.writeRef(Large.get(), 0, nullptr);
+  ASSERT_TRUE(objectHasFlag(Large.get(), FlagLogged));
+
+  ObjRef Before = Large.get();
+  Rt.heap().injectDynamicFailureOnLarge(Large.get());
+  ObjRef After = Large.get();
+  ASSERT_NE(After, nullptr);
+  EXPECT_NE(After, Before) << "failure on a movable large object must relocate";
+  // The internal full collection drained the log; a surviving set flag
+  // on the copy would be exactly the stale state this test guards.
+  EXPECT_FALSE(objectHasFlag(After, FlagLogged));
+
+  ObjRef Young = Rt.allocate(8, 0);
+  ASSERT_NE(Young, nullptr);
+  payloadWord(Young) = 424242;
+  Rt.writeRef(After, 0, Young);
+  Rt.collect(false); // Nursery: only the barrier log keeps Young alive.
+  ObjRef Fetched = Runtime::readRef(Large.get(), 0);
+  ASSERT_NE(Fetched, nullptr);
+  EXPECT_EQ(payloadWord(Fetched), 424242u);
+  Rt.heap().verifyIntegrity();
+}
+
 //===----------------------------------------------------------------------===//
 // Pinning
 //===----------------------------------------------------------------------===//

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Runtime.h"
 #include "obs/FlightRecorder.h"
 #include "obs/Hooks.h"
 #include "obs/Metrics.h"
@@ -273,4 +274,59 @@ TEST_F(ObsTest, ResetDropsEventsAndRestartsClock) {
       obs::FlightRecorder::instance().collect();
   ASSERT_EQ(Events.size(), 1u);
   EXPECT_EQ(Events[0].A, 2u);
+}
+
+TEST_F(ObsTest, GcPauseAccountingStaysInTheTimingDomain) {
+  // Regression: wall-clock pause totals (and every other *_us_total
+  // duration) must surface only through Timing-domain metrics. The
+  // deterministic export is compared byte-for-byte across reruns and
+  // worker counts, so a pause counter leaking into it would break the
+  // determinism gates on every machine with different timing.
+  obs::enable(obs::MetricsDomain);
+  RuntimeConfig Cfg;
+  Cfg.Collector = CollectorKind::StickyImmix;
+  Cfg.HeapBytes = 8 * MiB;
+  Cfg.IncrementalMark = true;
+  Runtime Rt(Cfg);
+  Handle Head = Rt.allocateRooted(8, 1);
+  ASSERT_NE(Head.get(), nullptr);
+  for (int I = 0; I != 2000; ++I) {
+    ObjRef Node = Rt.allocate(8, 1);
+    ASSERT_NE(Node, nullptr);
+    Rt.writeRef(Node, 0, Head.get());
+    Head.set(Node);
+  }
+  Rt.collect(true);  // Full pause.
+  Rt.collect(false); // Nursery pause.
+  ASSERT_TRUE(Rt.beginIncrementalMarkCycle());
+  while (Rt.incrementalMarkStep())
+    ;
+  Rt.finishIncrementalMarkCycle();
+  EXPECT_GT(Rt.heap().fullGcPausesMs().size(), 0u);
+  EXPECT_GT(Rt.heap().nurseryGcPausesMs().size(), 0u);
+
+  auto &R = obs::MetricsRegistry::instance();
+  std::string Det = R.exportJsonString(/*IncludeTiming=*/false);
+  EXPECT_EQ(Det.find("pause"), std::string::npos)
+      << "pause accounting leaked into the deterministic export";
+  EXPECT_EQ(Det.find("_us_total"), std::string::npos)
+      << "a wall-clock duration leaked into the deterministic export";
+  // The deterministic side of incremental marking does export: cycle
+  // counts are driver-controlled. The step count is NOT deterministic -
+  // a budgeted parallel step can retire under quota, so the number of
+  // steps a drain-to-convergence driver issues shifts with the worker
+  // count - and must stay in the timing (schedule) domain.
+  EXPECT_NE(Det.find("gc.inc.cycles_opened"), std::string::npos);
+  EXPECT_NE(Det.find("gc.inc.cycles_closed"), std::string::npos);
+  EXPECT_EQ(Det.find("gc.inc.mark_steps"), std::string::npos)
+      << "schedule-dependent step count leaked into the deterministic "
+         "export";
+
+  std::string Timing = R.exportJsonString(/*IncludeTiming=*/true);
+  for (const char *Name :
+       {"gc.pause_us_total", "gc.pause_full_us_total",
+        "gc.pause_nursery_us_total", "gc.mark_us_total",
+        "gc.inc.open_us_total", "gc.inc.step_us_total",
+        "gc.inc.close_us_total", "gc.inc.mark_steps"})
+    EXPECT_NE(Timing.find(Name), std::string::npos) << Name;
 }

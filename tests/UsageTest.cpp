@@ -1,0 +1,188 @@
+//===- tests/UsageTest.cpp - Tool help/usage contract tests ---------------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Executes the real wearmem_run / wearmem_soak binaries (paths injected
+// at compile time) and pins their command-line contract:
+//
+//  - --help exits 0 and its flag table matches the declared flag set
+//    exactly, both ways - a flag added to a parser without a help line,
+//    or a help line for a flag the parser dropped, fails here;
+//  - unknown options and malformed values exit 64 (cli::ExitUsage) with
+//    a diagnostic that names the offending flag.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CliArgs.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+struct ToolResult {
+  int ExitCode = -1;
+  std::string Output; ///< stdout and stderr interleaved.
+};
+
+/// Runs a tool command line through the shell, capturing both streams.
+ToolResult runTool(const std::string &CmdLine) {
+  ToolResult R;
+  FILE *Pipe = popen((CmdLine + " 2>&1").c_str(), "r");
+  if (!Pipe)
+    return R;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    R.Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  if (WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  return R;
+}
+
+/// Every distinct `--flag` token mentioned anywhere in Text.
+std::set<std::string> flagsIn(const std::string &Text) {
+  std::set<std::string> Flags;
+  for (size_t I = 0; (I = Text.find("--", I)) != std::string::npos;) {
+    size_t End = I + 2;
+    while (End < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[End])) ||
+            Text[End] == '-'))
+      ++End;
+    if (End > I + 2)
+      Flags.insert(Text.substr(I, End - I));
+    I = End;
+  }
+  return Flags;
+}
+
+/// Asserts the help text's flag vocabulary equals Declared, reporting
+/// the drift in both directions.
+void expectFlagSetMatches(const std::string &Help,
+                          const std::vector<std::string> &Declared) {
+  std::set<std::string> InHelp = flagsIn(Help);
+  std::set<std::string> Expected(Declared.begin(), Declared.end());
+  for (const std::string &F : Expected)
+    EXPECT_TRUE(InHelp.count(F)) << "declared flag missing from --help: "
+                                 << F;
+  for (const std::string &F : InHelp)
+    EXPECT_TRUE(Expected.count(F))
+        << "--help mentions an undeclared flag: " << F;
+}
+
+// The declared flag tables, mirroring the two parsers. A parser change
+// that skips the matching usage() edit shows up as a set difference
+// above; keep all three in sync.
+const std::vector<std::string> RunFlags = {
+    "--list",          "--profile",
+    "--collector",     "--adversary",
+    "--heap-factor",   "--heap-mb",
+    "--failure-rate",  "--cluster",
+    "--line",          "--no-compensate",
+    "--arraylets",     "--dynamic-failures",
+    "--incremental-mark", "--mark-budget",
+    "--gc-threads",    "--mutator-threads",
+    "--mutator-lanes", "--reps",
+    "--seed",          "--trace",
+    "--metrics-out",   "--snapshot-every",
+    "--help"};
+
+const std::vector<std::string> SoakFlags = {
+    "--profile",         "--collector",
+    "--adversary",       "--campaign",
+    "--seed",            "--heap-factor",
+    "--heap-mb",         "--failure-rate",
+    "--clustering",      "--max-debt-pages",
+    "--audit-every",     "--volume-scale",
+    "--wear-sim",        "--crash-campaign",
+    "--incremental-mark", "--mark-budget",
+    "--gc-threads",      "--mutator-threads",
+    "--mutator-lanes",   "--reps",
+    "--jobs",            "--trace",
+    "--metrics-out",     "--snapshot-every",
+    "--lifetime",        "--lifetime-checkpoints",
+    "--lifetime-years",  "--lifetime-base-lines",
+    "--lifetime-growth", "--escalate",
+    "--verify-determinism", "--with-timing",
+    "--help"};
+
+TEST(UsageTest, RunHelpExitsZeroAndMatchesDeclaredFlags) {
+  ToolResult R = runTool(std::string(WEARMEM_RUN_BIN) + " --help");
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("usage: wearmem_run"), std::string::npos);
+  expectFlagSetMatches(R.Output, RunFlags);
+}
+
+TEST(UsageTest, SoakHelpExitsZeroAndMatchesDeclaredFlags) {
+  ToolResult R = runTool(std::string(WEARMEM_SOAK_BIN) + " --help");
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+  expectFlagSetMatches(R.Output, SoakFlags);
+}
+
+TEST(UsageTest, UnknownOptionExitsUsageNamingTheFlag) {
+  ToolResult Run =
+      runTool(std::string(WEARMEM_RUN_BIN) + " --no-such-flag");
+  EXPECT_EQ(Run.ExitCode, wearmem::cli::ExitUsage);
+  EXPECT_NE(Run.Output.find("--no-such-flag"), std::string::npos);
+
+  ToolResult Soak =
+      runTool(std::string(WEARMEM_SOAK_BIN) + " --no-such-flag");
+  EXPECT_EQ(Soak.ExitCode, wearmem::cli::ExitUsage);
+  EXPECT_NE(Soak.Output.find("--no-such-flag"), std::string::npos);
+}
+
+TEST(UsageTest, MalformedValuesExitUsageNamingTheFlag) {
+  struct Case {
+    const char *Bin;
+    const char *Args;
+    const char *MustMention;
+  };
+  const Case Cases[] = {
+      {WEARMEM_RUN_BIN, "--cluster=banana", "--cluster"},
+      {WEARMEM_RUN_BIN, "--failure-rate=2", "--failure-rate"},
+      {WEARMEM_RUN_BIN, "--line=100", "--line"},
+      {WEARMEM_RUN_BIN, "--gc-threads=0", "--gc-threads"},
+      {WEARMEM_RUN_BIN, "--incremental-mark --mark-budget=potato",
+       "--mark-budget"},
+      {WEARMEM_RUN_BIN, "--incremental-mark --collector=ms",
+       "--incremental-mark"},
+      {WEARMEM_RUN_BIN, "--mark-budget=8", "--mark-budget"},
+      {WEARMEM_SOAK_BIN, "--seed banana", "--seed"},
+      {WEARMEM_SOAK_BIN, "--gc-threads 0", "--gc-threads"},
+      {WEARMEM_SOAK_BIN, "--profile", "--profile"}, // Missing value.
+      {WEARMEM_SOAK_BIN, "--mark-budget 8", "--mark-budget"},
+      {WEARMEM_SOAK_BIN, "--incremental-mark --collector ms",
+       "--incremental-mark"},
+      {WEARMEM_SOAK_BIN, "--incremental-mark --lifetime",
+       "--incremental-mark"},
+  };
+  for (const Case &C : Cases) {
+    ToolResult R = runTool(std::string(C.Bin) + " " + C.Args);
+    EXPECT_EQ(R.ExitCode, wearmem::cli::ExitUsage)
+        << C.Args << "\n" << R.Output;
+    EXPECT_NE(R.Output.find(C.MustMention), std::string::npos)
+        << "diagnostic for '" << C.Args << "' does not name "
+        << C.MustMention << ":\n"
+        << R.Output;
+  }
+}
+
+TEST(UsageTest, ListExitsZero) {
+  ToolResult R = runTool(std::string(WEARMEM_RUN_BIN) + " --list");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("pmd"), std::string::npos);
+}
+
+} // namespace

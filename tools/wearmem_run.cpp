@@ -23,6 +23,7 @@
 #include "support/CliArgs.h"
 #include "support/JsonWriter.h"
 #include "support/Table.h"
+#include "workload/IncMarkDriver.h"
 #include "workload/Mutator.h"
 #include "workload/MutatorPool.h"
 #include "workload/Runner.h"
@@ -58,6 +59,13 @@ void printUsage(FILE *Out) {
       "  --no-compensate          fixed physical footprint\n"
       "  --arraylets              discontiguous large arrays\n"
       "  --dynamic-failures=N     inject N line failures mid-run\n"
+      "  --incremental-mark       bounded-pause SATB marking (Immix\n"
+      "                           collectors only); cycles are driven\n"
+      "                           on the allocation clock, so results\n"
+      "                           stay deterministic per seed\n"
+      "  --mark-budget=N          objects traced per mark increment\n"
+      "                           (0 = unbounded; default 512;\n"
+      "                           requires --incremental-mark)\n"
       "  --gc-threads=N           parallel GC workers (default 1; the\n"
       "                           heap state is identical for any N)\n"
       "  --mutator-threads=N      OS threads driving the mutator lanes\n"
@@ -90,6 +98,9 @@ int main(int argc, char **argv) {
   bool Compensate = true;
   bool Arraylets = false;
   unsigned DynamicFailures = 0;
+  bool IncrementalMark = false;
+  unsigned MarkBudget = 0;
+  bool MarkBudgetSet = false;
   unsigned GcThreads = 1;
   unsigned MutatorThreads = 1;
   unsigned MutatorLanes = 0;
@@ -178,6 +189,11 @@ int main(int argc, char **argv) {
       Arraylets = true;
     } else if (parseFlag("--dynamic-failures", Value)) {
       ValueOk = uns(DynamicFailures);
+    } else if (parseFlag("--incremental-mark", Value)) {
+      IncrementalMark = true;
+    } else if (parseFlag("--mark-budget", Value)) {
+      ValueOk = uns(MarkBudget);
+      MarkBudgetSet = true;
     } else if (parseFlag("--gc-threads", Value)) {
       ValueOk = uns(GcThreads) && GcThreads >= 1;
       if (!ValueOk)
@@ -236,6 +252,18 @@ int main(int argc, char **argv) {
                  AdversaryName.c_str(), adversaryNameList());
     return ExitUsage;
   }
+  if (IncrementalMark && Config.Collector != CollectorKind::Immix &&
+      Config.Collector != CollectorKind::StickyImmix) {
+    std::fprintf(stderr,
+                 "error: --incremental-mark requires an Immix collector "
+                 "(--collector=ix or s-ix)\n");
+    return ExitUsage;
+  }
+  if (MarkBudgetSet && !IncrementalMark) {
+    std::fprintf(stderr,
+                 "error: --mark-budget requires --incremental-mark\n");
+    return ExitUsage;
+  }
   Config.HeapBytes = HeapMb > 0.0
                          ? static_cast<size_t>(HeapMb * 1024 * 1024)
                          : heapBytesFor(*P, HeapFactor);
@@ -245,6 +273,9 @@ int main(int argc, char **argv) {
   Config.CompensateForFailures = Compensate;
   Config.UseDiscontiguousArrays = Arraylets;
   Config.GcThreads = GcThreads;
+  Config.IncrementalMark = IncrementalMark;
+  if (MarkBudgetSet)
+    Config.MarkBudget = MarkBudget;
   Config.Seed = Seed;
   if (Config.Collector == CollectorKind::MarkSweep ||
       Config.Collector == CollectorKind::StickyMarkSweep)
@@ -287,8 +318,19 @@ int main(int argc, char **argv) {
     PoolOpts.VolumeScale = benchScale();
     PoolOpts.Adversary = Adversary;
     MutatorPool Pool(Rt, *P, PoolOpts);
+    IncMarkDriver Inc(Rt, Pool.targetBytes());
+    if (IncrementalMark)
+      // The hook runs on whichever thread holds the turn, serialized by
+      // the turnstile, so the driver advances on the pool's own virtual
+      // clock and the digest stays lane-count-deterministic.
+      Pool.setTurnHook([&](unsigned, uint64_t) {
+        Inc.pump(Pool.steadyAllocatedBytes());
+        return true;
+      });
     auto Start = std::chrono::steady_clock::now();
     bool Ok = Pool.run();
+    if (IncrementalMark)
+      Inc.flush();
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
@@ -316,16 +358,25 @@ int main(int argc, char **argv) {
         static_cast<unsigned long long>(S.InterruptsOrphaned),
         static_cast<unsigned long long>(Digest),
         Audit.passed() ? "clean" : "FAILED");
+    if (IncrementalMark)
+      std::printf("incremental mark: %llu cycles, %llu increments, "
+                  "%llu satb logged / %llu drained\n",
+                  static_cast<unsigned long long>(
+                      S.IncrementalCyclesClosed),
+                  static_cast<unsigned long long>(S.MarkIncrements),
+                  static_cast<unsigned long long>(S.SatbLogged),
+                  static_cast<unsigned long long>(S.SatbDrained));
     if (!Audit.passed())
       return 3;
     return Ok ? 0 : 2;
   }
 
-  if (DynamicFailures > 0 || ObsRun) {
+  if (DynamicFailures > 0 || ObsRun || IncrementalMark) {
     // One instrumented run, optionally with evenly spaced mid-run line
     // failures.
     Runtime Rt(Config);
     Mutator M(Rt, *P, Seed, benchScale(), Adversary);
+    IncMarkDriver Inc(Rt, M.targetBytes());
     Rng FailRand(Seed + 1);
     unsigned Injected = 0;
     std::vector<obs::HeapSnapshot> Snapshots;
@@ -337,6 +388,8 @@ int main(int argc, char **argv) {
       uint64_t Step = M.targetBytes() / (DynamicFailures + 1);
       uint64_t Next = Step;
       while (M.steadyAllocatedBytes() < M.targetBytes() && M.step()) {
+        if (IncrementalMark)
+          Inc.pump(M.steadyAllocatedBytes());
         if (M.steadyAllocatedBytes() >= Next &&
             Injected < DynamicFailures) {
           if (Rt.injectRandomDynamicFailure(FailRand))
@@ -355,6 +408,8 @@ int main(int argc, char **argv) {
         }
       }
     }
+    if (IncrementalMark)
+      Inc.flush();
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
@@ -364,6 +419,16 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Rt.stats().GcCount),
                 static_cast<unsigned long long>(
                     Rt.stats().ObjectsEvacuated));
+    if (IncrementalMark)
+      std::printf("incremental mark: %llu cycles, %llu increments, "
+                  "%llu satb logged / %llu drained\n",
+                  static_cast<unsigned long long>(
+                      Rt.stats().IncrementalCyclesClosed),
+                  static_cast<unsigned long long>(
+                      Rt.stats().MarkIncrements),
+                  static_cast<unsigned long long>(Rt.stats().SatbLogged),
+                  static_cast<unsigned long long>(
+                      Rt.stats().SatbDrained));
     if (!TracePath.empty() &&
         !obs::FlightRecorder::instance().exportChromeTrace(TracePath))
       std::fprintf(stderr, "cannot write %s\n", TracePath.c_str());

@@ -31,6 +31,7 @@
 #include "pcm/WearSimulation.h"
 #include "support/CliArgs.h"
 #include "support/JsonWriter.h"
+#include "workload/IncMarkDriver.h"
 #include "workload/Lifetime.h"
 #include "workload/Mutator.h"
 #include "workload/MutatorPool.h"
@@ -80,6 +81,14 @@ struct SoakOptions {
   /// Seed the static failure map from a wear simulation run to this
   /// failed fraction (0 = off).
   double WearSimTarget = 0.0;
+  /// Bounded-pause SATB marking (Immix collectors only): the run drives
+  /// cycles on the allocation clock via the shared IncMarkDriver policy,
+  /// so curves and digests stay deterministic per seed and lane count.
+  bool IncrementalMark = false;
+  /// Objects traced per mark increment (0 = unbounded); only meaningful
+  /// with --incremental-mark.
+  unsigned MarkBudget = 0;
+  bool MarkBudgetSet = false;
   /// Parallel GC workers inside each runtime (heap state is identical
   /// for any value; see gc/GcWorkers.h).
   unsigned GcThreads = 1;
@@ -170,6 +179,13 @@ void usage(FILE *Out, const char *Argv0) {
       "  --crash-campaign N    kill-and-recover mode: N iterations of\n"
       "                        run, crash at a rotating kill point,\n"
       "                        journal recovery, and audit\n"
+      "  --incremental-mark    bounded-pause SATB marking (Immix\n"
+      "                        collectors only); cycles are driven on\n"
+      "                        the allocation clock, so curves stay\n"
+      "                        deterministic per seed\n"
+      "  --mark-budget N       objects traced per mark increment\n"
+      "                        (0 = unbounded; default 512; requires\n"
+      "                        --incremental-mark)\n"
       "  --gc-threads N        parallel GC workers (default 1; heap\n"
       "                        state is identical for any N)\n"
       "  --mutator-threads N   OS threads driving the mutator lanes\n"
@@ -300,6 +316,11 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       }
     } else if (Arg == "--crash-campaign") {
       uns(Opt.CrashIters);
+    } else if (Arg == "--incremental-mark") {
+      Opt.IncrementalMark = true;
+    } else if (Arg == "--mark-budget") {
+      uns(Opt.MarkBudget);
+      Opt.MarkBudgetSet = true;
     } else if (Arg == "--gc-threads") {
       uns(Opt.GcThreads, 1);
     } else if (Arg == "--mutator-threads") {
@@ -348,6 +369,23 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       Bad = ExitUsage;
     }
   }
+  if (Bad < 0 && Opt.IncrementalMark &&
+      Opt.Collector != CollectorKind::Immix &&
+      Opt.Collector != CollectorKind::StickyImmix) {
+    std::fprintf(stderr, "--incremental-mark requires an Immix collector "
+                         "(--collector ix or s-ix)\n");
+    Bad = ExitUsage;
+  }
+  if (Bad < 0 && Opt.MarkBudgetSet && !Opt.IncrementalMark) {
+    std::fprintf(stderr, "--mark-budget requires --incremental-mark\n");
+    Bad = ExitUsage;
+  }
+  if (Bad < 0 && Opt.IncrementalMark &&
+      (Opt.Lifetime || Opt.CrashIters != 0)) {
+    std::fprintf(stderr, "--incremental-mark is not supported in "
+                         "lifetime or crash-campaign mode\n");
+    Bad = ExitUsage;
+  }
   if (Bad >= 0)
     usage(stderr, Argv[0]);
   return Bad;
@@ -376,6 +414,9 @@ RuntimeConfig makeConfig(const SoakOptions &Opt, const Profile &P) {
   Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
   Config.MaxDebtPages = Opt.MaxDebtPages;
   Config.GcThreads = Opt.GcThreads;
+  Config.IncrementalMark = Opt.IncrementalMark;
+  if (Opt.MarkBudgetSet)
+    Config.MarkBudget = Opt.MarkBudget;
   Config.Seed = Opt.Seed;
   if (Opt.WearSimTarget > 0.0) {
     // Provision from a simulated wear-out instead of the parametric
@@ -430,6 +471,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
     return Pool ? Pool->steadyAllocatedBytes() : M.steadyAllocatedBytes();
   };
   uint64_t TargetBytes = Pool ? Pool->targetBytes() : M.targetBytes();
+  IncMarkDriver Inc(Rt, TargetBytes);
 
   auto T0 = std::chrono::steady_clock::now();
   bool Alive = true;
@@ -454,6 +496,8 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   // single-mutator loop and the pool's turn hook. Returns false to stop
   // the run (audit violation).
   auto onStep = [&]() -> bool {
+    if (Opt.IncrementalMark)
+      Inc.pump(steadyBytes());
     bool Fired = Campaign.pump();
     uint64_t Gc = Rt.stats().GcCount;
     if (Gc != LastGc) {
@@ -502,8 +546,11 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
     }
   }
 
-  // Flush any pending recovery so the final audit sees a settled heap,
-  // then take the closing curve point and verdict.
+  // Close any cycle the run left open, then flush any pending recovery
+  // so the final audit sees a settled heap, then take the closing curve
+  // point and verdict.
+  if (Opt.IncrementalMark && !Rt.outOfMemory())
+    Inc.flush();
   if (!AuditFailed && !Rt.outOfMemory()) {
     if (Rt.heap().pendingFailureRecovery())
       Rt.collect(true);
@@ -646,6 +693,32 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
   W.key("pinned_page_remaps");
   W.value(Out.Heap.PinnedFailurePageRemaps);
   W.close();
+  if (Opt.IncrementalMark) {
+    // Only with --incremental-mark: the legacy JSON stays byte-identical
+    // otherwise. Cycle and SATB totals are deterministic for a fixed
+    // seed and lane count (see heap/HeapConfig.h), but the number of
+    // mark increments is not: the driver steps until the work list
+    // converges, and a budgeted parallel step may retire a few objects
+    // under quota (MarkWorkList's refund-drop rule), so the step count
+    // shifts with --gc-threads. It rides with the other schedule-domain
+    // values behind --with-timing to keep the default JSON byte-
+    // identical across worker counts.
+    W.key("incremental_mark");
+    W.openObject(JsonWriter::Style::Inline);
+    W.key("cycles_opened");
+    W.value(Out.Heap.IncrementalCyclesOpened);
+    W.key("cycles_closed");
+    W.value(Out.Heap.IncrementalCyclesClosed);
+    if (Opt.WithTiming) {
+      W.key("mark_increments");
+      W.value(Out.Heap.MarkIncrements);
+    }
+    W.key("satb_logged");
+    W.value(Out.Heap.SatbLogged);
+    W.key("satb_drained");
+    W.value(Out.Heap.SatbDrained);
+    W.close();
+  }
   W.key("degradation");
   W.openObject(JsonWriter::Style::Inline);
   W.key("final_mode");
