@@ -28,6 +28,7 @@ HeapConfig RuntimeConfig::toHeapConfig() const {
   Heap.FreeListFailureAware = FreeListFailureAware;
   Heap.GcThreads = GcThreads;
   Heap.IncrementalMark = IncrementalMark;
+  Heap.ConcurrentMark = ConcurrentMark;
   Heap.MarkBudget = MarkBudget;
   Heap.NurseryYieldThreshold = NurseryYieldThreshold;
   Heap.FullGcEvery = FullGcEvery;

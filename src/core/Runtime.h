@@ -91,9 +91,18 @@ struct RuntimeConfig {
   /// cycles are driven explicitly via beginIncrementalMarkCycle() /
   /// incrementalMarkStep() / finishIncrementalMarkCycle().
   bool IncrementalMark = false;
-  /// Objects traced per incremental mark step (0 = unbounded). The final
-  /// heap is bit-identical under any budget or GC worker count; drive
-  /// steps on a fixed schedule when deterministic step counts matter.
+  /// Mostly-concurrent marking: an open SATB cycle is drained by a
+  /// dedicated marker thread overlapped with mutation; mutators only pay
+  /// the open, the per-safepoint SATB buffer flushes, and the closing
+  /// drain-to-convergence pause. Mutually exclusive with IncrementalMark
+  /// (the two are alternative pacings of the same cycle machinery);
+  /// requires an Immix collector. Final heap state is bit-identical to
+  /// stop-the-world and interleaved marking at the same close point.
+  bool ConcurrentMark = false;
+  /// Objects traced per incremental mark step or concurrent marker slice
+  /// (0 = unbounded). The final heap is bit-identical under any budget
+  /// or GC worker count; drive steps on a fixed schedule when
+  /// deterministic step counts matter.
   unsigned MarkBudget = 512;
 
   /// Pass-through GC policy knobs.
@@ -215,6 +224,11 @@ public:
   bool incrementalMarkStep() { return Heap_.incrementalMarkStep(); }
   void finishIncrementalMarkCycle() { Heap_.finishIncrementalMarkCycle(); }
   bool incrementalCycleOpen() const { return Heap_.incrementalCycleOpen(); }
+  /// Concurrent marking's flush-only handshake: parks peer mutator
+  /// threads just long enough to seal every lane's SATB buffer into the
+  /// sealed-segment queue, then wakes the marker (no-op without an open
+  /// cycle; see gc/Heap.h).
+  void satbFlushHandshake() { Heap_.satbFlushHandshake(); }
   /// @}
 
   bool outOfMemory() const { return Heap_.outOfMemory(); }

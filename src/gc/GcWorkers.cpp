@@ -188,6 +188,20 @@ bool MarkWorkList::pop(unsigned Worker, Item &Out) {
   return true;
 }
 
+bool MarkWorkList::tryPop(unsigned Worker, Item &Out) {
+  WorkerState &S = *W[Worker];
+  if (S.Local.empty()) {
+    std::vector<Item> Chunk;
+    if (!takeOwn(Worker, Chunk) && !takeStolen(Worker, Chunk) &&
+        !takeOverflow(Chunk))
+      return false;
+    S.Local = std::move(Chunk);
+  }
+  Out = S.Local.back();
+  S.Local.pop_back();
+  return true;
+}
+
 bool MarkWorkList::takeOwn(unsigned Worker, std::vector<Item> &Out) {
   WorkerState &S = *W[Worker];
   if (S.ChunkCount.load(std::memory_order_relaxed) == 0)

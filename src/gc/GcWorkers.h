@@ -128,6 +128,16 @@ public:
   /// budget is spent.
   bool pop(unsigned Worker, Item &Out);
 
+  /// Non-blocking pop for the concurrent marker: takes from \p Worker's
+  /// local buffer, else makes exactly one refill attempt (own deque,
+  /// then a steal sweep, then the overflow list) and returns false if
+  /// all come up empty - never spins, never touches the quota or the
+  /// idle/termination protocol. The marker runs this single-threaded
+  /// against slot \p Worker while mutators are off-safepoint; an empty
+  /// return means "no work *visible now*", not phase termination (the
+  /// closing pause's drain-to-convergence decides that).
+  bool tryPop(unsigned Worker, Item &Out);
+
   /// \name Budgeted (incremental) draining
   /// An incremental mark step arms a quota of successful pops; once it
   /// is spent every pop returns false while the remaining frontier stays

@@ -9,6 +9,7 @@
 
 #include "obs/Hooks.h"
 
+#include "gc/ConcurrentMarker.h"
 #include "gc/HeapAuditor.h"
 
 #include <algorithm>
@@ -49,6 +50,13 @@ Heap::Heap(const HeapConfig &Config)
     Workers = std::make_unique<GcWorkerPool>(this->Config.GcThreads);
 }
 
+Heap::~Heap() {
+  // Join the marker before any member is torn down: a shutdown request
+  // lets an in-flight slice finish against a still-fully-alive heap.
+  if (Marker)
+    Marker->shutdown();
+}
+
 void Heap::setGcThreads(unsigned Threads) {
   assert(!InCollection && "cannot reconfigure workers during collection");
   assert(!IncCycle &&
@@ -82,6 +90,10 @@ void Heap::setMutatorLanes(unsigned Lanes) {
   }
   if (Allocator)
     Allocator->setLane(Lanes > 1 ? 0 : -1);
+  // One SATB buffer per lane: the write barrier appends to the active
+  // lane's thread-confined buffer (no cycle is open here, so the log is
+  // empty and safe to reprovision).
+  Satb.setLanes(Lanes);
   {
     std::lock_guard<std::mutex> Lock(MailboxMu);
     LaneMailboxes.assign(Lanes, {});
@@ -328,7 +340,7 @@ void Heap::writeRef(ObjRef Src, unsigned Slot, ObjRef Dst) {
     // open cycle is a full trace, which supersedes the mutation log
     // exactly the way a stop-the-world full collection clears it.
     if (ObjRef Old = *SlotP) {
-      Satb.push(Old);
+      Satb.push(ActiveLane, Old);
       ++Stats.SatbLogged;
     }
   } else if (isSticky(Config.Collector) && objectMark(Src) == Epoch &&
@@ -339,7 +351,12 @@ void Heap::writeRef(ObjRef Src, unsigned Slot, ObjRef Dst) {
     ModBuf.push_back(Src);
     ++Stats.WriteBarrierLogs;
   }
-  *SlotP = Dst;
+  // Release publication: a concurrent marker reaching Dst through this
+  // slot (acquire load in scanMarked) must observe it fully initialized.
+  // Mutator-side readers stay plain - the mutator's own program order
+  // already covers them - and on the hot path this compiles to the same
+  // plain store as before.
+  std::atomic_ref<ObjRef>(*SlotP).store(Dst, std::memory_order_release);
 }
 
 //===----------------------------------------------------------------------===//
@@ -361,7 +378,7 @@ void Heap::releaseRoot(unsigned Idx) {
   assert(Idx < Roots.size() && "root index out of range");
   // Dropping a root overwrites a reference slot: SATB barrier applies.
   if (IncCycle && Roots[Idx]) {
-    Satb.push(Roots[Idx]);
+    Satb.push(ActiveLane, Roots[Idx]);
     ++Stats.SatbLogged;
   }
   Roots[Idx] = nullptr;
@@ -371,7 +388,7 @@ void Heap::releaseRoot(unsigned Idx) {
 void Heap::setRoot(unsigned Idx, ObjRef Obj) {
   assert(Idx < Roots.size() && "root index out of range");
   if (IncCycle && Roots[Idx]) {
-    Satb.push(Roots[Idx]);
+    Satb.push(ActiveLane, Roots[Idx]);
     ++Stats.SatbLogged;
   }
   Roots[Idx] = Obj;
@@ -578,6 +595,14 @@ void Heap::claimEdge(ObjRef Target, unsigned Wk, bool Full,
       // precede the line marking (marking a failed line is a no-op),
       // and it mutates OS/journal state serially.
       MW.RemapCandidates.push_back(Target);
+    } else if (MarkerDeferLines) {
+      // Concurrent marker: line marks feed the allocators' availability
+      // caches, which mutators rebuild with plain writes mid-cycle, so
+      // the marker must not touch them. Park the claim; the closing
+      // pause applies the marks (idempotent, order-free) before the
+      // sweep. Availability is unchanged either way - the lane
+      // allocators honor the (Prev, Epoch) hole rule all cycle.
+      MW.DeferredLineMarks.push_back(Target);
     } else {
       markObjectLines(Target, Size);
     }
@@ -592,9 +617,16 @@ void Heap::scanMarked(ObjRef Obj, unsigned Wk, bool Full,
   MW.BytesTraced += word0Size(Word);
   MW.Scanned.push_back(Obj);
   ObjRef *Slots = reinterpret_cast<ObjRef *>(Obj + ObjectHeaderBytes);
-  for (unsigned Slot = 0, E = word0NumRefs(Word); Slot != E; ++Slot)
-    if (ObjRef Target = Slots[Slot])
+  for (unsigned Slot = 0, E = word0NumRefs(Word); Slot != E; ++Slot) {
+    // Acquire pairs with writeRef's release store: a concurrent marker
+    // that loads a freshly published reference sees the referent's
+    // initialized header and slots. Free at the instruction level; in
+    // the stop-the-world phases the slots are stable anyway.
+    ObjRef Target =
+        std::atomic_ref<ObjRef>(Slots[Slot]).load(std::memory_order_acquire);
+    if (Target)
       claimEdge(Target, Wk, Full, WorkList);
+  }
 }
 
 void Heap::markPhase(CollectionKind Kind) {
@@ -859,8 +891,8 @@ void Heap::sweepPhase() {
 //===----------------------------------------------------------------------===//
 
 bool Heap::beginIncrementalMarkCycle() {
-  if (!Config.IncrementalMark || !Immix || IncCycle || InCollection ||
-      OutOfMemory)
+  if (!(Config.IncrementalMark || Config.ConcurrentMark) || !Immix ||
+      IncCycle || InCollection || OutOfMemory)
     return false;
   size_t Stopped = Safepoints.stopTheWorld();
   if (Stopped)
@@ -929,12 +961,25 @@ bool Heap::beginIncrementalMarkCycle() {
                                 .count()));
   if (Stopped)
     Safepoints.resumeTheWorld();
+  if (Config.ConcurrentMark) {
+    // Hand the cycle to the marker thread: it exclusively owns worker
+    // slot 0 and the work list until the close quiesces it. Line marks
+    // defer from here on (the flag flips with the marker parked on both
+    // sides, so its claimEdge reads never race).
+    if (!Marker)
+      Marker = std::make_unique<ConcurrentMarker>(*this);
+    MarkerDeferLines = true;
+    Marker->cycleOpened();
+  }
   return true;
 }
 
 bool Heap::incrementalMarkStep() {
   if (!IncCycle)
     return false;
+  assert(!Config.ConcurrentMark &&
+         "incrementalMarkStep is the interleaved pacing; a concurrent "
+         "cycle is driven by the marker thread (satbFlushHandshake)");
   assert(!InCollection && "mark increment inside a collection");
   size_t Stopped = Safepoints.stopTheWorld();
   if (Stopped)
@@ -984,6 +1029,17 @@ void Heap::finishIncrementalMarkCycle() {
   if (!IncCycle)
     return;
   assert(!InCollection && "closing pause inside a collection");
+  if (Config.ConcurrentMark && Marker) {
+    // Quiesce the marker *before* stopping the world: the marker is not
+    // a registered safepoint thread, so it would otherwise keep tracing
+    // through the closing pause. The quiesce mutex hands every
+    // marker-written structure (worklist state, worker-0 scratch,
+    // deferred line marks, its SATB drain tally) to this thread.
+    Marker->quiesce();
+    MarkerDeferLines = false;
+    Stats.SatbDrained += MarkerSatbDrained;
+    MarkerSatbDrained = 0;
+  }
   size_t Stopped = Safepoints.stopTheWorld();
   if (Stopped)
     ++Stats.SafepointStops;
@@ -1019,6 +1075,13 @@ void Heap::finishIncrementalMarkCycle() {
     WorkList.reopen();
   } while (!Satb.empty());
   InMarkPhase.store(false, std::memory_order_release);
+
+  // Apply the line marks the concurrent marker deferred since the last
+  // flush handshake (no-op in the interleaved mode; handshakes drained
+  // the earlier accumulation). Every deferred object is claimed for
+  // this epoch and unmoved, so marking is idempotent and order-free -
+  // the same line-mark set a stop-the-world trace writes inline.
+  applyDeferredLineMarks();
 
   // Deterministic merge, in worker order.
   for (MarkWorker &MW : MarkWorkers) {
@@ -1063,6 +1126,13 @@ void Heap::finishIncrementalMarkCycle() {
   WEARMEM_COUNT_TIMING_N("gc.pause_full_us_total", PauseUs);
   WEARMEM_COUNT_TIMING_N("gc.inc.close_us_total", PauseUs);
   WEARMEM_TRACE(GcEnd, Stats.GcCount, 1);
+  // SATB growth accounting: lifetime high-water marks of the sealed
+  // queue and the per-lane buffers. Timing domain - they move with the
+  // flush/drain schedule, never with the mutation history.
+  WEARMEM_GAUGE_TIMING("gc.satb.sealed_segments_hwm",
+                       Satb.sealedSegmentsHighWater());
+  WEARMEM_GAUGE_TIMING("gc.satb.lane_pending_hwm",
+                       Satb.lanePendingHighWater());
   InCollection = false;
   MarkWorkers.clear();
   IncCycle.reset();
@@ -1074,6 +1144,80 @@ void Heap::finishIncrementalMarkCycle() {
   // End-of-cycle safepoint: apply dynamic failures parked during the
   // open cycle (InMarkPhase held for its whole duration).
   drainDeferredFailures();
+}
+
+//===----------------------------------------------------------------------===//
+// Mostly-concurrent marking
+//===----------------------------------------------------------------------===//
+
+void Heap::satbFlushHandshake() {
+  if (!IncCycle)
+    return;
+  assert(!InCollection && "flush handshake inside a collection");
+  // Quiesce the marker for the handshake window: the deferred
+  // line-mark list below is marker-written state, and the brief park
+  // (at most one bounded slice) hands it over with happens-before.
+  if (Config.ConcurrentMark && Marker)
+    Marker->quiesce();
+  // Park peers just long enough to seal every lane's partial buffer
+  // into the sealed-segment queue and retire the line marks the marker
+  // has deferred so far - amortizing the close's O(live set) line-mark
+  // bill across the cycle's handshakes. Deliberately *not* a
+  // SafepointStops event: it is a sub-pause of the open cycle, visible
+  // in the Timing domain only, so deterministic counters stay
+  // identical across the three marking modes.
+  Safepoints.flushHandshake([this] {
+    Satb.sealAll();
+    applyDeferredLineMarks(FlushLineMarkBudget);
+  });
+  WEARMEM_COUNT_TIMING("gc.satb.flush_handshakes");
+  if (Marker)
+    Marker->resume();
+}
+
+void Heap::applyDeferredLineMarks(size_t Budget) {
+  // Caller must own the mark state: the marker is quiesced (or never
+  // ran) and the world is stopped or single-threaded. Deferred objects
+  // are claimed at the current epoch and unmoved, so the marks land
+  // idempotently in any order - which is what lets a bounded call
+  // retire them back-to-front and leave the remainder for the next
+  // window. Line marks are only read by the closing sweep, so *when*
+  // a mark lands within the cycle is invisible to the mutators.
+  for (MarkWorker &MW : MarkWorkers) {
+    std::vector<ObjRef> &List = MW.DeferredLineMarks;
+    while (!List.empty()) {
+      if (Budget == 0)
+        return;
+      ObjRef Obj = List.back();
+      List.pop_back();
+      markObjectLines(Obj, objectSize(Obj));
+      --Budget;
+    }
+  }
+}
+
+bool Heap::concurrentMarkSlice() {
+  // Marker-thread only, strictly between cycleOpened() and quiesce():
+  // IncCycle, Epoch, MarkWorkers[0] and the work list are all stable
+  // (and exclusively the marker's) for that whole window.
+  assert(IncCycle && "marker slice without an open cycle");
+  MarkWorkList &WorkList = *IncCycle->WorkList;
+  // Deletions first, exactly like an interleaved step: sealed segments
+  // rejoin the frontier (mark claims deduplicate re-logged objects).
+  // The tally merges into Stats.SatbDrained at the close - the marker
+  // must not touch Stats fields mutators read mid-run.
+  MarkerSatbDrained += Satb.drainSealed(
+      [&](ObjRef Old) { claimEdge(Old, 0, /*Full=*/true, WorkList); });
+  uint64_t Budget = Config.MarkBudget != 0 ? Config.MarkBudget
+                                           : DefaultMarkerSliceQuota;
+  uint64_t Scanned = 0;
+  ObjRef Obj;
+  while (Scanned < Budget && WorkList.tryPop(0, Obj)) {
+    scanMarked(Obj, 0, /*Full=*/true, WorkList);
+    ++Scanned;
+  }
+  WEARMEM_COUNT_TIMING_N("gc.cm.objects_scanned", Scanned);
+  return Scanned == Budget || !Satb.sealedEmpty();
 }
 
 void Heap::drainDeferredFailures() {

@@ -48,6 +48,7 @@
 
 namespace wearmem {
 
+class ConcurrentMarker;
 class HeapAuditor;
 
 /// Which collection to run.
@@ -57,6 +58,8 @@ enum class CollectionKind { Nursery, Full };
 class Heap {
 public:
   explicit Heap(const HeapConfig &Config);
+  /// Joins the concurrent marker thread (if one was ever started).
+  ~Heap();
 
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
@@ -149,6 +152,37 @@ public:
   bool incrementalCycleOpen() const { return IncCycle != nullptr; }
   /// Entries currently parked in the SATB deletion log (tests/tools).
   size_t satbLogDepth() const { return Satb.size(); }
+
+  //===--------------------------------------------------------------===//
+  // Mostly-concurrent marking (Config.ConcurrentMark)
+  //===--------------------------------------------------------------===//
+
+  /// With Config.ConcurrentMark, an open cycle is drained by a dedicated
+  /// marker thread (gc/ConcurrentMarker.h) instead of incremental steps:
+  /// beginIncrementalMarkCycle arms the marker after seeding, drivers
+  /// issue satbFlushHandshake() ticks instead of incrementalMarkStep(),
+  /// and finishIncrementalMarkCycle quiesces the marker before its usual
+  /// closing drain-to-convergence - which is what keeps the final heap
+  /// state bit-identical to stop-the-world and interleaved marking.
+
+  /// Flush-only handshake: parks registered peer threads just long
+  /// enough to seal every lane's partial SATB buffer into the shared
+  /// sealed-segment queue, then wakes the marker. Unlike a collection
+  /// stop this never bumps Stats.SafepointStops (it is a sub-pause;
+  /// Timing metrics only). No-op without an open cycle. Must be called
+  /// from a mutator at a turn boundary, never from inside a collection.
+  void satbFlushHandshake();
+
+  /// One bounded marker slice: drains sealed SATB segments into the
+  /// frontier, then scans up to Config.MarkBudget objects (0 = a default
+  /// quota, so quiescence stays prompt). Returns true if work remained
+  /// when the budget ran out. Called only by the ConcurrentMarker
+  /// thread, only between cycleOpened() and quiesce().
+  bool concurrentMarkSlice();
+
+  /// Marker slice quota when Config.MarkBudget is 0 ("unbounded"): the
+  /// marker still bounds each slice so quiesce() latency stays prompt.
+  static constexpr uint64_t DefaultMarkerSliceQuota = 4096;
 
   //===--------------------------------------------------------------===//
   // Parallel collection engine
@@ -348,6 +382,13 @@ private:
     std::vector<ObjRef> Scanned;
     std::vector<ObjRef> EvacCandidates;
     std::vector<ObjRef> RemapCandidates;
+    /// Concurrent mode: non-candidate claims whose line marking is
+    /// deferred to the closing pause. Mid-cycle line marks would race
+    /// the mutator allocators' lazily rebuilt availability caches;
+    /// deferring is equivalence-preserving because the lane allocators
+    /// honor the (Prev, Epoch) hole rule all cycle, exactly as if no
+    /// mid-cycle marks existed (the stop-the-world baseline).
+    std::vector<ObjRef> DeferredLineMarks;
     uint64_t ObjectsMarked = 0;
     uint64_t BytesTraced = 0;
 #ifdef WEARMEM_EXPENSIVE_CHECKS
@@ -417,8 +458,33 @@ private:
     std::vector<ObjRef> NewObjects;
   };
   std::unique_ptr<IncrementalCycle> IncCycle;
-  /// SATB deletion log, fed by writeRef/setRoot while IncCycle is open.
+  /// SATB deletion log, fed by writeRef/setRoot while IncCycle is open
+  /// (per-lane buffers; the active lane's thread is the only pusher).
   SatbLog Satb;
+  /// The dedicated marker thread (Config.ConcurrentMark; created lazily
+  /// on the first concurrent cycle, joined by ~Heap).
+  std::unique_ptr<ConcurrentMarker> Marker;
+  /// True between arming the marker at a cycle open and quiescing it at
+  /// the close: claimEdge defers line marking onto DeferredLineMarks.
+  /// Written by the open/close code with the marker parked on both
+  /// sides of each transition, so the marker's reads never race.
+  bool MarkerDeferLines = false;
+  /// SATB entries the marker drained this cycle; merged into
+  /// Stats.SatbDrained at the close, after the quiesce (the marker must
+  /// not write Stats fields the mutator reads mid-run).
+  uint64_t MarkerSatbDrained = 0;
+  /// Retires up to Budget entries from the per-worker DeferredLineMarks
+  /// lists (all of them by default). Caller must own the mark state:
+  /// the marker is quiesced (or never ran) and the world is stopped or
+  /// single-threaded. The flush handshakes call this with
+  /// FlushLineMarkBudget to amortize the O(live) line-mark bill across
+  /// the cycle without letting any single handshake balloon; the
+  /// closing pause drains whatever remains.
+  void applyDeferredLineMarks(size_t Budget = SIZE_MAX);
+  /// Per-handshake cap on deferred line marks applied: ~8k marks is a
+  /// few hundred microseconds, well under the incremental pause bound,
+  /// while a storm's worth of handshakes retires the whole live set.
+  static constexpr size_t FlushLineMarkBudget = 8192;
 
   /// The GC worker pool (absent when GcThreads <= 1: phases run inline).
   std::unique_ptr<GcWorkerPool> Workers;

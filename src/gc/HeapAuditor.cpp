@@ -276,10 +276,14 @@ void HeapAuditor::checkObjectGraph(AuditReport &Report) {
           // remap) are claimed at the cycle's epoch but keep their old
           // lines unmarked until the closing pause decides copy versus
           // re-mark - exactly the state a stop-the-world mark phase
-          // holds privately and an open cycle exposes to audits.
+          // holds privately and an open cycle exposes to audits. Under
+          // the concurrent marker the lag covers *every* claim: the
+          // marker never touches line marks (they park on the deferred
+          // lists until a world-stopped window applies them), so any
+          // object it claimed may trail until the closing pause.
           bool LineMarkDeferred =
               H.incrementalCycleOpen() &&
-              (B->evacuating() ||
+              (H.Config.ConcurrentMark || B->evacuating() ||
                (objectHasFlag(Obj, FlagPinned) && B->hasFreshFailure()));
           if (objectMark(Obj) == H.Epoch && !B->lineIsFailed(First) &&
               !LineMarkDeferred && B->lineMark(First) != H.Epoch) {

@@ -146,6 +146,21 @@ size_t SafepointCoordinator::stopTheWorld() {
   return Peers;
 }
 
+size_t SafepointCoordinator::flushHandshake(
+    const std::function<void()> &Sealed) {
+  size_t Stopped = stopTheWorld();
+  Sealed();
+  if (Stopped) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Stats.FlushHandshakes;
+    }
+    WEARMEM_COUNT_TIMING("safepoint.flush_handshakes");
+  }
+  resumeTheWorld();
+  return Stopped;
+}
+
 void SafepointCoordinator::resumeTheWorld() {
   {
     std::lock_guard<std::mutex> Lock(Mu);

@@ -55,6 +55,7 @@ struct SafepointStats {
   uint64_t WaitRounds = 0;    ///< Collector condvar rounds spent waiting.
   uint64_t BlockedAcks = 0;   ///< Threads counted via a blocked region.
   uint64_t WatchdogFired = 0; ///< Fail-stops raised by the watchdog.
+  uint64_t FlushHandshakes = 0; ///< flushHandshake calls with peers parked.
 };
 
 class SafepointCoordinator {
@@ -77,6 +78,15 @@ public:
   /// other thread is registered.
   size_t stopTheWorld();
   void resumeTheWorld();
+
+  /// Flush-only handshake for concurrent marking: parks registered peers
+  /// just long enough to run \p Sealed (sealing per-lane SATB buffers
+  /// into the shared log), then resumes them immediately. Reuses the
+  /// stop/park machinery - including blocked-region accounting and the
+  /// watchdog - but is accounted separately (FlushHandshakes) because it
+  /// is a sub-pause, not a collection stop. Returns the number of
+  /// threads it had to park.
+  size_t flushHandshake(const std::function<void()> &Sealed);
 
   /// Mutator side: acks and parks if a stop request is pending. Returns
   /// true if the thread parked. Unregistered threads return false.

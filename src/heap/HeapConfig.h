@@ -259,11 +259,20 @@ struct HeapConfig {
   /// Heap::beginIncrementalMarkCycle). Off by default; the stop-the-world
   /// paths are untouched when disabled. Requires an Immix collector.
   bool IncrementalMark = false;
+  /// Mostly-concurrent marking: the increments of an open SATB cycle run
+  /// on a dedicated marker thread overlapped with mutation instead of
+  /// interleaved at mutator turns (see gc/ConcurrentMarker.h). Mutually
+  /// exclusive with IncrementalMark; requires an Immix collector. The
+  /// closing pause still drains to convergence, so the final heap state
+  /// is bit-identical to both other modes.
+  bool ConcurrentMark = false;
   /// Objects scanned per mark increment when a cycle is stepped
-  /// (Heap::incrementalMarkStep); 0 means unbounded (one step finishes
-  /// the trace). An increment scans at most this many objects (see
-  /// gc/GcWorkers.h on the quota accounting); the final marked set is
-  /// the snapshot closure under any budget.
+  /// (Heap::incrementalMarkStep), or per concurrent marker slice; 0
+  /// means unbounded (one step finishes the trace; the marker bounds its
+  /// slices at a default quota so quiescence stays prompt). An increment
+  /// scans at most this many objects (see gc/GcWorkers.h on the quota
+  /// accounting); the final marked set is the snapshot closure under any
+  /// budget.
   unsigned MarkBudget = 512;
 
   size_t linesPerBlock() const { return BlockSize / LineSize; }

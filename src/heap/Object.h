@@ -88,18 +88,36 @@ inline void initObject(ObjRef Obj, uint32_t TotalBytes, uint16_t NumRefs,
   std::memset(Obj + ObjectHeaderBytes, 0, NumRefs * RefSlotBytes);
 }
 
+namespace detail {
+/// Relaxed atomic snapshot of word0. The *read* accessors below all
+/// decode from this: with a concurrent marker enabled, a mutator may
+/// read an object's header (payload access, barrier asserts) while the
+/// marker CASes the mark byte of the same word, and a plain load there
+/// would be a data race. Size/refs/flags are stable whenever a mutator
+/// may legally read them, so relaxed is enough - and on mainstream ISAs
+/// this compiles to the exact same plain load as before.
+inline uint64_t word0Relaxed(const uint8_t *Obj) {
+  return std::atomic_ref<uint64_t>(const_cast<uint64_t &>(word0(Obj)))
+      .load(std::memory_order_relaxed);
+}
+} // namespace detail
+
 inline uint32_t objectSize(const uint8_t *Obj) {
-  return static_cast<uint32_t>(detail::word0(Obj) >> 32);
+  return static_cast<uint32_t>(detail::word0Relaxed(Obj) >> 32);
 }
 
 inline uint16_t objectNumRefs(const uint8_t *Obj) {
-  return static_cast<uint16_t>(detail::word0(Obj) >> 16);
+  return static_cast<uint16_t>(detail::word0Relaxed(Obj) >> 16);
 }
 
 inline uint8_t objectFlags(const uint8_t *Obj) {
-  return static_cast<uint8_t>(detail::word0(Obj) >> 8);
+  return static_cast<uint8_t>(detail::word0Relaxed(Obj) >> 8);
 }
 
+/// Header *writes* stay plain: they only run where no concurrent marker
+/// can touch the object - before publication (allocation), or with the
+/// world stopped and the marker quiesced (collection phases, ModBuf
+/// hygiene; the sticky barrier is suppressed while a cycle is open).
 inline void setObjectFlag(ObjRef Obj, ObjectFlag Flag) {
   detail::word0(Obj) |= static_cast<uint64_t>(Flag) << 8;
 }
@@ -113,7 +131,7 @@ inline bool objectHasFlag(const uint8_t *Obj, ObjectFlag Flag) {
 }
 
 inline uint8_t objectMark(const uint8_t *Obj) {
-  return static_cast<uint8_t>(detail::word0(Obj));
+  return static_cast<uint8_t>(detail::word0Relaxed(Obj));
 }
 
 inline void setObjectMark(ObjRef Obj, uint8_t Mark) {

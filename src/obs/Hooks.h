@@ -76,6 +76,19 @@
     }                                                                        \
   } while (0)
 
+/// Sets a timing-domain gauge (schedule-dependent level readings, e.g.
+/// buffer high-water marks that move with flush/drain scheduling).
+#define WEARMEM_GAUGE_TIMING(Name, Value)                                    \
+  do {                                                                       \
+    if (::wearmem::obs::metricsOn()) {                                       \
+      static const ::wearmem::obs::MetricId WearmemObsId =                   \
+          ::wearmem::obs::MetricsRegistry::instance().gauge(                 \
+              Name, ::wearmem::obs::MetricDomain::Timing);                   \
+      ::wearmem::obs::MetricsRegistry::instance().set(WearmemObsId,          \
+                                                      (Value));              \
+    }                                                                        \
+  } while (0)
+
 /// Appends a flight-recorder event; \p Kind is a bare EventKind
 /// enumerator name.
 #define WEARMEM_TRACE(Kind, A, B)                                            \

@@ -71,3 +71,51 @@ const char *cli::collectorFlagName(CollectorKind Kind) {
 }
 
 const char *cli::collectorNameList() { return "ms, ix, s-ms, s-ix"; }
+
+bool cli::consumeMarkFlag(int Argc, char **Argv, int &I, MarkFlags &Flags,
+                          std::string &Err) {
+  const char *Arg = Argv[I];
+  if (std::strcmp(Arg, "--incremental-mark") == 0) {
+    Flags.IncrementalMark = true;
+    return true;
+  }
+  if (std::strcmp(Arg, "--concurrent-mark") == 0) {
+    Flags.ConcurrentMark = true;
+    return true;
+  }
+  std::string Value;
+  if (splitEqFlag(Arg, "--mark-budget", Value)) {
+    // "--mark-budget=N" carries the value; bare "--mark-budget N" takes
+    // the next argument (both tools' styles accepted).
+    if (Value.empty()) {
+      if (I + 1 >= Argc) {
+        Err = "--mark-budget requires a value";
+        return true;
+      }
+      Value = Argv[++I];
+    }
+    uint64_t Budget = 0;
+    if (!parseU64(Value.c_str(), Budget)) {
+      Err = "bad --mark-budget value: " + Value;
+      return true;
+    }
+    Flags.MarkBudget = Budget;
+    Flags.MarkBudgetSet = true;
+    return true;
+  }
+  return false;
+}
+
+const char *cli::validateMarkFlags(const MarkFlags &Flags,
+                                   CollectorKind Collector) {
+  if (Flags.IncrementalMark && Flags.ConcurrentMark)
+    return "--incremental-mark and --concurrent-mark are mutually "
+           "exclusive (two pacings of the same cycle machinery)";
+  if (Flags.anyMode() && !isImmix(Collector))
+    return "--incremental-mark/--concurrent-mark require an Immix "
+           "collector (ix or s-ix)";
+  if (Flags.MarkBudgetSet && !Flags.anyMode())
+    return "--mark-budget requires --incremental-mark or "
+           "--concurrent-mark";
+  return nullptr;
+}

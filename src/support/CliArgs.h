@@ -43,6 +43,38 @@ bool parseDouble(const char *V, double &Out);
 /// Parses a collector short name: "ms", "ix", "s-ms", "s-ix".
 bool parseCollector(const std::string &Name, CollectorKind &Out);
 
+/// \name Marking-mode flags
+/// The --incremental-mark / --concurrent-mark / --mark-budget triple
+/// both tools share: one consume-style parser that accepts either flag
+/// style ("--mark-budget=512" and "--mark-budget 512"), and one
+/// validator for the combination rules. Tools print the returned error
+/// and exit ExitUsage.
+/// @{
+
+struct MarkFlags {
+  bool IncrementalMark = false;
+  bool ConcurrentMark = false;
+  uint64_t MarkBudget = 0;
+  bool MarkBudgetSet = false;
+  /// True when any marking mode is requested.
+  bool anyMode() const { return IncrementalMark || ConcurrentMark; }
+};
+
+/// Attempts to consume the mark-related flag at Argv[I]. Returns true
+/// when the argument was one of the marking flags (advancing \p I past
+/// any consumed value); malformed values land in \p Err (non-empty =
+/// print + exit ExitUsage). Returns false for unrelated arguments.
+bool consumeMarkFlag(int Argc, char **Argv, int &I, MarkFlags &Flags,
+                     std::string &Err);
+
+/// Validates the flag combination against the chosen collector. Returns
+/// nullptr when valid, else a static error message: both modes at once,
+/// a marking mode on a non-Immix collector, or a budget without a mode.
+const char *validateMarkFlags(const MarkFlags &Flags,
+                              CollectorKind Collector);
+
+/// @}
+
 /// The short flag name for a collector (inverse of parseCollector).
 const char *collectorFlagName(CollectorKind Kind);
 

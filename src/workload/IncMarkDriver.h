@@ -6,16 +6,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The tools' shared driving policy for bounded-pause SATB marking
-/// (RuntimeConfig::IncrementalMark). A cycle opens each time the steady
-/// allocation volume crosses a fixed interval of the workload's target;
-/// while a cycle is open, every turn takes one budgeted mark step; the
-/// step that reports an empty frontier closes the cycle. Everything is
-/// keyed to virtual time (allocated bytes and turn order, never the
-/// wall clock), so two runs with the same seed and lane count open,
-/// step, and close the same cycles at the same points - the digest and
-/// the survival curve stay byte-for-byte reproducible with incremental
-/// marking on.
+/// The tools' shared driving policy for bounded-pause SATB marking. A
+/// cycle opens each time the steady allocation volume crosses a fixed
+/// interval of the workload's target; how the open cycle is paced
+/// depends on the runtime's marking mode:
+///
+///  * Interleaved (RuntimeConfig::IncrementalMark): every turn takes one
+///    budgeted mark step; the step that reports an empty frontier closes
+///    the cycle.
+///  * Concurrent (RuntimeConfig::ConcurrentMark): the marker thread does
+///    the tracing; the driver's turns only issue flush handshakes (seal
+///    per-lane SATB buffers, wake the marker) on a fixed allocation-
+///    clock sub-interval, and close the cycle at a fixed virtual-time
+///    point - *never* "when the marker looks idle", which would make
+///    the close point schedule-dependent.
+///
+/// Everything is keyed to virtual time (allocated bytes and turn order,
+/// never the wall clock), so two runs with the same seed and lane count
+/// open, flush, and close the same cycles at the same points - the
+/// digest and all Deterministic-domain counters stay byte-for-byte
+/// reproducible in every marking mode and at every thread count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,7 +46,7 @@ public:
   /// roughly one cycle per sixteenth of the run, floored so tiny smoke
   /// runs still exercise at least a cycle or two.
   IncMarkDriver(Runtime &Rt, uint64_t TargetBytes)
-      : Rt(Rt),
+      : Rt(Rt), Concurrent(Rt.config().ConcurrentMark),
         Interval(std::max<uint64_t>(TargetBytes / 16, 64 * KiB)),
         NextOpen(Interval) {}
 
@@ -44,8 +54,22 @@ public:
   /// allocation volume, the run's virtual clock.
   void pump(uint64_t SteadyBytes) {
     if (Rt.incrementalCycleOpen()) {
-      if (!Rt.incrementalMarkStep())
+      if (!Concurrent) {
+        if (!Rt.incrementalMarkStep())
+          Rt.finishIncrementalMarkCycle();
+        return;
+      }
+      // Concurrent pacing: the close lands at a fixed virtual-time
+      // point (half an interval after the open), flush handshakes at
+      // fixed sub-intervals in between. Both depend only on the
+      // allocation clock, so the cycle shape is identical across
+      // mutator-thread counts and marker schedules.
+      if (SteadyBytes >= CloseAt) {
         Rt.finishIncrementalMarkCycle();
+      } else if (SteadyBytes >= NextFlush) {
+        Rt.satbFlushHandshake();
+        NextFlush = SteadyBytes + flushInterval();
+      }
       return;
     }
     if (SteadyBytes >= NextOpen) {
@@ -54,6 +78,8 @@ public:
       // simply restarts from here.
       Rt.beginIncrementalMarkCycle();
       NextOpen = SteadyBytes + Interval;
+      CloseAt = SteadyBytes + Interval / 2;
+      NextFlush = SteadyBytes + flushInterval();
     }
   }
 
@@ -65,9 +91,18 @@ public:
   }
 
 private:
+  /// Eight flush handshakes per open window keep the sealed queue (and
+  /// the marker) fed without measurable mutator overhead.
+  uint64_t flushInterval() const {
+    return std::max<uint64_t>(Interval / 16, 8 * KiB);
+  }
+
   Runtime &Rt;
+  bool Concurrent;
   uint64_t Interval;
   uint64_t NextOpen;
+  uint64_t CloseAt = 0;
+  uint64_t NextFlush = 0;
 };
 
 } // namespace wearmem

@@ -259,26 +259,30 @@ INSTANTIATE_TEST_SUITE_P(
 //
 // Differential fuzz for the incremental mark cycle: a seeded schedule of
 // reference-swap storms, root rewrites, and dynamic line failures runs
-// once interleaved with budgeted mark increments and once as plain
-// mutation closed by a stop-the-world full collection. The swaps permute
-// satellite objects without dropping any (each transiently survives only
-// in the SATB deletion log), so both legs must converge to bit-identical
-// physical heaps; failures landing mid-increment park until the close in
-// the incremental leg and are injected at the matching post-collection
-// point in the stop-the-world leg.
+// once interleaved with budgeted mark increments, once with the cycle
+// drained by the dedicated marker thread (step boundaries become flush
+// handshakes, so the racing marker sees sealed SATB segments at fuzzed
+// points), and once as plain mutation closed by a stop-the-world full
+// collection. The swaps permute satellite objects without dropping any
+// (each transiently survives only in the SATB deletion log), so all legs
+// must converge to bit-identical physical heaps; failures landing
+// mid-cycle park until the close in the marking legs and are injected at
+// the matching post-collection point in the stop-the-world leg.
 
 #include "gc/HeapAuditor.h"
 
 namespace {
+
+enum class SatbMode { Stw, Interleaved, Concurrent };
 
 struct SatbOp {
   enum Kind : uint8_t { Swap, RootStore, Fail, StepBoundary } K;
   unsigned A, B, C, D;
 };
 
-/// One leg of the differential run. The schedule is precomputed so both
+/// One leg of the differential run. The schedule is precomputed so all
 /// legs perform byte-identical mutation; only the marking mode differs.
-uint64_t runSatbLeg(bool Incremental, unsigned GcThreads, uint64_t Seed,
+uint64_t runSatbLeg(SatbMode Mode, unsigned GcThreads, uint64_t Seed,
                     const std::vector<SatbOp> &Schedule) {
   HeapConfig Cfg;
   Cfg.Collector = CollectorKind::StickyImmix;
@@ -286,9 +290,11 @@ uint64_t runSatbLeg(bool Incremental, unsigned GcThreads, uint64_t Seed,
   Cfg.GcThreads = GcThreads;
   Cfg.Failures.Rate = 0.05;
   Cfg.Failures.Seed = Seed;
-  Cfg.IncrementalMark = Incremental;
+  Cfg.IncrementalMark = Mode == SatbMode::Interleaved;
+  Cfg.ConcurrentMark = Mode == SatbMode::Concurrent;
   Cfg.MarkBudget = 128;
   Heap Hp(Cfg);
+  const bool Marking = Mode != SatbMode::Stw;
 
   constexpr unsigned NumLists = 4;
   constexpr unsigned ListLen = 1200;
@@ -337,8 +343,9 @@ uint64_t runSatbLeg(bool Incremental, unsigned GcThreads, uint64_t Seed,
     return Node;
   };
 
-  if (Incremental)
+  if (Marking) {
     EXPECT_TRUE(Hp.beginIncrementalMarkCycle());
+  }
   std::vector<ObjRef> Parked; // STW leg: failures held to the close point.
   for (const SatbOp &Op : Schedule) {
     switch (Op.K) {
@@ -357,21 +364,25 @@ uint64_t runSatbLeg(bool Incremental, unsigned GcThreads, uint64_t Seed,
       Hp.setRoot(Heads[Op.A % NumLists], Hp.root(Heads[Op.A % NumLists]));
       break;
     case SatbOp::Fail:
-      // Mid-increment line death. Incremental: parks until the drain
+      // Mid-cycle line death. Marking legs: parks until the drain
       // after the close. Stop-the-world: recorded and injected at the
       // equivalent point (right after the closing collection).
-      if (Incremental)
+      if (Marking)
         Hp.injectDynamicFailureBatch({Victims[Op.A % NumVictims]});
       else
         Parked.push_back(Victims[Op.A % NumVictims]);
       break;
     case SatbOp::StepBoundary:
-      if (Incremental)
+      // The same fuzzed pacing point means a budgeted step when the
+      // mutator drains and a flush handshake when the marker does.
+      if (Mode == SatbMode::Interleaved)
         Hp.incrementalMarkStep();
+      else if (Mode == SatbMode::Concurrent)
+        Hp.satbFlushHandshake();
       break;
     }
   }
-  if (Incremental) {
+  if (Marking) {
     Hp.finishIncrementalMarkCycle();
   } else {
     Hp.collect(CollectionKind::Full);
@@ -423,11 +434,17 @@ TEST_P(SatbFuzz, IncrementalMatchesStopTheWorld) {
       Schedule.push_back({SatbOp::StepBoundary, 0, 0, 0, 0});
   }
 
-  uint64_t Stw = runSatbLeg(/*Incremental=*/false, 1, Seed, Schedule);
-  uint64_t Inc1 = runSatbLeg(/*Incremental=*/true, 1, Seed, Schedule);
-  uint64_t Inc4 = runSatbLeg(/*Incremental=*/true, 4, Seed, Schedule);
+  uint64_t Stw = runSatbLeg(SatbMode::Stw, 1, Seed, Schedule);
+  uint64_t Inc1 = runSatbLeg(SatbMode::Interleaved, 1, Seed, Schedule);
+  uint64_t Inc4 = runSatbLeg(SatbMode::Interleaved, 4, Seed, Schedule);
   EXPECT_EQ(Inc1, Stw) << "seed " << Seed;
   EXPECT_EQ(Inc4, Stw) << "seed " << Seed;
+  // The marker-thread pacing of the same schedule: the free-running
+  // drain must be invisible in the final heap.
+  uint64_t Conc1 = runSatbLeg(SatbMode::Concurrent, 1, Seed, Schedule);
+  uint64_t Conc4 = runSatbLeg(SatbMode::Concurrent, 4, Seed, Schedule);
+  EXPECT_EQ(Conc1, Stw) << "seed " << Seed;
+  EXPECT_EQ(Conc4, Stw) << "seed " << Seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatbFuzz,

@@ -91,7 +91,8 @@ const std::vector<std::string> RunFlags = {
     "--failure-rate",  "--cluster",
     "--line",          "--no-compensate",
     "--arraylets",     "--dynamic-failures",
-    "--incremental-mark", "--mark-budget",
+    "--incremental-mark", "--concurrent-mark",
+    "--mark-budget",
     "--gc-threads",    "--mutator-threads",
     "--mutator-lanes", "--reps",
     "--seed",          "--trace",
@@ -106,7 +107,8 @@ const std::vector<std::string> SoakFlags = {
     "--clustering",      "--max-debt-pages",
     "--audit-every",     "--volume-scale",
     "--wear-sim",        "--crash-campaign",
-    "--incremental-mark", "--mark-budget",
+    "--incremental-mark", "--concurrent-mark",
+    "--mark-budget",
     "--gc-threads",      "--mutator-threads",
     "--mutator-lanes",   "--reps",
     "--jobs",            "--trace",
@@ -158,6 +160,10 @@ TEST(UsageTest, MalformedValuesExitUsageNamingTheFlag) {
        "--mark-budget"},
       {WEARMEM_RUN_BIN, "--incremental-mark --collector=ms",
        "--incremental-mark"},
+      {WEARMEM_RUN_BIN, "--concurrent-mark --collector=ms",
+       "--concurrent-mark"},
+      {WEARMEM_RUN_BIN, "--concurrent-mark --incremental-mark",
+       "--concurrent-mark"},
       {WEARMEM_RUN_BIN, "--mark-budget=8", "--mark-budget"},
       {WEARMEM_SOAK_BIN, "--seed banana", "--seed"},
       {WEARMEM_SOAK_BIN, "--gc-threads 0", "--gc-threads"},
@@ -165,8 +171,14 @@ TEST(UsageTest, MalformedValuesExitUsageNamingTheFlag) {
       {WEARMEM_SOAK_BIN, "--mark-budget 8", "--mark-budget"},
       {WEARMEM_SOAK_BIN, "--incremental-mark --collector ms",
        "--incremental-mark"},
+      {WEARMEM_SOAK_BIN, "--concurrent-mark --collector ms",
+       "--concurrent-mark"},
+      {WEARMEM_SOAK_BIN, "--concurrent-mark --incremental-mark",
+       "--concurrent-mark"},
       {WEARMEM_SOAK_BIN, "--incremental-mark --lifetime",
        "--incremental-mark"},
+      {WEARMEM_SOAK_BIN, "--concurrent-mark --crash-campaign 2",
+       "--concurrent-mark"},
   };
   for (const Case &C : Cases) {
     ToolResult R = runTool(std::string(C.Bin) + " " + C.Args);

@@ -63,9 +63,16 @@ void printUsage(FILE *Out) {
       "                           collectors only); cycles are driven\n"
       "                           on the allocation clock, so results\n"
       "                           stay deterministic per seed\n"
-      "  --mark-budget=N          objects traced per mark increment\n"
-      "                           (0 = unbounded; default 512;\n"
-      "                           requires --incremental-mark)\n"
+      "  --concurrent-mark        SATB marking on a dedicated marker\n"
+      "                           thread (Immix collectors only);\n"
+      "                           mutually exclusive with\n"
+      "                           --incremental-mark, same digest and\n"
+      "                           deterministic counters as both other\n"
+      "                           modes\n"
+      "  --mark-budget=N          objects traced per mark increment or\n"
+      "                           marker slice (0 = unbounded; default\n"
+      "                           512 interleaved / 4096 concurrent;\n"
+      "                           requires a marking mode)\n"
       "  --gc-threads=N           parallel GC workers (default 1; the\n"
       "                           heap state is identical for any N)\n"
       "  --mutator-threads=N      OS threads driving the mutator lanes\n"
@@ -98,9 +105,7 @@ int main(int argc, char **argv) {
   bool Compensate = true;
   bool Arraylets = false;
   unsigned DynamicFailures = 0;
-  bool IncrementalMark = false;
-  unsigned MarkBudget = 0;
-  bool MarkBudgetSet = false;
+  cli::MarkFlags Mark;
   unsigned GcThreads = 1;
   unsigned MutatorThreads = 1;
   unsigned MutatorLanes = 0;
@@ -160,6 +165,15 @@ int main(int argc, char **argv) {
       printUsage(stdout);
       return 0;
     }
+    std::string MarkErr;
+    if (cli::consumeMarkFlag(argc, argv, I, Mark, MarkErr)) {
+      if (!MarkErr.empty()) {
+        std::fprintf(stderr, "error: %s\n", MarkErr.c_str());
+        printUsage(stderr);
+        return ExitUsage;
+      }
+      continue;
+    }
     if (parseFlag("--profile", Value)) {
       ProfileName = Value;
     } else if (parseFlag("--collector", Value)) {
@@ -189,11 +203,6 @@ int main(int argc, char **argv) {
       Arraylets = true;
     } else if (parseFlag("--dynamic-failures", Value)) {
       ValueOk = uns(DynamicFailures);
-    } else if (parseFlag("--incremental-mark", Value)) {
-      IncrementalMark = true;
-    } else if (parseFlag("--mark-budget", Value)) {
-      ValueOk = uns(MarkBudget);
-      MarkBudgetSet = true;
     } else if (parseFlag("--gc-threads", Value)) {
       ValueOk = uns(GcThreads) && GcThreads >= 1;
       if (!ValueOk)
@@ -252,16 +261,8 @@ int main(int argc, char **argv) {
                  AdversaryName.c_str(), adversaryNameList());
     return ExitUsage;
   }
-  if (IncrementalMark && Config.Collector != CollectorKind::Immix &&
-      Config.Collector != CollectorKind::StickyImmix) {
-    std::fprintf(stderr,
-                 "error: --incremental-mark requires an Immix collector "
-                 "(--collector=ix or s-ix)\n");
-    return ExitUsage;
-  }
-  if (MarkBudgetSet && !IncrementalMark) {
-    std::fprintf(stderr,
-                 "error: --mark-budget requires --incremental-mark\n");
+  if (const char *Err = cli::validateMarkFlags(Mark, Config.Collector)) {
+    std::fprintf(stderr, "error: %s\n", Err);
     return ExitUsage;
   }
   Config.HeapBytes = HeapMb > 0.0
@@ -273,9 +274,10 @@ int main(int argc, char **argv) {
   Config.CompensateForFailures = Compensate;
   Config.UseDiscontiguousArrays = Arraylets;
   Config.GcThreads = GcThreads;
-  Config.IncrementalMark = IncrementalMark;
-  if (MarkBudgetSet)
-    Config.MarkBudget = MarkBudget;
+  Config.IncrementalMark = Mark.IncrementalMark;
+  Config.ConcurrentMark = Mark.ConcurrentMark;
+  if (Mark.MarkBudgetSet)
+    Config.MarkBudget = Mark.MarkBudget;
   Config.Seed = Seed;
   if (Config.Collector == CollectorKind::MarkSweep ||
       Config.Collector == CollectorKind::StickyMarkSweep)
@@ -319,17 +321,19 @@ int main(int argc, char **argv) {
     PoolOpts.Adversary = Adversary;
     MutatorPool Pool(Rt, *P, PoolOpts);
     IncMarkDriver Inc(Rt, Pool.targetBytes());
-    if (IncrementalMark)
+    if (Mark.anyMode())
       // The hook runs on whichever thread holds the turn, serialized by
       // the turnstile, so the driver advances on the pool's own virtual
-      // clock and the digest stays lane-count-deterministic.
+      // clock and the digest stays lane-count-deterministic (in
+      // concurrent mode the marker only traces; opens, flushes, and the
+      // close still land on this clock).
       Pool.setTurnHook([&](unsigned, uint64_t) {
         Inc.pump(Pool.steadyAllocatedBytes());
         return true;
       });
     auto Start = std::chrono::steady_clock::now();
     bool Ok = Pool.run();
-    if (IncrementalMark)
+    if (Mark.anyMode())
       Inc.flush();
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - Start)
@@ -358,9 +362,10 @@ int main(int argc, char **argv) {
         static_cast<unsigned long long>(S.InterruptsOrphaned),
         static_cast<unsigned long long>(Digest),
         Audit.passed() ? "clean" : "FAILED");
-    if (IncrementalMark)
-      std::printf("incremental mark: %llu cycles, %llu increments, "
+    if (Mark.anyMode())
+      std::printf("%s mark: %llu cycles, %llu increments, "
                   "%llu satb logged / %llu drained\n",
+                  Mark.ConcurrentMark ? "concurrent" : "incremental",
                   static_cast<unsigned long long>(
                       S.IncrementalCyclesClosed),
                   static_cast<unsigned long long>(S.MarkIncrements),
@@ -371,7 +376,7 @@ int main(int argc, char **argv) {
     return Ok ? 0 : 2;
   }
 
-  if (DynamicFailures > 0 || ObsRun || IncrementalMark) {
+  if (DynamicFailures > 0 || ObsRun || Mark.anyMode()) {
     // One instrumented run, optionally with evenly spaced mid-run line
     // failures.
     Runtime Rt(Config);
@@ -388,7 +393,7 @@ int main(int argc, char **argv) {
       uint64_t Step = M.targetBytes() / (DynamicFailures + 1);
       uint64_t Next = Step;
       while (M.steadyAllocatedBytes() < M.targetBytes() && M.step()) {
-        if (IncrementalMark)
+        if (Mark.anyMode())
           Inc.pump(M.steadyAllocatedBytes());
         if (M.steadyAllocatedBytes() >= Next &&
             Injected < DynamicFailures) {
@@ -408,7 +413,7 @@ int main(int argc, char **argv) {
         }
       }
     }
-    if (IncrementalMark)
+    if (Mark.anyMode())
       Inc.flush();
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - Start)
@@ -419,9 +424,10 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Rt.stats().GcCount),
                 static_cast<unsigned long long>(
                     Rt.stats().ObjectsEvacuated));
-    if (IncrementalMark)
-      std::printf("incremental mark: %llu cycles, %llu increments, "
+    if (Mark.anyMode())
+      std::printf("%s mark: %llu cycles, %llu increments, "
                   "%llu satb logged / %llu drained\n",
+                  Mark.ConcurrentMark ? "concurrent" : "incremental",
                   static_cast<unsigned long long>(
                       Rt.stats().IncrementalCyclesClosed),
                   static_cast<unsigned long long>(

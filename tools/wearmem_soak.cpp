@@ -81,14 +81,12 @@ struct SoakOptions {
   /// Seed the static failure map from a wear simulation run to this
   /// failed fraction (0 = off).
   double WearSimTarget = 0.0;
-  /// Bounded-pause SATB marking (Immix collectors only): the run drives
-  /// cycles on the allocation clock via the shared IncMarkDriver policy,
-  /// so curves and digests stay deterministic per seed and lane count.
-  bool IncrementalMark = false;
-  /// Objects traced per mark increment (0 = unbounded); only meaningful
-  /// with --incremental-mark.
-  unsigned MarkBudget = 0;
-  bool MarkBudgetSet = false;
+  /// SATB marking flags (Immix collectors only): interleaved
+  /// (--incremental-mark) or a dedicated marker thread
+  /// (--concurrent-mark). Either way the run drives cycles on the
+  /// allocation clock via the shared IncMarkDriver policy, so curves
+  /// and digests stay deterministic per seed and lane count.
+  cli::MarkFlags Mark;
   /// Parallel GC workers inside each runtime (heap state is identical
   /// for any value; see gc/GcWorkers.h).
   unsigned GcThreads = 1;
@@ -183,9 +181,15 @@ void usage(FILE *Out, const char *Argv0) {
       "                        collectors only); cycles are driven on\n"
       "                        the allocation clock, so curves stay\n"
       "                        deterministic per seed\n"
-      "  --mark-budget N       objects traced per mark increment\n"
-      "                        (0 = unbounded; default 512; requires\n"
-      "                        --incremental-mark)\n"
+      "  --concurrent-mark     SATB marking on a dedicated marker\n"
+      "                        thread (Immix collectors only);\n"
+      "                        mutually exclusive with\n"
+      "                        --incremental-mark, same curves and\n"
+      "                        digests as the other modes\n"
+      "  --mark-budget N       objects traced per mark increment or\n"
+      "                        marker slice (0 = unbounded; default\n"
+      "                        512 interleaved / 4096 concurrent;\n"
+      "                        requires a marking mode)\n"
       "  --gc-threads N        parallel GC workers (default 1; heap\n"
       "                        state is identical for any N)\n"
       "  --mutator-threads N   OS threads driving the mutator lanes\n"
@@ -262,6 +266,14 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
         Bad = ExitUsage;
       }
     };
+    std::string MarkErr;
+    if (cli::consumeMarkFlag(Argc, Argv, I, Opt.Mark, MarkErr)) {
+      if (!MarkErr.empty()) {
+        std::fprintf(stderr, "%s\n", MarkErr.c_str());
+        Bad = ExitUsage;
+      }
+      continue;
+    }
     const char *V;
     if (Arg == "--help" || Arg == "-h") {
       usage(stdout, Argv[0]);
@@ -316,11 +328,6 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       }
     } else if (Arg == "--crash-campaign") {
       uns(Opt.CrashIters);
-    } else if (Arg == "--incremental-mark") {
-      Opt.IncrementalMark = true;
-    } else if (Arg == "--mark-budget") {
-      uns(Opt.MarkBudget);
-      Opt.MarkBudgetSet = true;
     } else if (Arg == "--gc-threads") {
       uns(Opt.GcThreads, 1);
     } else if (Arg == "--mutator-threads") {
@@ -369,21 +376,18 @@ int parseArgs(int Argc, char **Argv, SoakOptions &Opt) {
       Bad = ExitUsage;
     }
   }
-  if (Bad < 0 && Opt.IncrementalMark &&
-      Opt.Collector != CollectorKind::Immix &&
-      Opt.Collector != CollectorKind::StickyImmix) {
-    std::fprintf(stderr, "--incremental-mark requires an Immix collector "
-                         "(--collector ix or s-ix)\n");
-    Bad = ExitUsage;
+  if (Bad < 0) {
+    if (const char *Err =
+            cli::validateMarkFlags(Opt.Mark, Opt.Collector)) {
+      std::fprintf(stderr, "%s\n", Err);
+      Bad = ExitUsage;
+    }
   }
-  if (Bad < 0 && Opt.MarkBudgetSet && !Opt.IncrementalMark) {
-    std::fprintf(stderr, "--mark-budget requires --incremental-mark\n");
-    Bad = ExitUsage;
-  }
-  if (Bad < 0 && Opt.IncrementalMark &&
+  if (Bad < 0 && Opt.Mark.anyMode() &&
       (Opt.Lifetime || Opt.CrashIters != 0)) {
-    std::fprintf(stderr, "--incremental-mark is not supported in "
-                         "lifetime or crash-campaign mode\n");
+    std::fprintf(stderr,
+                 "--incremental-mark/--concurrent-mark are not "
+                 "supported in lifetime or crash-campaign mode\n");
     Bad = ExitUsage;
   }
   if (Bad >= 0)
@@ -414,9 +418,10 @@ RuntimeConfig makeConfig(const SoakOptions &Opt, const Profile &P) {
   Config.ClusteringRegionPages = Opt.ClusteringRegionPages;
   Config.MaxDebtPages = Opt.MaxDebtPages;
   Config.GcThreads = Opt.GcThreads;
-  Config.IncrementalMark = Opt.IncrementalMark;
-  if (Opt.MarkBudgetSet)
-    Config.MarkBudget = Opt.MarkBudget;
+  Config.IncrementalMark = Opt.Mark.IncrementalMark;
+  Config.ConcurrentMark = Opt.Mark.ConcurrentMark;
+  if (Opt.Mark.MarkBudgetSet)
+    Config.MarkBudget = Opt.Mark.MarkBudget;
   Config.Seed = Opt.Seed;
   if (Opt.WearSimTarget > 0.0) {
     // Provision from a simulated wear-out instead of the parametric
@@ -496,7 +501,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   // single-mutator loop and the pool's turn hook. Returns false to stop
   // the run (audit violation).
   auto onStep = [&]() -> bool {
-    if (Opt.IncrementalMark)
+    if (Opt.Mark.anyMode())
       Inc.pump(steadyBytes());
     bool Fired = Campaign.pump();
     uint64_t Gc = Rt.stats().GcCount;
@@ -549,7 +554,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   // Close any cycle the run left open, then flush any pending recovery
   // so the final audit sees a settled heap, then take the closing curve
   // point and verdict.
-  if (Opt.IncrementalMark && !Rt.outOfMemory())
+  if (Opt.Mark.anyMode() && !Rt.outOfMemory())
     Inc.flush();
   if (!AuditFailed && !Rt.outOfMemory()) {
     if (Rt.heap().pendingFailureRecovery())
@@ -693,8 +698,8 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
   W.key("pinned_page_remaps");
   W.value(Out.Heap.PinnedFailurePageRemaps);
   W.close();
-  if (Opt.IncrementalMark) {
-    // Only with --incremental-mark: the legacy JSON stays byte-identical
+  if (Opt.Mark.anyMode()) {
+    // Only with a marking mode: the legacy JSON stays byte-identical
     // otherwise. Cycle and SATB totals are deterministic for a fixed
     // seed and lane count (see heap/HeapConfig.h), but the number of
     // mark increments is not: the driver steps until the work list
@@ -702,9 +707,12 @@ void printJson(const SoakOptions &Opt, const SoakOutcome &Out,
     // under quota (MarkWorkList's refund-drop rule), so the step count
     // shifts with --gc-threads. It rides with the other schedule-domain
     // values behind --with-timing to keep the default JSON byte-
-    // identical across worker counts.
+    // identical across worker counts. (Concurrent mode takes no mark
+    // increments at all; its slice counts are Timing-domain metrics.)
     W.key("incremental_mark");
     W.openObject(JsonWriter::Style::Inline);
+    W.key("mode");
+    W.value(Opt.Mark.ConcurrentMark ? "concurrent" : "interleaved");
     W.key("cycles_opened");
     W.value(Out.Heap.IncrementalCyclesOpened);
     W.key("cycles_closed");
