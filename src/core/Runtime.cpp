@@ -62,6 +62,10 @@ HeapConfig RuntimeConfig::toHeapConfig() const {
   }
   size_t Pages = divCeil(static_cast<uint64_t>(std::ceil(Bytes)),
                          PcmPageSize);
+  // A directory carve wins over the HeapBytes derivation: the arbiter
+  // has already split (and compensated) the device-wide budget.
+  if (BudgetPagesOverride != 0)
+    Pages = BudgetPagesOverride;
   // Round to whole clustering regions and blocks.
   size_t Granule = Heap.pagesPerBlock();
   if (ClusteringRegionPages > 1)

@@ -50,6 +50,16 @@ struct RuntimeConfig {
   size_t HeapBytes = 16 * MiB;
   bool CompensateForFailures = true;
 
+  /// When nonzero, provisions exactly this many budget pages (aligned up
+  /// to the block/clustering granule) instead of deriving the budget
+  /// from HeapBytes and the compensation math. The multi-tenant shard
+  /// directory uses this to hand each tenant Runtime its exact carve of
+  /// one device-wide page budget (see os/ShardDirectory.h); the
+  /// directory has already applied compensation when it computed the
+  /// carve. Zero (the default) leaves the single-tenant derivation
+  /// untouched.
+  size_t BudgetPagesOverride = 0;
+
   /// Fraction of 64 B PCM lines that have already failed.
   double FailureRate = 0.0;
   /// How those failures are distributed.

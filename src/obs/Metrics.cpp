@@ -8,6 +8,7 @@
 #include <array>
 #include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -254,6 +255,12 @@ std::string MetricsRegistry::exportJsonString(bool IncludeTiming) const {
   exportJson(W, IncludeTiming);
   W.closeRoot();
   return W.str();
+}
+
+std::string tenantMetricName(const char *Base, unsigned Tenant) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), ".t%02u", Tenant);
+  return std::string(Base) + Buf;
 }
 
 } // namespace obs

@@ -112,6 +112,12 @@ private:
   Impl &impl() const;
 };
 
+/// Builds the per-tenant metric name "<base>.tNN" (tenant id zero-padded
+/// to two digits so exportJson's name sort groups each metric's tenants
+/// in id order). Shard-directory and serve-layer hooks register one
+/// metric per tenant through this.
+std::string tenantMetricName(const char *Base, unsigned Tenant);
+
 } // namespace obs
 } // namespace wearmem
 

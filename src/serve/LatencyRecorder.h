@@ -1,0 +1,124 @@
+//===- serve/LatencyRecorder.h - Per-tenant latency tallies -----*- C++ -*-===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects two latency populations per tenant, kept strictly apart by
+/// the project's domain discipline:
+///
+///  * Virtual sojourn times (arrival to service completion on the
+///    virtual clock) - Deterministic: pure functions of the event
+///    stream, compared bit-identically by the serve gate.
+///  * Wall service times around TenantShard::serve() - Timing: reported
+///    for humans and the noisy-neighbor SLO leg, never compared for
+///    determinism.
+///
+/// Percentiles use the nearest-rank definition (index ceil(q*N)-1 of the
+/// sorted sample), so a sojourn percentile over a deterministic sample
+/// set is itself deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WEARMEM_SERVE_LATENCYRECORDER_H
+#define WEARMEM_SERVE_LATENCYRECORDER_H
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace wearmem {
+
+/// Nearest-rank percentile of \p Sorted (ascending); 0 on empty input.
+template <typename T> T percentileSorted(const std::vector<T> &Sorted, double Q) {
+  if (Sorted.empty())
+    return T(0);
+  size_t Rank = static_cast<size_t>(
+      std::ceil(Q * static_cast<double>(Sorted.size())));
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Sorted.size())
+    Rank = Sorted.size();
+  return Sorted[Rank - 1];
+}
+
+struct LatencySummary {
+  uint64_t Count = 0;
+  uint64_t P50 = 0;
+  uint64_t P99 = 0;
+  uint64_t P999 = 0;
+  uint64_t Max = 0;
+};
+
+struct WallSummary {
+  uint64_t Count = 0;
+  double P50Us = 0.0;
+  double P99Us = 0.0;
+  double P999Us = 0.0;
+};
+
+class LatencyRecorder {
+public:
+  explicit LatencyRecorder(unsigned Tenants)
+      : Sojourn(Tenants), Wall(Tenants) {}
+
+  void recordSojourn(unsigned Tenant, uint64_t Us) {
+    Sojourn[Tenant].push_back(Us);
+  }
+  void recordWall(unsigned Tenant, double Us) { Wall[Tenant].push_back(Us); }
+
+  LatencySummary sojournSummary(unsigned Tenant) const {
+    return summarize(Sojourn[Tenant]);
+  }
+  LatencySummary fleetSojournSummary() const {
+    std::vector<uint64_t> All;
+    for (const auto &V : Sojourn)
+      All.insert(All.end(), V.begin(), V.end());
+    return summarize(All);
+  }
+  WallSummary wallSummary(unsigned Tenant) const {
+    return summarizeWall(Wall[Tenant]);
+  }
+  WallSummary fleetWallSummary() const {
+    std::vector<double> All;
+    for (const auto &V : Wall)
+      All.insert(All.end(), V.begin(), V.end());
+    return summarizeWall(All);
+  }
+
+private:
+  static LatencySummary summarize(std::vector<uint64_t> V) {
+    LatencySummary S;
+    S.Count = V.size();
+    if (V.empty())
+      return S;
+    std::sort(V.begin(), V.end());
+    S.P50 = percentileSorted(V, 0.50);
+    S.P99 = percentileSorted(V, 0.99);
+    S.P999 = percentileSorted(V, 0.999);
+    S.Max = V.back();
+    return S;
+  }
+  static WallSummary summarizeWall(std::vector<double> V) {
+    WallSummary S;
+    S.Count = V.size();
+    if (V.empty())
+      return S;
+    std::sort(V.begin(), V.end());
+    S.P50Us = percentileSorted(V, 0.50);
+    S.P99Us = percentileSorted(V, 0.99);
+    S.P999Us = percentileSorted(V, 0.999);
+    return S;
+  }
+
+  std::vector<std::vector<uint64_t>> Sojourn;
+  std::vector<std::vector<double>> Wall;
+};
+
+} // namespace wearmem
+
+#endif // WEARMEM_SERVE_LATENCYRECORDER_H

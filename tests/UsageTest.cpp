@@ -119,6 +119,20 @@ const std::vector<std::string> SoakFlags = {
     "--verify-determinism", "--with-timing",
     "--help"};
 
+const std::vector<std::string> ServeFlags = {
+    "--tenants",          "--profile",
+    "--arrival-rate",     "--duration",
+    "--queue-depth",      "--quota-policy",
+    "--shard-order",      "--adversary-tenant",
+    "--campaign",         "--lanes",
+    "--collector",        "--gc-threads",
+    "--failure-rate",     "--heap-factor",
+    "--warmup-scale",     "--session-steps",
+    "--window-pages",     "--backpressure-lines",
+    "--seed",             "--json",
+    "--with-timing",      "--verify-determinism",
+    "--help"};
+
 TEST(UsageTest, RunHelpExitsZeroAndMatchesDeclaredFlags) {
   ToolResult R = runTool(std::string(WEARMEM_RUN_BIN) + " --help");
   ASSERT_EQ(R.ExitCode, 0) << R.Output;
@@ -133,6 +147,13 @@ TEST(UsageTest, SoakHelpExitsZeroAndMatchesDeclaredFlags) {
   expectFlagSetMatches(R.Output, SoakFlags);
 }
 
+TEST(UsageTest, ServeHelpExitsZeroAndMatchesDeclaredFlags) {
+  ToolResult R = runTool(std::string(WEARMEM_SERVE_BIN) + " --help");
+  ASSERT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("usage: wearmem_serve"), std::string::npos);
+  expectFlagSetMatches(R.Output, ServeFlags);
+}
+
 TEST(UsageTest, UnknownOptionExitsUsageNamingTheFlag) {
   ToolResult Run =
       runTool(std::string(WEARMEM_RUN_BIN) + " --no-such-flag");
@@ -143,6 +164,11 @@ TEST(UsageTest, UnknownOptionExitsUsageNamingTheFlag) {
       runTool(std::string(WEARMEM_SOAK_BIN) + " --no-such-flag");
   EXPECT_EQ(Soak.ExitCode, wearmem::cli::ExitUsage);
   EXPECT_NE(Soak.Output.find("--no-such-flag"), std::string::npos);
+
+  ToolResult Serve =
+      runTool(std::string(WEARMEM_SERVE_BIN) + " --no-such-flag");
+  EXPECT_EQ(Serve.ExitCode, wearmem::cli::ExitUsage);
+  EXPECT_NE(Serve.Output.find("--no-such-flag"), std::string::npos);
 }
 
 TEST(UsageTest, MalformedValuesExitUsageNamingTheFlag) {
@@ -179,6 +205,17 @@ TEST(UsageTest, MalformedValuesExitUsageNamingTheFlag) {
        "--incremental-mark"},
       {WEARMEM_SOAK_BIN, "--concurrent-mark --crash-campaign 2",
        "--concurrent-mark"},
+      {WEARMEM_SERVE_BIN, "--tenants=0", "--tenants"},
+      {WEARMEM_SERVE_BIN, "--tenants=banana", "--tenants"},
+      {WEARMEM_SERVE_BIN, "--arrival-rate=0", "--arrival-rate"},
+      {WEARMEM_SERVE_BIN, "--arrival-rate=-3", "--arrival-rate"},
+      {WEARMEM_SERVE_BIN, "--quota-policy=fair", "--quota-policy"},
+      {WEARMEM_SERVE_BIN, "--shard-order=random", "--shard-order"},
+      {WEARMEM_SERVE_BIN, "--tenants=2 --adversary-tenant=2",
+       "--adversary-tenant"},
+      {WEARMEM_SERVE_BIN, "--queue-depth=0", "--queue-depth"},
+      {WEARMEM_SERVE_BIN, "--session-steps=0", "--session-steps"},
+      {WEARMEM_SERVE_BIN, "--failure-rate=2", "--failure-rate"},
   };
   for (const Case &C : Cases) {
     ToolResult R = runTool(std::string(C.Bin) + " " + C.Args);

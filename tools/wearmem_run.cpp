@@ -25,7 +25,7 @@
 #include "support/Table.h"
 #include "workload/IncMarkDriver.h"
 #include "workload/Mutator.h"
-#include "workload/MutatorPool.h"
+#include "workload/PoolDriver.h"
 #include "workload/Runner.h"
 
 #include "gc/HeapAuditor.h"
@@ -313,28 +313,19 @@ int main(int argc, char **argv) {
     // count so per-lane headroom matches the single-lane run.
     Config.HeapBytes *= L;
     Runtime Rt(Config);
-    MutatorPoolOptions PoolOpts;
-    PoolOpts.Lanes = L;
-    PoolOpts.Threads = MutatorThreads;
-    PoolOpts.Seed = Seed;
-    PoolOpts.VolumeScale = benchScale();
-    PoolOpts.Adversary = Adversary;
-    MutatorPool Pool(Rt, *P, PoolOpts);
-    IncMarkDriver Inc(Rt, Pool.targetBytes());
-    if (Mark.anyMode())
-      // The hook runs on whichever thread holds the turn, serialized by
-      // the turnstile, so the driver advances on the pool's own virtual
-      // clock and the digest stays lane-count-deterministic (in
-      // concurrent mode the marker only traces; opens, flushes, and the
-      // close still land on this clock).
-      Pool.setTurnHook([&](unsigned, uint64_t) {
-        Inc.pump(Pool.steadyAllocatedBytes());
-        return true;
-      });
+    PoolDriverSpec Spec;
+    Spec.Lanes = L;
+    Spec.Threads = MutatorThreads;
+    Spec.Seed = Seed;
+    Spec.VolumeScale = benchScale();
+    Spec.Adversary = Adversary;
+    Spec.DriveMark = Mark.anyMode();
+    PoolDriver Driver(Rt, *P, Spec);
+    MutatorPool &Pool = Driver.pool();
     auto Start = std::chrono::steady_clock::now();
-    bool Ok = Pool.run();
+    bool Ok = Driver.run();
     if (Mark.anyMode())
-      Inc.flush();
+      Driver.flushMark();
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - Start)
                     .count();

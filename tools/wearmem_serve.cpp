@@ -1,0 +1,537 @@
+//===- tools/wearmem_serve.cpp - Multi-tenant heap service driver ---------===//
+//
+// Part of the wearmem project, a reproduction of "Using Managed Runtime
+// Systems to Tolerate Holes in Wearable Memories" (PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the sharded multi-tenant heap service under open-loop Poisson
+// load: N tenants, each a full failure-tolerant Runtime carved out of
+// one device-wide page budget by the ShardDirectory, serving
+// profile-shaped request sessions while an optional adversary tenant
+// runs a fault-storm campaign against its own shard.
+//
+//   wearmem_serve --tenants=3 --arrival-rate=2000 --duration=0.25
+//   wearmem_serve --tenants=2 --adversary-tenant=1 --quota-policy=demand
+//   wearmem_serve --tenants=2 --verify-determinism --shard-order=reverse
+//
+// Exit codes: 0 ok; 2 a tenant exhausted its heap; 3 a heap audit
+// failed; 4 determinism verification failed; 64 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Service.h"
+#include "support/CliArgs.h"
+#include "support/JsonWriter.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace wearmem;
+
+namespace {
+
+using cli::ExitUsage;
+
+void printUsage(FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: wearmem_serve [options]\n"
+      "  --tenants=N              tenant shards (1..16, default 2)\n"
+      "  --profile=NAME           workload profile for every tenant\n"
+      "                           (default luindex)\n"
+      "  --arrival-rate=R         per-tenant Poisson arrivals per\n"
+      "                           virtual second (default 2000)\n"
+      "  --duration=SEC           virtual-time arrival horizon\n"
+      "                           (default 0.25)\n"
+      "  --queue-depth=N          bounded admission queue (default 64)\n"
+      "  --quota-policy=P         perfect-page window split:\n"
+      "                           static | demand (default static)\n"
+      "  --shard-order=O          construction/scan order knob:\n"
+      "                           forward | reverse | rotate; results\n"
+      "                           must not depend on it\n"
+      "  --adversary-tenant=K     give tenant K the fault campaign\n"
+      "  --campaign=SCHED         adversary campaign schedule (default\n"
+      "                           storm@gc:3+2:lines=24,hot)\n"
+      "  --lanes=N                mutator lanes per shard (default 1)\n"
+      "  --collector=KIND         ms | ix | s-ms | s-ix (default s-ix)\n"
+      "  --gc-threads=N           parallel GC workers per shard\n"
+      "  --failure-rate=F         static failed-line fraction 0..0.99\n"
+      "  --heap-factor=F          heap = F x profile min (default 1.5)\n"
+      "  --warmup-scale=F         warmup pool volume fraction\n"
+      "                           (default 0.05)\n"
+      "  --session-steps=N        request sessions run N + uniform[0,N]\n"
+      "                           mutator steps (default 24)\n"
+      "  --window-pages=N         fleet perfect-page allowance per\n"
+      "                           quota window (default 96)\n"
+      "  --backpressure-lines=N   shared failure-buffer occupancy that\n"
+      "                           stalls victims (default 48)\n"
+      "  --seed=N                 arrival + workload + failure seed\n"
+      "  --json=FILE              write the full report as JSON\n"
+      "  --with-timing            include wall-clock latency sections\n"
+      "                           (excluded from determinism checks)\n"
+      "  --verify-determinism     run twice, compare deterministic\n"
+      "                           fingerprints, exit 4 on mismatch\n"
+      "  --help                   print this help and exit\n");
+}
+
+/// Every deterministic output folded into one comparable string.
+std::string fingerprint(const ServeResult &R) {
+  std::ostringstream S;
+  S << "rebalances=" << R.Rebalances << " peak=" << R.BufferPeak
+    << " horizon=" << R.HorizonUs << " vend=" << R.VirtualEndUs << "\n";
+  for (const TenantServeResult &T : R.Tenants) {
+    S << "t" << T.Id << " arr=" << T.Arrivals << " adm=" << T.Admitted
+      << " served=" << T.Served;
+    for (unsigned K = 0; K != NumRejectKinds; ++K)
+      S << " rej." << rejectKindName(K) << "=" << T.Rejected[K];
+    S << " shed=" << T.ShedRequests << " exh=" << T.ExhaustedRequests
+      << " stallsV=" << T.StallsObserved << " stallsA=" << T.StallsInflicted
+      << " quota=" << T.QuotaRejections << " pp=" << T.PerfectPagesCharged
+      << " share=" << T.QuotaShareFinal << " gc=" << T.GcCount
+      << " flines=" << T.FailedLinesDynamic << " carve=" << T.CarvePages
+      << " mode=" << T.FinalMode << " digest=" << std::hex << T.Digest
+      << std::dec << " audit=" << (T.AuditPassed ? 1 : 0)
+      << " p50=" << T.Sojourn.P50 << " p99=" << T.Sojourn.P99
+      << " p999=" << T.Sojourn.P999 << " max=" << T.Sojourn.Max << "\n";
+  }
+  return S.str();
+}
+
+void latencyJson(JsonWriter &W, const LatencySummary &L) {
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("count");
+  W.value(L.Count);
+  W.key("p50_us");
+  W.value(L.P50);
+  W.key("p99_us");
+  W.value(L.P99);
+  W.key("p999_us");
+  W.value(L.P999);
+  W.key("max_us");
+  W.value(L.Max);
+  W.close();
+}
+
+void wallJson(JsonWriter &W, const WallSummary &L) {
+  W.openObject(JsonWriter::Style::Inline);
+  W.key("count");
+  W.value(L.Count);
+  W.key("p50_us");
+  W.valueF(L.P50Us, 1);
+  W.key("p99_us");
+  W.valueF(L.P99Us, 1);
+  W.key("p999_us");
+  W.valueF(L.P999Us, 1);
+  W.close();
+}
+
+std::string reportJson(const ServeOptions &Opt, const ServeResult &R,
+                       bool WithTiming) {
+  JsonWriter W;
+  W.openRoot();
+  W.key("schema");
+  W.value("wearmem-serve-v1");
+  W.key("config");
+  W.openObject(JsonWriter::Style::Line);
+  W.key("tenants");
+  W.value(static_cast<uint64_t>(Opt.Tenants.size()));
+  W.key("arrival_rate_per_sec");
+  W.valueF(Opt.ArrivalRatePerSec, 1);
+  W.key("duration_sec");
+  W.valueF(Opt.DurationSec, 3);
+  W.key("queue_depth");
+  W.value(static_cast<uint64_t>(Opt.QueueDepth));
+  W.key("quota_policy");
+  W.value(quotaPolicyName(Opt.Policy));
+  W.key("shard_order");
+  W.value(shardOrderName(Opt.Order));
+  W.key("lanes");
+  W.value(static_cast<uint64_t>(Opt.LanesPerShard));
+  W.key("gc_threads");
+  W.value(static_cast<uint64_t>(Opt.GcThreads));
+  W.key("seed");
+  W.value(Opt.Seed);
+  W.close();
+
+  W.key("directory");
+  W.openObject(JsonWriter::Style::Line);
+  W.key("rebalances");
+  W.value(R.Rebalances);
+  W.key("buffer_peak_lines");
+  W.value(R.BufferPeak);
+  W.key("journal_dropped");
+  W.value(R.JournalDropped);
+  W.close();
+
+  W.key("tenants");
+  W.openArray(JsonWriter::Style::Line);
+  for (const TenantServeResult &T : R.Tenants) {
+    W.openObject(JsonWriter::Style::Line);
+    W.key("id");
+    W.value(static_cast<uint64_t>(T.Id));
+    W.key("profile");
+    W.value(T.ProfileName.c_str());
+    W.key("arrivals");
+    W.value(T.Arrivals);
+    W.key("admitted");
+    W.value(T.Admitted);
+    W.key("served");
+    W.value(T.Served);
+    W.key("rejected");
+    W.openObject(JsonWriter::Style::Inline);
+    for (unsigned K = 0; K != NumRejectKinds; ++K) {
+      W.key(rejectKindName(K));
+      W.value(T.Rejected[K]);
+    }
+    W.close();
+    W.key("shed_requests");
+    W.value(T.ShedRequests);
+    W.key("exhausted_requests");
+    W.value(T.ExhaustedRequests);
+    W.key("stalls_observed");
+    W.value(T.StallsObserved);
+    W.key("stalls_inflicted");
+    W.value(T.StallsInflicted);
+    W.key("quota_rejections");
+    W.value(T.QuotaRejections);
+    W.key("perfect_pages_charged");
+    W.value(T.PerfectPagesCharged);
+    W.key("quota_share_final");
+    W.value(T.QuotaShareFinal);
+    W.key("gc_count");
+    W.value(T.GcCount);
+    W.key("failed_lines_dynamic");
+    W.value(T.FailedLinesDynamic);
+    W.key("carve_pages");
+    W.value(static_cast<uint64_t>(T.CarvePages));
+    W.key("final_mode");
+    W.value(T.FinalMode.c_str());
+    W.key("digest");
+    W.valueHex(T.Digest);
+    W.key("audit");
+    W.value(T.AuditPassed ? "pass" : "FAIL");
+    W.key("sojourn");
+    latencyJson(W, T.Sojourn);
+    if (WithTiming) {
+      W.key("wall");
+      wallJson(W, T.Wall);
+    }
+    W.close();
+  }
+  W.close();
+
+  W.key("fleet");
+  W.openObject(JsonWriter::Style::Line);
+  W.key("served");
+  W.value(R.totalServed());
+  W.key("virtual_end_us");
+  W.value(R.VirtualEndUs);
+  W.key("throughput_rps");
+  W.valueF(R.FleetThroughputRps, 1);
+  W.key("sojourn");
+  latencyJson(W, R.FleetSojourn);
+  if (WithTiming) {
+    W.key("wall");
+    wallJson(W, R.FleetWall);
+  }
+  W.close();
+
+  W.key("journal_head");
+  // Journal replay detail lives in ServeResult::Journal; the report
+  // keeps the first events - enough to reconstruct an incident's onset.
+  {
+    JsonWriter &WW = W;
+    WW.openArray(JsonWriter::Style::Line);
+    size_t Max = R.Journal.size() < 32 ? R.Journal.size() : 32;
+    for (size_t I = 0; I != Max; ++I) {
+      const DirectoryEvent &E = R.Journal[I];
+      WW.openObject(JsonWriter::Style::Inline);
+      WW.key("kind");
+      WW.value(directoryEventName(E.What));
+      WW.key("at_us");
+      WW.value(E.AtUs);
+      WW.key("tenant");
+      WW.value(static_cast<uint64_t>(E.Tenant));
+      WW.key("value");
+      WW.value(E.Value);
+      WW.close();
+    }
+    WW.close();
+  }
+
+  if (WithTiming) {
+    W.key("timing");
+    W.openObject(JsonWriter::Style::Line);
+    W.key("wall_ms");
+    W.valueF(R.WallMs, 2);
+    W.close();
+  }
+  W.closeRoot();
+  return W.str();
+}
+
+void printSummary(const ServeOptions &Opt, const ServeResult &R,
+                  bool WithTiming) {
+  std::printf("%zu tenants, %s policy, %s order, %.0f req/s x %.3fs\n",
+              Opt.Tenants.size(), quotaPolicyName(Opt.Policy),
+              shardOrderName(Opt.Order), Opt.ArrivalRatePerSec,
+              Opt.DurationSec);
+  for (const TenantServeResult &T : R.Tenants) {
+    uint64_t Rej = 0;
+    for (unsigned K = 0; K != NumRejectKinds; ++K)
+      Rej += T.Rejected[K];
+    std::printf("  t%u %-9s arr=%" PRIu64 " served=%" PRIu64
+                " rej=%" PRIu64 " (emg=%" PRIu64 " thr=%" PRIu64
+                " quota=%" PRIu64 " q-full=%" PRIu64 ")\n",
+                T.Id, T.ProfileName.c_str(), T.Arrivals, T.Served, Rej,
+                T.Rejected[RejEmergency], T.Rejected[RejThrottled],
+                T.Rejected[RejQuota], T.Rejected[RejQueueFull]);
+    std::printf("     sojourn p50/p99/p99.9 = %" PRIu64 "/%" PRIu64
+                "/%" PRIu64 " us, stalls %" PRIu64 "/%" PRIu64
+                " (seen/caused), gc=%" PRIu64 ", mode=%s, digest=%016"
+                PRIx64 " (%s)\n",
+                T.Sojourn.P50, T.Sojourn.P99, T.Sojourn.P999,
+                T.StallsObserved, T.StallsInflicted, T.GcCount,
+                T.FinalMode.c_str(), T.Digest,
+                T.AuditPassed ? "audit clean" : "AUDIT FAILED");
+  }
+  std::printf("fleet: %" PRIu64 " served, %.1f req/s virtual, sojourn "
+              "p99=%" PRIu64 " us",
+              R.totalServed(), R.FleetThroughputRps, R.FleetSojourn.P99);
+  if (WithTiming)
+    std::printf(", wall %.1f ms", R.WallMs);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Tenants = 2;
+  std::string ProfileName = "luindex";
+  double ArrivalRate = 2000.0;
+  double Duration = 0.25;
+  uint64_t QueueDepth = 64;
+  std::string PolicyName = "static";
+  std::string OrderName = "forward";
+  uint64_t AdversaryTenant = UINT64_MAX;
+  std::string Campaign = "storm@gc:3+2:lines=24,hot";
+  unsigned Lanes = 1;
+  std::string CollectorName = "s-ix";
+  unsigned GcThreads = 1;
+  double Rate = 0.0;
+  double HeapFactor = 1.5;
+  double WarmupScale = 0.05;
+  unsigned SessionSteps = 24;
+  unsigned WindowPages = 96;
+  unsigned BackpressureLines = 48;
+  uint64_t Seed = 42;
+  std::string JsonPath;
+  bool WithTiming = false;
+  bool VerifyDeterminism = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Value;
+    const char *Arg = argv[I];
+    auto parseFlag = [&](const char *Name, std::string &Out) {
+      return cli::splitEqFlag(Arg, Name, Out);
+    };
+    auto u64 = [&](uint64_t &Out) {
+      if (cli::parseU64(Value.c_str(), Out))
+        return true;
+      std::fprintf(stderr, "error: invalid value '%s' in '%s'\n",
+                   Value.c_str(), Arg);
+      return false;
+    };
+    auto uns = [&](unsigned &Out) {
+      uint64_t Wide = 0;
+      if (!u64(Wide) || Wide > UINT32_MAX)
+        return false;
+      Out = static_cast<unsigned>(Wide);
+      return true;
+    };
+    auto dbl = [&](double &Out) {
+      if (cli::parseDouble(Value.c_str(), Out))
+        return true;
+      std::fprintf(stderr, "error: invalid value '%s' in '%s'\n",
+                   Value.c_str(), Arg);
+      return false;
+    };
+    bool ValueOk = true;
+    if (parseFlag("--help", Value) || parseFlag("-h", Value)) {
+      printUsage(stdout);
+      return 0;
+    }
+    if (parseFlag("--tenants", Value)) {
+      ValueOk = uns(Tenants) && Tenants >= 1 && Tenants <= 16;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --tenants must be 1..16\n");
+    } else if (parseFlag("--profile", Value)) {
+      ProfileName = Value;
+    } else if (parseFlag("--arrival-rate", Value)) {
+      ValueOk = dbl(ArrivalRate) && ArrivalRate > 0.0;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --arrival-rate must be positive\n");
+    } else if (parseFlag("--duration", Value)) {
+      ValueOk = dbl(Duration) && Duration > 0.0;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --duration must be positive\n");
+    } else if (parseFlag("--queue-depth", Value)) {
+      ValueOk = u64(QueueDepth) && QueueDepth >= 1 && QueueDepth <= 65536;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --queue-depth must be 1..65536\n");
+    } else if (parseFlag("--quota-policy", Value)) {
+      QuotaPolicy Dummy;
+      ValueOk = parseQuotaPolicy(Value, Dummy);
+      if (!ValueOk)
+        std::fprintf(stderr,
+                     "error: --quota-policy must be static or demand\n");
+      PolicyName = Value;
+    } else if (parseFlag("--shard-order", Value)) {
+      ShardOrder Dummy;
+      ValueOk = parseShardOrder(Value, Dummy);
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --shard-order must be forward, "
+                             "reverse, or rotate\n");
+      OrderName = Value;
+    } else if (parseFlag("--adversary-tenant", Value)) {
+      ValueOk = u64(AdversaryTenant);
+    } else if (parseFlag("--campaign", Value)) {
+      Campaign = Value;
+    } else if (parseFlag("--lanes", Value)) {
+      ValueOk = uns(Lanes) && Lanes >= 1 && Lanes <= 64;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --lanes must be 1..64\n");
+    } else if (parseFlag("--collector", Value)) {
+      CollectorName = Value;
+    } else if (parseFlag("--gc-threads", Value)) {
+      ValueOk = uns(GcThreads) && GcThreads >= 1 && GcThreads <= 64;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --gc-threads must be 1..64\n");
+    } else if (parseFlag("--failure-rate", Value)) {
+      ValueOk = dbl(Rate) && Rate >= 0.0 && Rate <= 0.99;
+      if (!ValueOk)
+        std::fprintf(stderr,
+                     "error: --failure-rate must be in 0..0.99\n");
+    } else if (parseFlag("--heap-factor", Value)) {
+      ValueOk = dbl(HeapFactor) && HeapFactor > 0.0;
+    } else if (parseFlag("--warmup-scale", Value)) {
+      ValueOk = dbl(WarmupScale) && WarmupScale >= 0.0;
+    } else if (parseFlag("--session-steps", Value)) {
+      ValueOk = uns(SessionSteps) && SessionSteps >= 1 &&
+                SessionSteps <= 4096;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --session-steps must be 1..4096\n");
+    } else if (parseFlag("--window-pages", Value)) {
+      ValueOk = uns(WindowPages) && WindowPages >= 1;
+      if (!ValueOk)
+        std::fprintf(stderr, "error: --window-pages must be >= 1\n");
+    } else if (parseFlag("--backpressure-lines", Value)) {
+      ValueOk = uns(BackpressureLines) && BackpressureLines >= 1;
+      if (!ValueOk)
+        std::fprintf(stderr,
+                     "error: --backpressure-lines must be >= 1\n");
+    } else if (parseFlag("--seed", Value)) {
+      ValueOk = u64(Seed);
+    } else if (parseFlag("--json", Value)) {
+      JsonPath = Value;
+    } else if (parseFlag("--with-timing", Value)) {
+      WithTiming = true;
+    } else if (parseFlag("--verify-determinism", Value)) {
+      VerifyDeterminism = true;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg);
+      printUsage(stderr);
+      return ExitUsage;
+    }
+    if (!ValueOk) {
+      printUsage(stderr);
+      return ExitUsage;
+    }
+  }
+
+  ServeOptions Opt;
+  if (!parseQuotaPolicy(PolicyName, Opt.Policy) ||
+      !parseShardOrder(OrderName, Opt.Order)) {
+    printUsage(stderr);
+    return ExitUsage;
+  }
+  if (!cli::parseCollector(CollectorName, Opt.Collector)) {
+    std::fprintf(stderr, "error: unknown collector '%s'\n",
+                 CollectorName.c_str());
+    printUsage(stderr);
+    return ExitUsage;
+  }
+  if (AdversaryTenant != UINT64_MAX && AdversaryTenant >= Tenants) {
+    std::fprintf(stderr,
+                 "error: --adversary-tenant must name a tenant\n");
+    printUsage(stderr);
+    return ExitUsage;
+  }
+  Opt.Tenants.resize(Tenants);
+  for (unsigned K = 0; K != Tenants; ++K) {
+    Opt.Tenants[K].ProfileName = ProfileName;
+    Opt.Tenants[K].FailureRate = Rate;
+    if (AdversaryTenant == K)
+      Opt.Tenants[K].Campaign = Campaign;
+  }
+  Opt.ArrivalRatePerSec = ArrivalRate;
+  Opt.DurationSec = Duration;
+  Opt.QueueDepth = static_cast<unsigned>(QueueDepth);
+  Opt.LanesPerShard = Lanes;
+  Opt.GcThreads = GcThreads;
+  Opt.Seed = Seed;
+  Opt.HeapFactor = HeapFactor;
+  Opt.WarmupScale = WarmupScale;
+  Opt.SessionSteps = SessionSteps;
+  Opt.Dir.PerfectPagesPerWindow = WindowPages;
+  Opt.Dir.BackpressureLines = BackpressureLines;
+  if (Opt.Dir.BufferCapacityLines < 2 * BackpressureLines)
+    Opt.Dir.BufferCapacityLines = 2 * BackpressureLines;
+
+  ServeResult R = runServe(Opt);
+  if (!R.ConfigOk) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    printUsage(stderr);
+    return ExitUsage;
+  }
+  printSummary(Opt, R, WithTiming);
+
+  if (VerifyDeterminism) {
+    ServeResult R2 = runServe(Opt);
+    if (fingerprint(R) != fingerprint(R2)) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: reruns disagree\n--- run 1\n"
+                   "%s--- run 2\n%s",
+                   fingerprint(R).c_str(), fingerprint(R2).c_str());
+      return 4;
+    }
+    std::printf("determinism: two runs identical\n");
+  }
+
+  if (!JsonPath.empty()) {
+    std::ofstream OutFile(JsonPath, std::ios::binary);
+    if (!OutFile) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   JsonPath.c_str());
+      return 1;
+    }
+    OutFile << reportJson(Opt, R, WithTiming);
+  }
+
+  bool AuditFail = false;
+  bool Exhausted = false;
+  for (const TenantServeResult &T : R.Tenants) {
+    AuditFail |= !T.AuditPassed;
+    Exhausted |= T.ExhaustedRequests > 0 || T.FinalMode == "fail-stop";
+  }
+  if (AuditFail)
+    return 3;
+  if (Exhausted)
+    return 2;
+  return 0;
+}

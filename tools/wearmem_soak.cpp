@@ -34,7 +34,7 @@
 #include "workload/IncMarkDriver.h"
 #include "workload/Lifetime.h"
 #include "workload/Mutator.h"
-#include "workload/MutatorPool.h"
+#include "workload/PoolDriver.h"
 #include "workload/Runner.h"
 
 #include <algorithm>
@@ -446,15 +446,16 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
 
   Runtime Rt(Config);
   Mutator M(Rt, P, Opt.Seed, Opt.VolumeScale, Opt.Adversary);
-  std::unique_ptr<MutatorPool> Pool;
+  std::unique_ptr<PoolDriver> Pool;
   if (poolMode(Opt)) {
-    MutatorPoolOptions PoolOpts;
-    PoolOpts.Lanes = poolLanes(Opt);
-    PoolOpts.Threads = Opt.MutatorThreads;
-    PoolOpts.Seed = Opt.Seed;
-    PoolOpts.VolumeScale = Opt.VolumeScale;
-    PoolOpts.Adversary = Opt.Adversary;
-    Pool = std::make_unique<MutatorPool>(Rt, P, PoolOpts);
+    PoolDriverSpec Spec;
+    Spec.Lanes = poolLanes(Opt);
+    Spec.Threads = Opt.MutatorThreads;
+    Spec.Seed = Opt.Seed;
+    Spec.VolumeScale = Opt.VolumeScale;
+    Spec.Adversary = Opt.Adversary;
+    Spec.DriveMark = Opt.Mark.anyMode();
+    Pool = std::make_unique<PoolDriver>(Rt, P, Spec);
   }
   FaultCampaign Campaign(Triggers, Opt.Seed);
   Campaign.attachRuntime(Rt);
@@ -476,6 +477,8 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
     return Pool ? Pool->steadyAllocatedBytes() : M.steadyAllocatedBytes();
   };
   uint64_t TargetBytes = Pool ? Pool->targetBytes() : M.targetBytes();
+  // Single-mutator mode drives its own mark driver; in pool mode the
+  // PoolDriver owns one and pumps it from the turn hook.
   IncMarkDriver Inc(Rt, TargetBytes);
 
   auto T0 = std::chrono::steady_clock::now();
@@ -501,7 +504,7 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   // single-mutator loop and the pool's turn hook. Returns false to stop
   // the run (audit violation).
   auto onStep = [&]() -> bool {
-    if (Opt.Mark.anyMode())
+    if (!Pool && Opt.Mark.anyMode())
       Inc.pump(steadyBytes());
     bool Fired = Campaign.pump();
     uint64_t Gc = Rt.stats().GcCount;
@@ -532,10 +535,10 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   };
 
   if (Pool) {
-    // The hook runs on whichever thread holds the turn, with the heap
-    // handed to that lane; the turnstile serializes it against every
-    // other lane, so the bookkeeping above needs no extra locking.
-    Pool->setTurnHook([&](unsigned, uint64_t) { return onStep(); });
+    // The callback runs on whichever thread holds the turn, with the
+    // heap handed to that lane; the turnstile serializes it against
+    // every other lane, so the bookkeeping above needs no extra locking.
+    Pool->setTurnCallback([&](unsigned, uint64_t) { return onStep(); });
     Alive = Pool->run();
     if (AuditFailed)
       Alive = true; // The hook aborted the pool; DNF verdicts are Survived's.
@@ -554,8 +557,12 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   // Close any cycle the run left open, then flush any pending recovery
   // so the final audit sees a settled heap, then take the closing curve
   // point and verdict.
-  if (Opt.Mark.anyMode() && !Rt.outOfMemory())
-    Inc.flush();
+  if (Opt.Mark.anyMode() && !Rt.outOfMemory()) {
+    if (Pool)
+      Pool->flushMark();
+    else
+      Inc.flush();
+  }
   if (!AuditFailed && !Rt.outOfMemory()) {
     if (Rt.heap().pendingFailureRecovery())
       Rt.collect(true);
@@ -569,11 +576,11 @@ SoakOutcome runSoak(const SoakOptions &Opt, const Profile &P,
   Out.TargetBytes = TargetBytes;
   if (Pool) {
     Out.PoolMode = true;
-    Out.PoolThreads = Pool->threads();
-    Out.PoolLanes = Pool->lanes();
-    Out.PoolTurns = Pool->totalTurns();
+    Out.PoolThreads = Pool->pool().threads();
+    Out.PoolLanes = Pool->pool().lanes();
+    Out.PoolTurns = Pool->pool().totalTurns();
     Out.Safepoints = Rt.safepoints().stats();
-    for (unsigned Lane = 0; Lane != Pool->lanes(); ++Lane)
+    for (unsigned Lane = 0; Lane != Pool->pool().lanes(); ++Lane)
       Out.MailboxBacklog += Rt.heap().laneMailboxDepth(Lane);
     // The routing ledger must balance: every interrupt entering the
     // router was delivered to its owning lane or deferred as an orphan,
